@@ -1,0 +1,30 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+use noc_topology::{ConnectionMatrix, RowPlacement};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic pseudo-random valid placement for `P̂(n, C)`.
+pub fn random_row(n: usize, c_limit: usize, seed: u64) -> RowPlacement {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = ConnectionMatrix::new(n, c_limit);
+    for i in 0..m.bit_count() {
+        if rng.gen::<bool>() {
+            m.flip_flat(i);
+        }
+    }
+    m.decode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic_and_valid() {
+        let a = random_row(8, 4, 1);
+        let b = random_row(8, 4, 1);
+        assert_eq!(a, b);
+        assert!(a.is_within_limit(4));
+    }
+}

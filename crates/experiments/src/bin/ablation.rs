@@ -1,0 +1,5 @@
+//! Runs the ablation studies (candidate generator, initial solution,
+//! annealing schedule).
+fn main() {
+    noc_experiments::ablation::run();
+}

@@ -1,0 +1,19 @@
+//! Runs every experiment in sequence (the full reproduction), then renders
+//! the figures and regenerates EXPERIMENTS.md.
+fn main() {
+    noc_experiments::table2::run();
+    noc_experiments::table2::run_overhead();
+    noc_experiments::fig12::run();
+    noc_experiments::fig7::run();
+    noc_experiments::fig5::run();
+    noc_experiments::fig6::run();
+    noc_experiments::fig8::run();
+    noc_experiments::fig9::run();
+    noc_experiments::fig9::run_fig10();
+    noc_experiments::fig11::run();
+    noc_experiments::sec564::run();
+    noc_experiments::ablation::run();
+    noc_experiments::fault::run();
+    noc_experiments::plots_bin::run();
+    noc_experiments::experiments_md::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Sec. 5.6.4 application-specific placement study.
+fn main() {
+    noc_experiments::sec564::run();
+}

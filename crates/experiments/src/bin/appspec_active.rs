@@ -1,0 +1,6 @@
+//! Runs only the sparse-active-subset part of the Sec. 5.6.4 study.
+use noc_model::LinkBudget;
+
+fn main() {
+    noc_experiments::sec564::active_subset_sweep(&LinkBudget::paper(8));
+}

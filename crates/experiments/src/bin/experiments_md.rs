@@ -1,0 +1,4 @@
+//! Regenerates EXPERIMENTS.md from the archived results.
+fn main() {
+    noc_experiments::experiments_md::run();
+}

@@ -1,0 +1,4 @@
+//! Runs the single-link-failure robustness study.
+fn main() {
+    noc_experiments::fault::run();
+}

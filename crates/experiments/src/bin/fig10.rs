@@ -1,0 +1,4 @@
+//! Regenerates Figure 10 (static power breakdown).
+fn main() {
+    noc_experiments::fig9::run_fig10();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 11 (bandwidth impact).
+fn main() {
+    noc_experiments::fig11::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 12 (comparison to the exhaustive optimum).
+fn main() {
+    noc_experiments::fig12::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (latency vs link limit, three network sizes).
+fn main() {
+    noc_experiments::fig5::run();
+}

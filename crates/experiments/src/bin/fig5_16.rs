@@ -1,0 +1,30 @@
+//! Runs only the 16x16 leg of Figure 5 and merges it into results/fig5.json
+//! (the 4x4/8x8 legs are much cheaper and usually already archived).
+use noc_experiments::fig5::{run_size, SizeResult};
+
+fn main() {
+    let mut results: Vec<SizeResult> = std::fs::read_to_string("results/fig5.json")
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    let r = run_size(16);
+    println!(
+        "16x16: mesh {:.1}, HFB {:.1} (C={}), best D&C_SA {:.1} -> {:.1}% vs mesh (paper 36.4%), {:.1}% vs HFB (paper 20.1%)",
+        r.mesh,
+        r.hfb,
+        r.hfb_c,
+        r.best_dnc_sa,
+        r.reduction_vs_mesh * 100.0,
+        r.reduction_vs_hfb * 100.0
+    );
+    results.retain(|x| x.n != 16);
+    results.push(r);
+    results.sort_by_key(|x| x.n);
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/fig5.json",
+        serde_json::to_string_pretty(&results).expect("serializable"),
+    )
+    .expect("write results/fig5.json");
+    eprintln!("results saved to results/fig5.json");
+}

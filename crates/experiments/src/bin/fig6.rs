@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (per-benchmark latency, 8x8).
+fn main() {
+    noc_experiments::fig6::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 7 (quality vs normalized runtime).
+fn main() {
+    noc_experiments::fig7::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 8 (synthetic traffic latency + throughput).
+fn main() {
+    noc_experiments::fig8::run();
+}

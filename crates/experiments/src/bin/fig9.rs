@@ -1,0 +1,4 @@
+//! Regenerates Figure 9 (router power per benchmark).
+fn main() {
+    noc_experiments::fig9::run();
+}

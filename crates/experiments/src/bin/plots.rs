@@ -1,0 +1,4 @@
+//! Renders archived experiment results into SVG figures.
+fn main() {
+    noc_experiments::plots_bin::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (maximum zero-load packet latency).
+fn main() {
+    noc_experiments::table2::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Sec. 4.5.2 routing-table area-overhead estimate.
+fn main() {
+    noc_experiments::table2::run_overhead();
+}

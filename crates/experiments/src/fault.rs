@@ -1,0 +1,132 @@
+//! Link-failure robustness (extension study): how gracefully does each
+//! topology degrade when a single express link fails?
+//!
+//! Express links are long repeatered wires — plausible single points of
+//! failure. Because local links always remain, any placement stays routable:
+//! the routing tables are simply recomputed without the failed link (the
+//! same offline Floyd–Warshall pass of §4.5.1), and the deadlock argument is
+//! unchanged. The question is how much latency the failure costs, and
+//! whether the optimized placement is more brittle than the regular HFB.
+
+use crate::harness::Scheme;
+use crate::report::{f2, pct, save_json, Table};
+use noc_model::{LatencyModel, LinkBudget};
+use noc_routing::{channel_dependency_cycle, DorRouter, HopWeights};
+use noc_topology::MeshTopology;
+use serde::{Deserialize, Serialize};
+
+/// Robustness summary of one scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Express links per row (each is a distinct failure case).
+    pub express_links: usize,
+    /// Healthy average head latency (cycles).
+    pub healthy: f64,
+    /// Mean average-head-latency degradation over single-link failures.
+    pub mean_degradation: f64,
+    /// Worst-case degradation over single-link failures.
+    pub worst_degradation: f64,
+    /// Whether every degraded topology stayed deadlock-free.
+    pub all_deadlock_free: bool,
+}
+
+/// Evaluates single-express-link failures for one scheme on the 8×8 network.
+/// The failed link is removed from one row (row 3 — an interior row), the
+/// routing tables are recomputed, and the zero-load average head latency is
+/// compared against the healthy network.
+pub fn evaluate(scheme: &Scheme) -> FaultRow {
+    let n = scheme.topology.side();
+    let model = LatencyModel::paper();
+    let healthy = model
+        .zero_load(&DorRouter::new(&scheme.topology, HopWeights::PAPER))
+        .avg_head;
+
+    let row = scheme.topology.row_placement(0).clone();
+    let mut degradations = Vec::new();
+    let mut all_deadlock_free = true;
+    for link in row.express_links() {
+        let mut rows: Vec<_> = (0..n)
+            .map(|y| scheme.topology.row_placement(y).clone())
+            .collect();
+        let cols: Vec<_> = (0..n)
+            .map(|x| scheme.topology.col_placement(x).clone())
+            .collect();
+        rows[3].remove_link(link.a, link.b);
+        let degraded =
+            MeshTopology::from_placements(rows, cols).expect("placement sizes unchanged");
+        let dor = DorRouter::new(&degraded, HopWeights::PAPER);
+        if channel_dependency_cycle(&degraded, &dor).is_some() {
+            all_deadlock_free = false;
+        }
+        let after = model.zero_load(&dor).avg_head;
+        degradations.push(after / healthy - 1.0);
+    }
+
+    let mean = if degradations.is_empty() {
+        0.0
+    } else {
+        degradations.iter().sum::<f64>() / degradations.len() as f64
+    };
+    let worst = degradations.iter().copied().fold(0.0f64, f64::max);
+    FaultRow {
+        scheme: scheme.kind.label().to_string(),
+        express_links: row.express_count(),
+        healthy,
+        mean_degradation: mean,
+        worst_degradation: worst,
+        all_deadlock_free,
+    }
+}
+
+/// Runs the robustness study for HFB and D&C_SA (the mesh has no express
+/// links to fail) and prints the table.
+pub fn run() -> Vec<FaultRow> {
+    let budget = LinkBudget::paper(8);
+    let rows: Vec<FaultRow> = [Scheme::hfb(&budget), Scheme::dnc_sa(&budget)]
+        .iter()
+        .map(evaluate)
+        .collect();
+
+    let mut table = Table::new(
+        "Extension: single express-link failure on 8x8 (zero-load head latency)",
+        &[
+            "scheme",
+            "links/row",
+            "healthy",
+            "mean degradation",
+            "worst degradation",
+            "deadlock-free",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.scheme.clone(),
+            r.express_links.to_string(),
+            f2(r.healthy),
+            pct(r.mean_degradation),
+            pct(r.worst_degradation),
+            if r.all_deadlock_free { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    table.print();
+    println!("(local links guarantee routability; failures only re-lengthen paths)\n");
+    save_json("fault", &rows);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_degrade_but_never_break() {
+        let budget = LinkBudget::paper(8);
+        let row = evaluate(&Scheme::hfb(&budget));
+        assert!(row.all_deadlock_free);
+        assert!(row.mean_degradation >= 0.0);
+        assert!(row.worst_degradation < 0.25, "catastrophic degradation");
+        assert_eq!(row.express_links, 6);
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 6: per-benchmark average packet latency on the 8×8 network for
+//! Mesh, HFB and the proposed D&C_SA.
+
+use crate::harness::{self, Scheme};
+use crate::report::{f1, pct, save_json, Table};
+use noc_model::LinkBudget;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Latency of the three schemes on one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Mesh latency (cycles).
+    pub mesh: f64,
+    /// HFB latency (cycles).
+    pub hfb: f64,
+    /// D&C_SA latency (cycles).
+    pub dnc_sa: f64,
+}
+
+/// Runs Figure 6 and prints the table.
+pub fn run() -> Vec<BenchmarkRow> {
+    let budget = LinkBudget::paper(8);
+    let schemes = Scheme::standard_three(&budget);
+    let benchmarks = crate::fig5::benchmark_set();
+
+    let mut rows: Vec<BenchmarkRow> = benchmarks
+        .par_iter()
+        .map(|b| {
+            let lat: Vec<f64> = schemes
+                .iter()
+                .map(|s| {
+                    harness::simulate(s, &budget, &b.workload(8), harness::SEED ^ 0x6)
+                        .avg_packet_latency
+                })
+                .collect();
+            BenchmarkRow {
+                benchmark: b.name().to_string(),
+                mesh: lat[0],
+                hfb: lat[1],
+                dnc_sa: lat[2],
+            }
+        })
+        .collect();
+
+    // Suite average row.
+    let k = rows.len() as f64;
+    let avg = BenchmarkRow {
+        benchmark: "average".to_string(),
+        mesh: rows.iter().map(|r| r.mesh).sum::<f64>() / k,
+        hfb: rows.iter().map(|r| r.hfb).sum::<f64>() / k,
+        dnc_sa: rows.iter().map(|r| r.dnc_sa).sum::<f64>() / k,
+    };
+    rows.push(avg);
+
+    let mut table = Table::new(
+        "Fig. 6: 8x8 per-benchmark average packet latency (cycles)",
+        &["benchmark", "Mesh", "HFB", "D&C_SA", "vs Mesh", "vs HFB"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.benchmark.clone(),
+            f1(r.mesh),
+            f1(r.hfb),
+            f1(r.dnc_sa),
+            pct(1.0 - r.dnc_sa / r.mesh),
+            pct(1.0 - r.dnc_sa / r.hfb),
+        ]);
+    }
+    table.print();
+    println!("(paper: D&C_SA saves 23.5% vs Mesh and 8.0% vs HFB on average)\n");
+    save_json("fig6", &rows);
+    rows
+}

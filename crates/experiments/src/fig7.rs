@@ -1,0 +1,165 @@
+//! Figure 7: placement quality as a function of allowed runtime, comparing
+//! OnlySA (random initial solution) against D&C_SA, on the 8×8 and 16×16
+//! networks at `C = 4`.
+//!
+//! As in the paper, runtime is normalised to the cost of the initial-solution
+//! procedure `I(n, 4)`; our runtime proxy is the number of objective
+//! evaluations (each one `O(n·e)` routing solve dominates both algorithms'
+//! inner loops). Placement quality is reported as the resulting network
+//! average packet latency at that design point.
+
+use crate::harness::{self};
+use crate::report::{f2, save_json, Table};
+use noc_model::{LinkBudget, PacketMix, RowObjective};
+use noc_placement::objective::AllPairsObjective;
+use noc_placement::{anneal, initial_solution, sa::random_placement, SaParams};
+use noc_routing::HopWeights;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of the convergence curves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimePoint {
+    /// Runtime normalised to one run of `I(n, 4)`.
+    pub normalized_runtime: f64,
+    /// Network latency of D&C_SA's best-so-far placement (cycles).
+    pub dnc_sa: f64,
+    /// Network latency of OnlySA's best-so-far placement (cycles).
+    pub only_sa: f64,
+}
+
+/// The curves for one network size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeResult {
+    /// Network side length.
+    pub n: usize,
+    /// Evaluations of one `I(n, 4)` run (the normalisation unit).
+    pub unit_evaluations: usize,
+    /// The sampled curves.
+    pub points: Vec<RuntimePoint>,
+}
+
+/// Converts a 1D row objective into the network average packet latency at
+/// `C = 4` (the Eq. (5) decomposition plus the destination pipeline and the
+/// serialization latency at `b = base/4`).
+fn network_latency(n: usize, row_objective: f64, budget: &LinkBudget) -> f64 {
+    let routers = (n * n) as f64;
+    let tr = HopWeights::PAPER.router_cycles as f64;
+    let ls = PacketMix::paper()
+        .serialization_latency(budget.flit_bits(4).expect("C = 4 is admissible"));
+    2.0 * row_objective + tr * (routers - 1.0) / routers + ls
+}
+
+/// Best objective seen by a trace after at most `evals` evaluations.
+fn best_at(trace: &[noc_placement::TracePoint], evals: usize, fallback: f64) -> f64 {
+    let mut best = fallback;
+    for p in trace {
+        if p.evaluations <= evals {
+            best = p.best_objective;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Runs the experiment for one network size.
+pub fn run_size(n: usize, max_units: usize, seeds: &[u64]) -> RuntimeResult {
+    let budget = LinkBudget::paper(n);
+    let objective = AllPairsObjective::paper();
+    let c = 4;
+
+    let init = initial_solution(n, c, &objective);
+    let unit = init.evaluations;
+    let total_moves = max_units.saturating_mul(unit);
+    let mesh_obj = RowObjective::paper().eval(&noc_topology::RowPlacement::new(n));
+
+    // Log-spaced sample grid 1, 2, 5, 10, ... up to max_units.
+    let mut grid = Vec::new();
+    let mut decade = 1usize;
+    while decade <= max_units {
+        for m in [1usize, 2, 5] {
+            let v = decade * m;
+            if v <= max_units {
+                grid.push(v);
+            }
+        }
+        decade *= 10;
+    }
+
+    let mut dnc_curve = vec![0.0; grid.len()];
+    let mut only_curve = vec![0.0; grid.len()];
+    for &seed in seeds {
+        let params = SaParams::paper().with_moves(total_moves);
+        let dnc = anneal(c, &init.placement, &objective, &params, seed, unit);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xa5a5);
+        let start = random_placement(n, c, &mut rng);
+        let only = anneal(c, &start, &objective, &params, seed, 0);
+        for (i, &units) in grid.iter().enumerate() {
+            let evals = units * unit;
+            // Before D&C completes, its curve sits at the mesh baseline.
+            let dnc_obj = if evals < unit {
+                mesh_obj
+            } else {
+                best_at(&dnc.trace, evals, init.objective)
+            };
+            dnc_curve[i] += dnc_obj;
+            only_curve[i] += best_at(&only.trace, evals, mesh_obj);
+        }
+    }
+
+    let k = seeds.len() as f64;
+    let points = grid
+        .iter()
+        .enumerate()
+        .map(|(i, &units)| RuntimePoint {
+            normalized_runtime: units as f64,
+            dnc_sa: network_latency(n, dnc_curve[i] / k, &budget),
+            only_sa: network_latency(n, only_curve[i] / k, &budget),
+        })
+        .collect();
+
+    RuntimeResult {
+        n,
+        unit_evaluations: unit,
+        points,
+    }
+}
+
+/// Runs Figure 7 for both network sizes and prints the tables.
+pub fn run() -> Vec<RuntimeResult> {
+    let (max_units, seeds): (usize, Vec<u64>) = if harness::is_quick() {
+        (100, vec![harness::SEED])
+    } else {
+        (10_000, vec![harness::SEED, harness::SEED + 1, harness::SEED + 2])
+    };
+    let results: Vec<RuntimeResult> = [8usize, 16]
+        .iter()
+        .map(|&n| run_size(n, max_units, &seeds))
+        .collect();
+    for r in &results {
+        let mut table = Table::new(
+            &format!(
+                "Fig. 7: {0}x{0} placement quality vs normalized runtime (unit = I({0},4) = {1} evals)",
+                r.n, r.unit_evaluations
+            ),
+            &["runtime", "D&C_SA", "OnlySA"],
+        );
+        for p in &r.points {
+            table.row(vec![
+                format!("{:.0}", p.normalized_runtime),
+                f2(p.dnc_sa),
+                f2(p.only_sa),
+            ]);
+        }
+        table.print();
+        let last = r.points.last().expect("non-empty grid");
+        println!(
+            "final gap: OnlySA is {:.1}% above D&C_SA (paper: OnlySA never catches up even at 10^4 units)\n",
+            (last.only_sa / last.dnc_sa - 1.0) * 100.0
+        );
+    }
+    save_json("fig7", &results);
+    results
+}

@@ -1,0 +1,122 @@
+//! Figure 8: synthetic traffic on the 8×8 network — (a) average packet
+//! latency and (b) saturation throughput for uniform random, transpose and
+//! bit-reverse traffic under Mesh, HFB and D&C_SA.
+
+use crate::harness::{self, Scheme};
+use crate::report::{f1, f3, pct, save_json, Table};
+use noc_model::{LinkBudget, PacketMix};
+use noc_sim::{saturation_sweep, SimConfig};
+use noc_traffic::{SyntheticPattern, TrafficMatrix, Workload};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Latency and saturation throughput of the three schemes for one pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatternRow {
+    /// Pattern label (UR/TP/BR).
+    pub pattern: String,
+    /// Latency in cycles at the evaluation load, per scheme (Mesh, HFB,
+    /// D&C_SA).
+    pub latency: [f64; 3],
+    /// Saturation throughput in packets/node/cycle, per scheme.
+    pub throughput: [f64; 3],
+}
+
+/// Injection rate used for the latency bars (well below every scheme's
+/// saturation point, like the paper's low-load regime).
+pub const LATENCY_RATE: f64 = 0.02;
+
+/// Runs Figure 8 and prints both panels.
+pub fn run() -> Vec<PatternRow> {
+    let budget = LinkBudget::paper(8);
+    let schemes = Scheme::standard_three(&budget);
+    let patterns = [
+        SyntheticPattern::UniformRandom,
+        SyntheticPattern::Transpose,
+        SyntheticPattern::BitReverse,
+    ];
+
+    let mut rows: Vec<PatternRow> = patterns
+        .par_iter()
+        .map(|p| {
+            let matrix = TrafficMatrix::from_pattern(*p, 8);
+            let workload = Workload::new(matrix, LATENCY_RATE, PacketMix::paper());
+            let mut latency = [0.0; 3];
+            let mut throughput = [0.0; 3];
+            for (i, s) in schemes.iter().enumerate() {
+                latency[i] = harness::simulate(s, &budget, &workload, harness::SEED ^ 0x8)
+                    .avg_packet_latency;
+                let mut config = SimConfig::throughput_run(s.flit_bits, harness::SEED ^ 0x88);
+                let base = harness::sim_config(s, &budget, 0);
+                config.buffer_flits_per_vc = base.buffer_flits_per_vc;
+                if harness::is_quick() {
+                    config.warmup_cycles = 1_000;
+                    config.measure_cycles = 3_000;
+                }
+                // Start well below every scheme's knee: XY-routed transpose
+                // saturates early on the mesh.
+                throughput[i] =
+                    saturation_sweep(&s.topology, &workload, &config, 0.004).saturation;
+            }
+            PatternRow {
+                pattern: p.label().to_string(),
+                latency,
+                throughput,
+            }
+        })
+        .collect();
+
+    let k = rows.len() as f64;
+    let avg = PatternRow {
+        pattern: "Avg".to_string(),
+        latency: [
+            rows.iter().map(|r| r.latency[0]).sum::<f64>() / k,
+            rows.iter().map(|r| r.latency[1]).sum::<f64>() / k,
+            rows.iter().map(|r| r.latency[2]).sum::<f64>() / k,
+        ],
+        throughput: [
+            rows.iter().map(|r| r.throughput[0]).sum::<f64>() / k,
+            rows.iter().map(|r| r.throughput[1]).sum::<f64>() / k,
+            rows.iter().map(|r| r.throughput[2]).sum::<f64>() / k,
+        ],
+    };
+    rows.push(avg);
+
+    let mut a = Table::new(
+        "Fig. 8(a): 8x8 synthetic-traffic latency (cycles)",
+        &["pattern", "Mesh", "HFB", "D&C_SA", "vs Mesh", "vs HFB"],
+    );
+    for r in &rows {
+        a.row(vec![
+            r.pattern.clone(),
+            f1(r.latency[0]),
+            f1(r.latency[1]),
+            f1(r.latency[2]),
+            pct(1.0 - r.latency[2] / r.latency[0]),
+            pct(1.0 - r.latency[2] / r.latency[1]),
+        ]);
+    }
+    a.print();
+    println!("(paper: 24.4% avg reduction vs Mesh, 16.9% vs HFB)\n");
+
+    let mut b = Table::new(
+        "Fig. 8(b): 8x8 saturation throughput (packets/node/cycle)",
+        &["pattern", "Mesh", "HFB", "D&C_SA", "D&C_SA/HFB", "D&C_SA/Mesh"],
+    );
+    for r in &rows {
+        b.row(vec![
+            r.pattern.clone(),
+            f3(r.throughput[0]),
+            f3(r.throughput[1]),
+            f3(r.throughput[2]),
+            format!("{:.2}x", r.throughput[2] / r.throughput[1]),
+            format!("{:.2}x", r.throughput[2] / r.throughput[0]),
+        ]);
+    }
+    b.print();
+    println!(
+        "(paper: Mesh highest; HFB < half of Mesh; D&C_SA ~63.7% above HFB and > 3/4 of Mesh)\n"
+    );
+    save_json("fig8", &rows);
+    rows
+}

@@ -1,0 +1,174 @@
+//! Figure 9: router power (static + dynamic) per PARSEC benchmark on the
+//! 8×8 network, normalised to the mesh; and Figure 10: the static-power
+//! breakdown (buffer / crossbar / others).
+
+use crate::harness::{self, Scheme};
+use crate::report::{f2, pct, save_json, Table};
+use noc_model::LinkBudget;
+use noc_power::{network_power, NetworkPower, PowerConfig};
+use noc_traffic::ParsecBenchmark;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Power of the three schemes for one benchmark (network totals, watts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Static power per scheme (Mesh, HFB, D&C_SA).
+    pub static_w: [f64; 3],
+    /// Dynamic power per scheme.
+    pub dynamic_w: [f64; 3],
+}
+
+/// Static breakdown of one scheme (Fig. 10), watts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticBreakdown {
+    /// Scheme label.
+    pub scheme: String,
+    /// Buffer leakage.
+    pub buffer: f64,
+    /// Crossbar leakage.
+    pub crossbar: f64,
+    /// Allocators/clock leakage.
+    pub others: f64,
+}
+
+fn power_of(scheme: &Scheme, budget: &LinkBudget, bench: ParsecBenchmark) -> NetworkPower {
+    let stats = harness::simulate(scheme, budget, &bench.workload(budget.n), harness::SEED ^ 0x9);
+    network_power(
+        &scheme.topology,
+        scheme.flit_bits,
+        harness::buffer_bits_per_router(budget),
+        &stats,
+        &PowerConfig::dsent_32nm(),
+    )
+}
+
+/// Runs Figure 9 and prints the normalised power table.
+pub fn run() -> Vec<PowerRow> {
+    let budget = LinkBudget::paper(8);
+    let schemes = Scheme::standard_three(&budget);
+    let benchmarks = crate::fig5::benchmark_set();
+
+    let mut rows: Vec<PowerRow> = benchmarks
+        .par_iter()
+        .map(|b| {
+            let powers: Vec<NetworkPower> =
+                schemes.iter().map(|s| power_of(s, &budget, *b)).collect();
+            PowerRow {
+                benchmark: b.name().to_string(),
+                static_w: [
+                    powers[0].total.static_total(),
+                    powers[1].total.static_total(),
+                    powers[2].total.static_total(),
+                ],
+                dynamic_w: [
+                    powers[0].total.dynamic_total(),
+                    powers[1].total.dynamic_total(),
+                    powers[2].total.dynamic_total(),
+                ],
+            }
+        })
+        .collect();
+
+    let k = rows.len() as f64;
+    let avg = PowerRow {
+        benchmark: "average".to_string(),
+        static_w: [
+            rows.iter().map(|r| r.static_w[0]).sum::<f64>() / k,
+            rows.iter().map(|r| r.static_w[1]).sum::<f64>() / k,
+            rows.iter().map(|r| r.static_w[2]).sum::<f64>() / k,
+        ],
+        dynamic_w: [
+            rows.iter().map(|r| r.dynamic_w[0]).sum::<f64>() / k,
+            rows.iter().map(|r| r.dynamic_w[1]).sum::<f64>() / k,
+            rows.iter().map(|r| r.dynamic_w[2]).sum::<f64>() / k,
+        ],
+    };
+    rows.push(avg);
+
+    let mut table = Table::new(
+        "Fig. 9: 8x8 router power, normalised to Mesh total per benchmark",
+        &[
+            "benchmark",
+            "Mesh(s)",
+            "Mesh(d)",
+            "HFB(s)",
+            "HFB(d)",
+            "D&C_SA(s)",
+            "D&C_SA(d)",
+        ],
+    );
+    for r in &rows {
+        let mesh_total = r.static_w[0] + r.dynamic_w[0];
+        table.row(vec![
+            r.benchmark.clone(),
+            f2(r.static_w[0] / mesh_total),
+            f2(r.dynamic_w[0] / mesh_total),
+            f2(r.static_w[1] / mesh_total),
+            f2(r.dynamic_w[1] / mesh_total),
+            f2(r.static_w[2] / mesh_total),
+            f2(r.dynamic_w[2] / mesh_total),
+        ]);
+    }
+    table.print();
+    let avg = rows.last().expect("average row exists");
+    let mesh_total = avg.static_w[0] + avg.dynamic_w[0];
+    let hfb_total = avg.static_w[1] + avg.dynamic_w[1];
+    let dnc_total = avg.static_w[2] + avg.dynamic_w[2];
+    println!(
+        "total power: D&C_SA saves {} vs Mesh (paper 10.4%), {} vs HFB (paper 0.6%)",
+        pct(1.0 - dnc_total / mesh_total),
+        pct(1.0 - dnc_total / hfb_total),
+    );
+    println!(
+        "dynamic power: D&C_SA saves {} vs Mesh (paper 15.1%), {} vs HFB (paper 6.6%)",
+        pct(1.0 - avg.dynamic_w[2] / avg.dynamic_w[0]),
+        pct(1.0 - avg.dynamic_w[2] / avg.dynamic_w[1]),
+    );
+    println!(
+        "static share of Mesh total: {} (paper: about two-thirds)\n",
+        pct(avg.static_w[0] / mesh_total)
+    );
+    save_json("fig9", &rows);
+    rows
+}
+
+/// Runs Figure 10: static breakdown of the three schemes (activity-free).
+pub fn run_fig10() -> Vec<StaticBreakdown> {
+    let budget = LinkBudget::paper(8);
+    let schemes = Scheme::standard_three(&budget);
+    // Static power needs no traffic; reuse one light benchmark simulation
+    // only to size the stats vector.
+    let rows: Vec<StaticBreakdown> = schemes
+        .iter()
+        .map(|s| {
+            let p = power_of(s, &budget, ParsecBenchmark::Blackscholes);
+            StaticBreakdown {
+                scheme: s.kind.label().to_string(),
+                buffer: p.total.static_buffer,
+                crossbar: p.total.static_crossbar,
+                others: p.total.static_other,
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Fig. 10: 8x8 router static power breakdown (network total, W)",
+        &["scheme", "Buffer", "Crossbar", "Others", "Total"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.scheme.clone(),
+            f2(r.buffer),
+            f2(r.crossbar),
+            f2(r.others),
+            f2(r.buffer + r.crossbar + r.others),
+        ]);
+    }
+    table.print();
+    println!("(paper: buffer static equalised; crossbar static does not increase with express links)\n");
+    save_json("fig10", &rows);
+    rows
+}

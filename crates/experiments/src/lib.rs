@@ -1,0 +1,29 @@
+//! Experiment harness for the ICPP 2019 reproduction.
+//!
+//! One module (and one binary) per table/figure of the paper's evaluation
+//! section. Every experiment prints a plain-text table mirroring the paper's
+//! rows/series and writes a JSON record under `results/` for archival.
+//!
+//! Run e.g. `cargo run --release -p noc-experiments --bin fig5`. Set
+//! `NOC_QUICK=1` for smoke-test-sized runs (shorter simulation windows,
+//! fewer benchmarks); the committed EXPERIMENTS.md numbers come from full
+//! runs.
+
+pub mod ablation;
+pub mod experiments_md;
+pub mod fault;
+pub mod fig11;
+pub mod fig12;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod harness;
+pub mod plot;
+pub mod plots_bin;
+pub mod report;
+pub mod sec564;
+pub mod table2;
+
+pub use harness::{Scheme, SchemeKind};

@@ -1,0 +1,418 @@
+//! Minimal SVG plotting for the experiment results — regenerates the
+//! paper's figures as vector images from the archived JSON, with no plotting
+//! dependencies.
+//!
+//! Only the two chart shapes the paper needs are implemented: line plots
+//! (Fig. 5, 7, 11) with optional log-scaled x-axes, and grouped bar charts
+//! (Fig. 6, 8, 9, 10).
+
+use std::fmt::Write as _;
+
+/// Chart dimensions and margins.
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 56.0;
+
+/// Series colours (colour-blind-safe-ish).
+const COLOURS: [&str; 6] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9",
+];
+
+/// One line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in data space.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A line plot.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log-scale the x axis (Fig. 7's normalized-runtime axis).
+    pub log_x: bool,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn nice_ticks(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    if !(hi > lo) {
+        return vec![lo];
+    }
+    let span = hi - lo;
+    let raw_step = span / count as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| span / s <= count as f64)
+        .unwrap_or(mag * 10.0);
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+impl LinePlot {
+    /// Renders the plot as an SVG document.
+    pub fn to_svg(&self) -> String {
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| self.map_x(p.0)))
+            .collect();
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .collect();
+        let (x_lo, x_hi) = bounds(&xs);
+        let (mut y_lo, mut y_hi) = bounds(&ys);
+        if y_lo > 0.0 {
+            y_lo = 0.0; // latency axes start at zero, like the paper's
+        }
+        y_hi *= 1.05;
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo).max(1e-12) * plot_w;
+        let sy = |y: f64| MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo).max(1e-12) * plot_h;
+
+        let mut svg = svg_header(&self.title);
+        // Axes.
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{0}" y1="{1}" x2="{0}" y2="{2}" stroke="#333"/>"##,
+            MARGIN_L,
+            MARGIN_T,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{0}" y1="{1}" x2="{2}" y2="{1}" stroke="#333"/>"##,
+            MARGIN_L,
+            MARGIN_T + plot_h,
+            MARGIN_L + plot_w
+        );
+        // Y ticks and gridlines.
+        for tick in nice_ticks(y_lo, y_hi, 6) {
+            let y = sy(tick);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{0}" y2="{y:.1}" stroke="#ddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                svg,
+                r##"<text x="{0}" y="{y:.1}" font-size="11" text-anchor="end" dy="4">{tick}</text>"##,
+                MARGIN_L - 6.0
+            );
+        }
+        // X ticks.
+        let x_ticks: Vec<f64> = if self.log_x {
+            let lo_decade = x_lo.floor() as i32;
+            let hi_decade = x_hi.ceil() as i32;
+            (lo_decade..=hi_decade).map(|d| d as f64).collect()
+        } else {
+            nice_ticks(x_lo, x_hi, 8)
+        };
+        for tick in x_ticks {
+            let x = sx(tick);
+            let label = if self.log_x {
+                format!("1e{tick:.0}")
+            } else {
+                format!("{tick}")
+            };
+            let _ = writeln!(
+                svg,
+                r##"<text x="{x:.1}" y="{0}" font-size="11" text-anchor="middle">{label}</text>"##,
+                MARGIN_T + plot_h + 18.0
+            );
+        }
+        // Series.
+        for (i, series) in self.series.iter().enumerate() {
+            let colour = COLOURS[i % COLOURS.len()];
+            let path: String = series
+                .points
+                .iter()
+                .enumerate()
+                .map(|(j, &(x, y))| {
+                    let cmd = if j == 0 { 'M' } else { 'L' };
+                    format!("{cmd}{:.1},{:.1}", sx(self.map_x(x)), sy(y))
+                })
+                .collect();
+            let _ = writeln!(svg, r##"<path d="{path}" fill="none" stroke="{colour}" stroke-width="2"/>"##);
+            for &(x, y) in &series.points {
+                let _ = writeln!(
+                    svg,
+                    r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{colour}"/>"##,
+                    sx(self.map_x(x)),
+                    sy(y)
+                );
+            }
+            // Legend.
+            let ly = MARGIN_T + 14.0 * i as f64;
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{0}" y="{1:.1}" width="10" height="10" fill="{colour}"/>
+<text x="{2}" y="{3:.1}" font-size="11">{4}</text>"##,
+                MARGIN_L + plot_w - 120.0,
+                ly,
+                MARGIN_L + plot_w - 106.0,
+                ly + 9.0,
+                escape(&series.name)
+            );
+        }
+        svg_footer(svg, &self.x_label, &self.y_label)
+    }
+
+    fn map_x(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.max(1e-12).log10()
+        } else {
+            x
+        }
+    }
+}
+
+/// A grouped bar chart: one group per category, one bar per series.
+#[derive(Debug, Clone)]
+pub struct BarPlot {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Group (x category) labels.
+    pub groups: Vec<String>,
+    /// `(series name, per-group values)`; all value vectors match `groups`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl BarPlot {
+    /// Renders the chart as an SVG document.
+    pub fn to_svg(&self) -> String {
+        for (name, values) in &self.series {
+            assert_eq!(
+                values.len(),
+                self.groups.len(),
+                "series {name:?} arity mismatch"
+            );
+        }
+        let y_hi = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            * 1.1;
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sy = |y: f64| MARGIN_T + plot_h - y / y_hi.max(1e-12) * plot_h;
+
+        let mut svg = svg_header(&self.title);
+        for tick in nice_ticks(0.0, y_hi, 6) {
+            let y = sy(tick);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{0}" y2="{y:.1}" stroke="#ddd"/>
+<text x="{1}" y="{y:.1}" font-size="11" text-anchor="end" dy="4">{tick}</text>"##,
+                MARGIN_L + plot_w,
+                MARGIN_L - 6.0
+            );
+        }
+        let group_w = plot_w / self.groups.len() as f64;
+        let bar_w = (group_w * 0.8) / self.series.len() as f64;
+        for (g, group) in self.groups.iter().enumerate() {
+            let gx = MARGIN_L + g as f64 * group_w;
+            for (s, (_, values)) in self.series.iter().enumerate() {
+                let x = gx + group_w * 0.1 + s as f64 * bar_w;
+                let y = sy(values[g]);
+                let h = MARGIN_T + plot_h - y;
+                let colour = COLOURS[s % COLOURS.len()];
+                let _ = writeln!(
+                    svg,
+                    r##"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{colour}"/>"##
+                );
+            }
+            let _ = writeln!(
+                svg,
+                r##"<text x="{0:.1}" y="{1}" font-size="10" text-anchor="middle">{2}</text>"##,
+                gx + group_w / 2.0,
+                MARGIN_T + plot_h + 18.0,
+                escape(group)
+            );
+        }
+        for (s, (name, _)) in self.series.iter().enumerate() {
+            let colour = COLOURS[s % COLOURS.len()];
+            let ly = MARGIN_T + 14.0 * s as f64;
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{0}" y="{ly:.1}" width="10" height="10" fill="{colour}"/>
+<text x="{1}" y="{2:.1}" font-size="11">{3}</text>"##,
+                MARGIN_L + plot_w - 120.0,
+                MARGIN_L + plot_w - 106.0,
+                ly + 9.0,
+                escape(name)
+            );
+        }
+        svg_footer(svg, "", &self.y_label)
+    }
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo.is_finite() && hi.is_finite() {
+        (lo, hi)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">
+<rect width="100%" height="100%" fill="white"/>
+<text x="{0}" y="24" font-size="14" text-anchor="middle" font-weight="bold">{1}</text>
+"##,
+        WIDTH / 2.0,
+        escape(title)
+    )
+}
+
+fn svg_footer(mut svg: String, x_label: &str, y_label: &str) -> String {
+    if !x_label.is_empty() {
+        let _ = writeln!(
+            svg,
+            r##"<text x="{0}" y="{1}" font-size="12" text-anchor="middle">{2}</text>"##,
+            WIDTH / 2.0,
+            HEIGHT - 14.0,
+            escape(x_label)
+        );
+    }
+    if !y_label.is_empty() {
+        let _ = writeln!(
+            svg,
+            r##"<text x="16" y="{0}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {0})">{1}</text>"##,
+            HEIGHT / 2.0,
+            escape(y_label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Writes an SVG file under `results/`, best-effort like the JSON archival.
+pub fn save_svg(name: &str, svg: &str) {
+    let dir = std::path::PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.svg"));
+        match std::fs::write(&path, svg) {
+            Ok(()) => eprintln!("figure saved to {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_plot_renders_valid_svg() {
+        let plot = LinePlot {
+            title: "demo <latency>".into(),
+            x_label: "link limit C".into(),
+            y_label: "cycles".into(),
+            log_x: false,
+            series: vec![
+                Series {
+                    name: "D&C_SA".into(),
+                    points: vec![(1.0, 22.0), (2.0, 17.0), (4.0, 18.0)],
+                },
+                Series {
+                    name: "Mesh".into(),
+                    points: vec![(1.0, 22.0), (4.0, 22.0)],
+                },
+            ],
+        };
+        let svg = plot.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("demo &lt;latency&gt;")); // escaped title
+        assert!(svg.contains("D&amp;C_SA"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+    }
+
+    #[test]
+    fn log_axis_maps_decades() {
+        let plot = LinePlot {
+            title: "runtime".into(),
+            x_label: "normalized runtime".into(),
+            y_label: "cycles".into(),
+            log_x: true,
+            series: vec![Series {
+                name: "a".into(),
+                points: vec![(1.0, 1.0), (10.0, 2.0), (100.0, 3.0)],
+            }],
+        };
+        let svg = plot.to_svg();
+        assert!(svg.contains("1e0"));
+        assert!(svg.contains("1e2"));
+    }
+
+    #[test]
+    fn bar_plot_renders_groups_and_bars() {
+        let plot = BarPlot {
+            title: "fig6".into(),
+            y_label: "cycles".into(),
+            groups: vec!["canneal".into(), "dedup".into()],
+            series: vec![
+                ("Mesh".into(), vec![24.0, 23.0]),
+                ("HFB".into(), vec![21.0, 20.0]),
+                ("D&C_SA".into(), vec![19.0, 18.0]),
+            ],
+        };
+        let svg = plot.to_svg();
+        assert_eq!(svg.matches("<rect").count(), 1 + 6 + 3); // bg + bars + legend
+        assert!(svg.contains("canneal"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn bar_plot_checks_arity() {
+        let plot = BarPlot {
+            title: "bad".into(),
+            y_label: "".into(),
+            groups: vec!["a".into(), "b".into()],
+            series: vec![("x".into(), vec![1.0])],
+        };
+        let _ = plot.to_svg();
+    }
+
+    #[test]
+    fn nice_ticks_are_round() {
+        let ticks = nice_ticks(0.0, 43.0, 6);
+        assert!(ticks.contains(&10.0));
+        assert!(ticks.len() <= 7);
+        assert_eq!(nice_ticks(5.0, 5.0, 4), vec![5.0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Renders the archived `results/*.json` into `results/*.svg` figures.
+//!
+//! Run the experiments first (`--bin all` or individual figure binaries);
+//! then `--bin plots` turns every archived result it finds into a chart.
+//! Missing results are skipped with a note, so partial runs still plot.
+
+use crate::plot::{save_svg, BarPlot, LinePlot, Series};
+use serde::de::DeserializeOwned;
+use std::path::Path;
+
+fn load<T: DeserializeOwned>(name: &str) -> Option<T> {
+    let path = Path::new("results").join(format!("{name}.json"));
+    let data = std::fs::read_to_string(&path).ok()?;
+    match serde_json::from_str(&data) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("skipping {name}: cannot parse {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn plot_fig5() -> bool {
+    let Some(results) = load::<Vec<crate::fig5::SizeResult>>("fig5") else {
+        return false;
+    };
+    for r in &results {
+        let as_curve = |f: &dyn Fn(&crate::fig5::CurvePoint) -> f64, name: &str| Series {
+            name: name.to_string(),
+            points: r.points.iter().map(|p| (p.c_limit as f64, f(p))).collect(),
+        };
+        let plot = LinePlot {
+            title: format!("Fig. 5: {0}x{0} average packet latency vs link limit C", r.n),
+            x_label: "link limit C".into(),
+            y_label: "average packet latency (cycles)".into(),
+            log_x: true,
+            series: vec![
+                as_curve(&|p| p.dnc_sa, "D&C_SA"),
+                as_curve(&|p| p.only_sa, "OnlySA"),
+                as_curve(&|p| p.head, "LD"),
+                as_curve(&|p| p.serialization, "LS"),
+                Series {
+                    name: "Mesh".into(),
+                    points: vec![(1.0, r.mesh)],
+                },
+                Series {
+                    name: "HFB".into(),
+                    points: vec![(r.hfb_c as f64, r.hfb)],
+                },
+            ],
+        };
+        save_svg(&format!("fig5_{0}x{0}", r.n), &plot.to_svg());
+    }
+    true
+}
+
+fn plot_fig6() -> bool {
+    let Some(rows) = load::<Vec<crate::fig6::BenchmarkRow>>("fig6") else {
+        return false;
+    };
+    let plot = BarPlot {
+        title: "Fig. 6: 8x8 per-benchmark average packet latency".into(),
+        y_label: "average packet latency (cycles)".into(),
+        groups: rows.iter().map(|r| r.benchmark.clone()).collect(),
+        series: vec![
+            ("Mesh".into(), rows.iter().map(|r| r.mesh).collect()),
+            ("HFB".into(), rows.iter().map(|r| r.hfb).collect()),
+            ("D&C_SA".into(), rows.iter().map(|r| r.dnc_sa).collect()),
+        ],
+    };
+    save_svg("fig6", &plot.to_svg());
+    true
+}
+
+fn plot_fig7() -> bool {
+    let Some(results) = load::<Vec<crate::fig7::RuntimeResult>>("fig7") else {
+        return false;
+    };
+    for r in &results {
+        let plot = LinePlot {
+            title: format!("Fig. 7: {0}x{0} quality vs normalized runtime", r.n),
+            x_label: "normalized runtime".into(),
+            y_label: "average latency (cycles)".into(),
+            log_x: true,
+            series: vec![
+                Series {
+                    name: "D&C_SA".into(),
+                    points: r
+                        .points
+                        .iter()
+                        .map(|p| (p.normalized_runtime, p.dnc_sa))
+                        .collect(),
+                },
+                Series {
+                    name: "OnlySA".into(),
+                    points: r
+                        .points
+                        .iter()
+                        .map(|p| (p.normalized_runtime, p.only_sa))
+                        .collect(),
+                },
+            ],
+        };
+        save_svg(&format!("fig7_{0}x{0}", r.n), &plot.to_svg());
+    }
+    true
+}
+
+fn plot_fig8() -> bool {
+    let Some(rows) = load::<Vec<crate::fig8::PatternRow>>("fig8") else {
+        return false;
+    };
+    let groups: Vec<String> = rows.iter().map(|r| r.pattern.clone()).collect();
+    let latency = BarPlot {
+        title: "Fig. 8(a): synthetic-traffic latency".into(),
+        y_label: "average packet latency (cycles)".into(),
+        groups: groups.clone(),
+        series: vec![
+            ("Mesh".into(), rows.iter().map(|r| r.latency[0]).collect()),
+            ("HFB".into(), rows.iter().map(|r| r.latency[1]).collect()),
+            ("D&C_SA".into(), rows.iter().map(|r| r.latency[2]).collect()),
+        ],
+    };
+    save_svg("fig8a", &latency.to_svg());
+    let throughput = BarPlot {
+        title: "Fig. 8(b): saturation throughput".into(),
+        y_label: "throughput (packets/node/cycle)".into(),
+        groups,
+        series: vec![
+            ("Mesh".into(), rows.iter().map(|r| r.throughput[0]).collect()),
+            ("HFB".into(), rows.iter().map(|r| r.throughput[1]).collect()),
+            (
+                "D&C_SA".into(),
+                rows.iter().map(|r| r.throughput[2]).collect(),
+            ),
+        ],
+    };
+    save_svg("fig8b", &throughput.to_svg());
+    true
+}
+
+fn plot_fig9() -> bool {
+    let Some(rows) = load::<Vec<crate::fig9::PowerRow>>("fig9") else {
+        return false;
+    };
+    let plot = BarPlot {
+        title: "Fig. 9: router power normalised to Mesh".into(),
+        y_label: "normalised power".into(),
+        groups: rows.iter().map(|r| r.benchmark.clone()).collect(),
+        series: vec![
+            (
+                "Mesh".into(),
+                rows.iter()
+                    .map(|r| (r.static_w[0] + r.dynamic_w[0]) / (r.static_w[0] + r.dynamic_w[0]))
+                    .collect(),
+            ),
+            (
+                "HFB".into(),
+                rows.iter()
+                    .map(|r| (r.static_w[1] + r.dynamic_w[1]) / (r.static_w[0] + r.dynamic_w[0]))
+                    .collect(),
+            ),
+            (
+                "D&C_SA".into(),
+                rows.iter()
+                    .map(|r| (r.static_w[2] + r.dynamic_w[2]) / (r.static_w[0] + r.dynamic_w[0]))
+                    .collect(),
+            ),
+        ],
+    };
+    save_svg("fig9", &plot.to_svg());
+    true
+}
+
+fn plot_fig10() -> bool {
+    let Some(rows) = load::<Vec<crate::fig9::StaticBreakdown>>("fig10") else {
+        return false;
+    };
+    let plot = BarPlot {
+        title: "Fig. 10: static power breakdown".into(),
+        y_label: "static power (W)".into(),
+        groups: rows.iter().map(|r| r.scheme.clone()).collect(),
+        series: vec![
+            ("Buffer".into(), rows.iter().map(|r| r.buffer).collect()),
+            ("Crossbar".into(), rows.iter().map(|r| r.crossbar).collect()),
+            ("Others".into(), rows.iter().map(|r| r.others).collect()),
+        ],
+    };
+    save_svg("fig10", &plot.to_svg());
+    true
+}
+
+fn plot_fig11() -> bool {
+    let Some(results) = load::<Vec<crate::fig11::BandwidthResult>>("fig11") else {
+        return false;
+    };
+    for r in &results {
+        let plot = LinePlot {
+            title: format!("Fig. 11: 8x8 at {} Gb/s bisection", r.bisection_gbps),
+            x_label: "link limit C".into(),
+            y_label: "average packet latency (cycles)".into(),
+            log_x: true,
+            series: vec![
+                Series {
+                    name: "D&C_SA".into(),
+                    points: r.curve.iter().map(|&(c, l)| (c as f64, l)).collect(),
+                },
+                Series {
+                    name: "Mesh".into(),
+                    points: vec![(1.0, r.mesh)],
+                },
+                Series {
+                    name: "HFB".into(),
+                    points: vec![(4.0, r.hfb)],
+                },
+            ],
+        };
+        save_svg(&format!("fig11_{}gbps", r.bisection_gbps), &plot.to_svg());
+    }
+    true
+}
+
+/// Renders every archived result. Returns how many figures were produced.
+pub fn run() -> usize {
+    let produced = [
+        plot_fig5(),
+        plot_fig6(),
+        plot_fig7(),
+        plot_fig8(),
+        plot_fig9(),
+        plot_fig10(),
+        plot_fig11(),
+    ];
+    let count = produced.iter().filter(|&&p| p).count();
+    println!("rendered {count} figure set(s) from results/ (run the experiment binaries for the rest)");
+    count
+}

@@ -1,0 +1,101 @@
+//! Table 2: maximum zero-load packet latency for Mesh, HFB and D&C_SA on
+//! 4×4, 8×8 and 16×16; plus the §4.5.2 routing-table area overhead.
+
+use crate::harness::{self, Scheme};
+use crate::report::{f1, save_json, Table};
+use noc_model::{LatencyModel, LinkBudget, PacketMix};
+use noc_power::{routing_table_overhead, AreaBreakdown};
+use noc_routing::{DorRouter, HopWeights};
+use serde::{Deserialize, Serialize};
+
+/// One network size's worst-case latencies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorstCaseRow {
+    /// Network side length.
+    pub n: usize,
+    /// Mesh worst-case latency (cycles).
+    pub mesh: f64,
+    /// HFB worst-case latency.
+    pub hfb: f64,
+    /// D&C_SA worst-case latency.
+    pub dnc_sa: f64,
+}
+
+/// Runs Table 2 and prints it.
+pub fn run() -> Vec<WorstCaseRow> {
+    let model = LatencyModel::paper();
+    let mix = PacketMix::paper();
+    let sizes: &[usize] = if harness::is_quick() {
+        &[4, 8]
+    } else {
+        &[4, 8, 16]
+    };
+
+    let rows: Vec<WorstCaseRow> = sizes
+        .iter()
+        .map(|&n| {
+            let budget = LinkBudget::paper(n);
+            let worst = |s: &Scheme| {
+                let dor = DorRouter::new(&s.topology, HopWeights::PAPER);
+                model.max_packet_latency(&dor, &mix, s.flit_bits)
+            };
+            let three = Scheme::standard_three(&budget);
+            WorstCaseRow {
+                n,
+                mesh: worst(&three[0]),
+                hfb: worst(&three[1]),
+                dnc_sa: worst(&three[2]),
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Table 2: maximum zero-load packet latency (cycles)",
+        &["topology", "4x4", "8x8", "16x16"],
+    );
+    let col = |f: fn(&WorstCaseRow) -> f64| -> Vec<String> {
+        let mut cells: Vec<String> = rows.iter().map(|r| f1(f(r))).collect();
+        while cells.len() < 3 {
+            cells.push("-".to_string());
+        }
+        cells
+    };
+    let mesh = col(|r| r.mesh);
+    let hfb = col(|r| r.hfb);
+    let dnc = col(|r| r.dnc_sa);
+    table.row(vec!["Mesh".into(), mesh[0].clone(), mesh[1].clone(), mesh[2].clone()]);
+    table.row(vec!["HFB".into(), hfb[0].clone(), hfb[1].clone(), hfb[2].clone()]);
+    table.row(vec!["D&C_SA".into(), dnc[0].clone(), dnc[1].clone(), dnc[2].clone()]);
+    table.print();
+    println!("(paper: Mesh 28.2/60.2/71.2, HFB 15.2/38.2/63.8, D&C_SA 13.6/33.2/55.2)\n");
+    save_json("table2", &rows);
+    rows
+}
+
+/// §4.5.2: routing-table area overhead of the D&C_SA router on the 8×8
+/// network (the paper reports < 0.5 % via DSENT's 32 nm area model).
+pub fn run_overhead() -> AreaBreakdown {
+    let budget = LinkBudget::paper(8);
+    let scheme = Scheme::dnc_sa(&budget);
+    let area = routing_table_overhead(
+        &scheme.topology,
+        scheme.flit_bits,
+        harness::buffer_bits_per_router(&budget),
+        &noc_power::area::AreaConfig::dsent_32nm(),
+    );
+    let mut table = Table::new(
+        "Sec. 4.5.2: router area breakdown, D&C_SA on 8x8 (um^2, per router)",
+        &["buffer", "crossbar", "others", "tables", "table overhead"],
+    );
+    table.row(vec![
+        format!("{:.0}", area.buffer),
+        format!("{:.0}", area.crossbar),
+        format!("{:.0}", area.other),
+        format!("{:.0}", area.table),
+        format!("{:.3}%", area.table_overhead() * 100.0),
+    ]);
+    table.print();
+    println!("(paper: table overhead < 0.5% of the router)\n");
+    save_json("overhead", &area);
+    area
+}

@@ -1,0 +1,31 @@
+//! Analytical latency model for express-link NoCs (§2.2 / §3 of the paper).
+//!
+//! The overall packet latency of Eq. (1)/(2) splits into a *head* component
+//! determined by the express-link placement and a *serialization* component
+//! determined by the link width `b`:
+//!
+//! ```text
+//! L_avg = L_D,avg + L_S,avg
+//! L_D(i,j) = H·T_r + D_M·T_l   (+ the destination router's pipeline)
+//! L_S      = Σ_k p_k · ceil(S_k / b)
+//! ```
+//!
+//! * [`packets::PacketMix`] — the multi-class packet population (§5.1: long
+//!   512-bit reads vs short 128-bit requests at 1:4) and its serialization
+//!   latency at a given flit width.
+//! * [`bandwidth::LinkBudget`] — Eq. (3)/(4): which link limits `C` are
+//!   admissible for a bisection budget, and the flit width `b(C)` each one
+//!   forces.
+//! * [`latency`] — the head-latency objective: fast all-pairs row objective
+//!   for the optimizer's inner loop, full 2D averages via the Eq. (5)
+//!   decomposition, and zero-load worst cases (Table 2).
+
+pub mod bandwidth;
+pub mod contention;
+pub mod latency;
+pub mod packets;
+
+pub use bandwidth::LinkBudget;
+pub use contention::{ContentionModel, LoadAnalysis};
+pub use latency::{LatencyModel, RowObjective, ZeroLoad};
+pub use packets::{PacketClass, PacketMix};

@@ -1,0 +1,143 @@
+//! Packet populations and serialization latency.
+
+use serde::{Deserialize, Serialize};
+
+/// One class of packets: a payload size and its share of the traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketClass {
+    /// Packet size `S_k` in bits.
+    pub bits: u32,
+    /// Fraction `p_k` of all packets (the mix normalises internally).
+    pub fraction: f64,
+}
+
+/// A population of packet classes, e.g. the paper's evaluation mix (§5.1):
+/// long 512-bit packets (read replies / write requests) to short 128-bit
+/// packets (read requests / write acks) at a 1:4 ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketMix {
+    classes: Vec<PacketClass>,
+}
+
+impl PacketMix {
+    /// Builds a mix, normalising fractions to sum to 1.
+    ///
+    /// # Panics
+    /// Panics if no class is given, any size is 0, or all fractions are 0.
+    pub fn new(classes: impl Into<Vec<PacketClass>>) -> Self {
+        let mut classes = classes.into();
+        assert!(!classes.is_empty(), "a mix needs at least one class");
+        let total: f64 = classes.iter().map(|c| c.fraction).sum();
+        assert!(total > 0.0, "fractions must not all be zero");
+        for c in &mut classes {
+            assert!(c.bits > 0, "packet size must be positive");
+            c.fraction /= total;
+        }
+        PacketMix { classes }
+    }
+
+    /// The paper's mix: 512-bit long packets : 128-bit short packets = 1 : 4.
+    pub fn paper() -> Self {
+        PacketMix::new([
+            PacketClass {
+                bits: 512,
+                fraction: 1.0,
+            },
+            PacketClass {
+                bits: 128,
+                fraction: 4.0,
+            },
+        ])
+    }
+
+    /// A single-class mix (useful for tests and microbenchmarks).
+    pub fn uniform(bits: u32) -> Self {
+        PacketMix::new([PacketClass {
+            bits,
+            fraction: 1.0,
+        }])
+    }
+
+    /// The classes, fractions normalised.
+    pub fn classes(&self) -> &[PacketClass] {
+        &self.classes
+    }
+
+    /// Number of flits a packet of `bits` occupies at flit width `flit_bits`.
+    pub fn flits(bits: u32, flit_bits: u32) -> u32 {
+        assert!(flit_bits > 0, "flit width must be positive");
+        bits.div_ceil(flit_bits)
+    }
+
+    /// Average serialization latency `L_S = Σ p_k·ceil(S_k/b)` in cycles at
+    /// flit width `b = flit_bits` (Fig. 1's example: a 512-bit packet over
+    /// 256-bit links serialises in 2 cycles, over 128-bit links in 4).
+    pub fn serialization_latency(&self, flit_bits: u32) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.fraction * Self::flits(c.bits, flit_bits) as f64)
+            .sum()
+    }
+
+    /// Average packet size in bits.
+    pub fn mean_bits(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.fraction * c.bits as f64)
+            .sum()
+    }
+
+    /// Average flits per packet at the given flit width.
+    pub fn mean_flits(&self, flit_bits: u32) -> f64 {
+        self.serialization_latency(flit_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_normalises() {
+        let mix = PacketMix::paper();
+        let fractions: Vec<f64> = mix.classes().iter().map(|c| c.fraction).collect();
+        assert!((fractions[0] - 0.2).abs() < 1e-12);
+        assert!((fractions[1] - 0.8).abs() < 1e-12);
+        assert!((mix.mean_bits() - (0.2 * 512.0 + 0.8 * 128.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure_1_serialization_example() {
+        // 512-bit packet: 2 cycles at 256-bit links, 4 cycles at 128-bit.
+        assert_eq!(PacketMix::flits(512, 256), 2);
+        assert_eq!(PacketMix::flits(512, 128), 4);
+        let long_only = PacketMix::uniform(512);
+        assert!((long_only.serialization_latency(256) - 2.0).abs() < 1e-12);
+        assert!((long_only.serialization_latency(128) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_mix_serialization_curve() {
+        let mix = PacketMix::paper();
+        // b = 256: 0.2·2 + 0.8·1 = 1.2 cycles.
+        assert!((mix.serialization_latency(256) - 1.2).abs() < 1e-12);
+        // b = 128: 0.2·4 + 0.8·1 = 1.6.
+        assert!((mix.serialization_latency(128) - 1.6).abs() < 1e-12);
+        // b = 64: 0.2·8 + 0.8·2 = 3.2.
+        assert!((mix.serialization_latency(64) - 3.2).abs() < 1e-12);
+        // b = 16: 0.2·32 + 0.8·8 = 12.8.
+        assert!((mix.serialization_latency(16) - 12.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_flit_packets_still_take_one_cycle() {
+        let mix = PacketMix::uniform(128);
+        assert!((mix.serialization_latency(256) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_mix_panics() {
+        let _ = PacketMix::new(Vec::<PacketClass>::new());
+    }
+}

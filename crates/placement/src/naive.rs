@@ -1,0 +1,233 @@
+//! The naive SA candidate generator the paper argues *against* (§4.4.2):
+//! "a naive generator adds, deletes, stretches, or shortens a randomly
+//! selected link in each move. However, a new candidate solution generated
+//! this way is highly likely to fall out of the feasible solution space."
+//!
+//! This module implements exactly that generator so the claim can be
+//! measured: the ablation experiment compares its convergence and
+//! invalid-candidate rate against the connection-matrix generator of
+//! [`crate::sa`], under the same move budget and schedule.
+
+use crate::objective::Objective;
+use crate::sa::{SaParams, TracePoint};
+use noc_topology::{Link, RowPlacement};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a naive-generator annealing run.
+#[derive(Debug, Clone)]
+pub struct NaiveSaOutcome {
+    /// Best placement found.
+    pub best: RowPlacement,
+    /// Objective of `best` (cycles).
+    pub best_objective: f64,
+    /// Objective evaluations performed (invalid candidates are detected
+    /// before evaluation and cost none).
+    pub evaluations: usize,
+    /// Moves whose candidate fell outside the feasible region.
+    pub invalid_moves: usize,
+    /// Total moves attempted (= the schedule's budget).
+    pub total_moves: usize,
+    /// Convergence trace in evaluations.
+    pub trace: Vec<TracePoint>,
+}
+
+/// One mutation kind of the naive generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MoveKind {
+    Add,
+    Delete,
+    Stretch,
+    Shorten,
+}
+
+/// Runs simulated annealing with the naive link-mutation generator.
+///
+/// Invalid candidates (missing-local-link violations cannot occur — local
+/// links are implicit — but limit violations, duplicate links, and
+/// degenerate spans can) consume a move from the budget without an
+/// evaluation, exactly the inefficiency the paper describes.
+pub fn anneal_naive<O: Objective + ?Sized>(
+    c_limit: usize,
+    initial: &RowPlacement,
+    objective: &O,
+    params: &SaParams,
+    seed: u64,
+    initial_cost: usize,
+) -> NaiveSaOutcome {
+    let n = initial.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut current = initial.clone();
+    let mut current_obj = objective.eval(&current);
+    let mut evaluations = initial_cost + 1;
+    let mut best = current.clone();
+    let mut best_obj = current_obj;
+    let mut invalid_moves = 0usize;
+    let mut trace = vec![TracePoint {
+        evaluations,
+        best_objective: best_obj,
+    }];
+
+    let mut temperature = params.initial_temperature;
+    for mv in 0..params.total_moves {
+        if mv > 0 && mv % params.moves_per_stage == 0 {
+            temperature /= params.cooldown_scale;
+        }
+        let candidate = match propose(&current, c_limit, &mut rng) {
+            Some(c) => c,
+            None => {
+                invalid_moves += 1;
+                continue;
+            }
+        };
+        let candidate_obj = objective.eval(&candidate);
+        evaluations += 1;
+        let delta = candidate_obj - current_obj;
+        if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+            current = candidate;
+            current_obj = candidate_obj;
+            if current_obj < best_obj {
+                best = current.clone();
+                best_obj = current_obj;
+                trace.push(TracePoint {
+                    evaluations,
+                    best_objective: best_obj,
+                });
+            }
+        }
+    }
+    trace.push(TracePoint {
+        evaluations,
+        best_objective: best_obj,
+    });
+    let _ = n;
+    NaiveSaOutcome {
+        best,
+        best_objective: best_obj,
+        evaluations,
+        invalid_moves,
+        total_moves: params.total_moves,
+        trace,
+    }
+}
+
+/// Proposes one naive mutation, or `None` when the candidate is infeasible.
+fn propose(current: &RowPlacement, c_limit: usize, rng: &mut SmallRng) -> Option<RowPlacement> {
+    let n = current.len();
+    let kind = match rng.gen_range(0..4u8) {
+        0 => MoveKind::Add,
+        1 => MoveKind::Delete,
+        2 => MoveKind::Stretch,
+        _ => MoveKind::Shorten,
+    };
+    let links: Vec<Link> = current.express_links().collect();
+    let mut next = current.clone();
+    match kind {
+        MoveKind::Add => {
+            // A uniformly random router pair — most pairs are invalid
+            // (duplicates, non-express, or over the limit).
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b || a.abs_diff(b) < 2 || current.has_express(a, b) {
+                return None;
+            }
+            next.add_link(a, b).ok()?;
+        }
+        MoveKind::Delete => {
+            let link = *pick(&links, rng)?;
+            next.remove_link(link.a, link.b);
+        }
+        MoveKind::Stretch => {
+            let link = *pick(&links, rng)?;
+            let (a, b) = if rng.gen::<bool>() {
+                (link.a.checked_sub(1)?, link.b)
+            } else {
+                (link.a, (link.b + 1 < n).then_some(link.b + 1)?)
+            };
+            if current.has_express(a, b) {
+                return None;
+            }
+            next.remove_link(link.a, link.b);
+            next.add_link(a, b).ok()?;
+        }
+        MoveKind::Shorten => {
+            let link = *pick(&links, rng)?;
+            if link.span() < 3 {
+                return None; // would degenerate to a local link
+            }
+            let (a, b) = if rng.gen::<bool>() {
+                (link.a + 1, link.b)
+            } else {
+                (link.a, link.b - 1)
+            };
+            if current.has_express(a, b) {
+                return None;
+            }
+            next.remove_link(link.a, link.b);
+            next.add_link(a, b).ok()?;
+        }
+    }
+    next.is_within_limit(c_limit).then_some(next)
+}
+
+fn pick<'a>(links: &'a [Link], rng: &mut SmallRng) -> Option<&'a Link> {
+    if links.is_empty() {
+        None
+    } else {
+        Some(&links[rng.gen_range(0..links.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::AllPairsObjective;
+
+    #[test]
+    fn naive_sa_improves_but_wastes_moves() {
+        let obj = AllPairsObjective::paper();
+        let params = SaParams::paper().with_moves(4_000);
+        let out = anneal_naive(4, &RowPlacement::new(8), &obj, &params, 3, 0);
+        assert!(out.best.is_within_limit(4));
+        assert!(out.best_objective < obj.eval(&RowPlacement::new(8)));
+        // The §4.4.2 claim: a substantial fraction of naive moves is invalid.
+        assert!(
+            out.invalid_moves * 5 > out.total_moves,
+            "only {} of {} moves invalid",
+            out.invalid_moves,
+            out.total_moves
+        );
+    }
+
+    #[test]
+    fn naive_never_violates_the_limit() {
+        let obj = AllPairsObjective::paper();
+        let params = SaParams::paper().with_moves(2_000);
+        for seed in 0..4 {
+            let out = anneal_naive(3, &RowPlacement::new(10), &obj, &params, seed, 0);
+            assert!(out.best.validate(3).is_ok());
+        }
+    }
+
+    #[test]
+    fn naive_result_no_worse_than_initial() {
+        let obj = AllPairsObjective::paper();
+        let initial = RowPlacement::with_links(8, [(0, 4), (4, 7)]).unwrap();
+        let params = SaParams::paper().with_moves(1_000);
+        let out = anneal_naive(4, &initial, &obj, &params, 11, 0);
+        assert!(out.best_objective <= obj.eval(&initial) + 1e-12);
+    }
+
+    #[test]
+    fn matrix_generator_wastes_nothing_in_comparison() {
+        // The connection-matrix generator evaluates every move; the naive
+        // one evaluates only valid candidates. Same budget, fewer
+        // evaluations for naive.
+        let obj = AllPairsObjective::paper();
+        let params = SaParams::paper().with_moves(3_000);
+        let naive = anneal_naive(4, &RowPlacement::new(8), &obj, &params, 5, 0);
+        let matrix = crate::sa::anneal(4, &RowPlacement::new(8), &obj, &params, 5, 0);
+        assert_eq!(matrix.evaluations, params.total_moves + 1);
+        assert!(naive.evaluations < matrix.evaluations);
+    }
+}

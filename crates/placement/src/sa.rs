@@ -1,0 +1,255 @@
+//! Simulated annealing over the connection-matrix search space (§4.4).
+//!
+//! The candidate generator flips one random connection point per move, so
+//! every candidate is valid by construction and all valid placements remain
+//! probabilistically reachable (§4.4.2). The schedule follows Table 1: start
+//! at `T0 = 10` cycles, run `m = 10^4` moves total, divide the temperature by
+//! `S_c = 2` after every `m_c = 10^3` moves. A move with `ΔL ≤ 0` is always
+//! accepted; otherwise it is accepted with probability `e^(−ΔL/T)`.
+
+use crate::objective::Objective;
+use noc_topology::{ConnectionMatrix, RowPlacement};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Annealing schedule parameters (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaParams {
+    /// Initial temperature `T0` in cycles.
+    pub initial_temperature: f64,
+    /// Total number of moves `m`.
+    pub total_moves: usize,
+    /// Cooldown scale `S_c`: temperature divisor per stage.
+    pub cooldown_scale: f64,
+    /// Moves per cooling stage `m_c`.
+    pub moves_per_stage: usize,
+}
+
+impl SaParams {
+    /// The paper's Table 1 values: `T0 = 10`, `m = 10^4`, `S_c = 2`,
+    /// `m_c = 10^3`.
+    pub fn paper() -> Self {
+        SaParams {
+            initial_temperature: 10.0,
+            total_moves: 10_000,
+            cooldown_scale: 2.0,
+            moves_per_stage: 1_000,
+        }
+    }
+
+    /// Same schedule with a different move budget (used by the Fig. 7
+    /// runtime sweep, which grants both schemes equal runtime).
+    pub fn with_moves(self, total_moves: usize) -> Self {
+        SaParams {
+            total_moves,
+            ..self
+        }
+    }
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams::paper()
+    }
+}
+
+/// A point on the annealing convergence trace: best objective seen after a
+/// given number of objective evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Objective evaluations performed so far (the runtime proxy — each
+    /// evaluation is one `O(n·e)` routing solve, the dominant cost).
+    pub evaluations: usize,
+    /// Best objective value seen so far (cycles).
+    pub best_objective: f64,
+}
+
+/// Result of one annealing run.
+#[derive(Debug, Clone)]
+pub struct SaOutcome {
+    /// Best placement found.
+    pub best: RowPlacement,
+    /// Objective value of `best` (cycles).
+    pub best_objective: f64,
+    /// Total objective evaluations, including the initial solution's.
+    pub evaluations: usize,
+    /// Number of accepted moves.
+    pub accepted_moves: usize,
+    /// Convergence trace (one point per improvement, plus the endpoints).
+    pub trace: Vec<TracePoint>,
+}
+
+/// Runs simulated annealing on `P̂(n, C)` from the given initial placement.
+///
+/// `initial_cost` accounts for evaluations already spent constructing the
+/// initial solution (the D&C procedure), so traces of `OnlySA` and `D&C_SA`
+/// share a comparable runtime axis (Fig. 7).
+///
+/// # Panics
+/// Panics if the initial placement does not fit a `(n-2)×(C-1)` connection
+/// matrix (i.e. violates the link limit).
+pub fn anneal<O: Objective + ?Sized>(
+    c_limit: usize,
+    initial: &RowPlacement,
+    objective: &O,
+    params: &SaParams,
+    seed: u64,
+    initial_cost: usize,
+) -> SaOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut matrix = ConnectionMatrix::encode(initial, c_limit)
+        .expect("initial placement must satisfy the link limit");
+
+    let mut current = initial.clone();
+    let mut current_obj = objective.eval(&current);
+    let mut evaluations = initial_cost + 1;
+
+    let mut best = current.clone();
+    let mut best_obj = current_obj;
+    let mut accepted_moves = 0;
+    let mut trace = vec![TracePoint {
+        evaluations,
+        best_objective: best_obj,
+    }];
+
+    // Degenerate search space: C = 1 or n = 2 admits no express links.
+    if matrix.bit_count() == 0 {
+        return SaOutcome {
+            best,
+            best_objective: best_obj,
+            evaluations,
+            accepted_moves,
+            trace,
+        };
+    }
+
+    let mut temperature = params.initial_temperature;
+    for mv in 0..params.total_moves {
+        if mv > 0 && mv % params.moves_per_stage == 0 {
+            temperature /= params.cooldown_scale;
+        }
+        let bit = rng.gen_range(0..matrix.bit_count());
+        matrix.flip_flat(bit);
+        let candidate = matrix.decode();
+        let candidate_obj = objective.eval(&candidate);
+        evaluations += 1;
+
+        let delta = candidate_obj - current_obj;
+        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+        if accept {
+            current = candidate;
+            current_obj = candidate_obj;
+            accepted_moves += 1;
+            if current_obj < best_obj {
+                best = current.clone();
+                best_obj = current_obj;
+                trace.push(TracePoint {
+                    evaluations,
+                    best_objective: best_obj,
+                });
+            }
+        } else {
+            // Undo the flip: the matrix always mirrors `current`.
+            matrix.flip_flat(bit);
+        }
+    }
+
+    trace.push(TracePoint {
+        evaluations,
+        best_objective: best_obj,
+    });
+    SaOutcome {
+        best,
+        best_objective: best_obj,
+        evaluations,
+        accepted_moves,
+        trace,
+    }
+}
+
+/// Draws a uniformly random connection matrix and decodes it — the random
+/// initial placement used by the `OnlySA` baseline (§5.1's scheme 3).
+pub fn random_placement(n: usize, c_limit: usize, rng: &mut SmallRng) -> RowPlacement {
+    let mut matrix = ConnectionMatrix::new(n, c_limit);
+    for i in 0..matrix.bit_count() {
+        if rng.gen::<bool>() {
+            matrix.flip_flat(i);
+        }
+    }
+    matrix.decode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::AllPairsObjective;
+
+    #[test]
+    fn sa_never_returns_worse_than_initial() {
+        let obj = AllPairsObjective::paper();
+        let initial = RowPlacement::new(8);
+        let initial_obj = obj.eval(&initial);
+        let out = anneal(4, &initial, &obj, &SaParams::paper(), 7, 0);
+        assert!(out.best_objective <= initial_obj);
+        assert!(out.best.is_within_limit(4));
+    }
+
+    #[test]
+    fn sa_improves_mesh_substantially() {
+        // With C = 4 on 8 routers the optimum is ~5.84; SA from a mesh start
+        // must get well below the mesh's 10.5.
+        let obj = AllPairsObjective::paper();
+        let out = anneal(4, &RowPlacement::new(8), &obj, &SaParams::paper(), 1, 0);
+        assert!(
+            out.best_objective < 7.0,
+            "SA stuck at {}",
+            out.best_objective
+        );
+    }
+
+    #[test]
+    fn degenerate_c1_returns_initial() {
+        let obj = AllPairsObjective::paper();
+        let initial = RowPlacement::new(8);
+        let out = anneal(1, &initial, &obj, &SaParams::paper(), 3, 0);
+        assert_eq!(out.best, initial);
+        assert_eq!(out.evaluations, 1);
+        assert_eq!(out.accepted_moves, 0);
+    }
+
+    #[test]
+    fn trace_is_monotone_in_both_axes() {
+        let obj = AllPairsObjective::paper();
+        let out = anneal(8, &RowPlacement::new(16), &obj, &SaParams::paper(), 11, 5);
+        assert!(out.trace.len() >= 2);
+        for w in out.trace.windows(2) {
+            assert!(w[0].evaluations <= w[1].evaluations);
+            assert!(w[0].best_objective >= w[1].best_objective);
+        }
+        // Initial cost is charged to the first trace point.
+        assert_eq!(out.trace[0].evaluations, 6);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let obj = AllPairsObjective::paper();
+        let params = SaParams::paper().with_moves(2_000);
+        let a = anneal(4, &RowPlacement::new(8), &obj, &params, 99, 0);
+        let b = anneal(4, &RowPlacement::new(8), &obj, &params, 99, 0);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.accepted_moves, b.accepted_moves);
+    }
+
+    #[test]
+    fn random_placement_is_valid_and_varied() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let row = random_placement(8, 4, &mut rng);
+            assert!(row.is_within_limit(4));
+            distinct.insert(row);
+        }
+        assert!(distinct.len() > 5, "random placements suspiciously uniform");
+    }
+}

@@ -1,0 +1,28 @@
+//! DSENT-substitute power and area model (§4.6 / §5.5 of the paper; see
+//! DESIGN.md §2 for the substitution argument).
+//!
+//! The paper integrates DSENT's 32 nm bulk-CMOS NoC models into GARNET. Its
+//! power argument rests on scaling laws, not absolute watts:
+//!
+//! * **Buffer static power** scales with the total buffer *bits* per router,
+//!   which the evaluation equalises across schemes — so it is near-identical
+//!   for Mesh, HFB and D&C_SA.
+//! * **Crossbar static power** scales as `b·k²` (link width × port count
+//!   squared): express schemes grow `k` but shrink `b = base/C`, and good
+//!   placements keep the mean `k` well below `C·k_mesh` (§4.6's `k_e = 3.5`
+//!   observation), so crossbar leakage stays comparable.
+//! * **Dynamic power** is per-event energy × switching activity; express
+//!   links cut hop counts, hence buffer/crossbar/link events, hence dynamic
+//!   power (the −15.1 % of Fig. 9).
+//!
+//! This crate implements exactly those laws with coefficients calibrated to
+//! DSENT-reported magnitudes (watt-scale 64-router networks, static ≈ ⅔ of
+//! total under PARSEC loads), consuming the activity counters produced by
+//! `noc-sim`. [`area`] provides the §4.5.2 routing-table area-overhead
+//! estimate (< 0.5 % of router area).
+
+pub mod area;
+pub mod model;
+
+pub use area::{routing_table_overhead, AreaBreakdown};
+pub use model::{network_power, NetworkPower, PowerConfig, RouterPower};

@@ -1,0 +1,40 @@
+//! Deadlock-free deterministic routing for express-link NoCs (§4.5.1 of the
+//! ICPP 2019 paper).
+//!
+//! Packets traverse each dimension *unidirectionally* (no U-turns) and route
+//! X-first then Y (dimension-order). Within a row or column, the shortest
+//! path over local + express links is computed offline:
+//!
+//! * [`floyd_warshall::directional_apsp`] — the paper's method: two
+//!   Floyd–Warshall passes per row, one per direction, with opposing edges
+//!   set to infinite weight.
+//! * [`monotone::monotone_apsp`] — an `O(n·e)` dynamic program exploiting the
+//!   monotonicity of U-turn-free 1D paths; produces identical distances
+//!   (property-tested) and is what the optimizer's hot loop uses.
+//!
+//! The resulting per-router next-hop [`table::RoutingTable`]s (Fig. 3b) are
+//! composed into full 2D routes by [`dor::DorRouter`], and
+//! [`deadlock::channel_dependency_cycle`] verifies the freedom-from-deadlock
+//! argument (each channel depends only on same-direction downstream channels,
+//! X never depends on... Y completes before X starts a new dimension).
+
+pub mod deadlock;
+pub mod dor;
+pub mod floyd_warshall;
+pub mod monotone;
+pub mod table;
+pub mod weights;
+
+pub use deadlock::channel_dependency_cycle;
+pub use dor::{DorRouter, Route, RouteHop};
+pub use floyd_warshall::directional_apsp;
+pub use monotone::monotone_apsp;
+pub use table::{RoutingTable, RowRouting};
+pub use weights::HopWeights;
+
+/// Distance value used throughout: latency in cycles. `u32::MAX` marks
+/// unreachable (never occurs on connected rows; used internally by FW).
+pub type Cycles = u32;
+
+/// Sentinel for "no path" entries inside the solvers.
+pub const INF: Cycles = u32::MAX / 4;

@@ -1,0 +1,47 @@
+//! Hop cost model shared by the routing solvers and the latency model.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-hop latency parameters of Eq. (1): traversing a link `(i, j)` costs
+/// `router_cycles + span(i, j) * unit_link_cycles` — the router pipeline of
+/// the router being left, plus the repeatered link segments (express links of
+/// Manhattan length `d` take `d` unit-link times, §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HopWeights {
+    /// `T_r`: cycles for a head flit to traverse one router pipeline.
+    pub router_cycles: u32,
+    /// `T_l`: cycles for a flit to traverse one unit-length link segment.
+    pub unit_link_cycles: u32,
+}
+
+impl HopWeights {
+    /// The paper's evaluation setting: a canonical 3-stage router (`T_r = 3`)
+    /// and single-cycle unit links (`T_l = 1`), §5.1 / §2.2.
+    pub const PAPER: HopWeights = HopWeights {
+        router_cycles: 3,
+        unit_link_cycles: 1,
+    };
+
+    /// Cost in cycles of one hop over a link spanning `span` unit lengths.
+    pub fn hop_cost(&self, span: usize) -> u32 {
+        self.router_cycles + span as u32 * self.unit_link_cycles
+    }
+}
+
+impl Default for HopWeights {
+    fn default() -> Self {
+        HopWeights::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weights() {
+        let w = HopWeights::default();
+        assert_eq!(w.hop_cost(1), 4); // local hop: 3-cycle router + 1-cycle link
+        assert_eq!(w.hop_cost(4), 7); // express spanning 4: 3 + 4
+    }
+}

@@ -1,0 +1,93 @@
+//! Simulator configuration.
+
+use noc_routing::HopWeights;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Flit width `b` in bits (set by the link limit: `b = base/C`).
+    pub flit_bits: u32,
+    /// Virtual channels per input port.
+    pub vcs_per_port: usize,
+    /// Buffer depth per VC in flits.
+    pub buffer_flits_per_vc: usize,
+    /// Hop cost parameters (the 3-stage pipeline realises
+    /// `router_cycles = 3`; other values are not supported by the pipeline
+    /// and only affect the analytic cross-checks).
+    pub weights: HopWeights,
+    /// Cycles before measurement starts.
+    pub warmup_cycles: u64,
+    /// Length of the measurement window in cycles.
+    pub measure_cycles: u64,
+    /// Hard cap on post-measurement drain time.
+    pub drain_cycles_max: u64,
+    /// RNG seed (simulations are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A reasonable default for latency measurements on the paper's setups:
+    /// 2 VCs, 4-flit buffers, 5k warmup + 20k measurement cycles.
+    pub fn latency_run(flit_bits: u32, seed: u64) -> Self {
+        SimConfig {
+            flit_bits,
+            vcs_per_port: 2,
+            buffer_flits_per_vc: 4,
+            weights: HopWeights::PAPER,
+            warmup_cycles: 5_000,
+            measure_cycles: 20_000,
+            drain_cycles_max: 200_000,
+            seed,
+        }
+    }
+
+    /// A shorter configuration for throughput sweeps (no full drain is
+    /// needed; accepted rate is read off the measurement window).
+    pub fn throughput_run(flit_bits: u32, seed: u64) -> Self {
+        SimConfig {
+            warmup_cycles: 3_000,
+            measure_cycles: 10_000,
+            drain_cycles_max: 0,
+            ..Self::latency_run(flit_bits, seed)
+        }
+    }
+
+    /// Sets the per-VC buffer depth so that a router with `ports` network
+    /// ports stays within a fixed bit budget — the paper equalises total
+    /// buffer size across schemes so no scheme gains an unfair buffering
+    /// advantage (§4.6).
+    pub fn with_buffer_budget(mut self, total_bits: u64, ports: usize) -> Self {
+        let per_vc_bits = total_bits / (ports.max(1) as u64 * self.vcs_per_port as u64);
+        self.buffer_flits_per_vc = (per_vc_bits / self.flit_bits as u64).max(1) as usize;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::latency_run(256, 7);
+        assert_eq!(c.flit_bits, 256);
+        assert!(c.vcs_per_port >= 1);
+        assert!(c.buffer_flits_per_vc >= 1);
+        assert_eq!(c.weights, HopWeights::PAPER);
+    }
+
+    #[test]
+    fn buffer_budget_divides_evenly() {
+        // 8 KiB of buffering, 4 ports, 2 VCs, 256-bit flits:
+        // 65536 / (4·2) = 8192 bits per VC = 32 flits.
+        let c = SimConfig::latency_run(256, 0).with_buffer_budget(65_536, 4);
+        assert_eq!(c.buffer_flits_per_vc, 32);
+        // Narrower flits get deeper buffers from the same budget.
+        let c2 = SimConfig::latency_run(64, 0).with_buffer_budget(65_536, 4);
+        assert_eq!(c2.buffer_flits_per_vc, 128);
+        // Never rounds to zero.
+        let c3 = SimConfig::latency_run(256, 0).with_buffer_budget(64, 16);
+        assert_eq!(c3.buffer_flits_per_vc, 1);
+    }
+}

@@ -1,0 +1,694 @@
+//! The cycle-driven simulation engine.
+//!
+//! Each cycle executes, in order: credit returns, link arrivals (BW),
+//! injection, RC + VA, and SA/ST. The stage gating reproduces the 3-stage
+//! pipeline timing: a flit buffer-written at cycle `t` may be VC-allocated
+//! at `t+1` and switch-traverse at `t+2`; a flit issued at `u` lands in the
+//! downstream buffer at `u + 1 + span`, making an uncontended hop cost
+//! exactly `T_r + span·T_l = 3 + span` cycles buffer-to-buffer.
+
+use crate::config::SimConfig;
+use crate::flit::{Flit, PacketRecord};
+use crate::network::{BufferedFlit, Network};
+use crate::stats::{ActivityCounters, SimStats};
+use noc_routing::DorRouter;
+use noc_topology::MeshTopology;
+use noc_traffic::{Trace, Workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Where injected packets come from: a stochastic workload or a recorded
+/// trace replayed cycle-exactly.
+enum Source {
+    Workload(Workload),
+    Trace { trace: Trace, next: usize },
+}
+
+/// A cycle-level simulation of one workload on one topology.
+pub struct Simulator {
+    network: Network,
+    config: SimConfig,
+    source: Source,
+    rng: SmallRng,
+    cycle: u64,
+    packets: Vec<PacketRecord>,
+    /// Pending credit returns: `(apply_cycle, router, output port, vc)`.
+    credits: VecDeque<(u64, usize, usize, usize)>,
+    activity: Vec<ActivityCounters>,
+    measured_total: u64,
+    completed_measured: u64,
+    latency_sum: u64,
+    head_latency_sum: u64,
+    max_latency: u64,
+    latencies: Vec<u32>,
+    flit_sum: u64,
+    ejected_in_window: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator for a topology and workload. The DOR routing solve
+    /// is performed internally with the config's hop weights.
+    pub fn new(topology: &MeshTopology, workload: Workload, config: SimConfig) -> Self {
+        let dor = DorRouter::new(topology, config.weights);
+        Self::with_router(topology, &dor, workload, config)
+    }
+
+    /// Builds a simulator reusing an existing routing solve.
+    pub fn with_router(
+        topology: &MeshTopology,
+        dor: &DorRouter,
+        workload: Workload,
+        config: SimConfig,
+    ) -> Self {
+        assert_eq!(
+            workload.matrix().side(),
+            topology.side(),
+            "workload and topology sizes must match"
+        );
+        Self::with_source(topology, dor, Source::Workload(workload), config)
+    }
+
+    /// Builds a simulator that replays a recorded [`Trace`] cycle-exactly
+    /// (the packet stream is deterministic; the RNG only breaks arbitration
+    /// ties, of which the engine has none — runs are fully reproducible).
+    pub fn from_trace(topology: &MeshTopology, trace: Trace, config: SimConfig) -> Self {
+        assert_eq!(
+            trace.side(),
+            topology.side(),
+            "trace and topology sizes must match"
+        );
+        let dor = DorRouter::new(topology, config.weights);
+        Self::with_source(topology, &dor, Source::Trace { trace, next: 0 }, config)
+    }
+
+    fn with_source(
+        topology: &MeshTopology,
+        dor: &DorRouter,
+        source: Source,
+        config: SimConfig,
+    ) -> Self {
+        let network = Network::build(topology, dor, &config);
+        let routers = network.routers_len();
+        Simulator {
+            network,
+            config,
+            source,
+            rng: SmallRng::seed_from_u64(config.seed),
+            cycle: 0,
+            packets: Vec::new(),
+            credits: VecDeque::new(),
+            activity: vec![ActivityCounters::default(); routers],
+            measured_total: 0,
+            completed_measured: 0,
+            latency_sum: 0,
+            head_latency_sum: 0,
+            max_latency: 0,
+            latencies: Vec::new(),
+            flit_sum: 0,
+            ejected_in_window: 0,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn in_measure_window(&self) -> bool {
+        self.cycle >= self.config.warmup_cycles
+            && self.cycle < self.config.warmup_cycles + self.config.measure_cycles
+    }
+
+    /// Runs the full warmup + measurement + drain schedule and returns the
+    /// collected statistics.
+    pub fn run(mut self) -> SimStats {
+        let window_end = self.config.warmup_cycles + self.config.measure_cycles;
+        let hard_end = window_end + self.config.drain_cycles_max;
+        loop {
+            self.step();
+            if self.cycle < window_end {
+                continue;
+            }
+            let drained = self.completed_measured == self.measured_total;
+            if drained || self.cycle >= hard_end {
+                return self.finish(drained);
+            }
+        }
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        let t = self.cycle;
+        self.apply_credits(t);
+        self.process_arrivals(t);
+        self.inject(t);
+        self.route_and_allocate(t);
+        self.switch_traversal(t);
+        self.cycle = t + 1;
+    }
+
+    fn apply_credits(&mut self, t: u64) {
+        while let Some(&(when, router, port, vc)) = self.credits.front() {
+            if when > t {
+                break;
+            }
+            self.credits.pop_front();
+            self.network.routers[router].outputs[port].vcs[vc].credits += 1;
+        }
+    }
+
+    fn process_arrivals(&mut self, t: u64) {
+        let measure = self.in_measure_window();
+        let Network {
+            channels, routers, ..
+        } = &mut self.network;
+        for channel in channels.iter_mut() {
+            while let Some(&(arrival, flit, vc)) = channel.in_flight.front() {
+                if arrival > t {
+                    break;
+                }
+                channel.in_flight.pop_front();
+                routers[channel.dst_router].inputs[channel.dst_port].vcs[vc]
+                    .buffer
+                    .push_back(BufferedFlit {
+                        flit,
+                        eligible: t + 2,
+                    });
+                if measure {
+                    self.activity[channel.dst_router].buffer_writes += 1;
+                }
+            }
+        }
+    }
+
+    fn inject(&mut self, t: u64) {
+        let nodes = self.network.routers_len();
+        // Gather this cycle's injections from the source.
+        let mut pending: Vec<(usize, u32, usize)> = Vec::new(); // (src, bits, dst)
+        match &mut self.source {
+            Source::Workload(workload) => {
+                for node in 0..nodes {
+                    if let Some(spec) = workload.generate(node, &mut self.rng) {
+                        pending.push((node, spec.bits, spec.dst));
+                    }
+                }
+            }
+            Source::Trace { trace, next } => {
+                let events = trace.events();
+                while *next < events.len() && events[*next].cycle <= t {
+                    let e = events[*next];
+                    *next += 1;
+                    pending.push((e.src, e.bits, e.dst));
+                }
+            }
+        }
+        let measure = self.in_measure_window();
+        for (node, bits, dst) in pending {
+            let spec_dst = dst;
+            let flits = bits.div_ceil(self.config.flit_bits).max(1);
+            let packet_id = self.packets.len() as u32;
+            self.packets.push(PacketRecord {
+                src: node,
+                dst: spec_dst,
+                flits,
+                created: t,
+                head_done: None,
+                tail_done: None,
+                measured: measure,
+            });
+            if measure {
+                self.measured_total += 1;
+                self.flit_sum += flits as u64;
+            }
+            // Enqueue into the least-loaded injection VC (the NI's queues).
+            let router = &mut self.network.routers[node];
+            let inj = router.injection_port();
+            let vc_idx = (0..router.inputs[inj].vcs.len())
+                .min_by_key(|&v| router.inputs[inj].vcs[v].buffer.len())
+                .expect("at least one VC");
+            let queue = &mut router.inputs[inj].vcs[vc_idx].buffer;
+            for seq in 0..flits {
+                queue.push_back(BufferedFlit {
+                    flit: Flit {
+                        packet: packet_id,
+                        seq: seq as u16,
+                        tail: seq + 1 == flits,
+                        dst: spec_dst as u16,
+                    },
+                    eligible: t + 2,
+                });
+            }
+        }
+    }
+
+    fn route_and_allocate(&mut self, t: u64) {
+        let measure = self.in_measure_window();
+        for (r, router) in self.network.routers.iter_mut().enumerate() {
+            let inputs = &mut router.inputs;
+            let outputs = &mut router.outputs;
+            let table = &router.out_port_for_dst;
+
+            // RC: head flits at buffer fronts compute their output port.
+            for port in inputs.iter_mut() {
+                for vc in port.vcs.iter_mut() {
+                    if vc.route_out.is_none() {
+                        if let Some(front) = vc.buffer.front() {
+                            if front.flit.is_head() {
+                                vc.route_out = Some(table[front.flit.dst as usize] as usize);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // VA: hand free output VCs to requesting input VCs, round-robin.
+            let total_vcs: usize = inputs.iter().map(|p| p.vcs.len()).sum();
+            for (o, out) in outputs.iter_mut().enumerate() {
+                for ovc in 0..out.vcs.len() {
+                    if out.vcs[ovc].owner.is_some() {
+                        continue;
+                    }
+                    let start = out.va_rr;
+                    let mut assigned = None;
+                    for k in 0..total_vcs {
+                        let idx = (start + k) % total_vcs;
+                        let (i, v) = Self::decode_vc(inputs, idx);
+                        let vc = &inputs[i].vcs[v];
+                        let requesting = vc.route_out == Some(o)
+                            && vc.out_vc.is_none()
+                            && vc.buffer.front().map_or(false, |f| {
+                                f.flit.is_head() && t + 1 >= f.eligible
+                            });
+                        if requesting {
+                            assigned = Some((i, v, idx));
+                            break;
+                        }
+                    }
+                    if let Some((i, v, idx)) = assigned {
+                        out.vcs[ovc].owner = Some((i, v));
+                        inputs[i].vcs[v].out_vc = Some(ovc);
+                        inputs[i].vcs[v].va_done = Some(t);
+                        out.va_rr = (idx + 1) % total_vcs;
+                        if measure {
+                            self.activity[r].vc_allocations += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn switch_traversal(&mut self, t: u64) {
+        let measure = self.in_measure_window();
+        let window_start = self.config.warmup_cycles;
+        let window_end = window_start + self.config.measure_cycles;
+        // Channel pushes are buffered to keep the borrow checker happy and
+        // applied after the router loop.
+        let mut sends: Vec<(usize, u64, Flit, usize)> = Vec::new();
+
+        for r in 0..self.network.routers.len() {
+            let router = &mut self.network.routers[r];
+            let injection = router.injection_port();
+            let ejection = router.ejection_port();
+            let inputs = &mut router.inputs;
+            let outputs = &mut router.outputs;
+            let total_vcs: usize = inputs.iter().map(|p| p.vcs.len()).sum();
+            let mut used_inputs: u64 = 0;
+
+            for (o, out) in outputs.iter_mut().enumerate() {
+                let start = out.sa_rr;
+                let mut winner = None;
+                for k in 0..total_vcs {
+                    let idx = (start + k) % total_vcs;
+                    let (i, v) = Self::decode_vc(inputs, idx);
+                    if used_inputs & (1 << i) != 0 {
+                        continue;
+                    }
+                    let vc = &inputs[i].vcs[v];
+                    if vc.route_out != Some(o) {
+                        continue;
+                    }
+                    let Some(ovc) = vc.out_vc else { continue };
+                    let Some(front) = vc.buffer.front() else {
+                        continue;
+                    };
+                    if front.eligible > t {
+                        continue;
+                    }
+                    if front.flit.is_head()
+                        && !vc.va_done.map_or(false, |d| t >= d + 1)
+                    {
+                        continue;
+                    }
+                    if out.vcs[ovc].credits == 0 {
+                        continue;
+                    }
+                    winner = Some((i, v, ovc, idx));
+                    break;
+                }
+
+                let Some((i, v, ovc, idx)) = winner else {
+                    continue;
+                };
+                out.sa_rr = (idx + 1) % total_vcs;
+                used_inputs |= 1 << i;
+                let buffered = inputs[i].vcs[v]
+                    .buffer
+                    .pop_front()
+                    .expect("winner has a front flit");
+                let flit = buffered.flit;
+
+                if measure {
+                    self.activity[r].crossbar_traversals += 1;
+                    if i != injection {
+                        self.activity[r].buffer_reads += 1;
+                    }
+                }
+
+                if o == ejection {
+                    // Flit leaves the network; completion is at end of cycle.
+                    let record = &mut self.packets[flit.packet as usize];
+                    if flit.is_head() {
+                        record.head_done = Some(t + 1);
+                    }
+                    if flit.tail {
+                        record.tail_done = Some(t + 1);
+                        if t >= window_start && t < window_end {
+                            self.ejected_in_window += 1;
+                        }
+                        if record.measured {
+                            self.completed_measured += 1;
+                            let latency = t + 1 - record.created;
+                            self.latency_sum += latency;
+                            self.max_latency = self.max_latency.max(latency);
+                            self.latencies.push(latency.min(u32::MAX as u64) as u32);
+                            self.head_latency_sum +=
+                                record.head_done.expect("head before tail") - record.created;
+                        }
+                    }
+                } else {
+                    out.vcs[ovc].credits -= 1;
+                    sends.push((out.channel, t + 1 + out.span as u64, flit, ovc));
+                    if measure {
+                        self.activity[r].link_flit_segments += out.span as u64;
+                    }
+                }
+
+                if flit.tail {
+                    let vc_state = &mut inputs[i].vcs[v];
+                    vc_state.route_out = None;
+                    vc_state.out_vc = None;
+                    vc_state.va_done = None;
+                    out.vcs[ovc].owner = None;
+                }
+
+                // Return the freed buffer slot upstream (1-cycle credit wire).
+                if let Some((up_router, up_port)) = inputs[i].upstream {
+                    self.credits.push_back((t + 1, up_router, up_port, v));
+                }
+            }
+        }
+
+        for (channel, arrival, flit, ovc) in sends {
+            self.network.channels[channel]
+                .in_flight
+                .push_back((arrival, flit, ovc));
+        }
+    }
+
+    /// Maps a flat VC index to `(input port, vc)`; all ports share the same
+    /// VC count so this is a simple div/mod.
+    fn decode_vc(inputs: &[crate::network::InputPort], idx: usize) -> (usize, usize) {
+        let vcs = inputs[0].vcs.len();
+        (idx / vcs, idx % vcs)
+    }
+
+    fn finish(mut self, drained: bool) -> SimStats {
+        let completed = self.completed_measured;
+        let denom = completed.max(1) as f64;
+        self.latencies.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            if self.latencies.is_empty() {
+                0.0
+            } else {
+                let idx = ((self.latencies.len() - 1) as f64 * q).round() as usize;
+                self.latencies[idx] as f64
+            }
+        };
+        let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+        SimStats {
+            cycles: self.cycle,
+            measure_cycles: self.config.measure_cycles,
+            nodes: self.network.routers_len(),
+            measured_packets: self.measured_total,
+            completed_packets: completed,
+            avg_packet_latency: self.latency_sum as f64 / denom,
+            avg_head_latency: self.head_latency_sum as f64 / denom,
+            max_packet_latency: self.max_latency,
+            p50_latency: p50,
+            p95_latency: p95,
+            p99_latency: p99,
+            accepted_throughput: self.ejected_in_window as f64
+                / (self.config.measure_cycles.max(1) as f64 * self.network.routers_len() as f64),
+            offered_rate: match &self.source {
+                Source::Workload(w) => w.injection_rate(),
+                Source::Trace { trace, .. } => trace.mean_rate(),
+            },
+            avg_flits_per_packet: self.flit_sum as f64 / self.measured_total.max(1) as f64,
+            activity: self.activity,
+            drained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::{LatencyModel, PacketMix};
+    use noc_routing::HopWeights;
+    use noc_topology::RowPlacement;
+    use noc_traffic::{SyntheticPattern, TrafficMatrix};
+
+    fn workload(n: usize, rate: f64) -> Workload {
+        Workload::new(
+            TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, n),
+            rate,
+            PacketMix::paper(),
+        )
+    }
+
+    #[test]
+    fn zero_rate_run_is_empty() {
+        let topo = MeshTopology::mesh(4);
+        let sim = Simulator::new(&topo, workload(4, 0.0), SimConfig::latency_run(256, 1));
+        let stats = sim.run();
+        assert_eq!(stats.measured_packets, 0);
+        assert_eq!(stats.completed_packets, 0);
+        assert!(stats.drained);
+        assert_eq!(stats.total_activity().crossbar_traversals, 0);
+    }
+
+    #[test]
+    fn low_load_latency_matches_analytic_zero_load() {
+        // At 0.1% injection the mesh is effectively contention-free: the
+        // measured mean packet latency must match the analytic
+        // L_D,avg + L_S,avg − 1 within a small contention epsilon.
+        let topo = MeshTopology::mesh(4);
+        let mut config = SimConfig::latency_run(256, 3);
+        config.warmup_cycles = 2_000;
+        config.measure_cycles = 30_000;
+        let stats = Simulator::new(&topo, workload(4, 0.001), config).run();
+        assert!(stats.drained);
+        assert!(stats.measured_packets > 100, "too few samples");
+
+        let dor = DorRouter::new(&topo, HopWeights::PAPER);
+        let model = LatencyModel::paper();
+        // UR excludes self-pairs; recompute the analytic mean over src != dst.
+        let mut head = 0.0;
+        let mut pairs = 0;
+        for s in 0..16 {
+            for d in 0..16 {
+                if s != d {
+                    head += model.head_pair(&dor, s, d) as f64;
+                    pairs += 1;
+                }
+            }
+        }
+        let analytic = head / pairs as f64 + PacketMix::paper().serialization_latency(256) - 1.0;
+        let diff = (stats.avg_packet_latency - analytic).abs();
+        assert!(
+            diff < 0.5,
+            "sim {} vs analytic {analytic}",
+            stats.avg_packet_latency
+        );
+    }
+
+    #[test]
+    fn single_pair_latency_is_exact() {
+        // A deterministic single flow at negligible rate: latency must equal
+        // the closed form exactly (no contention at all).
+        let n = 4;
+        let mut rates = vec![0.0; 256];
+        rates[3] = 1.0; // router 0 -> router 3 (three X hops)
+        let matrix = TrafficMatrix::from_rates(n, rates);
+        let w = Workload::new(matrix, 0.002, PacketMix::uniform(256));
+        let topo = MeshTopology::mesh(n);
+        let stats = Simulator::new(&topo, w, SimConfig::latency_run(256, 9)).run();
+        assert!(stats.measured_packets > 10);
+        // Head: 3 hops · 4 + T_r = 15; single-flit packet => tail == head.
+        assert!(
+            (stats.avg_packet_latency - 15.0).abs() < 1e-9,
+            "got {}",
+            stats.avg_packet_latency
+        );
+        assert_eq!(stats.max_packet_latency, 15);
+    }
+
+    #[test]
+    fn express_link_lowers_simulated_latency() {
+        let n = 8;
+        let mesh = MeshTopology::mesh(n);
+        let row = RowPlacement::with_links(8, [(0, 3), (3, 7)]).unwrap();
+        let express = MeshTopology::uniform(n, &row);
+        let config = SimConfig::latency_run(256, 11);
+        let mesh_stats = Simulator::new(&mesh, workload(n, 0.005), config).run();
+        let express_stats = Simulator::new(&express, workload(n, 0.005), config).run();
+        assert!(mesh_stats.drained && express_stats.drained);
+        assert!(
+            express_stats.avg_packet_latency < mesh_stats.avg_packet_latency,
+            "express {} !< mesh {}",
+            express_stats.avg_packet_latency,
+            mesh_stats.avg_packet_latency
+        );
+    }
+
+    #[test]
+    fn multi_flit_packets_add_serialization() {
+        // Same flow, 512-bit packets at 128-bit flits: 4 flits; packet
+        // latency = head + 3.
+        let n = 4;
+        let mut rates = vec![0.0; 256];
+        rates[3] = 1.0;
+        let matrix = TrafficMatrix::from_rates(n, rates);
+        let w = Workload::new(matrix, 0.002, PacketMix::uniform(512));
+        let topo = MeshTopology::mesh(n);
+        let stats = Simulator::new(&topo, w, SimConfig::latency_run(128, 13)).run();
+        assert!(
+            (stats.avg_packet_latency - 18.0).abs() < 1e-9,
+            "got {}",
+            stats.avg_packet_latency
+        );
+        assert!((stats.avg_flits_per_packet - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_all_measured_packets_drain() {
+        let topo = MeshTopology::mesh(4);
+        let stats = Simulator::new(&topo, workload(4, 0.05), SimConfig::latency_run(256, 17)).run();
+        assert!(stats.drained);
+        assert_eq!(stats.completed_packets, stats.measured_packets);
+        assert!(stats.measured_packets > 1000);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stats() {
+        let topo = MeshTopology::mesh(4);
+        let a = Simulator::new(&topo, workload(4, 0.02), SimConfig::latency_run(256, 5)).run();
+        let b = Simulator::new(&topo, workload(4, 0.02), SimConfig::latency_run(256, 5)).run();
+        assert_eq!(a.avg_packet_latency, b.avg_packet_latency);
+        assert_eq!(a.measured_packets, b.measured_packets);
+        assert_eq!(a.total_activity(), b.total_activity());
+    }
+
+    #[test]
+    fn activity_counters_are_plausible() {
+        let topo = MeshTopology::mesh(4);
+        let stats = Simulator::new(&topo, workload(4, 0.02), SimConfig::latency_run(256, 23)).run();
+        let total = stats.total_activity();
+        // Every link arrival is eventually read out.
+        assert!(total.buffer_writes > 0);
+        // Crossbar counts include injection and ejection traversals, so they
+        // exceed buffer reads.
+        assert!(total.crossbar_traversals > total.buffer_reads);
+        // Mesh links are unit-length: segments == hops taken over links.
+        assert!(total.link_flit_segments > 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use noc_model::PacketMix;
+    use noc_traffic::{SyntheticPattern, TraceEvent, TrafficMatrix};
+
+    #[test]
+    fn trace_replay_is_cycle_exact() {
+        // A single 2-hop packet injected at cycle 100: latency must be the
+        // closed-form 2·4 + 3 = 11 cycles.
+        let trace = Trace::new(
+            4,
+            vec![TraceEvent {
+                cycle: 100,
+                src: 0,
+                dst: 2,
+                bits: 128,
+            }],
+        );
+        let mut config = SimConfig::latency_run(256, 1);
+        config.warmup_cycles = 0;
+        config.measure_cycles = 2_000;
+        let stats = Simulator::from_trace(&MeshTopology::mesh(4), trace, config).run();
+        assert_eq!(stats.measured_packets, 1);
+        assert_eq!(stats.completed_packets, 1);
+        assert_eq!(stats.max_packet_latency, 11);
+    }
+
+    #[test]
+    fn record_then_replay_matches_live_statistics() {
+        // Record a workload into a trace, replay it: the replayed run sees
+        // the same packet population, so latency statistics agree closely.
+        let workload = Workload::new(
+            TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, 4),
+            0.01,
+            PacketMix::paper(),
+        );
+        let mut config = SimConfig::latency_run(256, 9);
+        config.warmup_cycles = 500;
+        config.measure_cycles = 8_000;
+        let live = Simulator::new(&MeshTopology::mesh(4), workload.clone(), config).run();
+
+        let trace = Trace::record(&workload, 10_000, config.seed);
+        let replay = Simulator::from_trace(&MeshTopology::mesh(4), trace, config).run();
+        assert!(replay.drained);
+        assert!(
+            (live.avg_packet_latency - replay.avg_packet_latency).abs() < 1.0,
+            "live {} vs replay {}",
+            live.avg_packet_latency,
+            replay.avg_packet_latency
+        );
+    }
+
+    #[test]
+    fn bursty_trace_queues_and_drains() {
+        // 20 packets injected the same cycle at one source: they serialise
+        // through the NI but all drain.
+        let events = (0..20)
+            .map(|i| TraceEvent {
+                cycle: 10,
+                src: 0,
+                dst: 12 + (i % 4) as usize,
+                bits: 256,
+            })
+            .collect();
+        let trace = Trace::new(4, events);
+        let mut config = SimConfig::latency_run(256, 2);
+        config.warmup_cycles = 0;
+        config.measure_cycles = 1_000;
+        let stats = Simulator::from_trace(&MeshTopology::mesh(4), trace, config).run();
+        assert!(stats.drained);
+        assert_eq!(stats.completed_packets, 20);
+        // Later packets queue behind earlier ones.
+        assert!(stats.max_packet_latency > stats.p50_latency as u64);
+    }
+}

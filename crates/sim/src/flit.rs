@@ -1,0 +1,96 @@
+//! Flits and packets.
+
+/// A flow-control digit. Flits are small and `Copy`; per-packet bookkeeping
+/// lives in the simulator's packet table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Index into the packet table.
+    pub packet: u32,
+    /// Position within the packet (0 = head).
+    pub seq: u16,
+    /// Whether this is the last flit of its packet.
+    pub tail: bool,
+    /// Destination router (flat id), replicated for O(1) route computation.
+    pub dst: u16,
+}
+
+impl Flit {
+    /// Whether this is the head flit (carries routing information).
+    pub fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+}
+
+/// Lifetime record of one packet.
+#[derive(Debug, Clone)]
+pub struct PacketRecord {
+    /// Source router (flat id).
+    pub src: usize,
+    /// Destination router (flat id).
+    pub dst: usize,
+    /// Number of flits (`ceil(bits / flit_bits)`).
+    pub flits: u32,
+    /// Cycle the packet was created and enqueued at the source NI.
+    pub created: u64,
+    /// Completion cycle of the head flit's ejection (exclusive: the cycle
+    /// *after* its ejection ST), if ejected.
+    pub head_done: Option<u64>,
+    /// Completion cycle of the tail flit's ejection, if ejected.
+    pub tail_done: Option<u64>,
+    /// Whether the packet was created inside the measurement window.
+    pub measured: bool,
+}
+
+impl PacketRecord {
+    /// Head latency in cycles, if the head flit has arrived.
+    pub fn head_latency(&self) -> Option<u64> {
+        self.head_done.map(|t| t - self.created)
+    }
+
+    /// Full packet latency in cycles (creation to tail delivery).
+    pub fn packet_latency(&self) -> Option<u64> {
+        self.tail_done.map(|t| t - self.created)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_flit_detection() {
+        let head = Flit {
+            packet: 0,
+            seq: 0,
+            tail: false,
+            dst: 5,
+        };
+        let tail = Flit {
+            packet: 0,
+            seq: 3,
+            tail: true,
+            dst: 5,
+        };
+        assert!(head.is_head());
+        assert!(!tail.is_head());
+        assert!(tail.tail);
+    }
+
+    #[test]
+    fn latencies_need_completion() {
+        let mut rec = PacketRecord {
+            src: 0,
+            dst: 9,
+            flits: 2,
+            created: 100,
+            head_done: None,
+            tail_done: None,
+            measured: true,
+        };
+        assert_eq!(rec.head_latency(), None);
+        rec.head_done = Some(110);
+        rec.tail_done = Some(111);
+        assert_eq!(rec.head_latency(), Some(10));
+        assert_eq!(rec.packet_latency(), Some(11));
+    }
+}

@@ -1,0 +1,44 @@
+//! Cycle-level wormhole NoC simulator — the substrate standing in for
+//! gem5 + GARNET in the paper's evaluation (§5.1; see DESIGN.md §2 for the
+//! substitution argument).
+//!
+//! Microarchitecture (one clock domain, one cycle granularity):
+//!
+//! * **Routers** follow the canonical 3-stage credit-based wormhole pipeline
+//!   the paper assumes: BW+RC in the arrival cycle, VA the next cycle,
+//!   SA+ST the cycle after — 3 cycles per router for an uncontended flit,
+//!   matching `T_r = 3`.
+//! * **Links** take `span` additional cycles (express links are repeatered
+//!   into unit segments, §2.2), so an uncontended hop costs
+//!   `T_r + span·T_l` — exactly the analytic hop cost of `noc-routing`.
+//! * **Virtual channels** with per-VC FIFO buffers and credit-based flow
+//!   control (credits return with one cycle of wire latency).
+//! * **Routing** is table-based dimension-order: a per-network next-hop
+//!   table compiled from `noc-routing`'s directional APSP solve (Fig. 3's
+//!   router implementation).
+//! * **Traffic** comes from `noc-traffic` workloads: Bernoulli injection,
+//!   matrix-sampled destinations, multi-class packet sizes serialised into
+//!   `ceil(bits / flit_bits)` flits.
+//!
+//! Measurement follows standard NoC methodology: warm up, tag packets
+//! created during the measurement window, and drain until every tagged
+//! packet leaves. At (near) zero load the measured packet latency equals the
+//! analytic `L_D + L_S − 1` of `noc-model` exactly (the −1 is bookkeeping:
+//! the analytic sum charges the head flit's delivery cycle twice — once in
+//! `L_D`'s arrival and once in `L_S = ceil(S/b)`; integration tests pin this
+//! identity).
+//!
+//! Activity counters (buffer writes/reads, crossbar traversals, link
+//! flit-segments) feed the `noc-power` DSENT-substitute model.
+
+pub mod config;
+pub mod engine;
+pub mod flit;
+pub mod network;
+pub mod stats;
+pub mod throughput;
+
+pub use config::SimConfig;
+pub use engine::Simulator;
+pub use stats::{ActivityCounters, SimStats};
+pub use throughput::{saturation_sweep, SweepSample, ThroughputResult};

@@ -1,0 +1,348 @@
+//! Static network structures: routers, ports, virtual channels, channels,
+//! and the compiled routing tables.
+
+use crate::config::SimConfig;
+use crate::flit::Flit;
+use noc_routing::DorRouter;
+use noc_topology::MeshTopology;
+use std::collections::{HashMap, VecDeque};
+
+/// A flit sitting in a VC buffer with its earliest switch-traversal cycle
+/// (`arrival + 2`: BW+RC, VA, then SA — the 3-stage pipeline).
+#[derive(Debug, Clone, Copy)]
+pub struct BufferedFlit {
+    /// The flit itself.
+    pub flit: Flit,
+    /// Earliest cycle this flit may win switch allocation.
+    pub eligible: u64,
+}
+
+/// One virtual channel of an input port.
+#[derive(Debug, Clone)]
+pub struct InputVc {
+    /// FIFO of buffered flits (depth enforced upstream via credits; the
+    /// injection port is unbounded — it models the NI source queue).
+    pub buffer: VecDeque<BufferedFlit>,
+    /// Output port of the packet currently owning this VC (set at RC).
+    pub route_out: Option<usize>,
+    /// Downstream VC allocated to that packet (set at VA).
+    pub out_vc: Option<usize>,
+    /// Cycle VA succeeded, gating SA to the following cycle.
+    pub va_done: Option<u64>,
+}
+
+impl InputVc {
+    fn new() -> Self {
+        InputVc {
+            buffer: VecDeque::new(),
+            route_out: None,
+            out_vc: None,
+            va_done: None,
+        }
+    }
+}
+
+/// An input port: a set of VCs plus the upstream output port credits return
+/// to (`None` for the injection port).
+#[derive(Debug, Clone)]
+pub struct InputPort {
+    /// The port's virtual channels.
+    pub vcs: Vec<InputVc>,
+    /// Upstream `(router, output port)` this port's credits flow back to.
+    pub upstream: Option<(usize, usize)>,
+}
+
+/// Per-output-VC state at an output port.
+#[derive(Debug, Clone, Copy)]
+pub struct OutVcState {
+    /// Input VC `(port, vc)` whose packet currently owns the downstream VC.
+    pub owner: Option<(usize, usize)>,
+    /// Credits: free buffer slots at the downstream VC.
+    pub credits: usize,
+}
+
+/// An output port: either a physical channel to a neighbour router or the
+/// local ejection port (`channel == usize::MAX`).
+#[derive(Debug, Clone)]
+pub struct OutputPort {
+    /// Downstream router flat id (`usize::MAX` for ejection).
+    pub to_router: usize,
+    /// Link length in unit segments (0 for ejection).
+    pub span: usize,
+    /// Index into the network channel table (`usize::MAX` for ejection).
+    pub channel: usize,
+    /// Downstream VC states.
+    pub vcs: Vec<OutVcState>,
+    /// Round-robin pointer for VC allocation fairness.
+    pub va_rr: usize,
+    /// Round-robin pointer for switch allocation fairness.
+    pub sa_rr: usize,
+}
+
+impl OutputPort {
+    /// Whether this is the local ejection port.
+    pub fn is_ejection(&self) -> bool {
+        self.channel == usize::MAX
+    }
+}
+
+/// One router's dynamic state.
+#[derive(Debug, Clone)]
+pub struct RouterState {
+    /// Link input ports followed by the injection port (last).
+    pub inputs: Vec<InputPort>,
+    /// Link output ports followed by the ejection port (last).
+    pub outputs: Vec<OutputPort>,
+    /// Compiled route table: output port index for every destination
+    /// (self maps to the ejection port).
+    pub out_port_for_dst: Vec<u16>,
+}
+
+impl RouterState {
+    /// Index of the injection input port.
+    pub fn injection_port(&self) -> usize {
+        self.inputs.len() - 1
+    }
+
+    /// Index of the ejection output port.
+    pub fn ejection_port(&self) -> usize {
+        self.outputs.len() - 1
+    }
+}
+
+/// A directed physical channel between two routers. Flits are in flight
+/// until their arrival cycle; the queue stays arrival-ordered because the
+/// upstream ST issues at most one flit per cycle.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Receiving router flat id.
+    pub dst_router: usize,
+    /// Receiving input port index at `dst_router`.
+    pub dst_port: usize,
+    /// Link length in unit segments.
+    pub span: usize,
+    /// In-flight flits: `(arrival cycle, flit, destination VC)`.
+    pub in_flight: VecDeque<(u64, Flit, usize)>,
+}
+
+/// The complete static + dynamic network state.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Mesh side length.
+    pub side: usize,
+    /// Router states, indexed by flat id.
+    pub routers: Vec<RouterState>,
+    /// All directed channels.
+    pub channels: Vec<Channel>,
+}
+
+impl Network {
+    /// Number of routers.
+    pub fn routers_len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Builds the network for a topology: instantiates two directed channels
+    /// per physical link, sizes ports/VCs/credits from the config, and
+    /// compiles per-router output-port tables from the DOR solve.
+    pub fn build(topology: &MeshTopology, dor: &DorRouter, config: &SimConfig) -> Self {
+        let n = topology.side();
+        let routers_len = topology.routers();
+        let vcs = config.vcs_per_port;
+        let depth = config.buffer_flits_per_vc;
+
+        let mut inputs: Vec<Vec<InputPort>> = vec![Vec::new(); routers_len];
+        let mut outputs: Vec<Vec<OutputPort>> = vec![Vec::new(); routers_len];
+        let mut channels: Vec<Channel> = Vec::new();
+        // neighbour flat id -> output port index, per router.
+        let mut out_index: Vec<HashMap<usize, usize>> = vec![HashMap::new(); routers_len];
+
+        for link in topology.links() {
+            for (from, to) in [(link.a, link.b), (link.b, link.a)] {
+                let channel_idx = channels.len();
+                let dst_port = inputs[to].len();
+                let src_port = outputs[from].len();
+                channels.push(Channel {
+                    dst_router: to,
+                    dst_port,
+                    span: link.length,
+                    in_flight: VecDeque::new(),
+                });
+                inputs[to].push(InputPort {
+                    vcs: (0..vcs).map(|_| InputVc::new()).collect(),
+                    upstream: Some((from, src_port)),
+                });
+                outputs[from].push(OutputPort {
+                    to_router: to,
+                    span: link.length,
+                    channel: channel_idx,
+                    vcs: (0..vcs)
+                        .map(|_| OutVcState {
+                            owner: None,
+                            credits: depth,
+                        })
+                        .collect(),
+                    va_rr: 0,
+                    sa_rr: 0,
+                });
+                out_index[from].insert(to, src_port);
+            }
+        }
+
+        let mut routers = Vec::with_capacity(routers_len);
+        for r in 0..routers_len {
+            let mut ins = std::mem::take(&mut inputs[r]);
+            let mut outs = std::mem::take(&mut outputs[r]);
+            // Injection port: unbounded NI source queues, no upstream.
+            ins.push(InputPort {
+                vcs: (0..vcs).map(|_| InputVc::new()).collect(),
+                upstream: None,
+            });
+            // Ejection port: one consumer, effectively infinite credit.
+            outs.push(OutputPort {
+                to_router: usize::MAX,
+                span: 0,
+                channel: usize::MAX,
+                vcs: vec![
+                    OutVcState {
+                        owner: None,
+                        credits: usize::MAX / 2,
+                    };
+                    vcs
+                ],
+                va_rr: 0,
+                sa_rr: 0,
+            });
+            let ejection = outs.len() - 1;
+
+            // Compile the route table: next hop per destination via DOR.
+            let (rx, ry) = (r % n, r / n);
+            let out_port_for_dst: Vec<u16> = (0..routers_len)
+                .map(|d| {
+                    if d == r {
+                        return ejection as u16;
+                    }
+                    let (dx, dy) = (d % n, d / n);
+                    let next = if dx != rx {
+                        let nx = dor
+                            .row_apsp(ry)
+                            .next_hop(rx, dx)
+                            .expect("row next hop exists");
+                        ry * n + nx
+                    } else {
+                        let ny = dor
+                            .col_apsp(rx)
+                            .next_hop(ry, dy)
+                            .expect("col next hop exists");
+                        ny * n + rx
+                    };
+                    out_index[r][&next] as u16
+                })
+                .collect();
+
+            routers.push(RouterState {
+                inputs: ins,
+                outputs: outs,
+                out_port_for_dst,
+            });
+        }
+
+        Network {
+            side: n,
+            routers,
+            channels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_routing::HopWeights;
+    use noc_topology::RowPlacement;
+
+    fn build(topo: &MeshTopology) -> Network {
+        let dor = DorRouter::new(topo, HopWeights::PAPER);
+        Network::build(topo, &dor, &SimConfig::latency_run(256, 0))
+    }
+
+    #[test]
+    fn mesh_port_counts() {
+        let net = build(&MeshTopology::mesh(4));
+        // Corner router: 2 link inputs + injection, 2 link outputs + ejection.
+        assert_eq!(net.routers[0].inputs.len(), 3);
+        assert_eq!(net.routers[0].outputs.len(), 3);
+        // Centre router (1,1): 4 + 1 each way.
+        assert_eq!(net.routers[5].inputs.len(), 5);
+        assert_eq!(net.routers[5].outputs.len(), 5);
+        // Channels: 2 per bidirectional link; 24 links on a 4x4 mesh.
+        assert_eq!(net.channels.len(), 48);
+    }
+
+    #[test]
+    fn express_topology_gets_extra_ports() {
+        let row = RowPlacement::with_links(4, [(0, 3)]).unwrap();
+        let net = build(&MeshTopology::uniform(4, &row));
+        // Corner (0,0): row links to 1 and 3, col links to 4 and 12,
+        // + injection = 5 inputs.
+        assert_eq!(net.routers[0].inputs.len(), 5);
+    }
+
+    #[test]
+    fn route_tables_point_dimension_order() {
+        let net = build(&MeshTopology::mesh(4));
+        let r = &net.routers[0];
+        // Destination 0 (self) -> ejection.
+        assert_eq!(r.out_port_for_dst[0] as usize, r.ejection_port());
+        // Destination (2,0) = id 2: X first -> port toward router 1.
+        let p = r.out_port_for_dst[2] as usize;
+        assert_eq!(net.routers[0].outputs[p].to_router, 1);
+        // Destination (0,2) = id 8: same column -> toward router 4.
+        let p = r.out_port_for_dst[8] as usize;
+        assert_eq!(net.routers[0].outputs[p].to_router, 4);
+        // Destination (1,1) = id 5: X first.
+        let p = r.out_port_for_dst[5] as usize;
+        assert_eq!(net.routers[0].outputs[p].to_router, 1);
+    }
+
+    #[test]
+    fn express_route_table_uses_long_links() {
+        let row = RowPlacement::with_links(8, [(0, 7)]).unwrap();
+        let net = build(&MeshTopology::uniform(8, &row));
+        // From (0,0) to (7,0): the direct express link.
+        let p = net.routers[0].out_port_for_dst[7] as usize;
+        assert_eq!(net.routers[0].outputs[p].to_router, 7);
+        assert_eq!(net.routers[0].outputs[p].span, 7);
+    }
+
+    #[test]
+    fn channel_endpoints_are_consistent() {
+        let row = RowPlacement::with_links(4, [(1, 3)]).unwrap();
+        let net = build(&MeshTopology::uniform(4, &row));
+        for (ci, ch) in net.channels.iter().enumerate() {
+            let port = &net.routers[ch.dst_router].inputs[ch.dst_port];
+            let (up_router, up_port) = port.upstream.expect("link inputs have upstream");
+            assert_eq!(net.routers[up_router].outputs[up_port].channel, ci);
+            assert_eq!(net.routers[up_router].outputs[up_port].to_router, ch.dst_router);
+            assert_eq!(net.routers[up_router].outputs[up_port].span, ch.span);
+        }
+    }
+
+    #[test]
+    fn credits_match_buffer_depth() {
+        let config = SimConfig::latency_run(256, 0);
+        let topo = MeshTopology::mesh(4);
+        let dor = DorRouter::new(&topo, HopWeights::PAPER);
+        let net = Network::build(&topo, &dor, &config);
+        for r in &net.routers {
+            for (oi, out) in r.outputs.iter().enumerate() {
+                if oi != r.ejection_port() {
+                    for vc in &out.vcs {
+                        assert_eq!(vc.credits, config.buffer_flits_per_vc);
+                        assert!(vc.owner.is_none());
+                    }
+                }
+            }
+        }
+    }
+}

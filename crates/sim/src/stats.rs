@@ -1,0 +1,131 @@
+//! Measurement results and activity accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-router switching-activity counters over the measurement window.
+/// These are the inputs to the `noc-power` dynamic-power model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityCounters {
+    /// Flits written into link-input VC buffers.
+    pub buffer_writes: u64,
+    /// Flits read out of link-input VC buffers.
+    pub buffer_reads: u64,
+    /// Flits through the crossbar (every SA/ST win, incl. inject/eject).
+    pub crossbar_traversals: u64,
+    /// Flit·segment products on outgoing links (energy scales with length).
+    pub link_flit_segments: u64,
+    /// VC allocations performed.
+    pub vc_allocations: u64,
+}
+
+impl ActivityCounters {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &ActivityCounters) {
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.crossbar_traversals += other.crossbar_traversals;
+        self.link_flit_segments += other.link_flit_segments;
+        self.vc_allocations += other.vc_allocations;
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Cycles simulated in total (warmup + measurement + drain).
+    pub cycles: u64,
+    /// Length of the measurement window in cycles.
+    pub measure_cycles: u64,
+    /// Number of network nodes.
+    pub nodes: usize,
+    /// Packets created during the measurement window.
+    pub measured_packets: u64,
+    /// Measured packets fully delivered before the run ended.
+    pub completed_packets: u64,
+    /// Mean creation-to-tail-delivery latency of completed measured packets.
+    pub avg_packet_latency: f64,
+    /// Mean creation-to-head-delivery latency.
+    pub avg_head_latency: f64,
+    /// Maximum packet latency observed among measured packets.
+    pub max_packet_latency: u64,
+    /// Median packet latency of completed measured packets.
+    pub p50_latency: f64,
+    /// 95th-percentile packet latency.
+    pub p95_latency: f64,
+    /// 99th-percentile packet latency.
+    pub p99_latency: f64,
+    /// Packets (any) ejected during the measurement window, per node per
+    /// cycle — the accepted throughput.
+    pub accepted_throughput: f64,
+    /// Offered injection rate (packets per node per cycle).
+    pub offered_rate: f64,
+    /// Mean hop contention: extra cycles beyond zero-load, per completed
+    /// packet (diagnostic; the paper reports <1 cycle per hop for PARSEC).
+    pub avg_flits_per_packet: f64,
+    /// Per-router activity during the measurement window.
+    pub activity: Vec<ActivityCounters>,
+    /// Whether every measured packet drained before the cycle cap.
+    pub drained: bool,
+}
+
+impl SimStats {
+    /// Total activity across all routers.
+    pub fn total_activity(&self) -> ActivityCounters {
+        let mut total = ActivityCounters::default();
+        for a in &self.activity {
+            total.add(a);
+        }
+        total
+    }
+
+    /// Delivered fraction of measured packets.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.measured_packets == 0 {
+            1.0
+        } else {
+            self.completed_packets as f64 / self.measured_packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = ActivityCounters {
+            buffer_writes: 1,
+            buffer_reads: 2,
+            crossbar_traversals: 3,
+            link_flit_segments: 4,
+            vc_allocations: 5,
+        };
+        a.add(&a.clone());
+        assert_eq!(a.buffer_writes, 2);
+        assert_eq!(a.link_flit_segments, 8);
+    }
+
+    #[test]
+    fn completion_ratio_handles_empty_runs() {
+        let stats = SimStats {
+            cycles: 0,
+            measure_cycles: 0,
+            nodes: 16,
+            measured_packets: 0,
+            completed_packets: 0,
+            avg_packet_latency: 0.0,
+            avg_head_latency: 0.0,
+            max_packet_latency: 0,
+            p50_latency: 0.0,
+            p95_latency: 0.0,
+            p99_latency: 0.0,
+            accepted_throughput: 0.0,
+            offered_rate: 0.0,
+            avg_flits_per_packet: 0.0,
+            activity: vec![],
+            drained: true,
+        };
+        assert_eq!(stats.completion_ratio(), 1.0);
+    }
+}

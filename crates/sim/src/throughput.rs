@@ -1,0 +1,140 @@
+//! Saturation-throughput measurement (Fig. 8b's metric).
+//!
+//! The accepted throughput of a topology under a traffic pattern is swept by
+//! raising the offered injection rate until the network stops accepting it:
+//! below saturation accepted ≈ offered; beyond it the accepted rate
+//! plateaus (and latencies diverge). We report the plateau — the classic
+//! saturation throughput in packets per node per cycle.
+
+use crate::config::SimConfig;
+use crate::engine::Simulator;
+use noc_topology::MeshTopology;
+use noc_traffic::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One sample of the sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SweepSample {
+    /// Offered rate (packets per node per cycle).
+    pub offered: f64,
+    /// Accepted rate measured over the window.
+    pub accepted: f64,
+    /// Mean packet latency of delivered measured packets (cycles).
+    pub avg_latency: f64,
+}
+
+/// Result of a saturation sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputResult {
+    /// All samples, in increasing offered rate.
+    pub samples: Vec<SweepSample>,
+    /// Saturation throughput: the highest accepted rate observed.
+    pub saturation: f64,
+}
+
+/// Sweeps offered load geometrically from `start_rate` until the network
+/// saturates (accepted < 90% of offered) or the rate reaches 1.0, then
+/// refines once between the last two rates.
+pub fn saturation_sweep(
+    topology: &MeshTopology,
+    workload: &Workload,
+    config: &SimConfig,
+    start_rate: f64,
+) -> ThroughputResult {
+    assert!(start_rate > 0.0 && start_rate <= 1.0);
+    let mut samples = Vec::new();
+    let mut rate = start_rate;
+    let mut prev_rate = 0.0;
+    let growth = 1.3;
+
+    loop {
+        let sample = run_at(topology, workload, config, rate);
+        let saturated = sample.accepted < 0.9 * sample.offered;
+        samples.push(sample);
+        if saturated || rate >= 1.0 {
+            break;
+        }
+        prev_rate = rate;
+        rate = (rate * growth).min(1.0);
+    }
+
+    // One refinement step between the last sub-saturation and the first
+    // saturated rate sharpens the knee estimate.
+    if samples.len() >= 2 && prev_rate > 0.0 {
+        let mid = (prev_rate + rate) / 2.0;
+        let sample = run_at(topology, workload, config, mid);
+        samples.push(sample);
+        samples.sort_by(|a, b| a.offered.total_cmp(&b.offered));
+    }
+
+    let saturation = samples
+        .iter()
+        .map(|s| s.accepted)
+        .fold(0.0f64, f64::max);
+    ThroughputResult {
+        samples,
+        saturation,
+    }
+}
+
+fn run_at(
+    topology: &MeshTopology,
+    workload: &Workload,
+    config: &SimConfig,
+    rate: f64,
+) -> SweepSample {
+    let stats = Simulator::new(topology, workload.at_rate(rate), *config).run();
+    // Offered load is what the sources actually injected, not the nominal
+    // Bernoulli rate: permutation patterns silence their fixed points (e.g.
+    // the transpose diagonal), which must not read as saturation.
+    let offered =
+        stats.measured_packets as f64 / (stats.measure_cycles.max(1) as f64 * stats.nodes as f64);
+    SweepSample {
+        offered,
+        accepted: stats.accepted_throughput,
+        avg_latency: stats.avg_packet_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::PacketMix;
+    use noc_traffic::{SyntheticPattern, TrafficMatrix};
+
+    fn ur_workload(n: usize) -> Workload {
+        Workload::new(
+            TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, n),
+            0.01,
+            PacketMix::paper(),
+        )
+    }
+
+    #[test]
+    fn below_saturation_accepted_tracks_offered() {
+        let topo = MeshTopology::mesh(4);
+        let config = SimConfig::throughput_run(256, 3);
+        let s = run_at(&topo, &ur_workload(4), &config, 0.02);
+        assert!(
+            (s.accepted - s.offered).abs() < 0.005,
+            "accepted {} vs offered {}",
+            s.accepted,
+            s.offered
+        );
+    }
+
+    #[test]
+    fn sweep_finds_a_finite_saturation() {
+        let topo = MeshTopology::mesh(4);
+        let mut config = SimConfig::throughput_run(256, 7);
+        config.warmup_cycles = 1_000;
+        config.measure_cycles = 4_000;
+        let result = saturation_sweep(&topo, &ur_workload(4), &config, 0.02);
+        assert!(result.saturation > 0.02, "sat {}", result.saturation);
+        assert!(result.saturation < 1.0);
+        // Samples are sorted and the last offered rate is saturated or 1.0.
+        for w in result.samples.windows(2) {
+            assert!(w[0].offered <= w[1].offered);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Microarchitectural scenario tests for the simulator: flow control under
+//! tiny buffers, single-VC operation, ejection bottlenecks, and exact
+//! express-link timing.
+
+use noc_model::PacketMix;
+use noc_sim::{SimConfig, Simulator};
+use noc_topology::{MeshTopology, RowPlacement};
+use noc_traffic::{SyntheticPattern, TrafficMatrix, Workload};
+
+fn ur(n: usize, rate: f64) -> Workload {
+    Workload::new(
+        TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, n),
+        rate,
+        PacketMix::paper(),
+    )
+}
+
+#[test]
+fn single_flit_buffers_still_drain() {
+    // Depth-1 VC buffers exercise the credit loop hard: every flit must wait
+    // for the previous one's credit to return. Throughput suffers; nothing
+    // may deadlock or be lost.
+    let mut config = SimConfig::latency_run(256, 3);
+    config.buffer_flits_per_vc = 1;
+    config.warmup_cycles = 500;
+    config.measure_cycles = 4_000;
+    let stats = Simulator::new(&MeshTopology::mesh(4), ur(4, 0.02), config).run();
+    assert!(stats.drained, "depth-1 buffers wedged the network");
+    assert_eq!(stats.completed_packets, stats.measured_packets);
+}
+
+#[test]
+fn single_virtual_channel_is_deadlock_free() {
+    // DOR needs no VCs for deadlock freedom (the CDG is acyclic); one VC per
+    // port must still drain permutation traffic.
+    let mut config = SimConfig::latency_run(256, 5);
+    config.vcs_per_port = 1;
+    config.warmup_cycles = 500;
+    config.measure_cycles = 4_000;
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(SyntheticPattern::Transpose, 4),
+        0.05,
+        PacketMix::paper(),
+    );
+    let stats = Simulator::new(&MeshTopology::mesh(4), workload, config).run();
+    assert!(stats.drained, "single-VC transpose wedged");
+    assert_eq!(stats.completed_packets, stats.measured_packets);
+}
+
+#[test]
+fn hotspot_ejection_is_the_bottleneck() {
+    // Everyone sends to router 0. The single ejection port delivers at most
+    // one flit per cycle, so accepted throughput is capped by
+    // 1 / mean_flits packets per cycle network-wide.
+    let n = 4;
+    let routers = n * n;
+    let mut rates = vec![0.0; routers * routers];
+    for src in 1..routers {
+        rates[src * routers] = 1.0;
+    }
+    let workload = Workload::new(
+        TrafficMatrix::from_rates(n, rates),
+        0.2, // far beyond the ejection capacity of ~0.625/16 per node
+        PacketMix::paper(),
+    );
+    let mut config = SimConfig::throughput_run(256, 7);
+    config.warmup_cycles = 1_000;
+    config.measure_cycles = 5_000;
+    let stats = Simulator::new(&MeshTopology::mesh(n), workload, config).run();
+    let network_accept = stats.accepted_throughput * routers as f64;
+    let cap = 1.0 / PacketMix::paper().mean_flits(256);
+    assert!(
+        network_accept <= cap * 1.05,
+        "accepted {network_accept} exceeds ejection cap {cap}"
+    );
+    assert!(
+        network_accept > cap * 0.7,
+        "accepted {network_accept} nowhere near the cap {cap} — scheduling bug?"
+    );
+}
+
+#[test]
+fn express_link_timing_is_exact() {
+    // Single flow over a direct express link of span 7: head latency is
+    // exactly T_r + 7 + T_r = 13 cycles, packet +1 flit at 512b/256b.
+    let n = 8;
+    let row = RowPlacement::with_links(n, [(0, 7)]).unwrap();
+    let topo = MeshTopology::uniform(n, &row);
+    let routers = n * n;
+    let mut rates = vec![0.0; routers * routers];
+    rates[7] = 1.0; // (0,0) -> (7,0)
+    let workload = Workload::new(
+        TrafficMatrix::from_rates(n, rates),
+        0.002,
+        PacketMix::uniform(512),
+    );
+    let stats = Simulator::new(&topo, workload, SimConfig::latency_run(256, 11)).run();
+    // Head 13, tail = head + (2 flits - 1) = 14. The rare back-to-back
+    // injection queues briefly in the NI, so the *median* is the exact
+    // zero-load figure and the mean sits just above it.
+    assert_eq!(stats.p50_latency, 14.0);
+    assert!(
+        stats.avg_packet_latency >= 14.0 && stats.avg_packet_latency < 14.3,
+        "got {}",
+        stats.avg_packet_latency
+    );
+}
+
+#[test]
+fn percentiles_are_ordered_and_bounded() {
+    let stats = Simulator::new(
+        &MeshTopology::mesh(4),
+        ur(4, 0.05),
+        SimConfig::latency_run(256, 13),
+    )
+    .run();
+    assert!(stats.p50_latency <= stats.p95_latency);
+    assert!(stats.p95_latency <= stats.p99_latency);
+    assert!(stats.p99_latency <= stats.max_packet_latency as f64);
+    assert!(stats.p50_latency > 0.0);
+    // The mean sits between the median and the max under right-skewed load.
+    assert!(stats.avg_packet_latency >= stats.p50_latency * 0.8);
+}
+
+#[test]
+fn narrow_links_shift_the_latency_distribution_up() {
+    // Same topology and traffic, 4x narrower flits: every multi-flit packet
+    // serialises longer, so mean and p95 both move up.
+    let wide = Simulator::new(
+        &MeshTopology::mesh(4),
+        ur(4, 0.01),
+        SimConfig::latency_run(256, 17),
+    )
+    .run();
+    let narrow = Simulator::new(
+        &MeshTopology::mesh(4),
+        ur(4, 0.01),
+        SimConfig::latency_run(64, 17),
+    )
+    .run();
+    assert!(narrow.avg_packet_latency > wide.avg_packet_latency);
+    assert!(narrow.p95_latency >= wide.p95_latency);
+    assert!(narrow.avg_flits_per_packet > wide.avg_flits_per_packet);
+}

@@ -1,0 +1,133 @@
+//! Baseline topology builders: mesh, flattened butterfly, and the hybrid
+//! flattened butterfly (HFB) the paper compares against (Fig. 4).
+
+use crate::mesh::MeshTopology;
+use crate::row::RowPlacement;
+
+/// A plain mesh row of `n` routers (local links only) — the `C = 1` baseline.
+pub fn mesh_row(n: usize) -> RowPlacement {
+    RowPlacement::new(n)
+}
+
+/// A fully-connected flattened-butterfly row: every pair of routers on the
+/// row is directly linked (Kim et al., MICRO 2007).
+///
+/// The maximum cross-section is `⌈n/2⌉·⌊n/2⌋ = n²/4` at the middle cut
+/// (Eq. 4's `C_full`).
+pub fn flattened_butterfly_row(n: usize) -> RowPlacement {
+    let mut row = RowPlacement::new(n);
+    for a in 0..n {
+        for b in a + 2..n {
+            row.add_link(a, b).expect("pairs within row are valid");
+        }
+    }
+    row
+}
+
+/// The hybrid flattened butterfly (HFB) row (Fig. 4): the row is split into
+/// two halves, each half fully connected, joined only by the pre-existing
+/// local link at the seam.
+///
+/// For `n <= 4` the full flattened butterfly is returned — HFB exists to
+/// scale the flattened butterfly *beyond* a 4×4 router network (§5.1), so the
+/// 4×4 comparison point is the plain flattened butterfly.
+pub fn hfb_row(n: usize) -> RowPlacement {
+    if n <= 4 {
+        return flattened_butterfly_row(n);
+    }
+    let half = n / 2;
+    let mut row = RowPlacement::new(n);
+    for a in 0..half {
+        for b in a + 2..half {
+            row.add_link(a, b).expect("pairs within half are valid");
+        }
+    }
+    for a in half..n {
+        for b in a + 2..n {
+            row.add_link(a, b).expect("pairs within half are valid");
+        }
+    }
+    row
+}
+
+/// The full 2D HFB mesh: the HFB row replicated across rows and columns, so
+/// each quadrant is internally a 2D flattened butterfly and quadrants meet
+/// over local links (Fig. 4).
+pub fn hfb_mesh(n: usize) -> MeshTopology {
+    MeshTopology::uniform(n, &hfb_row(n))
+}
+
+/// The link limit `C` consumed by a row placement — its maximum
+/// cross-section. Fixed designs such as HFB occupy a single design point at
+/// this `C` (Fig. 5 plots them as single points).
+pub fn implied_link_limit(row: &RowPlacement) -> usize {
+    row.max_cross_section()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattened_butterfly_is_fully_connected() {
+        let row = flattened_butterfly_row(4);
+        // All C(4,2) = 6 pairs linked: 3 local + 3 express.
+        assert_eq!(row.express_count(), 3);
+        assert!(row.has_express(0, 2));
+        assert!(row.has_express(0, 3));
+        assert!(row.has_express(1, 3));
+        // Middle cut carries n²/4 = 4 links (Eq. 4).
+        assert_eq!(row.cross_section(1), 4);
+        assert_eq!(implied_link_limit(&row), 4);
+    }
+
+    #[test]
+    fn flattened_butterfly_full_cross_section_matches_eq4() {
+        for n in [4usize, 6, 8, 16] {
+            let row = flattened_butterfly_row(n);
+            assert_eq!(implied_link_limit(&row), (n / 2) * n.div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn hfb_small_network_is_flattened_butterfly() {
+        assert_eq!(hfb_row(4), flattened_butterfly_row(4));
+    }
+
+    #[test]
+    fn hfb_row_8_structure() {
+        let row = hfb_row(8);
+        // Each half of 4 contributes 3 express links.
+        assert_eq!(row.express_count(), 6);
+        assert!(row.has_express(0, 2));
+        assert!(row.has_express(1, 3));
+        assert!(row.has_express(4, 6));
+        assert!(row.has_express(4, 7));
+        // Nothing crosses the seam except the local link.
+        assert_eq!(row.cross_section(3), 1);
+        // Max cross-section inside a half: 4 (paper: HFB on 8x8 sits at C=4).
+        assert_eq!(implied_link_limit(&row), 4);
+    }
+
+    #[test]
+    fn hfb_row_16_structure() {
+        let row = hfb_row(16);
+        // Halves of 8, fully connected: C(8,2) - 7 = 21 express links each.
+        assert_eq!(row.express_count(), 42);
+        assert_eq!(row.cross_section(7), 1); // seam
+        assert_eq!(implied_link_limit(&row), 16); // 8²/4 inside a half
+    }
+
+    #[test]
+    fn hfb_mesh_replicates_row() {
+        let m = hfb_mesh(8);
+        assert_eq!(m.side(), 8);
+        assert_eq!(m.max_cross_section(), 4);
+        for y in 0..8 {
+            assert_eq!(m.row_placement(y), &hfb_row(8));
+        }
+        for x in 0..8 {
+            assert_eq!(m.col_placement(x), &hfb_row(8));
+        }
+    }
+}

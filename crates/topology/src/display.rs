@@ -1,0 +1,109 @@
+//! Human-readable rendering of placements and connection matrices, in the
+//! style of the paper's Fig. 2.
+
+use crate::connection_matrix::ConnectionMatrix;
+use crate::row::RowPlacement;
+use std::fmt::Write as _;
+
+/// Renders a row placement as ASCII art: one line per express link above a
+/// router rail, e.g. for `P̂(8,4)`:
+///
+/// ```text
+///   o-----o        (0,2)
+///   o--------o     (0,3)
+/// ```
+pub fn render_row(row: &RowPlacement) -> String {
+    let n = row.len();
+    let mut out = String::new();
+    for link in row.express_links() {
+        let mut line = String::new();
+        for r in 0..n {
+            if r == link.a || r == link.b {
+                line.push('o');
+            } else if r > link.a && r < link.b {
+                line.push('═');
+            } else {
+                line.push('·');
+            }
+            if r + 1 < n {
+                let c = if r >= link.a && r + 1 <= link.b {
+                    '═'
+                } else {
+                    ' '
+                };
+                for _ in 0..3 {
+                    line.push(c);
+                }
+            }
+        }
+        let _ = writeln!(out, "{line}   ({}, {})", link.a, link.b);
+    }
+    // Router rail with local links.
+    let mut rail = String::new();
+    for r in 0..n {
+        let _ = write!(rail, "{}", r % 10);
+        if r + 1 < n {
+            rail.push_str("---");
+        }
+    }
+    let _ = writeln!(out, "{rail}   local links");
+    // Cross-section counts beneath each cut.
+    let mut cuts = String::new();
+    for (i, c) in row.cross_sections().into_iter().enumerate() {
+        if i == 0 {
+            cuts.push(' ');
+        }
+        let _ = write!(cuts, " {c:^2} ");
+    }
+    let _ = writeln!(out, "{cuts}  cross-section link counts");
+    out
+}
+
+/// Renders a connection matrix as the paper's dot diagram: `●` for a
+/// connected point, `○` for disconnected, one line per layer.
+pub fn render_matrix(matrix: &ConnectionMatrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "connection matrix for P\u{302}({}, {}): {} layer(s) x {} point(s)",
+        matrix.routers(),
+        matrix.link_limit(),
+        matrix.layers(),
+        matrix.points()
+    );
+    for layer in 0..matrix.layers() {
+        let mut line = String::from("  |");
+        for point in 0..matrix.points() {
+            line.push(if matrix.get(layer, point) { '●' } else { '○' });
+            line.push('|');
+        }
+        let _ = writeln!(out, "{line}  layer {layer}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_row_mentions_every_link_and_cut() {
+        let row = RowPlacement::with_links(8, [(1, 3), (3, 7)]).unwrap();
+        let art = render_row(&row);
+        assert!(art.contains("(1, 3)"));
+        assert!(art.contains("(3, 7)"));
+        assert!(art.contains("cross-section"));
+        // 8 routers on the rail line.
+        assert!(art.contains("0---1---2---3---4---5---6---7"));
+    }
+
+    #[test]
+    fn render_matrix_shows_dots() {
+        let mut m = ConnectionMatrix::new(8, 2);
+        m.set(0, 1, true);
+        let art = render_matrix(&m);
+        assert!(art.contains('●'));
+        assert!(art.contains('○'));
+        assert!(art.contains("1 layer(s) x 6 point(s)"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for topology construction and validation.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A row must contain at least two routers.
+    RowTooSmall { n: usize },
+    /// Link endpoints must be distinct routers inside the row.
+    EndpointOutOfRange { a: usize, b: usize, n: usize },
+    /// Express links must span at least two hops; `(i, i+1)` duplicates the
+    /// always-present local link and buys no latency.
+    NotExpress { a: usize, b: usize },
+    /// A cross-section exceeded the link limit `C`.
+    CrossSectionExceeded {
+        cut: usize,
+        count: usize,
+        limit: usize,
+    },
+    /// The link limit `C` must be at least 1 (the local-link layer).
+    InvalidLinkLimit { limit: usize },
+    /// Mesh construction was given the wrong number of row/column placements.
+    WrongPlacementCount {
+        expected: usize,
+        rows: usize,
+        cols: usize,
+    },
+    /// Mesh rows/columns must all have length `n`.
+    MismatchedRowLength { expected: usize, got: usize },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologyError::RowTooSmall { n } => {
+                write!(f, "row needs at least 2 routers, got {n}")
+            }
+            TopologyError::EndpointOutOfRange { a, b, n } => {
+                write!(f, "link ({a}, {b}) out of range for row of {n} routers")
+            }
+            TopologyError::NotExpress { a, b } => {
+                write!(
+                    f,
+                    "link ({a}, {b}) is not an express link (must span >= 2 hops)"
+                )
+            }
+            TopologyError::CrossSectionExceeded { cut, count, limit } => {
+                write!(
+                    f,
+                    "cross-section between routers {cut} and {} has {count} links, limit is {limit}",
+                    cut + 1
+                )
+            }
+            TopologyError::InvalidLinkLimit { limit } => {
+                write!(f, "link limit C must be >= 1, got {limit}")
+            }
+            TopologyError::WrongPlacementCount {
+                expected,
+                rows,
+                cols,
+            } => {
+                write!(
+                    f,
+                    "mesh of size {expected} needs {expected} row and {expected} column placements, got {rows} rows / {cols} cols"
+                )
+            }
+            TopologyError::MismatchedRowLength { expected, got } => {
+                write!(f, "placement length {got} does not match mesh size {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

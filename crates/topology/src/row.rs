@@ -1,0 +1,430 @@
+//! One-dimensional express-link placements.
+//!
+//! A [`RowPlacement`] describes the links on a single row (or column) of `n`
+//! routers, labelled `0..n` left to right. Local links between adjacent
+//! routers are *implicit and always present*; only express links (spanning at
+//! least two hops) are stored. This matches the paper's solution space, where
+//! "a valid combination must contain all the local links between adjacent
+//! routers" (§4.3).
+
+use crate::error::TopologyError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A bidirectional link between routers `a < b` on one row.
+///
+/// `span() == 1` denotes a local link; express links have `span() >= 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Left endpoint (smaller router index).
+    pub a: usize,
+    /// Right endpoint (larger router index).
+    pub b: usize,
+}
+
+impl Link {
+    /// Creates a link, normalising endpoint order.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn new(a: usize, b: usize) -> Self {
+        assert!(a != b, "a link must connect two distinct routers");
+        Link {
+            a: a.min(b),
+            b: a.max(b),
+        }
+    }
+
+    /// Manhattan length of the link in unit hops.
+    pub fn span(&self) -> usize {
+        self.b - self.a
+    }
+
+    /// Whether the link is an express link (spans at least two hops).
+    pub fn is_express(&self) -> bool {
+        self.span() >= 2
+    }
+
+    /// Whether the link crosses the cut between routers `cut` and `cut + 1`.
+    pub fn crosses(&self, cut: usize) -> bool {
+        self.a <= cut && cut < self.b
+    }
+}
+
+/// Express-link placement on a row of `n` routers.
+///
+/// Invariants maintained by construction:
+/// * every stored link has both endpoints in `0..n`,
+/// * every stored link spans at least two hops (local links are implicit),
+/// * links are deduplicated (a placement is a *set* of express links; parallel
+///   duplicates would consume cross-section budget without reducing latency).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RowPlacement {
+    n: usize,
+    express: BTreeSet<Link>,
+}
+
+impl RowPlacement {
+    /// A plain mesh row: `n` routers, local links only.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a row needs at least 2 routers");
+        RowPlacement {
+            n,
+            express: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a placement from an iterator of express-link endpoint pairs.
+    pub fn with_links<I>(n: usize, links: I) -> Result<Self, TopologyError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        if n < 2 {
+            return Err(TopologyError::RowTooSmall { n });
+        }
+        let mut row = RowPlacement::new(n);
+        for (a, b) in links {
+            row.add_link(a, b)?;
+        }
+        Ok(row)
+    }
+
+    /// Number of routers on the row.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the row holds no routers. Always false for constructed rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds an express link between routers `a` and `b` (order-insensitive).
+    ///
+    /// Adding a link that is already present is a no-op (returns `Ok`).
+    pub fn add_link(&mut self, a: usize, b: usize) -> Result<(), TopologyError> {
+        if a >= self.n || b >= self.n || a == b {
+            return Err(TopologyError::EndpointOutOfRange { a, b, n: self.n });
+        }
+        let link = Link::new(a, b);
+        if !link.is_express() {
+            return Err(TopologyError::NotExpress { a, b });
+        }
+        self.express.insert(link);
+        Ok(())
+    }
+
+    /// Removes the express link between `a` and `b`; returns whether it existed.
+    pub fn remove_link(&mut self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        self.express.remove(&Link::new(a, b))
+    }
+
+    /// Whether an express link between `a` and `b` is present.
+    pub fn has_express(&self, a: usize, b: usize) -> bool {
+        a != b && self.express.contains(&Link::new(a, b))
+    }
+
+    /// Iterates over express links only, in sorted order.
+    pub fn express_links(&self) -> impl Iterator<Item = Link> + '_ {
+        self.express.iter().copied()
+    }
+
+    /// Number of express links.
+    pub fn express_count(&self) -> usize {
+        self.express.len()
+    }
+
+    /// Iterates over *all* links: the `n - 1` implicit local links followed by
+    /// the express links.
+    pub fn all_links(&self) -> impl Iterator<Item = Link> + '_ {
+        (0..self.n - 1)
+            .map(|i| Link { a: i, b: i + 1 })
+            .chain(self.express.iter().copied())
+    }
+
+    /// Total link count (local + express).
+    pub fn link_count(&self) -> usize {
+        (self.n - 1) + self.express.len()
+    }
+
+    /// Number of links crossing the cut between routers `cut` and `cut + 1`
+    /// (including the local link).
+    ///
+    /// # Panics
+    /// Panics if `cut >= n - 1`.
+    pub fn cross_section(&self, cut: usize) -> usize {
+        assert!(cut + 1 < self.n, "cut {cut} out of range");
+        1 + self
+            .express
+            .iter()
+            .filter(|link| link.crosses(cut))
+            .count()
+    }
+
+    /// Cross-section counts at every cut, as a vector of length `n - 1`.
+    ///
+    /// Computed in `O(n + e)` with a difference array rather than `O(n·e)`.
+    pub fn cross_sections(&self) -> Vec<usize> {
+        let mut diff = vec![0isize; self.n];
+        for link in &self.express {
+            diff[link.a] += 1;
+            diff[link.b] -= 1;
+        }
+        let mut out = Vec::with_capacity(self.n - 1);
+        let mut running = 1isize; // the local-link layer
+        for cut in 0..self.n - 1 {
+            running += diff[cut];
+            out.push(running as usize);
+        }
+        out
+    }
+
+    /// Maximum cross-section over all cuts.
+    pub fn max_cross_section(&self) -> usize {
+        self.cross_sections().into_iter().max().unwrap_or(1)
+    }
+
+    /// Whether every cross-section is within the link limit `C` (Eq. 3).
+    pub fn is_within_limit(&self, c_limit: usize) -> bool {
+        c_limit >= 1 && self.max_cross_section() <= c_limit
+    }
+
+    /// Validates the placement against a link limit, returning the first
+    /// violated cut if any.
+    pub fn validate(&self, c_limit: usize) -> Result<(), TopologyError> {
+        if c_limit < 1 {
+            return Err(TopologyError::InvalidLinkLimit { limit: c_limit });
+        }
+        for (cut, count) in self.cross_sections().into_iter().enumerate() {
+            if count > c_limit {
+                return Err(TopologyError::CrossSectionExceeded {
+                    cut,
+                    count,
+                    limit: c_limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Degree of router `r`: the number of row links incident to it
+    /// (local + express). Used by the power model for crossbar port counts.
+    pub fn degree(&self, r: usize) -> usize {
+        assert!(r < self.n);
+        let local = usize::from(r > 0) + usize::from(r + 1 < self.n);
+        local
+            + self
+                .express
+                .iter()
+                .filter(|link| link.a == r || link.b == r)
+                .count()
+    }
+
+    /// The mirror image of this placement (router `i` ↦ `n - 1 - i`).
+    ///
+    /// Latency objectives over all pairs are mirror-symmetric, so mirroring is
+    /// used to canonicalise solutions when deduplicating search states.
+    pub fn mirrored(&self) -> Self {
+        let n = self.n;
+        let express = self
+            .express
+            .iter()
+            .map(|link| Link::new(n - 1 - link.b, n - 1 - link.a))
+            .collect();
+        RowPlacement { n, express }
+    }
+
+    /// Canonical representative of `{self, self.mirrored()}` — the
+    /// lexicographically smaller link set. Two placements with the same
+    /// canonical form have identical all-pairs latency.
+    pub fn canonical(&self) -> Self {
+        let mirror = self.mirrored();
+        if mirror.express < self.express {
+            mirror
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Extracts a sub-row over routers `lo..hi` (half-open), keeping express
+    /// links fully contained in the range and relabelling routers to `0..`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Self {
+        assert!(lo < hi && hi <= self.n && hi - lo >= 2);
+        let express = self
+            .express
+            .iter()
+            .filter(|link| link.a >= lo && link.b < hi)
+            .map(|link| Link::new(link.a - lo, link.b - lo))
+            .collect();
+        RowPlacement {
+            n: hi - lo,
+            express,
+        }
+    }
+
+    /// Embeds another placement's links into this row at an offset: link
+    /// `(a, b)` of `other` becomes `(a + offset, b + offset)`.
+    pub fn embed(&mut self, other: &RowPlacement, offset: usize) -> Result<(), TopologyError> {
+        for link in other.express_links() {
+            self.add_link(link.a + offset, link.b + offset)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_row_has_only_local_links() {
+        let row = RowPlacement::new(8);
+        assert_eq!(row.len(), 8);
+        assert_eq!(row.express_count(), 0);
+        assert_eq!(row.link_count(), 7);
+        assert_eq!(row.cross_sections(), vec![1; 7]);
+        assert_eq!(row.max_cross_section(), 1);
+        assert!(row.is_within_limit(1));
+    }
+
+    #[test]
+    fn add_and_remove_express_links() {
+        let mut row = RowPlacement::new(8);
+        row.add_link(1, 3).unwrap();
+        row.add_link(7, 3).unwrap(); // order-insensitive
+        assert!(row.has_express(3, 1));
+        assert!(row.has_express(3, 7));
+        assert_eq!(row.express_count(), 2);
+        assert!(row.remove_link(3, 1));
+        assert!(!row.remove_link(3, 1));
+        assert_eq!(row.express_count(), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_links() {
+        let mut row = RowPlacement::new(4);
+        assert_eq!(
+            row.add_link(0, 1),
+            Err(TopologyError::NotExpress { a: 0, b: 1 })
+        );
+        assert_eq!(
+            row.add_link(0, 4),
+            Err(TopologyError::EndpointOutOfRange { a: 0, b: 4, n: 4 })
+        );
+        assert_eq!(
+            row.add_link(2, 2),
+            Err(TopologyError::EndpointOutOfRange { a: 2, b: 2, n: 4 })
+        );
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let mut row = RowPlacement::new(6);
+        row.add_link(0, 3).unwrap();
+        row.add_link(3, 0).unwrap();
+        assert_eq!(row.express_count(), 1);
+    }
+
+    #[test]
+    fn cross_sections_count_spanning_links() {
+        // Paper Fig. 2(b): links 2–4, 4–8, 1–4, 4–7, 1–3, 5–8 (1-indexed)
+        // = (1,3), (3,7), (0,3), (3,6), (0,2), (4,7) 0-indexed.
+        let row = RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)])
+            .unwrap();
+        // Cut 0 (between routers 0 and 1): local + (0,3) + (0,2) = 3.
+        assert_eq!(row.cross_section(0), 3);
+        // All cuts within limit 4.
+        assert!(row.is_within_limit(4));
+        assert!(!row.is_within_limit(3));
+        let sections = row.cross_sections();
+        assert_eq!(sections.len(), 7);
+        assert_eq!(sections[0], 3);
+        // Difference-array and naive counting agree everywhere.
+        for cut in 0..7 {
+            assert_eq!(sections[cut], row.cross_section(cut));
+        }
+    }
+
+    #[test]
+    fn validate_reports_first_violation() {
+        let row = RowPlacement::with_links(6, [(0, 2), (0, 3), (0, 4)]).unwrap();
+        // Cut 0 already carries local + three express links = 4.
+        assert_eq!(
+            row.validate(3),
+            Err(TopologyError::CrossSectionExceeded {
+                cut: 0,
+                count: 4,
+                limit: 3
+            })
+        );
+        assert!(row.validate(4).is_ok());
+        assert_eq!(
+            row.validate(0),
+            Err(TopologyError::InvalidLinkLimit { limit: 0 })
+        );
+    }
+
+    #[test]
+    fn degree_counts_local_and_express() {
+        let row = RowPlacement::with_links(8, [(0, 2), (2, 5), (2, 7)]).unwrap();
+        assert_eq!(row.degree(0), 2); // local 0-1 + express 0-2
+        assert_eq!(row.degree(2), 5); // locals 1-2, 2-3 + three express
+        assert_eq!(row.degree(7), 2); // local 6-7 + express 2-7
+        assert_eq!(row.degree(4), 2); // locals only
+    }
+
+    #[test]
+    fn mirror_is_involutive_and_preserves_sections() {
+        let row = RowPlacement::with_links(8, [(0, 2), (3, 7), (1, 4)]).unwrap();
+        let mirror = row.mirrored();
+        assert_eq!(mirror.mirrored(), row);
+        let mut fwd = row.cross_sections();
+        let mut rev = mirror.cross_sections();
+        rev.reverse();
+        fwd.iter_mut().for_each(|_| {});
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn canonical_identifies_mirror_pairs() {
+        let row = RowPlacement::with_links(8, [(0, 2)]).unwrap();
+        let mirror = row.mirrored();
+        assert_eq!(row.canonical(), mirror.canonical());
+    }
+
+    #[test]
+    fn slice_and_embed_roundtrip() {
+        let row = RowPlacement::with_links(8, [(0, 2), (4, 6), (5, 7), (2, 6)]).unwrap();
+        let right = row.slice(4, 8);
+        assert_eq!(right.len(), 4);
+        let expected = RowPlacement::with_links(4, [(0, 2), (1, 3)]).unwrap();
+        assert_eq!(right, expected);
+
+        let mut rebuilt = RowPlacement::new(8);
+        rebuilt.embed(&right, 4).unwrap();
+        assert!(rebuilt.has_express(4, 6));
+        assert!(rebuilt.has_express(5, 7));
+        assert_eq!(rebuilt.express_count(), 2);
+    }
+
+    #[test]
+    fn all_links_lists_local_then_express() {
+        let row = RowPlacement::with_links(4, [(0, 2)]).unwrap();
+        let links: Vec<Link> = row.all_links().collect();
+        assert_eq!(
+            links,
+            vec![
+                Link { a: 0, b: 1 },
+                Link { a: 1, b: 2 },
+                Link { a: 2, b: 3 },
+                Link { a: 0, b: 2 },
+            ]
+        );
+    }
+}

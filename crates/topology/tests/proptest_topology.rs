@@ -1,0 +1,122 @@
+//! Property-based tests for the topology layer: the connection matrix must
+//! always decode to a valid placement, encoding must round-trip, and
+//! structural accounting must be self-consistent.
+
+use noc_topology::{ConnectionMatrix, MeshTopology, RowPlacement};
+use proptest::prelude::*;
+
+/// Strategy: a row size and link limit of practical scale.
+fn dims() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=16).prop_flat_map(|n| {
+        let c_max = ((n / 2) * n.div_ceil(2)).max(1);
+        (Just(n), 1usize..=c_max.min(16))
+    })
+}
+
+/// Strategy: a random connection matrix for the given dims.
+fn matrix() -> impl Strategy<Value = ConnectionMatrix> {
+    dims().prop_flat_map(|(n, c)| {
+        let nbits = (c - 1) * n.saturating_sub(2);
+        proptest::collection::vec(any::<bool>(), nbits)
+            .prop_map(move |bits| ConnectionMatrix::from_bits(n, c, bits).unwrap())
+    })
+}
+
+/// Strategy: a random *valid* placement, via decoding a random matrix.
+fn placement() -> impl Strategy<Value = (RowPlacement, usize)> {
+    matrix().prop_map(|m| (m.decode(), m.link_limit()))
+}
+
+proptest! {
+    /// Every matrix decodes within its link limit — the core validity
+    /// guarantee of the paper's §4.4.2 search space.
+    #[test]
+    fn decode_is_always_valid((row, c) in placement()) {
+        prop_assert!(row.validate(c).is_ok());
+    }
+
+    /// Decoded placements never contain unit-span "express" links.
+    #[test]
+    fn decode_has_no_unit_links(m in matrix()) {
+        let row = m.decode();
+        for link in row.express_links() {
+            prop_assert!(link.span() >= 2);
+        }
+    }
+
+    /// Encode(decode(M)) reproduces the same placement (the matrix itself
+    /// may differ — layer assignment is not unique).
+    #[test]
+    fn encode_round_trips((row, c) in placement()) {
+        let encoded = ConnectionMatrix::encode(&row, c);
+        prop_assert!(encoded.is_some(), "valid placements must be encodable");
+        prop_assert_eq!(encoded.unwrap().decode(), row);
+    }
+
+    /// Flipping any bit twice restores the matrix exactly.
+    #[test]
+    fn double_flip_is_identity(m in matrix(), idx in any::<proptest::sample::Index>()) {
+        if m.bit_count() == 0 {
+            return Ok(());
+        }
+        let i = idx.index(m.bit_count());
+        let mut flipped = m.clone();
+        flipped.flip_flat(i);
+        flipped.flip_flat(i);
+        prop_assert_eq!(flipped, m);
+    }
+
+    /// A single bit flip still decodes to a valid placement (SA moves stay
+    /// inside the feasible region by construction).
+    #[test]
+    fn single_flip_stays_valid(m in matrix(), idx in any::<proptest::sample::Index>()) {
+        if m.bit_count() == 0 {
+            return Ok(());
+        }
+        let mut flipped = m.clone();
+        flipped.flip_flat(idx.index(m.bit_count()));
+        prop_assert!(flipped.decode().validate(m.link_limit()).is_ok());
+    }
+
+    /// Cross-section accounting: difference-array vector matches per-cut
+    /// counting, and the sum over cuts equals the total wire length.
+    #[test]
+    fn cross_sections_consistent((row, _) in placement()) {
+        let sections = row.cross_sections();
+        let mut expected_total = row.len() - 1; // local links, length 1 each
+        for link in row.express_links() {
+            expected_total += link.span();
+        }
+        prop_assert_eq!(sections.iter().sum::<usize>(), expected_total);
+        for (cut, &count) in sections.iter().enumerate() {
+            prop_assert_eq!(count, row.cross_section(cut));
+        }
+    }
+
+    /// Mirroring preserves cross-sections (reversed) and the express count.
+    #[test]
+    fn mirror_preserves_structure((row, c) in placement()) {
+        let mirror = row.mirrored();
+        prop_assert_eq!(mirror.express_count(), row.express_count());
+        prop_assert!(mirror.validate(c).is_ok());
+        let mut rev = mirror.cross_sections();
+        rev.reverse();
+        prop_assert_eq!(rev, row.cross_sections());
+    }
+
+    /// Uniform 2D replication: the mesh link count and max cross-section
+    /// follow directly from the row placement.
+    #[test]
+    fn uniform_mesh_structure((row, c) in placement()) {
+        let n = row.len();
+        let mesh = MeshTopology::uniform(n, &row);
+        prop_assert_eq!(mesh.link_count(), 2 * n * row.link_count());
+        prop_assert_eq!(mesh.max_cross_section(), row.max_cross_section());
+        prop_assert!(mesh.validate(c).is_ok());
+        // Degrees: every router's degree is row degree + column degree.
+        for id in 0..mesh.routers() {
+            let coord = mesh.coord(id);
+            prop_assert_eq!(mesh.degree(id), row.degree(coord.x) + row.degree(coord.y));
+        }
+    }
+}

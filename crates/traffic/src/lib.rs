@@ -1,0 +1,29 @@
+//! Traffic generation for NoC evaluation (§5.1 / §5.4 of the paper).
+//!
+//! Two families of workloads drive the simulator:
+//!
+//! * [`patterns::SyntheticPattern`] — the classic synthetic patterns the
+//!   paper evaluates in Fig. 8: uniform random (UR), transpose (TP) and
+//!   bit-reverse (BR), plus the usual companions (bit-complement, shuffle,
+//!   hotspot, near-neighbour) for wider coverage.
+//! * [`parsec`] — ten PARSEC-like benchmark profiles. The paper runs PARSEC
+//!   2.0 under gem5; as a substitution (see DESIGN.md §2) each benchmark is
+//!   modelled as a calibrated mixture of spatial patterns at a low injection
+//!   rate, with the paper's 1:4 long:short packet mix.
+//!
+//! Both reduce to a [`matrix::TrafficMatrix`] — a per-source destination
+//! distribution — which feeds the application-specific optimizer (§5.6.4)
+//! directly and, combined with an injection rate and a packet mix, forms a
+//! [`workload::Workload`] the cycle-level simulator samples packets from.
+
+pub mod matrix;
+pub mod parsec;
+pub mod patterns;
+pub mod trace;
+pub mod workload;
+
+pub use matrix::TrafficMatrix;
+pub use parsec::{sharing_graph, ParsecBenchmark};
+pub use patterns::SyntheticPattern;
+pub use trace::{Trace, TraceEvent};
+pub use workload::{PacketSpec, Workload};

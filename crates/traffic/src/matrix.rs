@@ -1,0 +1,291 @@
+//! Traffic matrices: per-source destination distributions.
+//!
+//! A [`TrafficMatrix`] is the `γ_ij` communication-rate matrix of §5.6.4,
+//! normalised so each source's row is a probability distribution over
+//! destinations. It is both the sampling structure the simulator draws
+//! destinations from and the weight matrix the application-specific
+//! optimizer consumes.
+
+use crate::patterns::SyntheticPattern;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A per-source destination distribution over an `n × n` mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    /// Row-major `N × N`: `rates[src * N + dst]`, each row summing to 1
+    /// (or to 0 for sources that never inject).
+    rates: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// Builds a matrix from raw non-negative rates, normalising each source
+    /// row to sum to 1 (rows of all zeros stay zero: that source is silent).
+    ///
+    /// # Panics
+    /// Panics if dimensions mismatch or any rate is negative.
+    pub fn from_rates(n: usize, mut rates: Vec<f64>) -> Self {
+        let routers = n * n;
+        assert_eq!(rates.len(), routers * routers, "rates must be N x N");
+        assert!(
+            rates.iter().all(|&r| r >= 0.0 && r.is_finite()),
+            "rates must be finite and non-negative"
+        );
+        for src in 0..routers {
+            let row = &mut rates[src * routers..(src + 1) * routers];
+            row[src] = 0.0; // self-traffic never enters the network
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 {
+                row.iter_mut().for_each(|r| *r /= sum);
+            }
+        }
+        TrafficMatrix { n, rates }
+    }
+
+    /// The matrix realising a synthetic pattern on an `n × n` mesh.
+    pub fn from_pattern(pattern: SyntheticPattern, n: usize) -> Self {
+        let routers = n * n;
+        let mut rates = vec![0.0; routers * routers];
+        match pattern {
+            SyntheticPattern::UniformRandom => {
+                for src in 0..routers {
+                    for dst in 0..routers {
+                        if src != dst {
+                            rates[src * routers + dst] = 1.0;
+                        }
+                    }
+                }
+            }
+            SyntheticPattern::Hotspot { weight } => {
+                assert!((0.0..=1.0).contains(&weight), "hotspot weight in 0..=1");
+                let hotspots = SyntheticPattern::default_hotspots(n);
+                for src in 0..routers {
+                    for dst in 0..routers {
+                        if src == dst {
+                            continue;
+                        }
+                        let uniform = (1.0 - weight) / (routers - 1) as f64;
+                        let hot = if hotspots.contains(&dst) {
+                            weight / hotspots.len() as f64
+                        } else {
+                            0.0
+                        };
+                        rates[src * routers + dst] = uniform + hot;
+                    }
+                }
+            }
+            SyntheticPattern::NearNeighbour => {
+                for src in 0..routers {
+                    let (x, y) = (src % n, src / n);
+                    let mut neighbours = Vec::with_capacity(4);
+                    if x > 0 {
+                        neighbours.push(src - 1);
+                    }
+                    if x + 1 < n {
+                        neighbours.push(src + 1);
+                    }
+                    if y > 0 {
+                        neighbours.push(src - n);
+                    }
+                    if y + 1 < n {
+                        neighbours.push(src + n);
+                    }
+                    for dst in neighbours {
+                        rates[src * routers + dst] = 1.0;
+                    }
+                }
+            }
+            _ => {
+                for src in 0..routers {
+                    let dst = pattern
+                        .permutation_target(src, n)
+                        .expect("permutation pattern");
+                    if dst != src {
+                        rates[src * routers + dst] = 1.0;
+                    }
+                }
+            }
+        }
+        TrafficMatrix::from_rates(n, rates)
+    }
+
+    /// A weighted mixture of matrices (used by the PARSEC-like profiles).
+    ///
+    /// # Panics
+    /// Panics if the component list is empty or sizes differ.
+    pub fn mixture(components: &[(TrafficMatrix, f64)]) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one matrix");
+        let n = components[0].0.n;
+        let len = components[0].0.rates.len();
+        let mut rates = vec![0.0; len];
+        for (m, w) in components {
+            assert_eq!(m.n, n, "mixture components must share the mesh size");
+            assert!(*w >= 0.0);
+            for (acc, r) in rates.iter_mut().zip(&m.rates) {
+                *acc += w * r;
+            }
+        }
+        TrafficMatrix::from_rates(n, rates)
+    }
+
+    /// Mesh side length.
+    pub fn side(&self) -> usize {
+        self.n
+    }
+
+    /// Number of routers `N = n²`.
+    pub fn routers(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// The normalised rate `γ_src,dst`.
+    pub fn rate(&self, src: usize, dst: usize) -> f64 {
+        self.rates[src * self.routers() + dst]
+    }
+
+    /// The raw row-major matrix, as the application-specific optimizer
+    /// expects it.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Samples a destination for `src`, or `None` if the source is silent.
+    pub fn sample_destination<R: Rng>(&self, src: usize, rng: &mut R) -> Option<usize> {
+        let routers = self.routers();
+        let row = &self.rates[src * routers..(src + 1) * routers];
+        let mut x = rng.gen::<f64>();
+        let mut last_nonzero = None;
+        for (dst, &p) in row.iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            last_nonzero = Some(dst);
+            if x < p {
+                return Some(dst);
+            }
+            x -= p;
+        }
+        // Floating-point slack: fall back to the last destination with mass.
+        last_nonzero
+    }
+
+    /// Mean Manhattan distance of the distribution, in unit hops — a quick
+    /// structural fingerprint used in tests and workload calibration.
+    pub fn mean_manhattan(&self) -> f64 {
+        let routers = self.routers();
+        let mut total = 0.0;
+        let mut mass = 0.0;
+        for src in 0..routers {
+            for dst in 0..routers {
+                let p = self.rates[src * routers + dst];
+                if p > 0.0 {
+                    let (sx, sy) = (src % self.n, src / self.n);
+                    let (dx, dy) = (dst % self.n, dst / self.n);
+                    total += p * (sx.abs_diff(dx) + sy.abs_diff(dy)) as f64;
+                    mass += p;
+                }
+            }
+        }
+        if mass == 0.0 {
+            0.0
+        } else {
+            total / mass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_are_normalised() {
+        let m = TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, 4);
+        for src in 0..16 {
+            let sum: f64 = (0..16).map(|d| m.rate(src, d)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {src} sums to {sum}");
+            assert_eq!(m.rate(src, src), 0.0);
+        }
+    }
+
+    #[test]
+    fn permutation_matrix_is_deterministic() {
+        let m = TrafficMatrix::from_pattern(SyntheticPattern::Transpose, 4);
+        // (1, 0) = id 1 -> (0, 1) = id 4.
+        assert!((m.rate(1, 4) - 1.0).abs() < 1e-12);
+        // Diagonal sources are silent (self-traffic removed).
+        let diag_sum: f64 = (0..16).map(|d| m.rate(0, d)).sum();
+        assert_eq!(diag_sum, 0.0);
+    }
+
+    #[test]
+    fn hotspot_mass_matches_weight() {
+        let m = TrafficMatrix::from_pattern(SyntheticPattern::Hotspot { weight: 0.4 }, 8);
+        // From a non-corner source, corner mass ~= 0.4 + uniform share.
+        let src = 20;
+        let corner_mass: f64 = [0usize, 7, 56, 63].iter().map(|&d| m.rate(src, d)).sum();
+        assert!(
+            corner_mass > 0.4 && corner_mass < 0.45,
+            "corner mass {corner_mass}"
+        );
+    }
+
+    #[test]
+    fn near_neighbour_targets_adjacent_only() {
+        let m = TrafficMatrix::from_pattern(SyntheticPattern::NearNeighbour, 4);
+        // Corner 0 has two neighbours: 1 and 4.
+        assert!((m.rate(0, 1) - 0.5).abs() < 1e-12);
+        assert!((m.rate(0, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(m.rate(0, 5), 0.0);
+        assert!(m.mean_manhattan() < 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn mixture_blends_mass() {
+        let ur = TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, 4);
+        let tp = TrafficMatrix::from_pattern(SyntheticPattern::Transpose, 4);
+        let mix = TrafficMatrix::mixture(&[(ur.clone(), 0.5), (tp.clone(), 0.5)]);
+        // Source 1's transpose partner (id 4) carries extra mass.
+        assert!(mix.rate(1, 4) > mix.rate(1, 5));
+        // Rows still normalised.
+        let sum: f64 = (0..16).map(|d| mix.rate(1, d)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_support() {
+        let m = TrafficMatrix::from_pattern(SyntheticPattern::Transpose, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample_destination(1, &mut rng), Some(4));
+        }
+        // Silent source (diagonal) yields None.
+        assert_eq!(m.sample_destination(5, &mut rng), None);
+    }
+
+    #[test]
+    fn sampling_covers_uniform_support() {
+        let m = TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, 4);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = vec![false; 16];
+        for _ in 0..2000 {
+            seen[m.sample_destination(3, &mut rng).unwrap()] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert_eq!(covered, 15, "all non-self destinations reachable");
+        assert!(!seen[3]);
+    }
+
+    #[test]
+    fn transpose_mean_manhattan() {
+        // Known closed form sanity: transpose on 8x8 averages |x-y|*2 over
+        // all (x, y), which is 2·(n²-1)/(3n) = 5.25 for the uniform pair,
+        // but only over off-diagonal sources here; just require it to exceed
+        // the near-neighbour pattern's 1.0.
+        let tp = TrafficMatrix::from_pattern(SyntheticPattern::Transpose, 8);
+        assert!(tp.mean_manhattan() > 4.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Builds a hand-crafted express topology, proves it deadlock-free via the
+//! channel-dependency-graph check, and measures its saturation throughput —
+//! the workflow a NoC designer would use to evaluate their own placement.
+//!
+//! ```text
+//! cargo run --release --example custom_topology
+//! ```
+
+use express_noc::model::PacketMix;
+use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
+use express_noc::sim::{saturation_sweep, SimConfig};
+use express_noc::topology::{display, MeshTopology, RowPlacement};
+use express_noc::traffic::{SyntheticPattern, TrafficMatrix, Workload};
+
+fn main() {
+    // A designer's guess: a "binary tree" of express links over 8 routers.
+    let row = RowPlacement::with_links(8, [(0, 4), (4, 7), (0, 2), (2, 4), (4, 6)])
+        .expect("links are valid");
+    println!("custom row placement (max cross-section {}):", row.max_cross_section());
+    println!("{}", display::render_row(&row));
+
+    let topo = MeshTopology::uniform(8, &row);
+    let dor = DorRouter::new(&topo, HopWeights::PAPER);
+
+    // Deadlock audit: the routing relation's channel dependency graph must
+    // be acyclic (Dally & Seitz).
+    match channel_dependency_cycle(&topo, &dor) {
+        None => println!("deadlock check: PASS (channel dependency graph is acyclic)"),
+        Some(cycle) => {
+            println!("deadlock check: FAIL, cycle {cycle:?}");
+            return;
+        }
+    }
+
+    // The placement's cross-sections demand C = 3; the budget only admits
+    // powers of two, so it runs at C = 4 => 64-bit flits.
+    let flit_bits = 64;
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(SyntheticPattern::Transpose, 8),
+        0.01,
+        PacketMix::paper(),
+    );
+    let result = saturation_sweep(
+        &topo,
+        &workload,
+        &SimConfig::throughput_run(flit_bits, 5),
+        0.004,
+    );
+    println!("\ntranspose traffic saturation sweep:");
+    for s in &result.samples {
+        println!(
+            "  offered {:.4} -> accepted {:.4} (latency {:.1} cycles)",
+            s.offered, s.accepted, s.avg_latency
+        );
+    }
+    println!("saturation throughput: {:.3} packets/node/cycle", result.saturation);
+}

@@ -1,0 +1,64 @@
+//! Latency-versus-load curves: the analytic contention model against the
+//! cycle-level simulator, for the mesh and an optimized express topology.
+//!
+//! ```text
+//! cargo run --release --example load_latency
+//! ```
+
+use express_noc::model::{ContentionModel, LinkBudget, PacketMix};
+use express_noc::placement::{optimize_network, InitialStrategy, SaParams};
+use express_noc::routing::{DorRouter, HopWeights};
+use express_noc::sim::{SimConfig, Simulator};
+use express_noc::topology::MeshTopology;
+use express_noc::traffic::{SyntheticPattern, TrafficMatrix, Workload};
+
+fn main() {
+    let n = 8;
+    let budget = LinkBudget::paper(n);
+    let mix = PacketMix::paper();
+    let design = optimize_network(
+        &budget,
+        &mix,
+        HopWeights::PAPER,
+        InitialStrategy::DivideAndConquer,
+        &SaParams::paper(),
+        1,
+    );
+    let best = design.best();
+    println!(
+        "optimized design: C = {}, b = {} bits\n",
+        best.c_limit, best.flit_bits
+    );
+
+    let matrix = TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, n);
+    let contention = ContentionModel::paper();
+    let candidates = [
+        ("Mesh", MeshTopology::mesh(n), 256u32),
+        ("D&C_SA", design.best_topology(n), best.flit_bits),
+    ];
+
+    for (label, topo, flit_bits) in &candidates {
+        let dor = DorRouter::new(topo, HopWeights::PAPER);
+        let mean_flits = mix.mean_flits(*flit_bits);
+        let serialization = mix.serialization_latency(*flit_bits);
+        println!("{label}:");
+        println!("{:>8}  {:>10}  {:>10}  {:>8}", "rate", "model", "sim", "max rho");
+        for rate in [0.01, 0.03, 0.06, 0.1, 0.15] {
+            let analysis =
+                contention.analyze(&dor, matrix.as_slice(), rate, mean_flits, serialization);
+            let workload = Workload::new(matrix.clone(), rate, mix.clone());
+            let mut config = SimConfig::latency_run(*flit_bits, 7);
+            config.warmup_cycles = 2_000;
+            config.measure_cycles = 8_000;
+            let stats = Simulator::new(topo, workload, config).run();
+            println!(
+                "{rate:>8.2}  {:>10.1}  {:>10.1}  {:>8.2}",
+                analysis.predicted_latency, stats.avg_packet_latency, analysis.max_utilization
+            );
+        }
+        let sat = contention
+            .analyze(&dor, matrix.as_slice(), 0.01, mean_flits, serialization)
+            .saturation_rate;
+        println!("analytic saturation estimate: {sat:.3} packets/node/cycle\n");
+    }
+}

@@ -1,0 +1,66 @@
+//! Compares Mesh, HFB and the optimized placement on a PARSEC-like workload,
+//! reporting latency and router power — a miniature of the paper's Fig. 6
+//! and Fig. 9 for a single benchmark.
+//!
+//! ```text
+//! cargo run --release --example parsec_comparison [benchmark]
+//! ```
+
+use express_noc::model::LinkBudget;
+use express_noc::placement::{optimize_network, InitialStrategy, SaParams};
+use express_noc::power::{network_power, PowerConfig};
+use express_noc::routing::HopWeights;
+use express_noc::sim::{SimConfig, Simulator};
+use express_noc::topology::{hfb_mesh, implied_link_limit, hfb_row, MeshTopology};
+use express_noc::traffic::ParsecBenchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "dedup".into());
+    let bench = ParsecBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name:?}, using dedup");
+            ParsecBenchmark::Dedup
+        });
+    let n = 8;
+    let budget = LinkBudget::paper(n);
+    let workload = bench.workload(n);
+    println!(
+        "benchmark {} (injection {:.3} packets/node/cycle)\n",
+        bench.name(),
+        workload.injection_rate()
+    );
+
+    let design = optimize_network(
+        &budget,
+        &express_noc::model::PacketMix::paper(),
+        HopWeights::PAPER,
+        InitialStrategy::DivideAndConquer,
+        &SaParams::paper(),
+        1,
+    );
+    let hfb_c = implied_link_limit(&hfb_row(n));
+    let candidates = [
+        ("Mesh", MeshTopology::mesh(n), 256u32),
+        ("HFB", hfb_mesh(n), budget.flit_bits(hfb_c).expect("power of two")),
+        (
+            "D&C_SA",
+            design.best_topology(n),
+            design.best().flit_bits,
+        ),
+    ];
+
+    println!("{:>8}  {:>12}  {:>10}  {:>10}  {:>10}", "scheme", "latency(cyc)", "static(W)", "dynamic(W)", "total(W)");
+    for (label, topo, flit_bits) in candidates {
+        let stats = Simulator::new(&topo, workload.clone(), SimConfig::latency_run(flit_bits, 3)).run();
+        let power = network_power(&topo, flit_bits, 10_240, &stats, &PowerConfig::dsent_32nm());
+        println!(
+            "{label:>8}  {:>12.1}  {:>10.2}  {:>10.2}  {:>10.2}",
+            stats.avg_packet_latency,
+            power.total.static_total(),
+            power.total.dynamic_total(),
+            power.total.total()
+        );
+    }
+}

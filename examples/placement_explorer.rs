@@ -1,0 +1,59 @@
+//! Reproduces the paper's worked example (Fig. 2 / Fig. 3): solve `P̂(8,4)`,
+//! show the connection matrix, the express-link placement, and the routing
+//! table of the first router.
+//!
+//! ```text
+//! cargo run --release --example placement_explorer
+//! ```
+
+use express_noc::placement::objective::AllPairsObjective;
+use express_noc::placement::{exhaustive_optimal, solve_row, InitialStrategy, SaParams};
+use express_noc::routing::{directional_apsp, HopWeights, RowRouting};
+use express_noc::topology::{display, ConnectionMatrix};
+
+fn main() {
+    let objective = AllPairsObjective::paper();
+
+    // Solve P̂(8,4) with D&C-seeded simulated annealing (Table 1 schedule).
+    let outcome = solve_row(
+        8,
+        4,
+        &objective,
+        InitialStrategy::DivideAndConquer,
+        &SaParams::paper(),
+        7,
+    );
+    println!(
+        "D&C_SA solved P(8,4): objective {:.4} cycles after {} evaluations",
+        outcome.best_objective, outcome.evaluations
+    );
+
+    // Cross-check against the exhaustive optimum (§5.6.3).
+    let optimal = exhaustive_optimal(8, 4, &objective);
+    println!(
+        "exhaustive optimum: {:.4} cycles ({} evaluations over {} DFS nodes)\n",
+        optimal.best_objective, optimal.evaluations, optimal.nodes
+    );
+
+    // Fig. 2(a): the connection-matrix encoding of the solution.
+    let matrix = ConnectionMatrix::encode(&outcome.best, 4).expect("solution fits C = 4");
+    println!("{}", display::render_matrix(&matrix));
+
+    // Fig. 2(b): the placement itself.
+    println!("{}", display::render_row(&outcome.best));
+
+    // Fig. 3(b): the routing table of router 0 (the paper's Router 1).
+    let apsp = directional_apsp(&outcome.best, HopWeights::PAPER);
+    let routing = RowRouting::from_apsp(&apsp);
+    let table = routing.table(0);
+    println!("routing table of router 0 (X dimension):");
+    println!("  neighbours/outports: {:?}", table.neighbours);
+    for dest in 1..8 {
+        println!(
+            "  dest {dest}: outport #{} -> next hop router {} (head latency {} cycles)",
+            table.port_for(dest).expect("remote destination") + 1,
+            table.next_hop(dest).expect("remote destination"),
+            apsp.dist(0, dest)
+        );
+    }
+}

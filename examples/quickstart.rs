@@ -1,0 +1,68 @@
+//! Quickstart: optimize express-link placement for an 8×8 mesh under a
+//! bisection-bandwidth budget, then verify the win in cycle-level simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use express_noc::model::{LinkBudget, PacketMix};
+use express_noc::placement::{optimize_network, InitialStrategy, SaParams};
+use express_noc::routing::HopWeights;
+use express_noc::sim::{SimConfig, Simulator};
+use express_noc::topology::{display, MeshTopology};
+use express_noc::traffic::{SyntheticPattern, TrafficMatrix, Workload};
+
+fn main() {
+    // 1. The design problem: an 8×8 mesh whose bisection supports 256-bit
+    //    flits at C = 1 (the paper's §5.1 setting).
+    let budget = LinkBudget::paper(8);
+    println!(
+        "admissible link limits C under the budget: {:?}",
+        budget.link_limits()
+    );
+
+    // 2. Run the paper's optimizer: for every C, divide-and-conquer seeded
+    //    simulated annealing on the 1D row problem; pick the best C.
+    let design = optimize_network(
+        &budget,
+        &PacketMix::paper(),
+        HopWeights::PAPER,
+        InitialStrategy::DivideAndConquer,
+        &SaParams::paper(),
+        42,
+    );
+    for p in &design.points {
+        println!(
+            "C = {:>2}: b = {:>3} bits, L_D = {:>5.2}, L_S = {:.2}, total = {:.2} cycles",
+            p.c_limit, p.flit_bits, p.avg_head, p.avg_serialization, p.avg_latency
+        );
+    }
+    let best = design.best();
+    println!("\nbest design: C = {} (b = {} bits)", best.c_limit, best.flit_bits);
+    println!("{}", display::render_row(&best.placement));
+
+    // 3. Verify in the cycle-level simulator under uniform-random traffic.
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, 8),
+        0.02,
+        PacketMix::paper(),
+    );
+    let mesh = Simulator::new(
+        &MeshTopology::mesh(8),
+        workload.clone(),
+        SimConfig::latency_run(256, 1),
+    )
+    .run();
+    let optimized = Simulator::new(
+        &design.best_topology(8),
+        workload,
+        SimConfig::latency_run(best.flit_bits, 1),
+    )
+    .run();
+    println!(
+        "simulated UR latency: mesh = {:.1} cycles, optimized = {:.1} cycles ({:.1}% lower)",
+        mesh.avg_packet_latency,
+        optimized.avg_packet_latency,
+        (1.0 - optimized.avg_packet_latency / mesh.avg_packet_latency) * 100.0
+    );
+}

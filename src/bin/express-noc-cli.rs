@@ -1,0 +1,320 @@
+//! `express-noc-cli` — command-line front end for the express-link
+//! placement toolkit.
+//!
+//! ```text
+//! express-noc-cli solve    --n 8 --c 4 [--strategy dnc|random|greedy] [--moves 10000] [--seed 42]
+//! express-noc-cli optimal  --n 8 --c 3
+//! express-noc-cli sweep    --n 8 [--base-flit 256] [--seed 42]
+//! express-noc-cli render   --n 8 --links 0-3,3-7,1-4
+//! express-noc-cli simulate --n 8 --pattern ur|tp|br|bc|sh|hs|nn --rate 0.02
+//!                          [--links 0-3,3-7] [--flit 64] [--cycles 20000] [--seed 42]
+//! ```
+
+use express_noc::model::{LatencyModel, LinkBudget, PacketMix};
+use express_noc::placement::objective::AllPairsObjective;
+use express_noc::placement::{
+    exhaustive_optimal, optimize_network, solve_row, InitialStrategy, SaParams,
+};
+use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
+use express_noc::sim::{SimConfig, Simulator};
+use express_noc::topology::{display, MeshTopology, RowPlacement};
+use express_noc::traffic::{SyntheticPattern, TrafficMatrix, Workload};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "solve" => cmd_solve(&opts),
+        "optimal" => cmd_optimal(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "render" => cmd_render(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "express-noc-cli — express-link placement toolkit
+
+commands:
+  solve     --n <N> --c <C> [--strategy dnc|random|greedy] [--moves M] [--seed S]
+            solve the 1D placement problem P(N, C) with simulated annealing
+  optimal   --n <N> --c <C>
+            exhaustive branch-and-bound optimum of P(N, C)
+  sweep     --n <N> [--base-flit BITS] [--seed S]
+            full network optimization across all admissible link limits
+  render    --n <N> --links A-B,C-D,...
+            validate and draw a placement; check deadlock freedom
+  simulate  --n <N> --pattern ur|tp|br|bc|sh|hs|nn --rate R
+            [--links A-B,...] [--flit BITS] [--cycles M] [--seed S]
+            cycle-level simulation of a workload on a placement";
+
+/// Parsed `--flag value` pairs.
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(opts: &Flags, name: &str) -> Result<T, String> {
+    opts.get(name)
+        .ok_or_else(|| format!("missing required flag --{name}"))?
+        .parse()
+        .map_err(|_| format!("flag --{name} has an invalid value"))
+}
+
+fn get_or<T: std::str::FromStr>(opts: &Flags, name: &str, default: T) -> Result<T, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag --{name} has an invalid value")),
+    }
+}
+
+/// Parses a link list like `0-3,3-7,1-4`.
+fn parse_links(spec: &str) -> Result<Vec<(usize, usize)>, String> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (a, b) = pair
+                .split_once('-')
+                .ok_or_else(|| format!("bad link {pair:?}, expected A-B"))?;
+            let a = a.trim().parse().map_err(|_| format!("bad endpoint in {pair:?}"))?;
+            let b = b.trim().parse().map_err(|_| format!("bad endpoint in {pair:?}"))?;
+            Ok((a, b))
+        })
+        .collect()
+}
+
+fn parse_strategy(name: &str) -> Result<InitialStrategy, String> {
+    match name {
+        "dnc" | "d&c" => Ok(InitialStrategy::DivideAndConquer),
+        "random" => Ok(InitialStrategy::Random),
+        "greedy" => Ok(InitialStrategy::Greedy),
+        other => Err(format!("unknown strategy {other:?} (dnc|random|greedy)")),
+    }
+}
+
+fn parse_pattern(name: &str) -> Result<SyntheticPattern, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "ur" => Ok(SyntheticPattern::UniformRandom),
+        "tp" => Ok(SyntheticPattern::Transpose),
+        "br" => Ok(SyntheticPattern::BitReverse),
+        "bc" => Ok(SyntheticPattern::BitComplement),
+        "sh" => Ok(SyntheticPattern::Shuffle),
+        "hs" => Ok(SyntheticPattern::Hotspot { weight: 0.4 }),
+        "nn" => Ok(SyntheticPattern::NearNeighbour),
+        other => Err(format!("unknown pattern {other:?} (ur|tp|br|bc|sh|hs|nn)")),
+    }
+}
+
+fn cmd_solve(opts: &Flags) -> Result<(), String> {
+    let n: usize = get(opts, "n")?;
+    let c: usize = get(opts, "c")?;
+    let strategy = parse_strategy(&get_or(opts, "strategy", "dnc".to_string())?)?;
+    let moves: usize = get_or(opts, "moves", 10_000)?;
+    let seed: u64 = get_or(opts, "seed", 42)?;
+    let objective = AllPairsObjective::paper();
+    let params = SaParams::paper().with_moves(moves);
+    let out = solve_row(n, c, &objective, strategy, &params, seed);
+    println!(
+        "P({n},{c}) via {strategy:?}: objective {:.4} cycles ({} evaluations)",
+        out.best_objective, out.evaluations
+    );
+    print!("{}", display::render_row(&out.best));
+    Ok(())
+}
+
+fn cmd_optimal(opts: &Flags) -> Result<(), String> {
+    let n: usize = get(opts, "n")?;
+    let c: usize = get(opts, "c")?;
+    if n > 16 || (n > 10 && c > 4) {
+        return Err("exhaustive search is only practical up to n = 16 with small C".into());
+    }
+    let out = exhaustive_optimal(n, c, &AllPairsObjective::paper());
+    println!(
+        "optimal P({n},{c}): {:.4} cycles ({} evaluations over {} nodes)",
+        out.best_objective, out.evaluations, out.nodes
+    );
+    print!("{}", display::render_row(&out.best));
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Flags) -> Result<(), String> {
+    let n: usize = get(opts, "n")?;
+    let base_flit: u32 = get_or(opts, "base-flit", 256)?;
+    let seed: u64 = get_or(opts, "seed", 42)?;
+    let budget = LinkBudget {
+        n,
+        base_flit_bits: base_flit,
+    };
+    let design = optimize_network(
+        &budget,
+        &PacketMix::paper(),
+        HopWeights::PAPER,
+        InitialStrategy::DivideAndConquer,
+        &SaParams::paper(),
+        seed,
+    );
+    println!("{:>4} {:>8} {:>8} {:>8} {:>8}", "C", "b(bits)", "L_D", "L_S", "total");
+    for p in &design.points {
+        let marker = if p.c_limit == design.best().c_limit { "  <- best" } else { "" };
+        println!(
+            "{:>4} {:>8} {:>8.2} {:>8.2} {:>8.2}{marker}",
+            p.c_limit, p.flit_bits, p.avg_head, p.avg_serialization, p.avg_latency
+        );
+    }
+    println!("\nbest placement (C = {}):", design.best().c_limit);
+    print!("{}", display::render_row(&design.best().placement));
+    Ok(())
+}
+
+fn build_topology(opts: &Flags, n: usize) -> Result<MeshTopology, String> {
+    match opts.get("links") {
+        None => Ok(MeshTopology::mesh(n)),
+        Some(spec) => {
+            let row = RowPlacement::with_links(n, parse_links(spec)?)
+                .map_err(|e| e.to_string())?;
+            Ok(MeshTopology::uniform(n, &row))
+        }
+    }
+}
+
+fn cmd_render(opts: &Flags) -> Result<(), String> {
+    let n: usize = get(opts, "n")?;
+    let spec = opts
+        .get("links")
+        .ok_or("render needs --links A-B,C-D,...")?;
+    let row =
+        RowPlacement::with_links(n, parse_links(spec)?).map_err(|e| e.to_string())?;
+    print!("{}", display::render_row(&row));
+    println!("max cross-section: {} (fits C >= that)", row.max_cross_section());
+    let topo = MeshTopology::uniform(n, &row);
+    let dor = DorRouter::new(&topo, HopWeights::PAPER);
+    match channel_dependency_cycle(&topo, &dor) {
+        None => println!("deadlock check: PASS"),
+        Some(cycle) => println!("deadlock check: FAIL — cycle {cycle:?}"),
+    }
+    let zero = LatencyModel::paper().zero_load(&dor);
+    println!(
+        "zero-load: avg head {:.2} cycles, worst pair {} cycles, avg hops {:.2}",
+        zero.avg_head, zero.max_head, zero.avg_hops
+    );
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Flags) -> Result<(), String> {
+    let n: usize = get(opts, "n")?;
+    let pattern = parse_pattern(&get::<String>(opts, "pattern")?)?;
+    let rate: f64 = get(opts, "rate")?;
+    let flit: u32 = get_or(opts, "flit", 256)?;
+    let cycles: u64 = get_or(opts, "cycles", 20_000)?;
+    let seed: u64 = get_or(opts, "seed", 42)?;
+    let topo = build_topology(opts, n)?;
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(pattern, n),
+        rate,
+        PacketMix::paper(),
+    );
+    let mut config = SimConfig::latency_run(flit, seed);
+    config.measure_cycles = cycles;
+    let stats = Simulator::new(&topo, workload, config).run();
+    println!(
+        "simulated {} cycles: {} packets measured, {} delivered{}",
+        stats.cycles,
+        stats.measured_packets,
+        stats.completed_packets,
+        if stats.drained { "" } else { " (NOT drained — beyond saturation?)" }
+    );
+    println!(
+        "latency: avg {:.2}, p50 {:.0}, p95 {:.0}, p99 {:.0}, max {} cycles",
+        stats.avg_packet_latency,
+        stats.p50_latency,
+        stats.p95_latency,
+        stats.p99_latency,
+        stats.max_packet_latency
+    );
+    println!(
+        "throughput: offered {:.4}, accepted {:.4} packets/node/cycle",
+        stats.offered_rate, stats.accepted_throughput
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags_pairs() {
+        let args: Vec<String> = ["--n", "8", "--c", "4"].iter().map(|s| s.to_string()).collect();
+        let flags = parse_flags(&args).unwrap();
+        assert_eq!(flags["n"], "8");
+        assert_eq!(get::<usize>(&flags, "c").unwrap(), 4);
+        assert_eq!(get_or::<u64>(&flags, "seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn parse_flags_rejects_bad_shape() {
+        let args: Vec<String> = ["--n"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+        let args: Vec<String> = ["n", "8"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn parse_links_list() {
+        assert_eq!(parse_links("0-3,3-7").unwrap(), vec![(0, 3), (3, 7)]);
+        assert!(parse_links("0+3").is_err());
+        assert!(parse_links("a-b").is_err());
+        assert_eq!(parse_links("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_enums() {
+        assert_eq!(
+            parse_strategy("dnc").unwrap(),
+            InitialStrategy::DivideAndConquer
+        );
+        assert!(parse_strategy("zen").is_err());
+        assert_eq!(
+            parse_pattern("TP").unwrap(),
+            SyntheticPattern::Transpose
+        );
+        assert!(parse_pattern("xx").is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: the full pipeline from optimizer to
+//! simulator to power model, at sizes small enough for CI.
+
+use express_noc::model::{LatencyModel, LinkBudget, PacketMix};
+use express_noc::placement::{
+    exhaustive_optimal, optimize_network, solve_row, InitialStrategy, SaParams,
+};
+use express_noc::placement::objective::AllPairsObjective;
+use express_noc::power::{network_power, PowerConfig};
+use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
+use express_noc::sim::{SimConfig, Simulator};
+use express_noc::topology::{hfb_mesh, MeshTopology};
+use express_noc::traffic::{ParsecBenchmark, SyntheticPattern, TrafficMatrix, Workload};
+
+fn quick_params() -> SaParams {
+    SaParams::paper().with_moves(2_000)
+}
+
+#[test]
+fn optimizer_to_simulator_pipeline() {
+    // Optimize a 4x4 network, then confirm the simulated win matches the
+    // analytic prediction's direction and magnitude.
+    let budget = LinkBudget::paper(4);
+    let mix = PacketMix::paper();
+    let design = optimize_network(
+        &budget,
+        &mix,
+        HopWeights::PAPER,
+        InitialStrategy::DivideAndConquer,
+        &quick_params(),
+        11,
+    );
+    let best = design.best();
+    assert!(best.c_limit > 1, "express links must pay off on 4x4");
+
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, 4),
+        0.01,
+        mix,
+    );
+    let mesh_stats = Simulator::new(
+        &MeshTopology::mesh(4),
+        workload.clone(),
+        SimConfig::latency_run(256, 5),
+    )
+    .run();
+    let best_stats = Simulator::new(
+        &design.best_topology(4),
+        workload,
+        SimConfig::latency_run(best.flit_bits, 5),
+    )
+    .run();
+    assert!(mesh_stats.drained && best_stats.drained);
+    assert!(
+        best_stats.avg_packet_latency < mesh_stats.avg_packet_latency,
+        "optimized {} !< mesh {}",
+        best_stats.avg_packet_latency,
+        mesh_stats.avg_packet_latency
+    );
+    // The analytic model predicted the same ordering.
+    let mesh_point = &design.points[0];
+    assert!(best.avg_latency < mesh_point.avg_latency);
+}
+
+#[test]
+fn optimized_placements_are_deadlock_free() {
+    // Every design point of the sweep must have an acyclic channel
+    // dependency graph under table routing.
+    let budget = LinkBudget::paper(4);
+    let design = optimize_network(
+        &budget,
+        &PacketMix::paper(),
+        HopWeights::PAPER,
+        InitialStrategy::DivideAndConquer,
+        &quick_params(),
+        3,
+    );
+    for point in &design.points {
+        let topo = MeshTopology::uniform(4, &point.placement);
+        let dor = DorRouter::new(&topo, HopWeights::PAPER);
+        assert!(
+            channel_dependency_cycle(&topo, &dor).is_none(),
+            "C = {} design has a dependency cycle",
+            point.c_limit
+        );
+    }
+}
+
+#[test]
+fn simulator_matches_analytic_on_express_topology() {
+    // Zero-load agreement on an *optimized* topology, not just the mesh.
+    let obj = AllPairsObjective::paper();
+    let row = solve_row(
+        8,
+        4,
+        &obj,
+        InitialStrategy::DivideAndConquer,
+        &quick_params(),
+        9,
+    )
+    .best;
+    let topo = MeshTopology::uniform(8, &row);
+    let dor = DorRouter::new(&topo, HopWeights::PAPER);
+    let model = LatencyModel::paper();
+
+    // Single-flit packets, uniform traffic, near-zero load.
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, 8),
+        0.001,
+        PacketMix::uniform(64),
+    );
+    let mut config = SimConfig::latency_run(64, 17);
+    config.measure_cycles = 30_000;
+    let stats = Simulator::new(&topo, workload, config).run();
+    assert!(stats.drained);
+
+    let mut head = 0.0;
+    let mut pairs = 0u32;
+    for s in 0..64 {
+        for d in 0..64 {
+            if s != d {
+                head += model.head_pair(&dor, s, d) as f64;
+                pairs += 1;
+            }
+        }
+    }
+    let analytic = head / pairs as f64; // single-flit: packet latency == head
+    assert!(
+        (stats.avg_packet_latency - analytic).abs() < 0.6,
+        "sim {} vs analytic {}",
+        stats.avg_packet_latency,
+        analytic
+    );
+}
+
+#[test]
+fn paper_table2_mesh_values_hold_end_to_end() {
+    let model = LatencyModel::paper();
+    let mix = PacketMix::paper();
+    let d4 = DorRouter::new(&MeshTopology::mesh(4), HopWeights::PAPER);
+    let d8 = DorRouter::new(&MeshTopology::mesh(8), HopWeights::PAPER);
+    assert!((model.max_packet_latency(&d4, &mix, 256) - 28.2).abs() < 1e-9);
+    assert!((model.max_packet_latency(&d8, &mix, 256) - 60.2).abs() < 1e-9);
+}
+
+#[test]
+fn hfb_and_optimized_beat_mesh_on_parsec_traffic() {
+    let workload = ParsecBenchmark::Canneal.workload(8);
+    let mut config = SimConfig::latency_run(256, 21);
+    config.warmup_cycles = 1_000;
+    config.measure_cycles = 5_000;
+
+    let mesh = Simulator::new(&MeshTopology::mesh(8), workload.clone(), config).run();
+    let mut hfb_config = config;
+    hfb_config.flit_bits = 64;
+    let hfb = Simulator::new(&hfb_mesh(8), workload, hfb_config).run();
+    assert!(mesh.drained && hfb.drained);
+    assert!(hfb.avg_packet_latency < mesh.avg_packet_latency);
+}
+
+#[test]
+fn power_pipeline_produces_sane_magnitudes() {
+    let workload = ParsecBenchmark::Ferret.workload(8);
+    let topo = MeshTopology::mesh(8);
+    let mut config = SimConfig::latency_run(256, 23);
+    config.warmup_cycles = 1_000;
+    config.measure_cycles = 5_000;
+    let stats = Simulator::new(&topo, workload, config).run();
+    let power = network_power(&topo, 256, 10_240, &stats, &PowerConfig::dsent_32nm());
+    let total = power.total.total();
+    // Watt-scale network, static roughly two-thirds at PARSEC load (§5.5).
+    assert!(total > 0.5 && total < 5.0, "total {total}");
+    let static_share = power.total.static_total() / total;
+    assert!(
+        static_share > 0.5 && static_share < 0.9,
+        "static share {static_share}"
+    );
+}
+
+#[test]
+fn exhaustive_confirms_sa_on_8x8_row_problems() {
+    // Fig. 12's headline at integration scope: D&C_SA finds the optimum of
+    // P(8,2) with the full schedule.
+    let obj = AllPairsObjective::paper();
+    let sa = solve_row(
+        8,
+        2,
+        &obj,
+        InitialStrategy::DivideAndConquer,
+        &SaParams::paper(),
+        31,
+    );
+    let opt = exhaustive_optimal(8, 2, &obj);
+    assert!(
+        (sa.best_objective - opt.best_objective).abs() < 1e-9,
+        "SA {} vs optimal {}",
+        sa.best_objective,
+        opt.best_objective
+    );
+}

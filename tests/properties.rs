@@ -1,0 +1,96 @@
+//! Cross-crate property tests: invariants that must hold for *arbitrary*
+//! valid placements across the whole stack — routing, simulation, and the
+//! analytic model must agree with each other.
+
+use express_noc::model::{LatencyModel, PacketMix};
+use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
+use express_noc::sim::{SimConfig, Simulator};
+use express_noc::topology::{ConnectionMatrix, MeshTopology};
+use express_noc::traffic::{SyntheticPattern, TrafficMatrix, Workload};
+use proptest::prelude::*;
+
+/// Random valid placement on a row of `n` routers (n in 4..=6 keeps the
+/// CDG check and simulations CI-sized).
+fn small_mesh() -> impl Strategy<Value = (MeshTopology, usize)> {
+    (4usize..=6)
+        .prop_flat_map(|n| (Just(n), 2usize..=4))
+        .prop_flat_map(|(n, c)| {
+            let nbits = (c - 1) * (n - 2);
+            proptest::collection::vec(any::<bool>(), nbits).prop_map(move |bits| {
+                let row = ConnectionMatrix::from_bits(n, c, bits).unwrap().decode();
+                (MeshTopology::uniform(n, &row), c)
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid placement routes deadlock-free under DOR tables.
+    #[test]
+    fn any_valid_placement_is_deadlock_free((topo, _c) in small_mesh()) {
+        let dor = DorRouter::new(&topo, HopWeights::PAPER);
+        prop_assert!(channel_dependency_cycle(&topo, &dor).is_none());
+    }
+
+    /// Conservation: at a safe load every measured packet drains, and the
+    /// simulated latency is bounded below by the analytic zero-load latency.
+    #[test]
+    fn simulation_conserves_and_bounds((topo, _c) in small_mesh(), seed in any::<u64>()) {
+        let n = topo.side();
+        let workload = Workload::new(
+            TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, n),
+            0.01,
+            PacketMix::paper(),
+        );
+        let mut config = SimConfig::latency_run(64, seed);
+        config.warmup_cycles = 500;
+        config.measure_cycles = 3_000;
+        let stats = Simulator::new(&topo, workload, config).run();
+        prop_assert!(stats.drained, "undrained at 1% load");
+        prop_assert_eq!(stats.completed_packets, stats.measured_packets);
+
+        if stats.measured_packets > 50 {
+            // Zero-load head latency averaged over UR pairs lower-bounds the
+            // simulated packet latency (which adds serialization and queuing).
+            let dor = DorRouter::new(&topo, HopWeights::PAPER);
+            let model = LatencyModel::paper();
+            let mut head = 0.0;
+            let mut pairs = 0u32;
+            let routers = n * n;
+            for s in 0..routers {
+                for d in 0..routers {
+                    if s != d {
+                        head += model.head_pair(&dor, s, d) as f64;
+                        pairs += 1;
+                    }
+                }
+            }
+            let zero_load_head = head / pairs as f64;
+            prop_assert!(
+                stats.avg_packet_latency > zero_load_head - 1.0,
+                "sim {} below zero-load head {}",
+                stats.avg_packet_latency,
+                zero_load_head
+            );
+        }
+    }
+
+    /// The analytic max head latency is an upper bound for mesh distances:
+    /// express links never make any pair slower than the plain mesh.
+    #[test]
+    fn express_never_slower_than_mesh_anywhere((topo, _c) in small_mesh()) {
+        let n = topo.side();
+        let dor = DorRouter::new(&topo, HopWeights::PAPER);
+        let mesh_dor = DorRouter::new(&MeshTopology::mesh(n), HopWeights::PAPER);
+        let model = LatencyModel::paper();
+        for s in 0..n * n {
+            for d in 0..n * n {
+                prop_assert!(
+                    model.head_pair(&dor, s, d) <= model.head_pair(&mesh_dor, s, d),
+                    "pair ({}, {}) slower than mesh", s, d
+                );
+            }
+        }
+    }
+}
