@@ -2,49 +2,43 @@
 //! exhaustive search — the machine-level counterpart of Fig. 12's runtime
 //! ratio (exhaustive vs D&C_SA) and Fig. 7's runtime normalisation unit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_bench::bench;
 use noc_placement::objective::AllPairsObjective;
 use noc_placement::{anneal, exhaustive_optimal, initial_solution, SaParams};
 use noc_topology::RowPlacement;
 
-fn bench_initial_solution(c: &mut Criterion) {
+fn main() {
     let objective = AllPairsObjective::paper();
-    let mut group = c.benchmark_group("dnc_initial_solution");
+
     for (n, climit) in [(8usize, 4usize), (16, 4), (16, 8)] {
-        group.bench_function(BenchmarkId::from_parameter(format!("I({n},{climit})")), |b| {
-            b.iter(|| initial_solution(std::hint::black_box(n), climit, &objective))
+        bench(&format!("dnc_initial_solution/I({n},{climit})"), || {
+            std::hint::black_box(initial_solution(
+                std::hint::black_box(n),
+                climit,
+                &objective,
+            ));
         });
     }
-    group.finish();
-}
 
-fn bench_annealing(c: &mut Criterion) {
-    let objective = AllPairsObjective::paper();
-    let mut group = c.benchmark_group("simulated_annealing");
-    group.sample_size(10);
     for (n, climit) in [(8usize, 4usize), (16, 4)] {
         // 1000 moves per iteration: reports time per move batch.
         let params = SaParams::paper().with_moves(1_000);
         let initial = RowPlacement::new(n);
-        group.bench_function(
-            BenchmarkId::from_parameter(format!("1k_moves_P({n},{climit})")),
-            |b| b.iter(|| anneal(climit, &initial, &objective, &params, 42, 0)),
+        bench(
+            &format!("simulated_annealing/1k_moves_P({n},{climit})"),
+            || {
+                std::hint::black_box(anneal(climit, &initial, &objective, &params, 42, 0));
+            },
         );
     }
-    group.finish();
-}
 
-fn bench_exhaustive(c: &mut Criterion) {
-    let objective = AllPairsObjective::paper();
-    let mut group = c.benchmark_group("exhaustive_optimal");
-    group.sample_size(10);
     for (n, climit) in [(8usize, 2usize), (8, 3), (8, 4), (16, 2)] {
-        group.bench_function(BenchmarkId::from_parameter(format!("P({n},{climit})")), |b| {
-            b.iter(|| exhaustive_optimal(std::hint::black_box(n), climit, &objective))
+        bench(&format!("exhaustive_optimal/P({n},{climit})"), || {
+            std::hint::black_box(exhaustive_optimal(
+                std::hint::black_box(n),
+                climit,
+                &objective,
+            ));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_initial_solution, bench_annealing, bench_exhaustive);
-criterion_main!(benches);

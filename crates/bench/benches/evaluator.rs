@@ -2,38 +2,32 @@
 //! routing solve versus the monotone-DP fast path that the optimizer's inner
 //! loop actually uses. Supports the Fig. 12 runtime discussion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use noc_bench::random_row;
+use noc_bench::{bench, random_row};
 use noc_model::RowObjective;
 use noc_routing::{directional_apsp, monotone_apsp, HopWeights};
 
-fn bench_apsp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("row_apsp");
+fn main() {
     for n in [8usize, 16, 32] {
         let row = random_row(n, 4, 42);
-        group.bench_with_input(BenchmarkId::new("floyd_warshall", n), &row, |b, row| {
-            b.iter(|| directional_apsp(std::hint::black_box(row), HopWeights::PAPER))
+        bench(&format!("row_apsp/floyd_warshall/{n}"), || {
+            std::hint::black_box(directional_apsp(
+                std::hint::black_box(&row),
+                HopWeights::PAPER,
+            ));
         });
-        group.bench_with_input(BenchmarkId::new("monotone_dp", n), &row, |b, row| {
-            b.iter(|| monotone_apsp(std::hint::black_box(row), HopWeights::PAPER))
+        bench(&format!("row_apsp/monotone_dp/{n}"), || {
+            std::hint::black_box(monotone_apsp(std::hint::black_box(&row), HopWeights::PAPER));
         });
     }
-    group.finish();
-}
 
-fn bench_objective(c: &mut Criterion) {
-    let mut group = c.benchmark_group("row_objective");
     let objective = RowObjective::paper();
     for (n, c_limit) in [(8usize, 4usize), (16, 4), (16, 8)] {
         let row = random_row(n, c_limit, 7);
-        group.bench_with_input(
-            BenchmarkId::new("all_pairs_mean", format!("n{n}_c{c_limit}")),
-            &row,
-            |b, row| b.iter(|| objective.eval(std::hint::black_box(row))),
+        bench(
+            &format!("row_objective/all_pairs_mean/n{n}_c{c_limit}"),
+            || {
+                std::hint::black_box(objective.eval(std::hint::black_box(&row)));
+            },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_apsp, bench_objective);
-criterion_main!(benches);

@@ -2,12 +2,13 @@
 //! on the mesh, the HFB, and a random express topology — the cost model for
 //! sizing the experiment harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use noc_bench::random_row;
+use noc_bench::{bench, random_row};
 use noc_model::PacketMix;
 use noc_sim::{SimConfig, Simulator};
 use noc_topology::{hfb_mesh, MeshTopology};
 use noc_traffic::{SyntheticPattern, TrafficMatrix, Workload};
+
+const CYCLES: u64 = 2_000;
 
 fn run_once(topo: &MeshTopology, flit_bits: u32, cycles: u64) {
     let n = topo.side();
@@ -26,30 +27,19 @@ fn run_once(topo: &MeshTopology, flit_bits: u32, cycles: u64) {
     std::hint::black_box(stats);
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    const CYCLES: u64 = 2_000;
-    let mut group = c.benchmark_group("simulator_cycles");
-    group.throughput(Throughput::Elements(CYCLES));
-    group.sample_size(10);
-
+fn main() {
     let mesh8 = MeshTopology::mesh(8);
-    group.bench_function(BenchmarkId::from_parameter("mesh_8x8"), |b| {
-        b.iter(|| run_once(&mesh8, 256, CYCLES))
+    bench("simulator_cycles/mesh_8x8", || {
+        run_once(&mesh8, 256, CYCLES)
     });
     let hfb8 = hfb_mesh(8);
-    group.bench_function(BenchmarkId::from_parameter("hfb_8x8"), |b| {
-        b.iter(|| run_once(&hfb8, 64, CYCLES))
-    });
+    bench("simulator_cycles/hfb_8x8", || run_once(&hfb8, 64, CYCLES));
     let express8 = MeshTopology::uniform(8, &random_row(8, 4, 3));
-    group.bench_function(BenchmarkId::from_parameter("express_8x8"), |b| {
-        b.iter(|| run_once(&express8, 64, CYCLES))
+    bench("simulator_cycles/express_8x8", || {
+        run_once(&express8, 64, CYCLES)
     });
     let mesh16 = MeshTopology::mesh(16);
-    group.bench_function(BenchmarkId::from_parameter("mesh_16x16"), |b| {
-        b.iter(|| run_once(&mesh16, 256, CYCLES))
+    bench("simulator_cycles/mesh_16x16", || {
+        run_once(&mesh16, 256, CYCLES)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Shared fixtures for the Criterion benchmarks.
 
+use noc_rng::rngs::SmallRng;
+use noc_rng::{Rng, SeedableRng};
 use noc_topology::{ConnectionMatrix, RowPlacement};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A deterministic pseudo-random valid placement for `P̂(n, C)`.
 pub fn random_row(n: usize, c_limit: usize, seed: u64) -> RowPlacement {
@@ -14,6 +14,25 @@ pub fn random_row(n: usize, c_limit: usize, seed: u64) -> RowPlacement {
         }
     }
     m.decode()
+}
+
+/// Minimal wall-clock micro-benchmark harness (criterion replacement for
+/// offline builds): runs `f` until ~200 ms of samples accumulate and
+/// reports the per-iteration time. Statistics are intentionally simple —
+/// these benches guide relative sizing decisions, not publication numbers.
+pub fn bench<F: FnMut()>(name: &str, mut f: F) {
+    // Warm up and estimate a single-iteration cost.
+    let start = std::time::Instant::now();
+    f();
+    let first = start.elapsed();
+    let target = std::time::Duration::from_millis(200);
+    let iters = (target.as_nanos() / first.as_nanos().max(1)).clamp(1, 100_000) as u32;
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<48} {per_iter:>12.2?}/iter  ({iters} iters)");
 }
 
 #[cfg(test)]

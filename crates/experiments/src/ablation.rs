@@ -11,15 +11,14 @@
 
 use crate::harness;
 use crate::report::{f2, pct, save_json, Table};
+use noc_par::prelude::*;
 use noc_placement::objective::{AllPairsObjective, Objective};
 use noc_placement::{
     anneal, anneal_naive, greedy_solution, initial_solution, sa::random_placement, SaParams,
 };
+use noc_rng::rngs::SmallRng;
+use noc_rng::SeedableRng;
 use noc_topology::RowPlacement;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 fn seeds() -> Vec<u64> {
     let k = if harness::is_quick() { 2 } else { 8 };
@@ -27,7 +26,7 @@ fn seeds() -> Vec<u64> {
 }
 
 /// Result row of the generator ablation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeneratorRow {
     /// Instance label.
     pub instance: String,
@@ -88,7 +87,7 @@ pub fn run_generator() -> Vec<GeneratorRow> {
 }
 
 /// Result row of the initial-solution ablation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InitialRow {
     /// Strategy label.
     pub strategy: String,
@@ -162,7 +161,7 @@ pub fn run_initial() -> Vec<InitialRow> {
 }
 
 /// Result row of the schedule-sensitivity sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScheduleRow {
     /// Parameter being varied and its value.
     pub setting: String,
@@ -177,7 +176,8 @@ pub fn run_schedule() -> Vec<ScheduleRow> {
     let init = initial_solution(n, c, &objective);
     let base = harness::sa_params();
 
-    let mut variants: Vec<(String, SaParams)> = vec![(format!("paper (T0=10, Sc=2, mc=1000)"), base)];
+    let mut variants: Vec<(String, SaParams)> =
+        vec![("paper (T0=10, Sc=2, mc=1000)".to_string(), base)];
     for t0 in [1.0, 100.0] {
         variants.push((
             format!("T0={t0}"),
@@ -211,9 +211,7 @@ pub fn run_schedule() -> Vec<ScheduleRow> {
         .map(|(label, params)| {
             let total: f64 = seeds()
                 .iter()
-                .map(|&seed| {
-                    anneal(c, &init.placement, &objective, params, seed, 0).best_objective
-                })
+                .map(|&seed| anneal(c, &init.placement, &objective, params, seed, 0).best_objective)
                 .sum();
             ScheduleRow {
                 setting: label.clone(),
@@ -241,3 +239,17 @@ pub fn run() {
     run_initial();
     run_schedule();
 }
+
+noc_json::json_struct!(GeneratorRow {
+    instance,
+    matrix_obj,
+    naive_obj,
+    naive_invalid_rate
+});
+noc_json::json_struct!(InitialRow {
+    strategy,
+    initial_obj,
+    initial_cost,
+    final_obj
+});
+noc_json::json_struct!(ScheduleRow { setting, objective });

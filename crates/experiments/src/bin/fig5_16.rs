@@ -5,7 +5,7 @@ use noc_experiments::fig5::{run_size, SizeResult};
 fn main() {
     let mut results: Vec<SizeResult> = std::fs::read_to_string("results/fig5.json")
         .ok()
-        .and_then(|s| serde_json::from_str(&s).ok())
+        .and_then(|s| noc_json::from_str(&s).ok())
         .unwrap_or_default();
     let r = run_size(16);
     println!(
@@ -21,10 +21,7 @@ fn main() {
     results.push(r);
     results.sort_by_key(|x| x.n);
     std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/fig5.json",
-        serde_json::to_string_pretty(&results).expect("serializable"),
-    )
-    .expect("write results/fig5.json");
+    std::fs::write("results/fig5.json", noc_json::to_string_pretty(&results))
+        .expect("write results/fig5.json");
     eprintln!("results saved to results/fig5.json");
 }

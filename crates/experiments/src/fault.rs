@@ -13,10 +13,9 @@ use crate::report::{f2, pct, save_json, Table};
 use noc_model::{LatencyModel, LinkBudget};
 use noc_routing::{channel_dependency_cycle, DorRouter, HopWeights};
 use noc_topology::MeshTopology;
-use serde::{Deserialize, Serialize};
 
 /// Robustness summary of one scheme.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FaultRow {
     /// Scheme label.
     pub scheme: String,
@@ -115,6 +114,15 @@ pub fn run() -> Vec<FaultRow> {
     save_json("fault", &rows);
     rows
 }
+
+noc_json::json_struct!(FaultRow {
+    scheme,
+    express_links,
+    healthy,
+    mean_degradation,
+    worst_degradation,
+    all_deadlock_free
+});
 
 #[cfg(test)]
 mod tests {

@@ -8,10 +8,9 @@ use crate::report::{f1, pct, save_json, Table};
 use noc_model::LinkBudget;
 use noc_placement::InitialStrategy;
 use noc_topology::MeshTopology;
-use serde::{Deserialize, Serialize};
 
 /// The curve for one bandwidth setting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BandwidthResult {
     /// Base flit width (bits) of this budget.
     pub base_flit_bits: u32,
@@ -90,7 +89,12 @@ pub fn run() -> Vec<BandwidthResult> {
             table.row(vec![c.to_string(), f1(lat)]);
         }
         table.print();
-        println!("Mesh = {}, HFB = {}, best D&C_SA = {}\n", f1(r.mesh), f1(r.hfb), f1(r.best));
+        println!(
+            "Mesh = {}, HFB = {}, best D&C_SA = {}\n",
+            f1(r.mesh),
+            f1(r.hfb),
+            f1(r.best)
+        );
     }
     let low = &results[0];
     let high = &results[1];
@@ -102,3 +106,12 @@ pub fn run() -> Vec<BandwidthResult> {
     save_json("fig11", &results);
     results
 }
+
+noc_json::json_struct!(BandwidthResult {
+    base_flit_bits,
+    bisection_gbps,
+    curve,
+    mesh,
+    hfb,
+    best
+});

@@ -7,11 +7,10 @@ use crate::harness;
 use crate::report::{f2, save_json, Table};
 use noc_placement::objective::AllPairsObjective;
 use noc_placement::{exhaustive_optimal, solve_row, InitialStrategy, SaParams};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One instance's comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OptRow {
     /// Instance label, e.g. "P(8,4)".
     pub instance: String,
@@ -69,7 +68,14 @@ pub fn run() -> Vec<OptRow> {
 
     let mut table = Table::new(
         "Fig. 12: D&C_SA vs exhaustive optimum (1D objective, cycles)",
-        &["instance", "D&C_SA", "optimal", "gap", "time ratio", "eval ratio"],
+        &[
+            "instance",
+            "D&C_SA",
+            "optimal",
+            "gap",
+            "time ratio",
+            "eval ratio",
+        ],
     );
     for r in &rows {
         table.row(vec![
@@ -88,3 +94,12 @@ pub fn run() -> Vec<OptRow> {
     save_json("fig12", &rows);
     rows
 }
+
+noc_json::json_struct!(OptRow {
+    instance,
+    dnc_sa,
+    optimal,
+    gap,
+    time_ratio,
+    eval_ratio
+});

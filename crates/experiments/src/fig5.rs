@@ -6,14 +6,13 @@
 use crate::harness::{self, Scheme, SchemeKind};
 use crate::report::{f1, save_json, Table};
 use noc_model::{LinkBudget, PacketMix};
+use noc_par::prelude::*;
 use noc_placement::InitialStrategy;
 use noc_topology::MeshTopology;
 use noc_traffic::ParsecBenchmark;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// One x-position of the figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CurvePoint {
     /// Link limit `C`.
     pub c_limit: usize,
@@ -30,7 +29,7 @@ pub struct CurvePoint {
 }
 
 /// The full figure data for one network size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SizeResult {
     /// Network side length.
     pub n: usize,
@@ -115,8 +114,7 @@ pub fn run_size(n: usize) -> SizeResult {
         .iter()
         .map(|p| p.avg_latency)
         .fold(f64::INFINITY, f64::min);
-    let worth_simulating =
-        |analytic: f64, c: usize| analytic <= 1.6 * best_analytic && c <= 16;
+    let worth_simulating = |analytic: f64, c: usize| analytic <= 1.6 * best_analytic && c <= 16;
 
     let points: Vec<CurvePoint> = dnc
         .points
@@ -161,7 +159,10 @@ pub fn run_size(n: usize) -> SizeResult {
     let mesh = parsec_average_latency(&Scheme::mesh(&budget), &budget, &benchmarks);
     let hfb_scheme = Scheme::hfb(&budget);
     let hfb = parsec_average_latency(&hfb_scheme, &budget, &benchmarks);
-    let best_dnc_sa = points.iter().map(|p| p.dnc_sa).fold(f64::INFINITY, f64::min);
+    let best_dnc_sa = points
+        .iter()
+        .map(|p| p.dnc_sa)
+        .fold(f64::INFINITY, f64::min);
 
     SizeResult {
         n,
@@ -189,7 +190,10 @@ pub fn run() -> Vec<SizeResult> {
     }
     for r in &results {
         let mut table = Table::new(
-            &format!("Fig. 5: {0}x{0} average packet latency vs link limit C", r.n),
+            &format!(
+                "Fig. 5: {0}x{0} average packet latency vs link limit C",
+                r.n
+            ),
             &["C", "b(bits)", "D&C_SA", "OnlySA", "LD", "LS"],
         );
         for p in &r.points {
@@ -218,3 +222,22 @@ pub fn run() -> Vec<SizeResult> {
     }
     results
 }
+
+noc_json::json_struct!(CurvePoint {
+    c_limit,
+    flit_bits,
+    dnc_sa,
+    only_sa,
+    head,
+    serialization
+});
+noc_json::json_struct!(SizeResult {
+    n,
+    points,
+    mesh,
+    hfb,
+    hfb_c,
+    best_dnc_sa,
+    reduction_vs_mesh,
+    reduction_vs_hfb
+});

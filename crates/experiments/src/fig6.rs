@@ -4,11 +4,10 @@
 use crate::harness::{self, Scheme};
 use crate::report::{f1, pct, save_json, Table};
 use noc_model::LinkBudget;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use noc_par::prelude::*;
 
 /// Latency of the three schemes on one benchmark.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BenchmarkRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -74,3 +73,10 @@ pub fn run() -> Vec<BenchmarkRow> {
     save_json("fig6", &rows);
     rows
 }
+
+noc_json::json_struct!(BenchmarkRow {
+    benchmark,
+    mesh,
+    hfb,
+    dnc_sa
+});

@@ -13,13 +13,12 @@ use crate::report::{f2, save_json, Table};
 use noc_model::{LinkBudget, PacketMix, RowObjective};
 use noc_placement::objective::AllPairsObjective;
 use noc_placement::{anneal, initial_solution, sa::random_placement, SaParams};
+use noc_rng::rngs::SmallRng;
+use noc_rng::SeedableRng;
 use noc_routing::HopWeights;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// One sampled point of the convergence curves.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RuntimePoint {
     /// Runtime normalised to one run of `I(n, 4)`.
     pub normalized_runtime: f64,
@@ -30,7 +29,7 @@ pub struct RuntimePoint {
 }
 
 /// The curves for one network size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RuntimeResult {
     /// Network side length.
     pub n: usize,
@@ -46,8 +45,8 @@ pub struct RuntimeResult {
 fn network_latency(n: usize, row_objective: f64, budget: &LinkBudget) -> f64 {
     let routers = (n * n) as f64;
     let tr = HopWeights::PAPER.router_cycles as f64;
-    let ls = PacketMix::paper()
-        .serialization_latency(budget.flit_bits(4).expect("C = 4 is admissible"));
+    let ls =
+        PacketMix::paper().serialization_latency(budget.flit_bits(4).expect("C = 4 is admissible"));
     2.0 * row_objective + tr * (routers - 1.0) / routers + ls
 }
 
@@ -132,7 +131,10 @@ pub fn run() -> Vec<RuntimeResult> {
     let (max_units, seeds): (usize, Vec<u64>) = if harness::is_quick() {
         (100, vec![harness::SEED])
     } else {
-        (10_000, vec![harness::SEED, harness::SEED + 1, harness::SEED + 2])
+        (
+            10_000,
+            vec![harness::SEED, harness::SEED + 1, harness::SEED + 2],
+        )
     };
     let results: Vec<RuntimeResult> = [8usize, 16]
         .iter()
@@ -163,3 +165,14 @@ pub fn run() -> Vec<RuntimeResult> {
     save_json("fig7", &results);
     results
 }
+
+noc_json::json_struct!(RuntimePoint {
+    normalized_runtime,
+    dnc_sa,
+    only_sa
+});
+noc_json::json_struct!(RuntimeResult {
+    n,
+    unit_evaluations,
+    points
+});

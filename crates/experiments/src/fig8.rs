@@ -5,13 +5,12 @@
 use crate::harness::{self, Scheme};
 use crate::report::{f1, f3, pct, save_json, Table};
 use noc_model::{LinkBudget, PacketMix};
+use noc_par::prelude::*;
 use noc_sim::{saturation_sweep, SimConfig};
 use noc_traffic::{SyntheticPattern, TrafficMatrix, Workload};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Latency and saturation throughput of the three schemes for one pattern.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PatternRow {
     /// Pattern label (UR/TP/BR).
     pub pattern: String,
@@ -55,8 +54,7 @@ pub fn run() -> Vec<PatternRow> {
                 }
                 // Start well below every scheme's knee: XY-routed transpose
                 // saturates early on the mesh.
-                throughput[i] =
-                    saturation_sweep(&s.topology, &workload, &config, 0.004).saturation;
+                throughput[i] = saturation_sweep(&s.topology, &workload, &config, 0.004).saturation;
             }
             PatternRow {
                 pattern: p.label().to_string(),
@@ -101,7 +99,14 @@ pub fn run() -> Vec<PatternRow> {
 
     let mut b = Table::new(
         "Fig. 8(b): 8x8 saturation throughput (packets/node/cycle)",
-        &["pattern", "Mesh", "HFB", "D&C_SA", "D&C_SA/HFB", "D&C_SA/Mesh"],
+        &[
+            "pattern",
+            "Mesh",
+            "HFB",
+            "D&C_SA",
+            "D&C_SA/HFB",
+            "D&C_SA/Mesh",
+        ],
     );
     for r in &rows {
         b.row(vec![
@@ -120,3 +125,9 @@ pub fn run() -> Vec<PatternRow> {
     save_json("fig8", &rows);
     rows
 }
+
+noc_json::json_struct!(PatternRow {
+    pattern,
+    latency,
+    throughput
+});

@@ -5,13 +5,12 @@
 use crate::harness::{self, Scheme};
 use crate::report::{f2, pct, save_json, Table};
 use noc_model::LinkBudget;
+use noc_par::prelude::*;
 use noc_power::{network_power, NetworkPower, PowerConfig};
 use noc_traffic::ParsecBenchmark;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Power of the three schemes for one benchmark (network totals, watts).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PowerRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -22,7 +21,7 @@ pub struct PowerRow {
 }
 
 /// Static breakdown of one scheme (Fig. 10), watts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StaticBreakdown {
     /// Scheme label.
     pub scheme: String,
@@ -35,7 +34,12 @@ pub struct StaticBreakdown {
 }
 
 fn power_of(scheme: &Scheme, budget: &LinkBudget, bench: ParsecBenchmark) -> NetworkPower {
-    let stats = harness::simulate(scheme, budget, &bench.workload(budget.n), harness::SEED ^ 0x9);
+    let stats = harness::simulate(
+        scheme,
+        budget,
+        &bench.workload(budget.n),
+        harness::SEED ^ 0x9,
+    );
     network_power(
         &scheme.topology,
         scheme.flit_bits,
@@ -168,7 +172,21 @@ pub fn run_fig10() -> Vec<StaticBreakdown> {
         ]);
     }
     table.print();
-    println!("(paper: buffer static equalised; crossbar static does not increase with express links)\n");
+    println!(
+        "(paper: buffer static equalised; crossbar static does not increase with express links)\n"
+    );
     save_json("fig10", &rows);
     rows
 }
+
+noc_json::json_struct!(PowerRow {
+    benchmark,
+    static_w,
+    dynamic_w
+});
+noc_json::json_struct!(StaticBreakdown {
+    scheme,
+    buffer,
+    crossbar,
+    others
+});

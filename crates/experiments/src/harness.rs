@@ -12,11 +12,11 @@ use std::sync::Mutex;
 use std::sync::OnceLock;
 
 /// Deterministic seed for every experiment (the paper's publication date).
-pub const SEED: u64 = 2019_08_05;
+pub const SEED: u64 = 20190805;
 
 /// Whether quick (smoke-test) mode is active (`NOC_QUICK=1`).
 pub fn is_quick() -> bool {
-    std::env::var("NOC_QUICK").map_or(false, |v| v == "1")
+    std::env::var("NOC_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// The three compared schemes of §5.1 (plus `OnlySA` where an experiment
@@ -96,7 +96,11 @@ impl Scheme {
 
     /// The three schemes of Fig. 6/8/9, in plotting order.
     pub fn standard_three(budget: &LinkBudget) -> Vec<Scheme> {
-        vec![Scheme::mesh(budget), Scheme::hfb(budget), Scheme::dnc_sa(budget)]
+        vec![
+            Scheme::mesh(budget),
+            Scheme::hfb(budget),
+            Scheme::dnc_sa(budget),
+        ]
     }
 
     /// Zero-load analytic statistics of this design.
@@ -124,7 +128,8 @@ pub fn sa_params() -> SaParams {
 /// Per-`C` optimization sweep, cached per (n, base flit, strategy) within
 /// the process — several figures share the same solves.
 pub fn best_design(budget: &LinkBudget, strategy: InitialStrategy) -> NetworkDesign {
-    static CACHE: OnceLock<Mutex<HashMap<(usize, u32, bool), NetworkDesign>>> = OnceLock::new();
+    type DesignCache = Mutex<HashMap<(usize, u32, bool), NetworkDesign>>;
+    static CACHE: OnceLock<DesignCache> = OnceLock::new();
     let key = (
         budget.n,
         budget.base_flit_bits,

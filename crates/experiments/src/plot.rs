@@ -46,11 +46,14 @@ pub struct LinePlot {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn nice_ticks(lo: f64, hi: f64, count: usize) -> Vec<f64> {
-    if !(hi > lo) {
+    // NaN or a degenerate range both collapse to a single tick.
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return vec![lo];
     }
     let span = hi - lo;
@@ -159,7 +162,10 @@ impl LinePlot {
                     format!("{cmd}{:.1},{:.1}", sx(self.map_x(x)), sy(y))
                 })
                 .collect();
-            let _ = writeln!(svg, r##"<path d="{path}" fill="none" stroke="{colour}" stroke-width="2"/>"##);
+            let _ = writeln!(
+                svg,
+                r##"<path d="{path}" fill="none" stroke="{colour}" stroke-width="2"/>"##
+            );
             for &(x, y) in &series.points {
                 let _ = writeln!(
                     svg,

@@ -5,13 +5,12 @@
 //! Missing results are skipped with a note, so partial runs still plot.
 
 use crate::plot::{save_svg, BarPlot, LinePlot, Series};
-use serde::de::DeserializeOwned;
 use std::path::Path;
 
-fn load<T: DeserializeOwned>(name: &str) -> Option<T> {
+fn load<T: noc_json::FromJson>(name: &str) -> Option<T> {
     let path = Path::new("results").join(format!("{name}.json"));
     let data = std::fs::read_to_string(&path).ok()?;
-    match serde_json::from_str(&data) {
+    match noc_json::from_str(&data) {
         Ok(v) => Some(v),
         Err(e) => {
             eprintln!("skipping {name}: cannot parse {}: {e}", path.display());
@@ -30,7 +29,10 @@ fn plot_fig5() -> bool {
             points: r.points.iter().map(|p| (p.c_limit as f64, f(p))).collect(),
         };
         let plot = LinePlot {
-            title: format!("Fig. 5: {0}x{0} average packet latency vs link limit C", r.n),
+            title: format!(
+                "Fig. 5: {0}x{0} average packet latency vs link limit C",
+                r.n
+            ),
             x_label: "link limit C".into(),
             y_label: "average packet latency (cycles)".into(),
             log_x: true,
@@ -127,7 +129,10 @@ fn plot_fig8() -> bool {
         y_label: "throughput (packets/node/cycle)".into(),
         groups,
         series: vec![
-            ("Mesh".into(), rows.iter().map(|r| r.throughput[0]).collect()),
+            (
+                "Mesh".into(),
+                rows.iter().map(|r| r.throughput[0]).collect(),
+            ),
             ("HFB".into(), rows.iter().map(|r| r.throughput[1]).collect()),
             (
                 "D&C_SA".into(),
@@ -150,9 +155,8 @@ fn plot_fig9() -> bool {
         series: vec![
             (
                 "Mesh".into(),
-                rows.iter()
-                    .map(|r| (r.static_w[0] + r.dynamic_w[0]) / (r.static_w[0] + r.dynamic_w[0]))
-                    .collect(),
+                // Mesh normalised to itself is 1 by definition.
+                rows.iter().map(|_| 1.0).collect(),
             ),
             (
                 "HFB".into(),
@@ -232,6 +236,8 @@ pub fn run() -> usize {
         plot_fig11(),
     ];
     let count = produced.iter().filter(|&&p| p).count();
-    println!("rendered {count} figure set(s) from results/ (run the experiment binaries for the rest)");
+    println!(
+        "rendered {count} figure set(s) from results/ (run the experiment binaries for the rest)"
+    );
     count
 }

@@ -1,6 +1,5 @@
 //! Plain-text tables and JSON result archival.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -82,22 +81,18 @@ pub fn pct(x: f64) -> String {
 
 /// Writes a JSON record under `results/<name>.json` (best effort: failures
 /// are reported but never abort an experiment).
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json<T: noc_json::ToJson>(name: &str, value: &T) {
     let dir = PathBuf::from("results");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create results/: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                eprintln!("results saved to {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    let json = noc_json::to_string_pretty(value);
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("results saved to {}", path.display());
     }
 }
 

@@ -7,13 +7,12 @@
 use crate::harness::{self, Scheme, SchemeKind};
 use crate::report::{f1, pct, save_json, Table};
 use noc_model::LinkBudget;
+use noc_par::prelude::*;
 use noc_placement::optimize_app_specific;
 use noc_routing::HopWeights;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Per-benchmark comparison of general vs application-specific placement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppSpecificRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -54,9 +53,8 @@ pub fn run() -> Vec<AppSpecificRow> {
                 c_limit,
             };
             let workload = b.workload(8);
-            let general_lat =
-                harness::simulate(&general, &budget, &workload, harness::SEED ^ 0x56)
-                    .avg_packet_latency;
+            let general_lat = harness::simulate(&general, &budget, &workload, harness::SEED ^ 0x56)
+                .avg_packet_latency;
             let app_lat = harness::simulate(&app_scheme, &budget, &workload, harness::SEED ^ 0x56)
                 .avg_packet_latency;
             AppSpecificRow {
@@ -79,7 +77,12 @@ pub fn run() -> Vec<AppSpecificRow> {
 
     let mut table = Table::new(
         "Sec. 5.6.4: application-specific placement, 8x8 (cycles)",
-        &["benchmark", "general D&C_SA", "app-specific", "extra reduction"],
+        &[
+            "benchmark",
+            "general D&C_SA",
+            "app-specific",
+            "extra reduction",
+        ],
     );
     for r in &rows {
         table.row(vec![
@@ -99,7 +102,7 @@ pub fn run() -> Vec<AppSpecificRow> {
 }
 
 /// One point of the traffic-concentration sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConcentrationPoint {
     /// Fraction of traffic carried by the sparse sharing graph.
     pub concentration: f64,
@@ -143,9 +146,8 @@ pub fn concentration_sweep(
                 (sharing_graph(8, 2, 0xc0c), lambda),
             ]);
             let workload = Workload::new(gamma.clone(), 0.02, PacketMix::paper());
-            let general_lat =
-                harness::simulate(&general, budget, &workload, harness::SEED ^ 0x57)
-                    .avg_packet_latency;
+            let general_lat = harness::simulate(&general, budget, &workload, harness::SEED ^ 0x57)
+                .avg_packet_latency;
             // The paper's full method re-sweeps C for the app-specific
             // design too; with concentrated traffic a larger C can win.
             let app_lat = [c_limit, c_limit * 2, c_limit * 4]
@@ -184,7 +186,12 @@ pub fn concentration_sweep(
 
     let mut table = Table::new(
         "Sec. 5.6.4 (cont.): gain vs traffic concentration, 8x8 (cycles)",
-        &["sharing share", "general", "app-specific", "extra reduction"],
+        &[
+            "sharing share",
+            "general",
+            "app-specific",
+            "extra reduction",
+        ],
     );
     for p in &points {
         table.row(vec![
@@ -201,7 +208,7 @@ pub fn concentration_sweep(
 }
 
 /// One row of the active-subset study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ActiveSubsetRow {
     /// Number of routers with traffic (of 64).
     pub active_nodes: usize,
@@ -223,12 +230,16 @@ pub struct ActiveSubsetRow {
 /// along the few hot row/column pairs.
 pub fn active_subset_sweep(budget: &noc_model::LinkBudget) -> Vec<ActiveSubsetRow> {
     use noc_model::PacketMix;
+    use noc_rng::rngs::SmallRng;
+    use noc_rng::{Rng, SeedableRng};
     use noc_traffic::{TrafficMatrix, Workload};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
 
     let general = Scheme::dnc_sa(budget);
-    let actives: &[usize] = if harness::is_quick() { &[16] } else { &[8, 16, 32] };
+    let actives: &[usize] = if harness::is_quick() {
+        &[16]
+    } else {
+        &[8, 16, 32]
+    };
     let rows: Vec<ActiveSubsetRow> = actives
         .par_iter()
         .map(|&active| {
@@ -245,13 +256,14 @@ pub fn active_subset_sweep(budget: &noc_model::LinkBudget) -> Vec<ActiveSubsetRo
             }
             let gamma = TrafficMatrix::from_rates(8, rates);
             let workload = Workload::new(gamma.clone(), 0.02, PacketMix::paper());
-            let general_lat =
-                harness::simulate(&general, budget, &workload, harness::SEED ^ 0x58)
-                    .avg_packet_latency;
+            let general_lat = harness::simulate(&general, budget, &workload, harness::SEED ^ 0x58)
+                .avg_packet_latency;
             let mut best = f64::INFINITY;
             let mut best_c = 1;
             for c in [2usize, 4, 8] {
-                let Some(b) = budget.flit_bits(c) else { continue };
+                let Some(b) = budget.flit_bits(c) else {
+                    continue;
+                };
                 let topo = optimize_app_specific(
                     8,
                     c,
@@ -285,7 +297,13 @@ pub fn active_subset_sweep(budget: &noc_model::LinkBudget) -> Vec<ActiveSubsetRo
 
     let mut table = Table::new(
         "Sec. 5.6.4 (cont.): sparse-active traffic, 8x8 (cycles)",
-        &["active nodes", "general", "app-specific", "best C", "extra reduction"],
+        &[
+            "active nodes",
+            "general",
+            "app-specific",
+            "best C",
+            "extra reduction",
+        ],
     );
     for r in &rows {
         table.row(vec![
@@ -301,3 +319,23 @@ pub fn active_subset_sweep(budget: &noc_model::LinkBudget) -> Vec<ActiveSubsetRo
     save_json("sec564_active_subset", &rows);
     rows
 }
+
+noc_json::json_struct!(AppSpecificRow {
+    benchmark,
+    general,
+    app_specific,
+    extra_reduction
+});
+noc_json::json_struct!(ConcentrationPoint {
+    concentration,
+    general,
+    app_specific,
+    extra_reduction
+});
+noc_json::json_struct!(ActiveSubsetRow {
+    active_nodes,
+    general,
+    app_specific,
+    best_c,
+    extra_reduction
+});

@@ -6,10 +6,9 @@ use crate::report::{f1, save_json, Table};
 use noc_model::{LatencyModel, LinkBudget, PacketMix};
 use noc_power::{routing_table_overhead, AreaBreakdown};
 use noc_routing::{DorRouter, HopWeights};
-use serde::{Deserialize, Serialize};
 
 /// One network size's worst-case latencies.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorstCaseRow {
     /// Network side length.
     pub n: usize,
@@ -63,9 +62,24 @@ pub fn run() -> Vec<WorstCaseRow> {
     let mesh = col(|r| r.mesh);
     let hfb = col(|r| r.hfb);
     let dnc = col(|r| r.dnc_sa);
-    table.row(vec!["Mesh".into(), mesh[0].clone(), mesh[1].clone(), mesh[2].clone()]);
-    table.row(vec!["HFB".into(), hfb[0].clone(), hfb[1].clone(), hfb[2].clone()]);
-    table.row(vec!["D&C_SA".into(), dnc[0].clone(), dnc[1].clone(), dnc[2].clone()]);
+    table.row(vec![
+        "Mesh".into(),
+        mesh[0].clone(),
+        mesh[1].clone(),
+        mesh[2].clone(),
+    ]);
+    table.row(vec![
+        "HFB".into(),
+        hfb[0].clone(),
+        hfb[1].clone(),
+        hfb[2].clone(),
+    ]);
+    table.row(vec![
+        "D&C_SA".into(),
+        dnc[0].clone(),
+        dnc[1].clone(),
+        dnc[2].clone(),
+    ]);
     table.print();
     println!("(paper: Mesh 28.2/60.2/71.2, HFB 15.2/38.2/63.8, D&C_SA 13.6/33.2/55.2)\n");
     save_json("table2", &rows);
@@ -99,3 +113,10 @@ pub fn run_overhead() -> AreaBreakdown {
     save_json("overhead", &area);
     area
 }
+
+noc_json::json_struct!(WorstCaseRow {
+    n,
+    mesh,
+    hfb,
+    dnc_sa
+});

@@ -8,10 +8,8 @@
 //! `C` values are admissible per network size (§4.1: 1, 2, 4 for 4×4 and
 //! 1, 2, 4, 8, 16 for 8×8).
 
-use serde::{Deserialize, Serialize};
-
 /// Bandwidth budget for an `n × n` network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkBudget {
     /// Network side length `n`.
     pub n: usize,

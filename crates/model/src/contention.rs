@@ -242,11 +242,23 @@ mod tests {
         let model = ContentionModel::paper();
         let gamma = ur_gamma(n);
         let mesh_sat = model
-            .analyze(&DorRouter::new(&mesh, HopWeights::PAPER), &gamma, 0.01, 1.6, 1.2)
+            .analyze(
+                &DorRouter::new(&mesh, HopWeights::PAPER),
+                &gamma,
+                0.01,
+                1.6,
+                1.2,
+            )
             .saturation_rate;
         // HFB at C = 4 runs 4x narrower links -> 4x the flits per packet.
         let hfb_sat = model
-            .analyze(&DorRouter::new(&hfb, HopWeights::PAPER), &gamma, 0.01, 6.4, 3.2)
+            .analyze(
+                &DorRouter::new(&hfb, HopWeights::PAPER),
+                &gamma,
+                0.01,
+                6.4,
+                3.2,
+            )
             .saturation_rate;
         assert!(
             hfb_sat < mesh_sat / 2.0,

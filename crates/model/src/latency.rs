@@ -106,12 +106,12 @@ impl LatencyModel {
                 }
                 let (sx, sy) = (src % n, src / n);
                 let (dx, dy) = (dst % n, dst / n);
-                let d = dor.row_apsp(sy).dist(sx, dx) + dor.col_apsp(dx).dist(sy, dy)
+                let d = dor.row_apsp(sy).dist(sx, dx)
+                    + dor.col_apsp(dx).dist(sy, dy)
                     + self.weights.router_cycles;
                 sum += d as u64;
                 max = max.max(d);
-                hop_sum +=
-                    (dor.row_apsp(sy).hops(sx, dx) + dor.col_apsp(dx).hops(sy, dy)) as u64;
+                hop_sum += (dor.row_apsp(sy).hops(sx, dx) + dor.col_apsp(dx).hops(sy, dy)) as u64;
             }
         }
         let pairs = (routers * routers) as f64;

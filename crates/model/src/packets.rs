@@ -1,9 +1,7 @@
 //! Packet populations and serialization latency.
 
-use serde::{Deserialize, Serialize};
-
 /// One class of packets: a payload size and its share of the traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketClass {
     /// Packet size `S_k` in bits.
     pub bits: u32,
@@ -14,7 +12,7 @@ pub struct PacketClass {
 /// A population of packet classes, e.g. the paper's evaluation mix (§5.1):
 /// long 512-bit packets (read replies / write requests) to short 128-bit
 /// packets (read requests / write acks) at a 1:4 ratio.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PacketMix {
     classes: Vec<PacketClass>,
 }

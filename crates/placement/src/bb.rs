@@ -68,11 +68,8 @@ impl<O: Objective + ?Sized> Search<'_, O> {
                 .iter()
                 .any(|link| !self.chosen.contains(link) && self.fits(link));
             if maximal {
-                let row = RowPlacement::with_links(
-                    self.n,
-                    self.chosen.iter().map(|l| (l.a, l.b)),
-                )
-                .expect("chosen links are valid by construction");
+                let row = RowPlacement::with_links(self.n, self.chosen.iter().map(|l| (l.a, l.b)))
+                    .expect("chosen links are valid by construction");
                 let obj = self.objective.eval(&row);
                 self.evaluations += 1;
                 if obj < self.best_objective {

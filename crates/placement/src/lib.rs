@@ -37,6 +37,7 @@
 
 pub mod bb;
 pub mod dnc;
+pub mod fingerprint;
 pub mod greedy;
 pub mod naive;
 pub mod objective;
@@ -49,7 +50,6 @@ pub use greedy::greedy_solution;
 pub use naive::{anneal_naive, NaiveSaOutcome};
 pub use objective::{AllPairsObjective, Objective, WeightedObjective};
 pub use optimizer::{
-    optimize_app_specific, optimize_network, solve_row, InitialStrategy, NetworkDesign,
-    SweepPoint,
+    optimize_app_specific, optimize_network, solve_row, InitialStrategy, NetworkDesign, SweepPoint,
 };
 pub use sa::{anneal, SaOutcome, SaParams, TracePoint};

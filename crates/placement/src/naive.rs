@@ -10,9 +10,9 @@
 
 use crate::objective::Objective;
 use crate::sa::{SaParams, TracePoint};
+use noc_rng::rngs::SmallRng;
+use noc_rng::{Rng, SeedableRng};
 use noc_topology::{Link, RowPlacement};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Outcome of a naive-generator annealing run.
 #[derive(Debug, Clone)]

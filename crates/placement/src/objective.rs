@@ -1,5 +1,6 @@
 //! Placement objectives: what the optimizer minimises.
 
+use crate::fingerprint;
 use noc_model::RowObjective;
 use noc_routing::HopWeights;
 use noc_topology::RowPlacement;
@@ -39,6 +40,22 @@ impl AllPairsObjective {
         AllPairsObjective {
             inner: RowObjective { weights },
         }
+    }
+
+    /// The hop weights this objective evaluates with.
+    pub fn weights(&self) -> HopWeights {
+        self.inner.weights
+    }
+
+    /// A stable 64-bit fingerprint of everything the objective value
+    /// depends on. Two objectives with equal fingerprints evaluate every
+    /// placement identically, so results keyed by the fingerprint (e.g.
+    /// the service result cache) can be shared between them.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fingerprint::Fnv1a::with_tag("all-pairs");
+        h.write_u32(self.inner.weights.router_cycles);
+        h.write_u32(self.inner.weights.unit_link_cycles);
+        h.finish()
     }
 }
 
@@ -94,6 +111,19 @@ impl WeightedObjective {
     /// Whether the objective covers no routers.
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Stable fingerprint over the weights, dimensions, and the full rate
+    /// matrix (bit-exact: `f64`s are hashed by their IEEE-754 encoding).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fingerprint::Fnv1a::with_tag("weighted");
+        h.write_u32(self.inner.weights.router_cycles);
+        h.write_u32(self.inner.weights.unit_link_cycles);
+        h.write_u64(self.n as u64);
+        for &g in &self.gamma {
+            h.write_u64(g.to_bits());
+        }
+        h.finish()
     }
 }
 

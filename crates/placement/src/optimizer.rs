@@ -10,15 +10,14 @@ use crate::dnc::{initial_solution, DivisibleObjective};
 use crate::objective::{AllPairsObjective, WeightedObjective};
 use crate::sa::{anneal, random_placement, SaOutcome, SaParams};
 use noc_model::{LatencyModel, LinkBudget, PacketMix};
+use noc_par::prelude::*;
+use noc_rng::rngs::SmallRng;
+use noc_rng::SeedableRng;
 use noc_routing::{DorRouter, HopWeights};
 use noc_topology::{MeshTopology, RowPlacement};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// How the annealer is seeded — the paper's two evaluated schemes (§5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitialStrategy {
     /// `OnlySA`: a uniformly random connection matrix.
     Random,
@@ -45,17 +44,31 @@ pub fn solve_row<O: DivisibleObjective>(
         }
         InitialStrategy::DivideAndConquer => {
             let init = initial_solution(n, c_limit, objective);
-            anneal(c_limit, &init.placement, objective, params, seed, init.evaluations)
+            anneal(
+                c_limit,
+                &init.placement,
+                objective,
+                params,
+                seed,
+                init.evaluations,
+            )
         }
         InitialStrategy::Greedy => {
             let init = crate::greedy::greedy_solution(n, c_limit, objective);
-            anneal(c_limit, &init.placement, objective, params, seed, init.evaluations)
+            anneal(
+                c_limit,
+                &init.placement,
+                objective,
+                params,
+                seed,
+                init.evaluations,
+            )
         }
     }
 }
 
 /// One design point of the per-`C` sweep (one x-position of Fig. 5).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Link limit `C` of this design point.
     pub c_limit: usize,
@@ -74,7 +87,7 @@ pub struct SweepPoint {
 }
 
 /// The full sweep result: every design point plus the winner.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkDesign {
     /// One point per admissible `C`, in increasing `C` order.
     pub points: Vec<SweepPoint>,
@@ -297,9 +310,8 @@ mod tests {
         let mut dnc_total = 0.0;
         let mut rand_total = 0.0;
         for seed in 0..5 {
-            dnc_total +=
-                solve_row(8, 4, &obj, InitialStrategy::DivideAndConquer, &params, seed)
-                    .best_objective;
+            dnc_total += solve_row(8, 4, &obj, InitialStrategy::DivideAndConquer, &params, seed)
+                .best_objective;
             rand_total +=
                 solve_row(8, 4, &obj, InitialStrategy::Random, &params, seed).best_objective;
         }
@@ -316,14 +328,7 @@ mod tests {
         let routers = n * n;
         let mut gamma = vec![0.0; routers * routers];
         gamma[routers - 1] = 1.0; // (0,0) -> (3,3)
-        let topo = optimize_app_specific(
-            n,
-            2,
-            &gamma,
-            HopWeights::PAPER,
-            &quick_params(),
-            3,
-        );
+        let topo = optimize_app_specific(n, 2, &gamma, HopWeights::PAPER, &quick_params(), 3);
         // Row 0 must provide a fast path 0 -> 3, column 3 a fast path 0 -> 3.
         let row = topo.row_placement(0);
         let col = topo.col_placement(3);

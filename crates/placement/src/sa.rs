@@ -8,13 +8,12 @@
 //! accepted; otherwise it is accepted with probability `e^(−ΔL/T)`.
 
 use crate::objective::Objective;
+use noc_rng::rngs::SmallRng;
+use noc_rng::{Rng, SeedableRng};
 use noc_topology::{ConnectionMatrix, RowPlacement};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Annealing schedule parameters (paper Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaParams {
     /// Initial temperature `T0` in cycles.
     pub initial_temperature: f64,
@@ -46,6 +45,19 @@ impl SaParams {
             ..self
         }
     }
+
+    /// Stable fingerprint of the schedule. Together with `(n, C)`, the
+    /// objective fingerprint, the initial strategy, and the seed, this
+    /// pins down the annealing result exactly — the basis of the service
+    /// result cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv1a::with_tag("sa-params");
+        h.write_u64(self.initial_temperature.to_bits());
+        h.write_u64(self.total_moves as u64);
+        h.write_u64(self.cooldown_scale.to_bits());
+        h.write_u64(self.moves_per_stage as u64);
+        h.finish()
+    }
 }
 
 impl Default for SaParams {
@@ -56,7 +68,7 @@ impl Default for SaParams {
 
 /// A point on the annealing convergence trace: best objective seen after a
 /// given number of objective evaluations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
     /// Objective evaluations performed so far (the runtime proxy — each
     /// evaluation is one `O(n·e)` routing solve, the dominant cost).

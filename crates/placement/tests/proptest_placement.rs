@@ -1,84 +1,99 @@
 //! Property-based tests for the optimizer: feasibility of every produced
 //! placement, monotonicity of the objective in the link set, SA never
 //! regressing its initial solution, and D&C bounded by the exact optimum.
+//!
+//! Cases are generated with the in-repo deterministic PRNG (`noc-rng`)
+//! instead of proptest, so the suite runs in hermetic offline builds.
 
 use noc_placement::objective::{AllPairsObjective, Objective};
-use noc_placement::{
-    anneal, exhaustive_optimal, initial_solution, sa::random_placement, SaParams,
-};
+use noc_placement::{anneal, exhaustive_optimal, initial_solution, sa::random_placement, SaParams};
+use noc_rng::rngs::SmallRng;
+use noc_rng::{Rng, SeedableRng};
 use noc_topology::{ConnectionMatrix, RowPlacement};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-fn valid_placement() -> impl Strategy<Value = (RowPlacement, usize)> {
-    (4usize..=12)
-        .prop_flat_map(|n| (Just(n), 2usize..=6))
-        .prop_flat_map(|(n, c)| {
-            let nbits = (c - 1) * (n - 2);
-            proptest::collection::vec(any::<bool>(), nbits).prop_map(move |bits| {
-                (
-                    ConnectionMatrix::from_bits(n, c, bits).unwrap().decode(),
-                    c,
-                )
-            })
-        })
+/// Random valid placement plus its link limit.
+fn valid_placement(rng: &mut SmallRng) -> (RowPlacement, usize) {
+    let n = rng.gen_range(4usize..13);
+    let c = rng.gen_range(2usize..7);
+    let nbits = (c - 1) * (n - 2);
+    let bits: Vec<bool> = (0..nbits).map(|_| rng.gen::<bool>()).collect();
+    (ConnectionMatrix::from_bits(n, c, bits).unwrap().decode(), c)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn for_cases(cases: u64, test_salt: u64, mut body: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(test_salt ^ (case * 0x9E37_79B9));
+        body(&mut rng);
+    }
+}
 
-    /// Adding any feasible express link never increases the all-pairs
-    /// objective — the monotonicity the branch-and-bound relies on.
-    #[test]
-    fn objective_is_monotone_in_links((row, _c) in valid_placement(),
-                                      a in 0usize..12, span in 2usize..6) {
+/// Adding any feasible express link never increases the all-pairs
+/// objective — the monotonicity the branch-and-bound relies on.
+#[test]
+fn objective_is_monotone_in_links() {
+    for_cases(24, 0xA1, |rng| {
+        let (row, _c) = valid_placement(rng);
         let obj = AllPairsObjective::paper();
         let n = row.len();
+        let a = rng.gen_range(0usize..12);
+        let span = rng.gen_range(2usize..6);
         let b = a + span;
         if b >= n {
-            return Ok(());
+            return;
         }
         let before = obj.eval(&row);
         let mut bigger = row.clone();
         bigger.add_link(a, b).unwrap();
-        prop_assert!(obj.eval(&bigger) <= before + 1e-12);
-    }
+        assert!(obj.eval(&bigger) <= before + 1e-12);
+    });
+}
 
-    /// SA's result is never worse than its initial placement and always
-    /// respects the link limit.
-    #[test]
-    fn sa_result_feasible_and_no_regression((row, c) in valid_placement(), seed in any::<u64>()) {
+/// SA's result is never worse than its initial placement and always
+/// respects the link limit.
+#[test]
+fn sa_result_feasible_and_no_regression() {
+    for_cases(24, 0xA2, |rng| {
+        let (row, c) = valid_placement(rng);
+        let seed = rng.gen::<u64>();
         let obj = AllPairsObjective::paper();
         let params = SaParams::paper().with_moves(200);
         let out = anneal(c, &row, &obj, &params, seed, 0);
-        prop_assert!(out.best_objective <= obj.eval(&row) + 1e-12);
-        prop_assert!(out.best.validate(c).is_ok());
-    }
+        assert!(out.best_objective <= obj.eval(&row) + 1e-12);
+        assert!(out.best.validate(c).is_ok());
+    });
+}
 
-    /// D&C initial solutions are feasible and never worse than the mesh.
-    #[test]
-    fn dnc_feasible_and_beats_mesh(n in 5usize..=14, c in 2usize..=5) {
+/// D&C initial solutions are feasible and never worse than the mesh.
+#[test]
+fn dnc_feasible_and_beats_mesh() {
+    for_cases(24, 0xA3, |rng| {
+        let n = rng.gen_range(5usize..15);
+        let c = rng.gen_range(2usize..6);
         let obj = AllPairsObjective::paper();
         let out = initial_solution(n, c, &obj);
-        prop_assert!(out.placement.validate(c).is_ok());
-        prop_assert!(out.objective <= obj.eval(&RowPlacement::new(n)) + 1e-12);
-    }
+        assert!(out.placement.validate(c).is_ok());
+        assert!(out.objective <= obj.eval(&RowPlacement::new(n)) + 1e-12);
+    });
+}
 
-    /// The exhaustive optimum lower-bounds both D&C and SA outcomes, and the
-    /// reported objective matches re-evaluating the reported placement.
-    #[test]
-    fn exhaustive_is_a_true_lower_bound(n in 4usize..=7, c in 2usize..=3, seed in any::<u64>()) {
+/// The exhaustive optimum lower-bounds both D&C and SA outcomes, and the
+/// reported objective matches re-evaluating the reported placement.
+#[test]
+fn exhaustive_is_a_true_lower_bound() {
+    for_cases(12, 0xA4, |rng| {
+        let n = rng.gen_range(4usize..8);
+        let c = rng.gen_range(2usize..4);
+        let seed = rng.gen::<u64>();
         let obj = AllPairsObjective::paper();
         let opt = exhaustive_optimal(n, c, &obj);
-        prop_assert!((obj.eval(&opt.best) - opt.best_objective).abs() < 1e-12);
+        assert!((obj.eval(&opt.best) - opt.best_objective).abs() < 1e-12);
 
         let dnc = initial_solution(n, c, &obj);
-        prop_assert!(opt.best_objective <= dnc.objective + 1e-12);
+        assert!(opt.best_objective <= dnc.objective + 1e-12);
 
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let start = random_placement(n, c, &mut rng);
+        let mut rng2 = SmallRng::seed_from_u64(seed);
+        let start = random_placement(n, c, &mut rng2);
         let sa = anneal(c, &start, &obj, &SaParams::paper().with_moves(300), seed, 0);
-        prop_assert!(opt.best_objective <= sa.best_objective + 1e-12);
-    }
+        assert!(opt.best_objective <= sa.best_objective + 1e-12);
+    });
 }

@@ -7,10 +7,9 @@
 //! entry is a handful of register bits (a port index plus a valid bit).
 
 use noc_topology::MeshTopology;
-use serde::{Deserialize, Serialize};
 
 /// Area coefficients, in µm² at 32 nm (DSENT-calibrated magnitudes).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaConfig {
     /// SRAM buffer cell area per bit.
     pub buffer_um2_per_bit: f64,
@@ -41,7 +40,7 @@ impl Default for AreaConfig {
 }
 
 /// Router area broken down by component (µm²).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaBreakdown {
     /// Input-buffer SRAM.
     pub buffer: f64,
@@ -100,6 +99,13 @@ pub fn routing_table_overhead(
         table: total.table / routers as f64,
     }
 }
+
+noc_json::json_struct!(AreaBreakdown {
+    buffer,
+    crossbar,
+    other,
+    table
+});
 
 #[cfg(test)]
 mod tests {

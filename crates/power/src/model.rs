@@ -2,12 +2,11 @@
 
 use noc_sim::SimStats;
 use noc_topology::MeshTopology;
-use serde::{Deserialize, Serialize};
 
 /// Technology coefficients. Defaults are calibrated to DSENT's 32 nm bulk
 /// CMOS numbers at 1 GHz: a 64-router mesh under PARSEC-class load lands at
 /// watt-scale total power with static ≈ two-thirds of it (Fig. 9/10).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerConfig {
     /// Clock frequency in GHz (energies below are per event; power follows
     /// as `events/cycle × energy × f`).
@@ -56,7 +55,7 @@ impl Default for PowerConfig {
 }
 
 /// Power breakdown of one router (or an aggregate), in watts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RouterPower {
     /// Static leakage of input buffers.
     pub static_buffer: f64,
@@ -100,7 +99,7 @@ impl RouterPower {
 }
 
 /// Network-wide power result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkPower {
     /// Per-router breakdowns.
     pub routers: Vec<RouterPower>,

@@ -127,8 +127,8 @@ mod tests {
 
     #[test]
     fn paper_solution_is_deadlock_free() {
-        let row = RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)])
-            .unwrap();
+        let row =
+            RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)]).unwrap();
         assert!(is_deadlock_free(&MeshTopology::uniform(8, &row), W));
     }
 

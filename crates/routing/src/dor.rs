@@ -49,10 +49,7 @@ impl Route {
     /// (the 1D segment convention — no terminal-router pipeline; see
     /// `noc-model` for the full packet-latency convention).
     pub fn segment_latency(&self, weights: HopWeights) -> Cycles {
-        self.hops
-            .iter()
-            .map(|h| weights.hop_cost(h.span))
-            .sum()
+        self.hops.iter().map(|h| weights.hop_cost(h.span)).sum()
     }
 }
 
@@ -216,8 +213,8 @@ mod tests {
 
     #[test]
     fn segment_distance_matches_route_latency() {
-        let row = RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)])
-            .unwrap();
+        let row =
+            RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)]).unwrap();
         let topo = MeshTopology::uniform(8, &row);
         let dor = DorRouter::new(&topo, W);
         for src in 0..64 {

@@ -101,9 +101,19 @@ impl RowApsp {
     }
 
     /// Assembles an APSP result from a pair of directional solves.
-    pub(crate) fn from_parts(n: usize, dist: Vec<Cycles>, next: Vec<usize>, hops: Vec<u32>) -> Self {
+    pub(crate) fn from_parts(
+        n: usize,
+        dist: Vec<Cycles>,
+        next: Vec<usize>,
+        hops: Vec<u32>,
+    ) -> Self {
         debug_assert_eq!(dist.len(), n * n);
-        RowApsp { n, dist, next, hops }
+        RowApsp {
+            n,
+            dist,
+            next,
+            hops,
+        }
     }
 }
 
@@ -290,6 +300,6 @@ mod tests {
         gamma[3] = 5.0;
         assert!((apsp.weighted_mean(&gamma) - apsp.dist(0, 3) as f64).abs() < 1e-12);
         // Zero matrix degrades to 0.
-        assert_eq!(apsp.weighted_mean(&vec![0.0; 16]), 0.0);
+        assert_eq!(apsp.weighted_mean(&[0.0; 16]), 0.0);
     }
 }

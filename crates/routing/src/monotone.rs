@@ -141,8 +141,8 @@ pub fn monotone_all_pairs_sum(adj: &RowAdjacency, dist: &mut [Cycles]) -> u64 {
         // The backward direction is symmetric on bidirectional links:
         // d(i -> j) == d(j -> i), so double the forward triangle instead of
         // solving it (verified against the full solver in tests).
-        for j in i + 1..n {
-            total += dist[j] as u64;
+        for &d in dist.iter().take(n).skip(i + 1) {
+            total += d as u64;
         }
     }
     total
@@ -173,8 +173,8 @@ mod tests {
 
     #[test]
     fn matches_floyd_warshall_on_paper_solution() {
-        let row = RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)])
-            .unwrap();
+        let row =
+            RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)]).unwrap();
         assert_same_distances(&row);
     }
 

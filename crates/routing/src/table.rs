@@ -6,10 +6,9 @@
 //! where the paper's < 0.5 % area-overhead claim comes from (§4.5.2).
 
 use crate::floyd_warshall::RowApsp;
-use serde::{Deserialize, Serialize};
 
 /// Routing table of a single router for one dimension.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTable {
     /// Index of this router within its row/column.
     pub router: usize,
@@ -41,7 +40,7 @@ impl RoutingTable {
 }
 
 /// Routing tables for every router on one row/column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowRouting {
     tables: Vec<RoutingTable>,
 }
@@ -56,9 +55,8 @@ impl RowRouting {
                 // could be reached over a link; enumerate from next-hop data
                 // of adjacent destinations. Simpler and exact: a router `m`
                 // is a neighbour of `r` iff the chosen path r -> m is one hop.
-                let neighbours: Vec<usize> = (0..n)
-                    .filter(|&m| m != r && apsp.hops(r, m) == 1)
-                    .collect();
+                let neighbours: Vec<usize> =
+                    (0..n).filter(|&m| m != r && apsp.hops(r, m) == 1).collect();
                 let entries = (0..n)
                     .map(|dest| {
                         apsp.next_hop(r, dest).map(|hop| {

@@ -1,12 +1,10 @@
 //! Hop cost model shared by the routing solvers and the latency model.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-hop latency parameters of Eq. (1): traversing a link `(i, j)` costs
 /// `router_cycles + span(i, j) * unit_link_cycles` — the router pipeline of
 /// the router being left, plus the repeatered link segments (express links of
 /// Manhattan length `d` take `d` unit-link times, §2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HopWeights {
     /// `T_r`: cycles for a head flit to traverse one router pipeline.
     pub router_cycles: u32,

@@ -2,127 +2,153 @@
 //! agree with the paper's Floyd–Warshall reference, paths must be monotone
 //! and cost-consistent, routing tables must be loop-free, and the channel
 //! dependency graph must be acyclic for every valid placement.
+//!
+//! Cases are generated with the in-repo deterministic PRNG (`noc-rng`)
+//! instead of proptest, so the suite runs in hermetic offline builds.
 
+use noc_rng::rngs::SmallRng;
+use noc_rng::{Rng, SeedableRng};
 use noc_routing::{
     channel_dependency_cycle, directional_apsp, monotone_apsp, DorRouter, HopWeights, RowRouting,
 };
 use noc_topology::{ConnectionMatrix, MeshTopology, RowPlacement};
-use proptest::prelude::*;
 
 const W: HopWeights = HopWeights::PAPER;
 
 /// Random valid placement via a random connection matrix.
-fn placement(max_n: usize) -> impl Strategy<Value = RowPlacement> {
-    (3usize..=max_n)
-        .prop_flat_map(|n| {
-            let c_max = ((n / 2) * n.div_ceil(2)).clamp(2, 8);
-            (Just(n), 2usize..=c_max)
-        })
-        .prop_flat_map(|(n, c)| {
-            let nbits = (c - 1) * (n - 2);
-            proptest::collection::vec(any::<bool>(), nbits)
-                .prop_map(move |bits| ConnectionMatrix::from_bits(n, c, bits).unwrap().decode())
-        })
+fn placement(rng: &mut SmallRng, max_n: usize) -> RowPlacement {
+    let n = rng.gen_range(3usize..max_n + 1);
+    let c_max = ((n / 2) * n.div_ceil(2)).clamp(2, 8);
+    let c = rng.gen_range(2usize..c_max + 1);
+    let nbits = (c - 1) * (n - 2);
+    let bits: Vec<bool> = (0..nbits).map(|_| rng.gen::<bool>()).collect();
+    ConnectionMatrix::from_bits(n, c, bits).unwrap().decode()
 }
 
-proptest! {
-    /// Monotone DP distances equal directional Floyd–Warshall distances.
-    #[test]
-    fn dp_equals_floyd_warshall(row in placement(16)) {
+/// Runs `body` over deterministic seeded cases.
+fn for_cases(cases: u64, test_salt: u64, mut body: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(test_salt ^ (case * 0x9E37_79B9));
+        body(&mut rng);
+    }
+}
+
+/// Monotone DP distances equal directional Floyd–Warshall distances.
+#[test]
+fn dp_equals_floyd_warshall() {
+    for_cases(48, 0x01, |rng| {
+        let row = placement(rng, 16);
         let fw = directional_apsp(&row, W);
         let dp = monotone_apsp(&row, W);
         let n = row.len();
         for i in 0..n {
             for j in 0..n {
-                prop_assert_eq!(fw.dist(i, j), dp.dist(i, j), "pair ({}, {})", i, j);
+                assert_eq!(fw.dist(i, j), dp.dist(i, j), "pair ({i}, {j})");
             }
         }
-    }
+    });
+}
 
-    /// Distances are symmetric (bidirectional links) and satisfy the
-    /// triangle inequality restricted to same-direction stopovers.
-    #[test]
-    fn distances_symmetric_and_triangle(row in placement(12)) {
+/// Distances are symmetric (bidirectional links) and satisfy the
+/// triangle inequality restricted to same-direction stopovers.
+#[test]
+fn distances_symmetric_and_triangle() {
+    for_cases(48, 0x02, |rng| {
+        let row = placement(rng, 12);
         let apsp = monotone_apsp(&row, W);
         let n = row.len();
         for i in 0..n {
             for j in 0..n {
-                prop_assert_eq!(apsp.dist(i, j), apsp.dist(j, i));
+                assert_eq!(apsp.dist(i, j), apsp.dist(j, i));
                 for k in 0..n {
                     // A same-direction stopover cannot beat the direct path.
                     if (i <= k && k <= j) || (j <= k && k <= i) {
-                        prop_assert!(apsp.dist(i, j) <= apsp.dist(i, k) + apsp.dist(k, j));
+                        assert!(apsp.dist(i, j) <= apsp.dist(i, k) + apsp.dist(k, j));
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Express links never hurt: distances with links <= plain mesh
-    /// distances, and the local-hop path remains an upper bound.
-    #[test]
-    fn express_links_never_increase_distance(row in placement(16)) {
+/// Express links never hurt: distances with links <= plain mesh
+/// distances, and the local-hop path remains an upper bound.
+#[test]
+fn express_links_never_increase_distance() {
+    for_cases(64, 0x03, |rng| {
+        let row = placement(rng, 16);
         let apsp = monotone_apsp(&row, W);
         let n = row.len();
         for i in 0..n {
             for j in 0..n {
                 let mesh = i.abs_diff(j) as u32 * W.hop_cost(1);
-                prop_assert!(apsp.dist(i, j) <= mesh);
+                assert!(apsp.dist(i, j) <= mesh);
             }
         }
-    }
+    });
+}
 
-    /// Reconstructed paths are monotone, connect the endpoints, and their
-    /// hop costs sum to the reported distance.
-    #[test]
-    fn paths_are_monotone_and_cost_exact(row in placement(12)) {
+/// Reconstructed paths are monotone, connect the endpoints, and their
+/// hop costs sum to the reported distance.
+#[test]
+fn paths_are_monotone_and_cost_exact() {
+    for_cases(48, 0x04, |rng| {
+        let row = placement(rng, 12);
         let apsp = monotone_apsp(&row, W);
         let n = row.len();
         for i in 0..n {
             for j in 0..n {
-                if i == j { continue; }
+                if i == j {
+                    continue;
+                }
                 let path = apsp.path(i, j);
-                prop_assert_eq!(path[0], i);
-                prop_assert_eq!(*path.last().unwrap(), j);
+                assert_eq!(path[0], i);
+                assert_eq!(*path.last().unwrap(), j);
                 let mut cost = 0u32;
                 for pair in path.windows(2) {
                     if i < j {
-                        prop_assert!(pair[0] < pair[1]);
+                        assert!(pair[0] < pair[1]);
                     } else {
-                        prop_assert!(pair[0] > pair[1]);
+                        assert!(pair[0] > pair[1]);
                     }
-                    prop_assert!(
+                    assert!(
                         pair[0].abs_diff(pair[1]) == 1 || row.has_express(pair[0], pair[1]),
-                        "hop {:?} is neither local nor a placed express link", pair
+                        "hop {pair:?} is neither local nor a placed express link"
                     );
                     cost += W.hop_cost(pair[0].abs_diff(pair[1]));
                 }
-                prop_assert_eq!(cost, apsp.dist(i, j));
-                prop_assert_eq!(path.len() as u32 - 1, apsp.hops(i, j));
+                assert_eq!(cost, apsp.dist(i, j));
+                assert_eq!(path.len() as u32 - 1, apsp.hops(i, j));
             }
         }
-    }
+    });
+}
 
-    /// Hardware-style table walking reproduces the solver's paths exactly.
-    #[test]
-    fn tables_walk_to_every_destination(row in placement(12)) {
+/// Hardware-style table walking reproduces the solver's paths exactly.
+#[test]
+fn tables_walk_to_every_destination() {
+    for_cases(48, 0x05, |rng| {
+        let row = placement(rng, 12);
         let apsp = monotone_apsp(&row, W);
         let routing = RowRouting::from_apsp(&apsp);
         let n = row.len();
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    prop_assert_eq!(routing.walk(i, j), apsp.path(i, j));
+                    assert_eq!(routing.walk(i, j), apsp.path(i, j));
                 }
             }
         }
-    }
+    });
+}
 
-    /// DOR routes on the replicated 2D topology: X phase before Y phase,
-    /// contiguous, and with segment latency equal to the closed-form
-    /// row + column distance.
-    #[test]
-    fn dor_routes_consistent(row in placement(8)) {
+/// DOR routes on the replicated 2D topology: X phase before Y phase,
+/// contiguous, and with segment latency equal to the closed-form
+/// row + column distance.
+#[test]
+fn dor_routes_consistent() {
+    for_cases(24, 0x06, |rng| {
+        let row = placement(rng, 8);
         let n = row.len();
         let topo = MeshTopology::uniform(n, &row);
         let dor = DorRouter::new(&topo, W);
@@ -133,29 +159,32 @@ proptest! {
                 let mut cur = src;
                 let mut in_y = false;
                 for hop in &route.hops {
-                    prop_assert_eq!(hop.from, cur);
+                    assert_eq!(hop.from, cur);
                     cur = hop.to;
                     match hop.orientation {
-                        noc_topology::Orientation::Horizontal => prop_assert!(!in_y),
+                        noc_topology::Orientation::Horizontal => assert!(!in_y),
                         noc_topology::Orientation::Vertical => in_y = true,
                     }
                 }
-                prop_assert_eq!(cur, dst);
-                prop_assert_eq!(route.segment_latency(W), dor.segment_distance(src, dst));
+                assert_eq!(cur, dst);
+                assert_eq!(route.segment_latency(W), dor.segment_distance(src, dst));
                 // Manhattan distance is exactly |dx| + |dy| (monotone paths).
                 let (sx, sy) = (src % n, src / n);
                 let (dx, dy) = (dst % n, dst / n);
-                prop_assert_eq!(route.manhattan(), sx.abs_diff(dx) + sy.abs_diff(dy));
+                assert_eq!(route.manhattan(), sx.abs_diff(dx) + sy.abs_diff(dy));
             }
         }
-    }
+    });
+}
 
-    /// The channel dependency graph of DOR over any valid placement is
-    /// acyclic — the paper's deadlock-freedom claim, verified exhaustively.
-    #[test]
-    fn dor_is_deadlock_free(row in placement(6)) {
+/// The channel dependency graph of DOR over any valid placement is
+/// acyclic — the paper's deadlock-freedom claim, verified exhaustively.
+#[test]
+fn dor_is_deadlock_free() {
+    for_cases(32, 0x07, |rng| {
+        let row = placement(rng, 6);
         let topo = MeshTopology::uniform(row.len(), &row);
         let dor = DorRouter::new(&topo, W);
-        prop_assert!(channel_dependency_cycle(&topo, &dor).is_none());
-    }
+        assert!(channel_dependency_cycle(&topo, &dor).is_none());
+    });
 }

@@ -1,0 +1,187 @@
+//! Sharded LRU cache for computed responses.
+//!
+//! Every compute request the service accepts is deterministic given its
+//! parameters (`solve_row`, `exhaustive_optimal`, `optimize_network`, and
+//! the simulator are all seed-deterministic), so responses can be cached
+//! by a structured key of everything the result depends on. The key is a
+//! real struct — not a pre-hashed digest — so unequal requests can never
+//! alias a cache slot (the only collision risk is inside the objective
+//! fingerprints themselves, which cover float payloads bit-exactly).
+//!
+//! Sharding bounds lock contention: a key hashes to one of `shards`
+//! independently locked maps. Eviction is LRU per shard via a logical
+//! tick; finding the victim is an O(shard-size) scan, which at the
+//! default 256 entries per shard costs far less than the cheapest miss
+//! (a full SA solve).
+
+use noc_json::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Cache key: the full determinism domain of a compute request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Request kind tag (e.g. "solve").
+    pub kind: &'static str,
+    /// Problem size `n`.
+    pub n: u64,
+    /// Link limit `C` (0 where not applicable).
+    pub c: u64,
+    /// Objective fingerprint (hop weights, rate matrix, …).
+    pub objective_fp: u64,
+    /// Solver/simulator parameter fingerprint (SA schedule, sim config).
+    pub params_fp: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Extra discriminant (strategy, pattern + rate bits + links digest).
+    pub extra: u64,
+}
+
+struct Entry {
+    value: Value,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// A sharded LRU map from [`CacheKey`] to cached response payloads.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+impl ShardedLru {
+    /// Creates a cache with `capacity` total entries spread over `shards`
+    /// locks. Both are clamped to at least 1.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity_per_shard = (capacity.max(1)).div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard,
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a key, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Value> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry of the
+    /// shard if it is full.
+    pub fn put(&self, key: CacheKey, value: Value) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.capacity_per_shard {
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&victim);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            kind: "solve",
+            n: 8,
+            c: 4,
+            objective_fp: 1,
+            params_fp: 2,
+            seed,
+            extra: 0,
+        }
+    }
+
+    #[test]
+    fn get_after_put_hits() {
+        let cache = ShardedLru::new(16, 4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.put(key(1), Value::Int(42));
+        assert_eq!(cache.get(&key(1)), Some(Value::Int(42)));
+        assert!(cache.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // Single shard of capacity 2 makes eviction order observable.
+        let cache = ShardedLru::new(2, 1);
+        cache.put(key(1), Value::Int(1));
+        cache.put(key(2), Value::Int(2));
+        assert!(cache.get(&key(1)).is_some()); // refresh 1; 2 is now LRU
+        cache.put(key(3), Value::Int(3));
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(ShardedLru::new(64, 8));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        cache.put(key(t * 1000 + i), Value::Int(i as i128));
+                        cache.get(&key(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64 + 8); // per-shard rounding slack
+    }
+}

@@ -1,0 +1,207 @@
+//! Blocking client and load generator for the daemon.
+
+use crate::protocol::Response;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A blocking NDJSON client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and reads one response line.
+    pub fn round_trip(&mut self, request_line: &str) -> std::io::Result<String> {
+        self.writer.write_all(request_line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Sends one request line and parses the response.
+    pub fn request(&mut self, request_line: &str) -> std::io::Result<Response> {
+        let line = self.round_trip(request_line)?;
+        Response::from_line(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Aggregated result of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub sent: u64,
+    /// Successful (`ok: true`) responses.
+    pub ok: u64,
+    /// Responses served from the cache.
+    pub cached: u64,
+    /// Failed responses or transport errors.
+    pub errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// End-to-end request latencies, sorted ascending, in microseconds.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Completed requests per second over the run.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.ok + self.errors) as f64 / secs
+    }
+
+    /// Exact latency quantile (0 < q <= 1) in microseconds over completed
+    /// requests; 0 when nothing completed.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_us.len());
+        self.latencies_us[rank - 1]
+    }
+}
+
+/// Drives `connections` concurrent clients, each sending the request
+/// lines produced by `body(connection, i)` for `i` in
+/// `0..requests_per_connection`, and aggregates latency and outcome
+/// counts. `body` must be cheap — it runs on the timing path.
+pub fn generate_load(
+    addr: &str,
+    connections: usize,
+    requests_per_connection: usize,
+    body: impl Fn(usize, usize) -> String + Sync,
+) -> std::io::Result<LoadReport> {
+    let connections = connections.max(1);
+    let started = Instant::now();
+    let mut per_thread: Vec<(u64, u64, u64, u64, Vec<u64>)> = Vec::new();
+    std::thread::scope(|s| -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for conn in 0..connections {
+            let body = &body;
+            handles.push(s.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        return (
+                            requests_per_connection as u64,
+                            0,
+                            0,
+                            requests_per_connection as u64,
+                            Vec::new(),
+                        )
+                    }
+                };
+                let mut sent = 0u64;
+                let mut ok = 0u64;
+                let mut cached = 0u64;
+                let mut errors = 0u64;
+                let mut latencies = Vec::with_capacity(requests_per_connection);
+                for i in 0..requests_per_connection {
+                    let line = body(conn, i);
+                    sent += 1;
+                    let t0 = Instant::now();
+                    match client.request(&line) {
+                        Ok(Response::Ok { cached: c, .. }) => {
+                            latencies.push(t0.elapsed().as_micros() as u64);
+                            ok += 1;
+                            if c {
+                                cached += 1;
+                            }
+                        }
+                        Ok(Response::Err { .. }) => {
+                            latencies.push(t0.elapsed().as_micros() as u64);
+                            errors += 1;
+                        }
+                        Err(_) => {
+                            errors += 1;
+                            break; // transport broken; stop this connection
+                        }
+                    }
+                }
+                (sent, ok, cached, errors, latencies)
+            }));
+        }
+        for handle in handles {
+            per_thread.push(handle.join().expect("loadgen thread panicked"));
+        }
+        Ok(())
+    })?;
+    let elapsed = started.elapsed();
+    let mut report = LoadReport {
+        sent: 0,
+        ok: 0,
+        cached: 0,
+        errors: 0,
+        elapsed,
+        latencies_us: Vec::new(),
+    };
+    for (sent, ok, cached, errors, latencies) in per_thread {
+        report.sent += sent;
+        report.ok += ok;
+        report.cached += cached;
+        report.errors += errors;
+        report.latencies_us.extend(latencies);
+    }
+    report.latencies_us.sort_unstable();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_on_sorted_data() {
+        let report = LoadReport {
+            sent: 4,
+            ok: 4,
+            cached: 0,
+            errors: 0,
+            elapsed: Duration::from_secs(1),
+            latencies_us: vec![10, 20, 30, 40],
+        };
+        assert_eq!(report.quantile_us(0.5), 20);
+        assert_eq!(report.quantile_us(0.99), 40);
+        assert_eq!(report.quantile_us(1.0), 40);
+        assert!((report.throughput_rps() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let report = LoadReport {
+            sent: 0,
+            ok: 0,
+            cached: 0,
+            errors: 0,
+            elapsed: Duration::ZERO,
+            latencies_us: vec![],
+        };
+        assert_eq!(report.quantile_us(0.5), 0);
+        assert_eq!(report.throughput_rps(), 0.0);
+    }
+}

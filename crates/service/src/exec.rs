@@ -1,0 +1,264 @@
+//! Executes compute requests against the solver and simulator crates,
+//! and derives the cache key for each cacheable request.
+//!
+//! Everything here is deterministic: `solve_row` and `optimize_network`
+//! are seed-deterministic by construction (the SA inner loop draws from a
+//! seeded xoshiro stream), `exhaustive_optimal` is a deterministic search,
+//! and the simulator is a deterministic state machine over a seeded
+//! workload. The cache key therefore covers exactly the function inputs.
+
+use crate::cache::CacheKey;
+use crate::protocol::{
+    pattern_name, strategy_name, OptimalRequest, Request, SimulateRequest, SolveRequest,
+    SweepRequest,
+};
+use noc_json::Value;
+use noc_model::{LinkBudget, PacketMix};
+use noc_placement::fingerprint::Fnv1a;
+use noc_placement::{
+    exhaustive_optimal, optimize_network, solve_row, AllPairsObjective, InitialStrategy, SaParams,
+};
+use noc_routing::HopWeights;
+use noc_sim::{SimConfig, Simulator};
+use noc_topology::{MeshTopology, RowPlacement};
+use noc_traffic::{TrafficMatrix, Workload};
+
+fn links_json(row: &RowPlacement) -> Value {
+    Value::Arr(
+        row.express_links()
+            .map(|l| Value::Arr(vec![Value::Int(l.a as i128), Value::Int(l.b as i128)]))
+            .collect(),
+    )
+}
+
+fn strategy_tag(s: InitialStrategy) -> u64 {
+    match s {
+        InitialStrategy::Random => 0,
+        InitialStrategy::DivideAndConquer => 1,
+        InitialStrategy::Greedy => 2,
+    }
+}
+
+/// The cache key of a request, or `None` for inline (non-compute) kinds.
+pub fn cache_key(request: &Request) -> Option<CacheKey> {
+    match request {
+        Request::Solve(SolveRequest {
+            n,
+            c,
+            strategy,
+            moves,
+            seed,
+            weights,
+        }) => Some(CacheKey {
+            kind: "solve",
+            n: *n as u64,
+            c: *c as u64,
+            objective_fp: AllPairsObjective::with_weights(*weights).fingerprint(),
+            params_fp: SaParams::paper().with_moves(*moves).fingerprint(),
+            seed: *seed,
+            extra: strategy_tag(*strategy),
+        }),
+        Request::Optimal(OptimalRequest { n, c, weights }) => Some(CacheKey {
+            kind: "optimal",
+            n: *n as u64,
+            c: *c as u64,
+            objective_fp: AllPairsObjective::with_weights(*weights).fingerprint(),
+            params_fp: 0,
+            seed: 0,
+            extra: 0,
+        }),
+        Request::Sweep(SweepRequest { n, base_flit, seed }) => Some(CacheKey {
+            kind: "sweep",
+            n: *n as u64,
+            c: 0,
+            objective_fp: AllPairsObjective::paper().fingerprint(),
+            params_fp: SaParams::paper().fingerprint(),
+            seed: *seed,
+            extra: *base_flit as u64,
+        }),
+        Request::Simulate(r) => {
+            let mut config = SimConfig::latency_run(r.flit, r.seed);
+            config.measure_cycles = r.cycles;
+            let mut extra = Fnv1a::with_tag("simulate-workload");
+            extra.write_bytes(pattern_name(r.pattern).as_bytes());
+            extra.write_u64(r.rate.to_bits());
+            for &(a, b) in &r.links {
+                extra.write_u64(a as u64);
+                extra.write_u64(b as u64);
+            }
+            Some(CacheKey {
+                kind: "simulate",
+                n: r.n as u64,
+                c: 0,
+                objective_fp: 0,
+                params_fp: config.fingerprint(),
+                seed: r.seed,
+                extra: extra.finish(),
+            })
+        }
+        Request::Metrics | Request::Health | Request::Shutdown => None,
+    }
+}
+
+fn exec_solve(r: &SolveRequest) -> Result<Value, String> {
+    let objective = AllPairsObjective::with_weights(r.weights);
+    let params = SaParams::paper().with_moves(r.moves);
+    let out = solve_row(r.n, r.c, &objective, r.strategy, &params, r.seed);
+    Ok(noc_json::obj! {
+        "n" => Value::Int(r.n as i128),
+        "c" => Value::Int(r.c as i128),
+        "strategy" => Value::Str(strategy_name(r.strategy).to_string()),
+        "seed" => Value::Int(r.seed as i128),
+        "objective" => Value::Float(out.best_objective),
+        "links" => links_json(&out.best),
+        "max_cross_section" => Value::Int(out.best.max_cross_section() as i128),
+        "evaluations" => Value::Int(out.evaluations as i128),
+        "accepted_moves" => Value::Int(out.accepted_moves as i128),
+    })
+}
+
+fn exec_optimal(r: &OptimalRequest) -> Result<Value, String> {
+    let out = exhaustive_optimal(r.n, r.c, &AllPairsObjective::with_weights(r.weights));
+    Ok(noc_json::obj! {
+        "n" => Value::Int(r.n as i128),
+        "c" => Value::Int(r.c as i128),
+        "objective" => Value::Float(out.best_objective),
+        "links" => links_json(&out.best),
+        "evaluations" => Value::Int(out.evaluations as i128),
+        "nodes" => Value::Int(out.nodes as i128),
+    })
+}
+
+fn exec_sweep(r: &SweepRequest) -> Result<Value, String> {
+    let budget = LinkBudget {
+        n: r.n,
+        base_flit_bits: r.base_flit,
+    };
+    let design = optimize_network(
+        &budget,
+        &PacketMix::paper(),
+        HopWeights::PAPER,
+        InitialStrategy::DivideAndConquer,
+        &SaParams::paper(),
+        r.seed,
+    );
+    let points: Vec<Value> = design
+        .points
+        .iter()
+        .map(|p| {
+            noc_json::obj! {
+                "c" => Value::Int(p.c_limit as i128),
+                "flit_bits" => Value::Int(p.flit_bits as i128),
+                "row_objective" => Value::Float(p.row_objective),
+                "avg_head" => Value::Float(p.avg_head),
+                "avg_serialization" => Value::Float(p.avg_serialization),
+                "avg_latency" => Value::Float(p.avg_latency),
+                "links" => links_json(&p.placement),
+            }
+        })
+        .collect();
+    Ok(noc_json::obj! {
+        "n" => Value::Int(r.n as i128),
+        "best_c" => Value::Int(design.best().c_limit as i128),
+        "best_latency" => Value::Float(design.best().avg_latency),
+        "points" => Value::Arr(points),
+    })
+}
+
+fn exec_simulate(r: &SimulateRequest) -> Result<Value, String> {
+    let row = RowPlacement::with_links(r.n, r.links.clone()).map_err(|e| e.to_string())?;
+    let topo = MeshTopology::uniform(r.n, &row);
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(r.pattern, r.n),
+        r.rate,
+        PacketMix::paper(),
+    );
+    let mut config = SimConfig::latency_run(r.flit, r.seed);
+    config.measure_cycles = r.cycles;
+    let stats = Simulator::new(&topo, workload, config).run();
+    Ok(noc_json::obj! {
+        "cycles" => Value::Int(stats.cycles as i128),
+        "measured_packets" => Value::Int(stats.measured_packets as i128),
+        "completed_packets" => Value::Int(stats.completed_packets as i128),
+        "drained" => Value::Bool(stats.drained),
+        "avg_latency" => Value::Float(stats.avg_packet_latency),
+        "p50_latency" => Value::Float(stats.p50_latency),
+        "p95_latency" => Value::Float(stats.p95_latency),
+        "p99_latency" => Value::Float(stats.p99_latency),
+        "max_latency" => Value::Int(stats.max_packet_latency as i128),
+        "offered_rate" => Value::Float(stats.offered_rate),
+        "accepted_throughput" => Value::Float(stats.accepted_throughput),
+    })
+}
+
+/// Runs a compute request to completion. Inline kinds (`metrics`,
+/// `health`, `shutdown`) are answered by the server, not here.
+pub fn execute(request: &Request) -> Result<Value, String> {
+    match request {
+        Request::Solve(r) => exec_solve(r),
+        Request::Optimal(r) => exec_optimal(r),
+        Request::Sweep(r) => exec_sweep(r),
+        Request::Simulate(r) => exec_simulate(r),
+        Request::Metrics | Request::Health | Request::Shutdown => {
+            Err("inline request kinds are not executed on the pool".into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_request(seed: u64) -> Request {
+        Request::Solve(SolveRequest {
+            n: 8,
+            c: 4,
+            strategy: InitialStrategy::DivideAndConquer,
+            moves: 300,
+            seed,
+            weights: HopWeights::PAPER,
+        })
+    }
+
+    #[test]
+    fn solve_executes_and_keys_deterministically() {
+        let req = solve_request(7);
+        let a = execute(&req).unwrap();
+        let b = execute(&req).unwrap();
+        assert_eq!(a, b, "solve must be seed-deterministic");
+        assert_eq!(cache_key(&req), cache_key(&solve_request(7)));
+        assert_ne!(cache_key(&req), cache_key(&solve_request(8)));
+    }
+
+    #[test]
+    fn inline_kinds_have_no_key() {
+        assert!(cache_key(&Request::Metrics).is_none());
+        assert!(cache_key(&Request::Health).is_none());
+        assert!(cache_key(&Request::Shutdown).is_none());
+        assert!(execute(&Request::Health).is_err());
+    }
+
+    #[test]
+    fn simulate_key_distinguishes_workloads() {
+        let base = SimulateRequest {
+            n: 4,
+            pattern: noc_traffic::SyntheticPattern::UniformRandom,
+            rate: 0.01,
+            flit: 64,
+            cycles: 1_000,
+            seed: 1,
+            links: vec![],
+        };
+        let with_links = SimulateRequest {
+            links: vec![(0, 2)],
+            ..base.clone()
+        };
+        let hotter = SimulateRequest {
+            rate: 0.02,
+            ..base.clone()
+        };
+        let k0 = cache_key(&Request::Simulate(base)).unwrap();
+        assert_ne!(k0, cache_key(&Request::Simulate(with_links)).unwrap());
+        assert_ne!(k0, cache_key(&Request::Simulate(hotter)).unwrap());
+    }
+}

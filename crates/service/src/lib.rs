@@ -1,0 +1,49 @@
+//! Placement-as-a-service: a long-running daemon serving placement and
+//! simulation requests over a newline-delimited-JSON TCP protocol.
+//!
+//! The solvers in this workspace are deterministic given their seeds, so
+//! a service wrapping them can cache aggressively: identical requests are
+//! guaranteed bit-identical answers. The daemon is built from four
+//! pieces, all on `std` only:
+//!
+//! * [`protocol`] — the NDJSON wire format: request parsing with bounds
+//!   validation, response building, error codes.
+//! * [`pool`] — a bounded worker pool with per-request deadlines; full
+//!   queues shed load immediately, and queued work whose deadline lapsed
+//!   is dropped unrun.
+//! * [`cache`] — a sharded LRU keyed by the full determinism domain of a
+//!   request: `(kind, n, C, objective fingerprint, parameter
+//!   fingerprint, seed, workload digest)`.
+//! * [`metrics`] — relaxed-atomic counters and log-bucket latency
+//!   histograms, served by `metrics`/`health` requests without touching
+//!   the worker queue.
+//!
+//! [`server`] wires these into an accept loop with graceful drain, and
+//! [`client`] provides the blocking client plus the load generator used
+//! by `express-noc-cli loadgen`.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use noc_service::{Server, ServiceConfig};
+//!
+//! let config = ServiceConfig { addr: "127.0.0.1:0".into(), ..Default::default() };
+//! let server = Server::bind(&config).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.run().unwrap(); // blocks until shutdown, then drains
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod exec;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, ShardedLru};
+pub use client::{generate_load, Client, LoadReport};
+pub use metrics::Metrics;
+pub use pool::{Job, SubmitError, WorkerPool};
+pub use protocol::{Envelope, ErrorCode, Request, Response};
+pub use server::{Server, ServerHandle, ServiceConfig};

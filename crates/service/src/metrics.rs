@@ -1,0 +1,263 @@
+//! In-process metrics: lock-free counters and log-bucket latency
+//! histograms, snapshotted to JSON on demand by `metrics` requests.
+//!
+//! Counters are plain relaxed atomics — metrics reads race with updates
+//! by design and only need to be approximately consistent with each
+//! other. Histograms bucket service times by `floor(log2(micros))`, so
+//! quantile estimates are exact to within a factor of two, which is
+//! plenty for load-shedding decisions and dashboards.
+
+use noc_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of request kinds tracked per-kind (solve, optimal, sweep,
+/// simulate, metrics, health, shutdown).
+pub const KINDS: [&str; 7] = [
+    "solve", "optimal", "sweep", "simulate", "metrics", "health", "shutdown",
+];
+
+fn kind_index(kind: &str) -> usize {
+    KINDS.iter().position(|&k| k == kind).unwrap_or(0)
+}
+
+/// Histogram over `floor(log2(micros))` buckets, 0..=63.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation in microseconds.
+    pub fn record(&self, micros: u64) {
+        let idx = 63 - (micros | 1).leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (0 < q <= 1) in microseconds: the upper
+    /// edge of the bucket holding the `ceil(q·count)`-th observation.
+    /// Returns 0 with no observations.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean observation in microseconds (0 with no observations).
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_micros.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    fn snapshot(&self) -> Value {
+        noc_json::obj! {
+            "count" => Value::Int(self.count() as i128),
+            "mean_us" => Value::Float(self.mean_micros()),
+            "p50_us" => Value::Int(self.quantile_micros(0.50) as i128),
+            "p99_us" => Value::Int(self.quantile_micros(0.99) as i128),
+        }
+    }
+}
+
+/// The service-wide metrics registry. One instance lives for the daemon's
+/// lifetime; everything is interior-mutable and shareable across threads.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests_by_kind: [AtomicU64; KINDS.len()],
+    service_time_by_kind: [LatencyHistogram; KINDS.len()],
+    responses_ok: AtomicU64,
+    responses_err: AtomicU64,
+    bad_requests: AtomicU64,
+    shed_overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    connections_opened: AtomicU64,
+    connections_active: AtomicU64,
+    queue_depth: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh registry with all counters at zero.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts an incoming request of the given kind.
+    pub fn record_request(&self, kind: &str) {
+        self.requests_by_kind[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a successful response, with its end-to-end service time.
+    pub fn record_ok(&self, kind: &str, micros: u64) {
+        self.responses_ok.fetch_add(1, Ordering::Relaxed);
+        self.service_time_by_kind[kind_index(kind)].record(micros);
+    }
+
+    /// Counts a failed response.
+    pub fn record_err(&self, code: crate::protocol::ErrorCode) {
+        use crate::protocol::ErrorCode;
+        self.responses_err.fetch_add(1, Ordering::Relaxed);
+        match code {
+            ErrorCode::BadRequest => {
+                self.bad_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::Overloaded => {
+                self.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::DeadlineExceeded => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::ShuttingDown | ErrorCode::Internal => {}
+        }
+    }
+
+    /// Counts a cache hit or miss for a compute request.
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Tracks connection lifecycle.
+    pub fn connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tracks connection lifecycle.
+    pub fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the current worker-queue depth (set by the pool).
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Tracks jobs currently executing on workers.
+    pub fn job_started(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tracks jobs currently executing on workers.
+    pub fn job_finished(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Total cache hits so far (tests and the loadgen report read this
+    /// through the `metrics` request instead).
+    pub fn cache_hit_count(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every counter and histogram as the `metrics` response
+    /// payload.
+    pub fn snapshot(&self) -> Value {
+        let load = |a: &AtomicU64| Value::Int(a.load(Ordering::Relaxed) as i128);
+        let requests: Vec<(String, Value)> = KINDS
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k.to_string(), load(&self.requests_by_kind[i])))
+            .collect();
+        let service_time: Vec<(String, Value)> = KINDS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.service_time_by_kind[*i].count() > 0)
+            .map(|(i, &k)| (k.to_string(), self.service_time_by_kind[i].snapshot()))
+            .collect();
+        noc_json::obj! {
+            "requests" => Value::Obj(requests),
+            "responses_ok" => load(&self.responses_ok),
+            "responses_err" => load(&self.responses_err),
+            "bad_requests" => load(&self.bad_requests),
+            "shed_overloaded" => load(&self.shed_overloaded),
+            "deadline_exceeded" => load(&self.deadline_exceeded),
+            "cache_hits" => load(&self.cache_hits),
+            "cache_misses" => load(&self.cache_misses),
+            "connections_opened" => load(&self.connections_opened),
+            "connections_active" => load(&self.connections_active),
+            "queue_depth" => load(&self.queue_depth),
+            "inflight" => load(&self.inflight),
+            "service_time_us" => Value::Obj(service_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for micros in [10u64, 20, 30, 40, 1000] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 5);
+        // p50 lands in the bucket of 30 µs (16..32): upper edge 32.
+        assert_eq!(h.quantile_micros(0.5), 32);
+        // p99 lands in the bucket of 1000 µs (512..1024): upper edge 1024.
+        assert_eq!(h.quantile_micros(0.99), 1024);
+        assert!(h.mean_micros() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_contains_core_counters() {
+        let m = Metrics::new();
+        m.record_request("solve");
+        m.record_ok("solve", 1500);
+        m.record_cache(false);
+        m.record_cache(true);
+        let snap = m.snapshot();
+        assert_eq!(snap.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(snap.get("cache_misses").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            snap.get("requests").unwrap().get("solve").unwrap().as_u64(),
+            Some(1)
+        );
+        assert!(snap.get("service_time_us").unwrap().get("solve").is_some());
+    }
+}

@@ -1,0 +1,290 @@
+//! Bounded worker pool with per-request deadlines and load shedding.
+//!
+//! Compute requests go through a bounded FIFO guarded by a mutex and
+//! condvar. When the queue is full, [`WorkerPool::submit`] refuses
+//! immediately — the connection handler turns that into an `overloaded`
+//! error, so back-pressure reaches clients instead of piling up latency.
+//! Workers re-check the deadline when they dequeue a job: work that
+//! already missed its deadline while queued is shed without running,
+//! which keeps an overload burst from wasting workers on answers nobody
+//! is waiting for.
+//!
+//! Shutdown is graceful by construction: `shutdown()` closes the intake
+//! and wakes every worker, but workers keep draining the queue until it
+//! is empty before exiting, so every accepted job still gets a response.
+
+use crate::cache::ShardedLru;
+use crate::exec;
+use crate::metrics::Metrics;
+use crate::protocol::{Envelope, ErrorCode, Response};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued compute request.
+#[derive(Debug)]
+pub struct Job {
+    /// The parsed request envelope.
+    pub envelope: Envelope,
+    /// When the request was accepted (histogram start).
+    pub accepted_at: Instant,
+    /// Absolute deadline; jobs past it are shed, not run.
+    pub deadline: Instant,
+    /// Where the response goes. The connection handler holds the
+    /// receiver; if it gave up (deadline), the send fails harmlessly.
+    pub reply: Sender<Response>,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    accepting: AtomicBool,
+    capacity: usize,
+    metrics: Arc<Metrics>,
+    cache: Arc<ShardedLru>,
+}
+
+/// Error returned by [`WorkerPool::submit`] when the job is not queued.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity.
+    QueueFull,
+    /// The pool is draining for shutdown.
+    ShuttingDown,
+}
+
+/// A fixed-size pool of worker threads draining the bounded queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads servicing a queue of at most `capacity`
+    /// jobs. Results are written through to `cache` and accounted in
+    /// `metrics`.
+    pub fn new(
+        workers: usize,
+        capacity: usize,
+        metrics: Arc<Metrics>,
+        cache: Arc<ShardedLru>,
+    ) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            accepting: AtomicBool::new(true),
+            capacity: capacity.max(1),
+            metrics,
+            cache,
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("noc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Enqueues a job, or refuses if the queue is full or draining. A
+    /// refused job is dropped — its reply channel closes, and the caller
+    /// already holds the id needed to build the error response.
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        if !self.shared.accepting.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        if queue.len() >= self.shared.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        queue.push_back(job);
+        self.shared.metrics.set_queue_depth(queue.len() as u64);
+        drop(queue);
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue poisoned").len()
+    }
+
+    /// Closes the intake and wakes all workers. Queued jobs still run.
+    pub fn shutdown(&self) {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Waits for every worker to drain and exit. Implies [`shutdown`].
+    ///
+    /// [`shutdown`]: WorkerPool::shutdown
+    pub fn join(mut self) {
+        self.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.metrics.set_queue_depth(queue.len() as u64);
+                    break job;
+                }
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    return; // drained and draining: exit
+                }
+                queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        run_job(shared, job);
+    }
+}
+
+fn run_job(shared: &PoolShared, job: Job) {
+    let kind = job.envelope.request.kind();
+    if Instant::now() >= job.deadline {
+        // Shed without running: the client has already been told (or is
+        // about to be told) that the deadline passed.
+        shared.metrics.record_err(ErrorCode::DeadlineExceeded);
+        let _ = job.reply.send(Response::err(
+            job.envelope.id.clone(),
+            ErrorCode::DeadlineExceeded,
+            "deadline elapsed while queued",
+        ));
+        return;
+    }
+    shared.metrics.job_started();
+    let outcome = exec::execute(&job.envelope.request);
+    shared.metrics.job_finished();
+    let response = match outcome {
+        Ok(result) => {
+            // Cache even if the requester timed out meanwhile — the work
+            // is done, and a retry should hit.
+            if let Some(key) = exec::cache_key(&job.envelope.request) {
+                shared.cache.put(key, result.clone());
+            }
+            let micros = job.accepted_at.elapsed().as_micros() as u64;
+            shared.metrics.record_ok(kind, micros);
+            Response::ok(job.envelope.id.clone(), false, result)
+        }
+        Err(message) => {
+            shared.metrics.record_err(ErrorCode::Internal);
+            Response::err(job.envelope.id.clone(), ErrorCode::Internal, message)
+        }
+    };
+    let _ = job.reply.send(response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Request};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn test_pool(workers: usize, capacity: usize) -> WorkerPool {
+        WorkerPool::new(
+            workers,
+            capacity,
+            Arc::new(Metrics::new()),
+            Arc::new(ShardedLru::new(16, 2)),
+        )
+    }
+
+    fn job(envelope: Envelope, reply: Sender<Response>, deadline_ms: u64) -> Job {
+        let now = Instant::now();
+        Job {
+            envelope,
+            accepted_at: now,
+            deadline: now + Duration::from_millis(deadline_ms),
+            reply,
+        }
+    }
+
+    #[test]
+    fn executes_and_replies() {
+        let pool = test_pool(2, 8);
+        let env = parse_request(r#"{"id":"t","kind":"solve","n":6,"c":3,"moves":100}"#).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(job(env, tx, 10_000)).unwrap();
+        let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(matches!(resp, Response::Ok { .. }), "got {resp:?}");
+        pool.join();
+    }
+
+    #[test]
+    fn sheds_when_full_and_drains_on_join() {
+        let pool = test_pool(1, 1);
+        let slow =
+            parse_request(r#"{"id":"s","kind":"solve","n":16,"c":4,"moves":200000}"#).unwrap();
+        let quick = parse_request(r#"{"id":"q","kind":"solve","n":6,"c":3,"moves":50}"#).unwrap();
+        let (tx, rx) = mpsc::channel();
+        // Fill the single worker and the single queue slot, possibly
+        // retrying while the worker picks the first job up.
+        pool.submit(job(slow.clone(), tx.clone(), 60_000)).unwrap();
+        let mut queued = 1;
+        let mut shed = false;
+        for _ in 0..100 {
+            match pool.submit(job(quick.clone(), tx.clone(), 60_000)) {
+                Ok(()) => queued += 1,
+                Err(SubmitError::QueueFull) => {
+                    shed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(shed, "bounded queue must eventually refuse");
+        // Graceful drain: every accepted job still gets a response.
+        pool.join();
+        let mut responses = 0;
+        while rx.try_recv().is_ok() {
+            responses += 1;
+        }
+        assert_eq!(responses, queued);
+    }
+
+    #[test]
+    fn refuses_after_shutdown() {
+        let pool = test_pool(1, 4);
+        pool.shutdown();
+        let env = parse_request(r#"{"id":"x","kind":"health"}"#).unwrap();
+        assert!(matches!(env.request, Request::Health));
+        let (tx, _rx) = mpsc::channel();
+        let err = pool.submit(job(env, tx, 1_000)).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+        pool.join();
+    }
+
+    #[test]
+    fn stale_jobs_are_shed_not_run() {
+        let pool = test_pool(1, 8);
+        let env = parse_request(r#"{"id":"late","kind":"solve","n":8,"c":4,"moves":100}"#).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        pool.submit(Job {
+            envelope: env,
+            accepted_at: now,
+            deadline: now, // already expired
+            reply: tx,
+        })
+        .unwrap();
+        let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        match resp {
+            Response::Err { code, .. } => assert_eq!(code, ErrorCode::DeadlineExceeded),
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        pool.join();
+    }
+}

@@ -1,0 +1,658 @@
+//! The newline-delimited-JSON wire protocol.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. The envelope carries a client-chosen `id`
+//! (echoed verbatim so clients can pipeline), a `kind`, an optional
+//! `deadline_ms`, and kind-specific parameters:
+//!
+//! ```text
+//! {"id":"1","kind":"solve","n":8,"c":4,"strategy":"dnc","moves":10000,"seed":42}
+//! {"id":"2","kind":"optimal","n":8,"c":3}
+//! {"id":"3","kind":"sweep","n":8,"base_flit":256,"seed":42}
+//! {"id":"4","kind":"simulate","n":8,"pattern":"ur","rate":0.02,"flit":64,
+//!  "cycles":20000,"seed":42,"links":[[0,3],[3,7]]}
+//! {"id":"5","kind":"metrics"}
+//! {"id":"6","kind":"health"}
+//! {"id":"7","kind":"shutdown"}
+//! ```
+//!
+//! Success: `{"id":"1","ok":true,"cached":false,"result":{...}}`.
+//! Failure: `{"id":"1","ok":false,"error":{"code":"overloaded","message":"..."}}`.
+
+use noc_json::Value;
+use noc_placement::InitialStrategy;
+use noc_routing::HopWeights;
+use noc_traffic::SyntheticPattern;
+
+/// Upper bound on `n` for service requests: large enough for every setup
+/// in the paper (up to 16×16) with head-room, small enough that a single
+/// request cannot monopolise a worker for minutes.
+pub const MAX_N: usize = 64;
+/// Upper bound on the SA move budget per request.
+pub const MAX_MOVES: usize = 2_000_000;
+/// Upper bound on simulated measurement cycles per request.
+pub const MAX_CYCLES: u64 = 2_000_000;
+/// Default and maximum per-request deadlines.
+pub const DEFAULT_DEADLINE_MS: u64 = 30_000;
+/// Hard cap on client-requested deadlines.
+pub const MAX_DEADLINE_MS: u64 = 600_000;
+
+/// Parameters of a `solve` request — the 1D problem `P̂(n, C)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// Row length `n`.
+    pub n: usize,
+    /// Link limit `C`.
+    pub c: usize,
+    /// Initial-solution scheme.
+    pub strategy: InitialStrategy,
+    /// SA move budget `m`.
+    pub moves: usize,
+    /// RNG seed (the solve is deterministic given all fields).
+    pub seed: u64,
+    /// Hop weights of the objective.
+    pub weights: HopWeights,
+}
+
+/// Parameters of an `optimal` request — exhaustive branch-and-bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalRequest {
+    /// Row length `n`.
+    pub n: usize,
+    /// Link limit `C`.
+    pub c: usize,
+    /// Hop weights of the objective.
+    pub weights: HopWeights,
+}
+
+/// Parameters of a `sweep` request — the full per-`C` network optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// Network side length `n`.
+    pub n: usize,
+    /// Baseline flit width at `C = 1` in bits.
+    pub base_flit: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Parameters of a `simulate` request — one cycle-level simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateRequest {
+    /// Network side length `n`.
+    pub n: usize,
+    /// Synthetic traffic pattern.
+    pub pattern: SyntheticPattern,
+    /// Injection rate in packets per node per cycle.
+    pub rate: f64,
+    /// Flit width in bits.
+    pub flit: u32,
+    /// Measurement window in cycles.
+    pub cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Express links of the row placement (empty = plain mesh).
+    pub links: Vec<(usize, usize)>,
+}
+
+/// A decoded request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Solve `P̂(n, C)` with simulated annealing.
+    Solve(SolveRequest),
+    /// Exhaustive optimum of `P̂(n, C)`.
+    Optimal(OptimalRequest),
+    /// Full per-`C` network sweep.
+    Sweep(SweepRequest),
+    /// Cycle-level simulation.
+    Simulate(SimulateRequest),
+    /// Metrics snapshot.
+    Metrics,
+    /// Liveness/readiness probe.
+    Health,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The request kind as its wire name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Solve(_) => "solve",
+            Request::Optimal(_) => "optimal",
+            Request::Sweep(_) => "sweep",
+            Request::Simulate(_) => "simulate",
+            Request::Metrics => "metrics",
+            Request::Health => "health",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Whether the request runs on the worker pool (vs. answered inline).
+    pub fn is_compute(&self) -> bool {
+        matches!(
+            self,
+            Request::Solve(_) | Request::Optimal(_) | Request::Sweep(_) | Request::Simulate(_)
+        )
+    }
+}
+
+/// A parsed request line: id + deadline + body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// Per-request deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// The request body.
+    pub request: Request,
+}
+
+/// Machine-readable error categories of the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON or not a valid request.
+    BadRequest,
+    /// The worker queue was full; the request was shed without running.
+    Overloaded,
+    /// The deadline elapsed before a result was produced.
+    DeadlineExceeded,
+    /// The daemon is draining and not accepting new work.
+    ShuttingDown,
+    /// The request was valid but execution failed.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire name of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name back into a code (used by clients and tests).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "overloaded" => ErrorCode::Overloaded,
+            "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A response ready for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success with a result payload.
+    Ok {
+        /// Echoed request id.
+        id: String,
+        /// Whether the result was served from the cache.
+        cached: bool,
+        /// Kind-specific result object.
+        result: Value,
+    },
+    /// Failure with a category and message.
+    Err {
+        /// Echoed request id (empty if it could not be parsed).
+        id: String,
+        /// Error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Builds a success response.
+    pub fn ok(id: impl Into<String>, cached: bool, result: Value) -> Self {
+        Response::Ok {
+            id: id.into(),
+            cached,
+            result,
+        }
+    }
+
+    /// Builds a failure response.
+    pub fn err(id: impl Into<String>, code: ErrorCode, message: impl Into<String>) -> Self {
+        Response::Err {
+            id: id.into(),
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The echoed request id.
+    pub fn id(&self) -> &str {
+        match self {
+            Response::Ok { id, .. } | Response::Err { id, .. } => id,
+        }
+    }
+
+    /// Serialises to one compact wire line (without the trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Ok { id, cached, result } => noc_json::obj! {
+                "id" => Value::Str(id.clone()),
+                "ok" => Value::Bool(true),
+                "cached" => Value::Bool(*cached),
+                "result" => result.clone(),
+            }
+            .compact(),
+            Response::Err { id, code, message } => noc_json::obj! {
+                "id" => Value::Str(id.clone()),
+                "ok" => Value::Bool(false),
+                "error" => noc_json::obj! {
+                    "code" => Value::Str(code.as_str().to_string()),
+                    "message" => Value::Str(message.clone()),
+                },
+            }
+            .compact(),
+        }
+    }
+
+    /// Parses a wire line back into a response (client side).
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let v = noc_json::parse(line).map_err(|e| format!("bad response JSON: {e}"))?;
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("response missing id")?
+            .to_string();
+        let ok = v
+            .get("ok")
+            .and_then(Value::as_bool)
+            .ok_or("response missing ok")?;
+        if ok {
+            Ok(Response::Ok {
+                id,
+                cached: v.get("cached").and_then(Value::as_bool).unwrap_or(false),
+                result: v
+                    .get("result")
+                    .cloned()
+                    .ok_or("ok response missing result")?,
+            })
+        } else {
+            let err = v.get("error").ok_or("err response missing error")?;
+            let code = err
+                .get("code")
+                .and_then(Value::as_str)
+                .and_then(ErrorCode::parse)
+                .ok_or("err response missing code")?;
+            let message = err
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
+            Ok(Response::Err { id, code, message })
+        }
+    }
+}
+
+/// Extracts a best-effort id from a line that failed full parsing, so the
+/// error response still correlates when the envelope itself was readable.
+pub fn best_effort_id(line: &str) -> String {
+    noc_json::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_str).map(str::to_string))
+        .unwrap_or_default()
+}
+
+fn field_usize(v: &Value, key: &str) -> Result<Option<usize>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => f
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => f
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a number")),
+    }
+}
+
+fn require<T>(opt: Option<T>, key: &str) -> Result<T, String> {
+    opt.ok_or_else(|| format!("missing required field {key:?}"))
+}
+
+fn parse_strategy(name: &str) -> Result<InitialStrategy, String> {
+    match name {
+        "dnc" | "d&c" => Ok(InitialStrategy::DivideAndConquer),
+        "random" => Ok(InitialStrategy::Random),
+        "greedy" => Ok(InitialStrategy::Greedy),
+        other => Err(format!("unknown strategy {other:?} (dnc|random|greedy)")),
+    }
+}
+
+/// Wire name of an [`InitialStrategy`] (inverse of request parsing).
+pub fn strategy_name(s: InitialStrategy) -> &'static str {
+    match s {
+        InitialStrategy::DivideAndConquer => "dnc",
+        InitialStrategy::Random => "random",
+        InitialStrategy::Greedy => "greedy",
+    }
+}
+
+fn parse_pattern(name: &str) -> Result<SyntheticPattern, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "ur" => Ok(SyntheticPattern::UniformRandom),
+        "tp" => Ok(SyntheticPattern::Transpose),
+        "br" => Ok(SyntheticPattern::BitReverse),
+        "bc" => Ok(SyntheticPattern::BitComplement),
+        "sh" => Ok(SyntheticPattern::Shuffle),
+        "hs" => Ok(SyntheticPattern::Hotspot { weight: 0.4 }),
+        "nn" => Ok(SyntheticPattern::NearNeighbour),
+        other => Err(format!("unknown pattern {other:?} (ur|tp|br|bc|sh|hs|nn)")),
+    }
+}
+
+/// Wire name of a pattern (inverse of request parsing).
+pub fn pattern_name(p: SyntheticPattern) -> &'static str {
+    match p {
+        SyntheticPattern::UniformRandom => "ur",
+        SyntheticPattern::Transpose => "tp",
+        SyntheticPattern::BitReverse => "br",
+        SyntheticPattern::BitComplement => "bc",
+        SyntheticPattern::Shuffle => "sh",
+        SyntheticPattern::Hotspot { .. } => "hs",
+        SyntheticPattern::NearNeighbour => "nn",
+    }
+}
+
+fn parse_weights(v: &Value) -> Result<HopWeights, String> {
+    let tr = field_u64(v, "router_cycles")?;
+    let tl = field_u64(v, "unit_link_cycles")?;
+    Ok(HopWeights {
+        router_cycles: tr.unwrap_or(HopWeights::PAPER.router_cycles as u64) as u32,
+        unit_link_cycles: tl.unwrap_or(HopWeights::PAPER.unit_link_cycles as u64) as u32,
+    })
+}
+
+fn parse_links(v: &Value) -> Result<Vec<(usize, usize)>, String> {
+    let Some(field) = v.get("links") else {
+        return Ok(Vec::new());
+    };
+    let arr = field
+        .as_array()
+        .ok_or("field \"links\" must be an array of [a, b] pairs")?;
+    arr.iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or("each link must be a two-element array [a, b]")?;
+            let a = pair[0].as_usize().ok_or("link endpoints must be indices")?;
+            let b = pair[1].as_usize().ok_or("link endpoints must be indices")?;
+            Ok((a, b))
+        })
+        .collect()
+}
+
+/// Parses one request line into an [`Envelope`], validating bounds so a
+/// single request cannot monopolise a worker.
+pub fn parse_request(line: &str) -> Result<Envelope, String> {
+    let v = noc_json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let id = v
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("missing required field \"kind\"")?;
+    let deadline_ms = field_u64(&v, "deadline_ms")?
+        .unwrap_or(DEFAULT_DEADLINE_MS)
+        .clamp(1, MAX_DEADLINE_MS);
+
+    let bounded_n = |n: usize| -> Result<usize, String> {
+        if (2..=MAX_N).contains(&n) {
+            Ok(n)
+        } else {
+            Err(format!("n must be in 2..={MAX_N}, got {n}"))
+        }
+    };
+
+    let request = match kind {
+        "solve" => {
+            let n = bounded_n(require(field_usize(&v, "n")?, "n")?)?;
+            let c = require(field_usize(&v, "c")?, "c")?;
+            if c == 0 {
+                return Err("c must be at least 1".into());
+            }
+            let moves = field_usize(&v, "moves")?.unwrap_or(10_000);
+            if moves > MAX_MOVES {
+                return Err(format!("moves must be at most {MAX_MOVES}"));
+            }
+            let strategy = match v.get("strategy").and_then(Value::as_str) {
+                None => InitialStrategy::DivideAndConquer,
+                Some(name) => parse_strategy(name)?,
+            };
+            Request::Solve(SolveRequest {
+                n,
+                c,
+                strategy,
+                moves,
+                seed: field_u64(&v, "seed")?.unwrap_or(42),
+                weights: parse_weights(&v)?,
+            })
+        }
+        "optimal" => {
+            let n = bounded_n(require(field_usize(&v, "n")?, "n")?)?;
+            let c = require(field_usize(&v, "c")?, "c")?;
+            if c == 0 {
+                return Err("c must be at least 1".into());
+            }
+            if n > 16 || (n > 10 && c > 4) {
+                return Err("exhaustive search is only practical up to n = 16 with small C".into());
+            }
+            Request::Optimal(OptimalRequest {
+                n,
+                c,
+                weights: parse_weights(&v)?,
+            })
+        }
+        "sweep" => {
+            let n = bounded_n(require(field_usize(&v, "n")?, "n")?)?;
+            let base_flit = field_u64(&v, "base_flit")?.unwrap_or(256);
+            if base_flit == 0 || base_flit > 4_096 {
+                return Err("base_flit must be in 1..=4096".into());
+            }
+            Request::Sweep(SweepRequest {
+                n,
+                base_flit: base_flit as u32,
+                seed: field_u64(&v, "seed")?.unwrap_or(42),
+            })
+        }
+        "simulate" => {
+            let n = bounded_n(require(field_usize(&v, "n")?, "n")?)?;
+            if n > 32 {
+                return Err("simulate supports n up to 32".into());
+            }
+            let rate = require(field_f64(&v, "rate")?, "rate")?;
+            if !(rate > 0.0 && rate <= 1.0) {
+                return Err("rate must be in (0, 1]".into());
+            }
+            let cycles = field_u64(&v, "cycles")?.unwrap_or(20_000);
+            if cycles == 0 || cycles > MAX_CYCLES {
+                return Err(format!("cycles must be in 1..={MAX_CYCLES}"));
+            }
+            let flit = field_u64(&v, "flit")?.unwrap_or(256);
+            if flit == 0 || flit > 4_096 {
+                return Err("flit must be in 1..=4096".into());
+            }
+            let pattern = parse_pattern(require(
+                v.get("pattern").and_then(Value::as_str),
+                "pattern",
+            )?)?;
+            Request::Simulate(SimulateRequest {
+                n,
+                pattern,
+                rate,
+                flit: flit as u32,
+                cycles,
+                seed: field_u64(&v, "seed")?.unwrap_or(42),
+                links: parse_links(&v)?,
+            })
+        }
+        "metrics" => Request::Metrics,
+        "health" => Request::Health,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown kind {other:?}")),
+    };
+    Ok(Envelope {
+        id,
+        deadline_ms,
+        request,
+    })
+}
+
+/// Serialises an envelope back to a request line — the inverse of
+/// [`parse_request`], used by the client, the load generator, and the
+/// round-trip tests.
+pub fn request_line(env: &Envelope) -> String {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("id".to_string(), Value::Str(env.id.clone())),
+        (
+            "kind".to_string(),
+            Value::Str(env.request.kind().to_string()),
+        ),
+        (
+            "deadline_ms".to_string(),
+            Value::Int(env.deadline_ms as i128),
+        ),
+    ];
+    let push_weights = |fields: &mut Vec<(String, Value)>, w: HopWeights| {
+        fields.push((
+            "router_cycles".to_string(),
+            Value::Int(w.router_cycles as i128),
+        ));
+        fields.push((
+            "unit_link_cycles".to_string(),
+            Value::Int(w.unit_link_cycles as i128),
+        ));
+    };
+    match &env.request {
+        Request::Solve(r) => {
+            fields.push(("n".to_string(), Value::Int(r.n as i128)));
+            fields.push(("c".to_string(), Value::Int(r.c as i128)));
+            fields.push((
+                "strategy".to_string(),
+                Value::Str(strategy_name(r.strategy).to_string()),
+            ));
+            fields.push(("moves".to_string(), Value::Int(r.moves as i128)));
+            fields.push(("seed".to_string(), Value::Int(r.seed as i128)));
+            push_weights(&mut fields, r.weights);
+        }
+        Request::Optimal(r) => {
+            fields.push(("n".to_string(), Value::Int(r.n as i128)));
+            fields.push(("c".to_string(), Value::Int(r.c as i128)));
+            push_weights(&mut fields, r.weights);
+        }
+        Request::Sweep(r) => {
+            fields.push(("n".to_string(), Value::Int(r.n as i128)));
+            fields.push(("base_flit".to_string(), Value::Int(r.base_flit as i128)));
+            fields.push(("seed".to_string(), Value::Int(r.seed as i128)));
+        }
+        Request::Simulate(r) => {
+            fields.push(("n".to_string(), Value::Int(r.n as i128)));
+            fields.push((
+                "pattern".to_string(),
+                Value::Str(pattern_name(r.pattern).to_string()),
+            ));
+            fields.push(("rate".to_string(), Value::Float(r.rate)));
+            fields.push(("flit".to_string(), Value::Int(r.flit as i128)));
+            fields.push(("cycles".to_string(), Value::Int(r.cycles as i128)));
+            fields.push(("seed".to_string(), Value::Int(r.seed as i128)));
+            fields.push((
+                "links".to_string(),
+                Value::Arr(
+                    r.links
+                        .iter()
+                        .map(|&(a, b)| {
+                            Value::Arr(vec![Value::Int(a as i128), Value::Int(b as i128)])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Request::Metrics | Request::Health | Request::Shutdown => {}
+    }
+    Value::Obj(fields).compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_solve() {
+        let env = parse_request(r#"{"id":"a","kind":"solve","n":8,"c":4}"#).unwrap();
+        assert_eq!(env.id, "a");
+        assert_eq!(env.deadline_ms, DEFAULT_DEADLINE_MS);
+        match env.request {
+            Request::Solve(r) => {
+                assert_eq!((r.n, r.c, r.moves, r.seed), (8, 4, 10_000, 42));
+                assert_eq!(r.strategy, InitialStrategy::DivideAndConquer);
+                assert_eq!(r.weights, HopWeights::PAPER);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        assert!(parse_request(r#"{"kind":"solve","n":1,"c":4}"#).is_err());
+        assert!(parse_request(r#"{"kind":"solve","n":300,"c":4}"#).is_err());
+        assert!(parse_request(r#"{"kind":"solve","n":8,"c":0}"#).is_err());
+        assert!(parse_request(r#"{"kind":"optimal","n":17,"c":2}"#).is_err());
+        assert!(parse_request(r#"{"kind":"simulate","n":8,"pattern":"ur","rate":1.5}"#).is_err());
+        assert!(parse_request(r#"{"kind":"nope"}"#).is_err());
+        assert!(parse_request("{").is_err());
+    }
+
+    #[test]
+    fn deadline_is_clamped() {
+        let env = parse_request(r#"{"kind":"health","deadline_ms":99999999}"#).unwrap();
+        assert_eq!(env.deadline_ms, MAX_DEADLINE_MS);
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        let ok = Response::ok("r1", true, noc_json::obj! { "x" => Value::Int(3) });
+        assert_eq!(Response::from_line(&ok.to_line()).unwrap(), ok);
+        let err = Response::err("r2", ErrorCode::Overloaded, "queue full");
+        assert_eq!(Response::from_line(&err.to_line()).unwrap(), err);
+    }
+
+    #[test]
+    fn best_effort_id_recovers() {
+        assert_eq!(best_effort_id(r#"{"id":"z","kind":"nope"}"#), "z");
+        assert_eq!(best_effort_id("not json"), "");
+    }
+}

@@ -1,0 +1,361 @@
+//! The TCP daemon: accept loop, per-connection protocol handling, and
+//! graceful shutdown.
+//!
+//! Each connection gets one handler thread reading request lines. Compute
+//! requests are checked against the cache, then submitted to the worker
+//! pool with a reply channel; the handler waits with `recv_timeout` so a
+//! missed deadline turns into a `deadline_exceeded` response even if the
+//! worker is still busy (the worker's late result is dropped by the dead
+//! channel, but still written to the cache).
+//!
+//! Shutdown (SIGINT, a `shutdown` request, or [`ServerHandle::shutdown`])
+//! is a drain, not an abort: the accept loop stops, idle connections
+//! close, in-flight requests run to completion on the pool, and only then
+//! does [`Server::run`] return.
+
+use crate::cache::ShardedLru;
+use crate::exec;
+use crate::metrics::Metrics;
+use crate::pool::{Job, SubmitError, WorkerPool};
+use crate::protocol::{self, ErrorCode, Request, Response};
+use noc_json::Value;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the daemon.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address, e.g. `127.0.0.1:7474`. Port 0 binds ephemerally
+    /// (query the bound address via [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing compute requests.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it requests are shed.
+    pub queue_capacity: usize,
+    /// Total cached results across all shards.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7474".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2),
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// Shared daemon state reachable from every connection handler.
+struct ServiceState {
+    metrics: Arc<Metrics>,
+    cache: Arc<ShardedLru>,
+    shutdown: AtomicBool,
+    started: Instant,
+    workers: usize,
+}
+
+impl ServiceState {
+    fn health(&self, queue_depth: usize) -> Value {
+        noc_json::obj! {
+            "status" => Value::Str(
+                if self.shutdown.load(Ordering::SeqCst) { "draining" } else { "ok" }
+                    .to_string(),
+            ),
+            "uptime_ms" => Value::Int(self.started.elapsed().as_millis() as i128),
+            "workers" => Value::Int(self.workers as i128),
+            "queue_depth" => Value::Int(queue_depth as i128),
+            "cache_entries" => Value::Int(self.cache.len() as i128),
+        }
+    }
+}
+
+/// A handle that can stop a running server from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServiceState>,
+}
+
+impl ServerHandle {
+    /// Initiates a graceful drain; [`Server::run`] returns once complete.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    pool: WorkerPool,
+    sigint: Option<&'static AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listen socket and spawns the worker pool.
+    pub fn bind(config: &ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let metrics = Arc::new(Metrics::new());
+        let cache = Arc::new(ShardedLru::new(config.cache_capacity, config.cache_shards));
+        let pool = WorkerPool::new(
+            config.workers,
+            config.queue_capacity,
+            metrics.clone(),
+            cache.clone(),
+        );
+        Ok(Server {
+            listener,
+            state: Arc::new(ServiceState {
+                metrics,
+                cache,
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+                workers: config.workers.max(1),
+            }),
+            pool,
+            sigint: None,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for stopping the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: self.state.clone(),
+        }
+    }
+
+    /// Also drain when `flag` becomes true — the CLI points this at its
+    /// SIGINT flag so Ctrl-C triggers the same graceful path.
+    pub fn drain_on(&mut self, flag: &'static AtomicBool) {
+        self.sigint = Some(flag);
+    }
+
+    /// Serves until shutdown, then drains in-flight work and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            state,
+            pool,
+            sigint,
+        } = self;
+        let should_stop = || {
+            state.shutdown.load(Ordering::SeqCst)
+                || sigint.is_some_and(|f| f.load(Ordering::SeqCst))
+        };
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let pool = Arc::new(pool);
+        loop {
+            if should_stop() {
+                // Propagate external (signal) shutdown to the state flag
+                // so connection handlers and `health` see it too.
+                state.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = state.clone();
+                    let pool = pool.clone();
+                    connections.retain(|h| !h.is_finished());
+                    connections.push(
+                        std::thread::Builder::new()
+                            .name("noc-conn".to_string())
+                            .spawn(move || handle_connection(stream, &state, &pool))
+                            .expect("spawn connection thread"),
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: connections notice the flag via their read timeouts and
+        // finish their in-flight request first; then the pool empties.
+        for handle in connections {
+            let _ = handle.join();
+        }
+        match Arc::try_unwrap(pool) {
+            Ok(pool) => pool.join(),
+            Err(pool) => pool.shutdown(), // a leaked handler; still drain intake
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) {
+    state.metrics.connection_opened();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            state.metrics.connection_closed();
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_line_with_timeouts(&mut reader, &mut line, state) {
+            ReadOutcome::Line => {}
+            ReadOutcome::Closed => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = handle_line(trimmed, state, pool);
+        let mut payload = response.to_line();
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+    state.metrics.connection_closed();
+}
+
+enum ReadOutcome {
+    Line,
+    Closed,
+}
+
+/// Reads one line, waking on the socket timeout to poll the shutdown
+/// flag so idle connections close during a drain.
+fn read_line_with_timeouts(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    state: &ServiceState,
+) -> ReadOutcome {
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(_) => {
+                if line.ends_with('\n') || !line.is_empty() {
+                    return ReadOutcome::Line;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if state.shutdown.load(Ordering::SeqCst) && line.is_empty() {
+                    return ReadOutcome::Closed;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+}
+
+fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) -> Response {
+    let accepted_at = Instant::now();
+    let envelope = match protocol::parse_request(line) {
+        Ok(env) => env,
+        Err(message) => {
+            state.metrics.record_err(ErrorCode::BadRequest);
+            return Response::err(
+                protocol::best_effort_id(line),
+                ErrorCode::BadRequest,
+                message,
+            );
+        }
+    };
+    state.metrics.record_request(envelope.request.kind());
+
+    // Inline kinds never touch the queue: they must stay responsive even
+    // under full load — that is the point of `metrics` and `health`.
+    match envelope.request {
+        Request::Metrics => {
+            state.metrics.set_queue_depth(pool.queue_depth() as u64);
+            let snapshot = state.metrics.snapshot();
+            let micros = accepted_at.elapsed().as_micros() as u64;
+            state.metrics.record_ok("metrics", micros);
+            return Response::ok(envelope.id, false, snapshot);
+        }
+        Request::Health => {
+            let body = state.health(pool.queue_depth());
+            let micros = accepted_at.elapsed().as_micros() as u64;
+            state.metrics.record_ok("health", micros);
+            return Response::ok(envelope.id, false, body);
+        }
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            let micros = accepted_at.elapsed().as_micros() as u64;
+            state.metrics.record_ok("shutdown", micros);
+            return Response::ok(
+                envelope.id,
+                false,
+                noc_json::obj! { "draining" => Value::Bool(true) },
+            );
+        }
+        _ => {}
+    }
+
+    if state.shutdown.load(Ordering::SeqCst) {
+        state.metrics.record_err(ErrorCode::ShuttingDown);
+        return Response::err(
+            envelope.id,
+            ErrorCode::ShuttingDown,
+            "daemon is draining; retry against a live instance",
+        );
+    }
+
+    // Cache fast path: identical requests are bit-identical results.
+    let key = exec::cache_key(&envelope.request);
+    if let Some(key) = &key {
+        if let Some(result) = state.cache.get(key) {
+            state.metrics.record_cache(true);
+            let micros = accepted_at.elapsed().as_micros() as u64;
+            state.metrics.record_ok(envelope.request.kind(), micros);
+            return Response::ok(envelope.id, true, result);
+        }
+        state.metrics.record_cache(false);
+    }
+
+    let deadline = accepted_at + Duration::from_millis(envelope.deadline_ms);
+    let id = envelope.id.clone();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        envelope,
+        accepted_at,
+        deadline,
+        reply: reply_tx,
+    };
+    match pool.submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::QueueFull) => {
+            state.metrics.record_err(ErrorCode::Overloaded);
+            return Response::err(id, ErrorCode::Overloaded, "worker queue full; shed");
+        }
+        Err(SubmitError::ShuttingDown) => {
+            state.metrics.record_err(ErrorCode::ShuttingDown);
+            return Response::err(id, ErrorCode::ShuttingDown, "daemon is draining");
+        }
+    }
+    let budget = deadline.saturating_duration_since(Instant::now());
+    match reply_rx.recv_timeout(budget) {
+        Ok(response) => response,
+        Err(_) => {
+            state.metrics.record_err(ErrorCode::DeadlineExceeded);
+            Response::err(
+                id,
+                ErrorCode::DeadlineExceeded,
+                "deadline elapsed before the result was ready",
+            )
+        }
+    }
+}

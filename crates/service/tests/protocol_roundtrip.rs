@@ -1,0 +1,120 @@
+//! Wire-format round-trips: `request_line` ∘ `parse_request` must be the
+//! identity on every request variant, and `to_line` ∘ `from_line` on
+//! every response shape.
+
+use noc_json::Value;
+use noc_placement::InitialStrategy;
+use noc_routing::HopWeights;
+use noc_service::protocol::{
+    parse_request, request_line, Envelope, ErrorCode, OptimalRequest, Request, Response,
+    SimulateRequest, SolveRequest, SweepRequest,
+};
+use noc_traffic::SyntheticPattern;
+
+fn round_trips(env: Envelope) {
+    let line = request_line(&env);
+    let parsed = parse_request(&line)
+        .unwrap_or_else(|e| panic!("serialised request failed to parse: {e}\nline: {line}"));
+    assert_eq!(parsed, env, "round-trip changed the request\nline: {line}");
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    let requests = vec![
+        Request::Solve(SolveRequest {
+            n: 12,
+            c: 5,
+            strategy: InitialStrategy::Random,
+            moves: 777,
+            seed: u64::MAX,
+            weights: HopWeights {
+                router_cycles: 2,
+                unit_link_cycles: 1,
+            },
+        }),
+        Request::Solve(SolveRequest {
+            n: 8,
+            c: 4,
+            strategy: InitialStrategy::Greedy,
+            moves: 10_000,
+            seed: 0,
+            weights: HopWeights::PAPER,
+        }),
+        Request::Optimal(OptimalRequest {
+            n: 10,
+            c: 3,
+            weights: HopWeights::PAPER,
+        }),
+        Request::Sweep(SweepRequest {
+            n: 16,
+            base_flit: 512,
+            seed: 9,
+        }),
+        Request::Simulate(SimulateRequest {
+            n: 6,
+            pattern: SyntheticPattern::Transpose,
+            rate: 0.015,
+            flit: 128,
+            cycles: 12_345,
+            seed: 3,
+            links: vec![(0, 3), (2, 5)],
+        }),
+        Request::Simulate(SimulateRequest {
+            n: 4,
+            pattern: SyntheticPattern::Hotspot { weight: 0.4 },
+            rate: 0.5,
+            flit: 1,
+            cycles: 1,
+            seed: 0,
+            links: vec![],
+        }),
+        Request::Metrics,
+        Request::Health,
+        Request::Shutdown,
+    ];
+    for request in requests {
+        round_trips(Envelope {
+            id: format!("id-{}", request.kind()),
+            deadline_ms: 1_234,
+            request,
+        });
+    }
+}
+
+#[test]
+fn every_response_shape_round_trips() {
+    let responses = vec![
+        Response::ok("a", false, Value::Null),
+        Response::ok(
+            "b",
+            true,
+            noc_json::obj! {
+                "objective" => Value::Float(6.5625),
+                "links" => Value::Arr(vec![Value::Arr(vec![
+                    Value::Int(0), Value::Int(4),
+                ])]),
+            },
+        ),
+        Response::err("c", ErrorCode::BadRequest, "missing n"),
+        Response::err("d", ErrorCode::Overloaded, "queue full"),
+        Response::err("e", ErrorCode::DeadlineExceeded, "too slow"),
+        Response::err("f", ErrorCode::ShuttingDown, "draining"),
+        Response::err("", ErrorCode::Internal, "boom \"quoted\" \u{1F980}"),
+    ];
+    for response in responses {
+        let line = response.to_line();
+        assert!(!line.contains('\n'), "wire lines must be single-line");
+        assert_eq!(Response::from_line(&line).unwrap(), response);
+    }
+}
+
+#[test]
+fn unknown_fields_are_tolerated() {
+    // Forward compatibility: clients may send extra fields.
+    let env = parse_request(
+        r#"{"id":"x","kind":"health","future_field":{"nested":[1,2]},"deadline_ms":50}"#,
+    )
+    .unwrap();
+    assert_eq!(env.request, Request::Health);
+    assert_eq!(env.deadline_ms, 50);
+}

@@ -1,10 +1,9 @@
 //! Simulator configuration.
 
 use noc_routing::HopWeights;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Flit width `b` in bits (set by the link limit: `b = base/C`).
     pub flit_bits: u32,
@@ -62,6 +61,33 @@ impl SimConfig {
         self.buffer_flits_per_vc = (per_vc_bits / self.flit_bits as u64).max(1) as usize;
         self
     }
+
+    /// Stable FNV-1a fingerprint of every field. The simulator is fully
+    /// deterministic given its config, topology, and workload, so equal
+    /// fingerprints (plus equal topology/workload keys) imply bit-identical
+    /// statistics — the contract the service result cache relies on.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut state = OFFSET;
+        let mut write = |bytes: &[u8]| {
+            for &b in bytes {
+                state ^= b as u64;
+                state = state.wrapping_mul(PRIME);
+            }
+        };
+        write(b"sim-config");
+        write(&self.flit_bits.to_le_bytes());
+        write(&(self.vcs_per_port as u64).to_le_bytes());
+        write(&(self.buffer_flits_per_vc as u64).to_le_bytes());
+        write(&self.weights.router_cycles.to_le_bytes());
+        write(&self.weights.unit_link_cycles.to_le_bytes());
+        write(&self.warmup_cycles.to_le_bytes());
+        write(&self.measure_cycles.to_le_bytes());
+        write(&self.drain_cycles_max.to_le_bytes());
+        write(&self.seed.to_le_bytes());
+        state
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +101,25 @@ mod tests {
         assert!(c.vcs_per_port >= 1);
         assert!(c.buffer_flits_per_vc >= 1);
         assert_eq!(c.weights, HopWeights::PAPER);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = SimConfig::latency_run(256, 7);
+        let b = SimConfig::latency_run(256, 7);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            SimConfig::latency_run(256, 8).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            SimConfig::latency_run(128, 7).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            SimConfig::throughput_run(256, 7).fingerprint()
+        );
     }
 
     #[test]

@@ -11,11 +11,11 @@ use crate::config::SimConfig;
 use crate::flit::{Flit, PacketRecord};
 use crate::network::{BufferedFlit, Network};
 use crate::stats::{ActivityCounters, SimStats};
+use noc_rng::rngs::SmallRng;
+use noc_rng::SeedableRng;
 use noc_routing::DorRouter;
 use noc_topology::MeshTopology;
 use noc_traffic::{Trace, Workload};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::collections::VecDeque;
 
 /// Where injected packets come from: a stochastic workload or a recorded
@@ -277,9 +277,10 @@ impl Simulator {
                         let vc = &inputs[i].vcs[v];
                         let requesting = vc.route_out == Some(o)
                             && vc.out_vc.is_none()
-                            && vc.buffer.front().map_or(false, |f| {
-                                f.flit.is_head() && t + 1 >= f.eligible
-                            });
+                            && vc
+                                .buffer
+                                .front()
+                                .is_some_and(|f| f.flit.is_head() && t + 1 >= f.eligible);
                         if requesting {
                             assigned = Some((i, v, idx));
                             break;
@@ -336,9 +337,7 @@ impl Simulator {
                     if front.eligible > t {
                         continue;
                     }
-                    if front.flit.is_head()
-                        && !vc.va_done.map_or(false, |d| t >= d + 1)
-                    {
+                    if front.flit.is_head() && vc.va_done.is_none_or(|d| t <= d) {
                         continue;
                     }
                     if out.vcs[ovc].credits == 0 {

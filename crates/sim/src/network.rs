@@ -323,7 +323,10 @@ mod tests {
             let port = &net.routers[ch.dst_router].inputs[ch.dst_port];
             let (up_router, up_port) = port.upstream.expect("link inputs have upstream");
             assert_eq!(net.routers[up_router].outputs[up_port].channel, ci);
-            assert_eq!(net.routers[up_router].outputs[up_port].to_router, ch.dst_router);
+            assert_eq!(
+                net.routers[up_router].outputs[up_port].to_router,
+                ch.dst_router
+            );
             assert_eq!(net.routers[up_router].outputs[up_port].span, ch.span);
         }
     }

@@ -1,10 +1,8 @@
 //! Measurement results and activity accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-router switching-activity counters over the measurement window.
 /// These are the inputs to the `noc-power` dynamic-power model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ActivityCounters {
     /// Flits written into link-input VC buffers.
     pub buffer_writes: u64,
@@ -30,7 +28,7 @@ impl ActivityCounters {
 }
 
 /// Results of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimStats {
     /// Cycles simulated in total (warmup + measurement + drain).
     pub cycles: u64,

@@ -10,10 +10,9 @@ use crate::config::SimConfig;
 use crate::engine::Simulator;
 use noc_topology::MeshTopology;
 use noc_traffic::Workload;
-use serde::{Deserialize, Serialize};
 
 /// One sample of the sweep.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SweepSample {
     /// Offered rate (packets per node per cycle).
     pub offered: f64,
@@ -24,7 +23,7 @@ pub struct SweepSample {
 }
 
 /// Result of a saturation sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputResult {
     /// All samples, in increasing offered rate.
     pub samples: Vec<SweepSample>,
@@ -67,10 +66,7 @@ pub fn saturation_sweep(
         samples.sort_by(|a, b| a.offered.total_cmp(&b.offered));
     }
 
-    let saturation = samples
-        .iter()
-        .map(|s| s.accepted)
-        .fold(0.0f64, f64::max);
+    let saturation = samples.iter().map(|s| s.accepted).fold(0.0f64, f64::max);
     ThroughputResult {
         samples,
         saturation,

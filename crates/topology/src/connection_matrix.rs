@@ -26,11 +26,10 @@
 
 use crate::error::TopologyError;
 use crate::row::RowPlacement;
-use serde::{Deserialize, Serialize};
 
 /// Binary connection matrix for `P̂(n, C)`: `(C-1)` layers × `(n-2)` interior
 /// connection points.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConnectionMatrix {
     n: usize,
     c_limit: usize,
@@ -286,8 +285,8 @@ mod tests {
 
     #[test]
     fn encode_round_trips() {
-        let row = RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)])
-            .unwrap();
+        let row =
+            RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)]).unwrap();
         let m = ConnectionMatrix::encode(&row, 4).expect("placement fits C = 4");
         assert_eq!(m.decode(), row);
     }

@@ -26,7 +26,7 @@ pub fn render_row(row: &RowPlacement) -> String {
                 line.push('·');
             }
             if r + 1 < n {
-                let c = if r >= link.a && r + 1 <= link.b {
+                let c = if r >= link.a && r < link.b {
                     '═'
                 } else {
                     ' '
@@ -74,7 +74,11 @@ pub fn render_matrix(matrix: &ConnectionMatrix) -> String {
     for layer in 0..matrix.layers() {
         let mut line = String::from("  |");
         for point in 0..matrix.points() {
-            line.push(if matrix.get(layer, point) { '●' } else { '○' });
+            line.push(if matrix.get(layer, point) {
+                '●'
+            } else {
+                '○'
+            });
             line.push('|');
         }
         let _ = writeln!(out, "{line}  layer {layer}");

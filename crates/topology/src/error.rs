@@ -66,7 +66,10 @@ impl fmt::Display for TopologyError {
                 )
             }
             TopologyError::MismatchedRowLength { expected, got } => {
-                write!(f, "placement length {got} does not match mesh size {expected}")
+                write!(
+                    f,
+                    "placement length {got} does not match mesh size {expected}"
+                )
             }
         }
     }

@@ -10,10 +10,9 @@
 
 use crate::error::TopologyError;
 use crate::row::{Link, RowPlacement};
-use serde::{Deserialize, Serialize};
 
 /// A router coordinate on the mesh: `x` is the column, `y` the row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     /// Column index (0-based, left to right).
     pub x: usize,
@@ -22,7 +21,7 @@ pub struct Coord {
 }
 
 /// Whether a physical link runs along a row (X dimension) or a column (Y).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Orientation {
     /// A link within a row, traversed by the X phase of DOR.
     Horizontal,
@@ -32,7 +31,7 @@ pub enum Orientation {
 
 /// A physical bidirectional link on the 2D mesh, between routers `a` and `b`
 /// (flat ids, `a < b`), of Manhattan length `length` unit hops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MeshLink {
     /// Smaller flat router id.
     pub a: usize,
@@ -46,7 +45,7 @@ pub struct MeshLink {
 
 /// An `n × n` mesh where every row and every column carries an express-link
 /// placement. Routers are numbered row-major: `id = y * n + x`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeshTopology {
     n: usize,
     rows: Vec<RowPlacement>,
@@ -157,8 +156,15 @@ impl MeshTopology {
 
     /// Total number of physical links.
     pub fn link_count(&self) -> usize {
-        self.rows.iter().map(RowPlacement::link_count).sum::<usize>()
-            + self.cols.iter().map(RowPlacement::link_count).sum::<usize>()
+        self.rows
+            .iter()
+            .map(RowPlacement::link_count)
+            .sum::<usize>()
+            + self
+                .cols
+                .iter()
+                .map(RowPlacement::link_count)
+                .sum::<usize>()
     }
 
     /// Number of network ports of router `id` (row degree + column degree,

@@ -8,13 +8,12 @@
 //! routers" (§4.3).
 
 use crate::error::TopologyError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A bidirectional link between routers `a < b` on one row.
 ///
 /// `span() == 1` denotes a local link; express links have `span() >= 2`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Link {
     /// Left endpoint (smaller router index).
     pub a: usize,
@@ -58,7 +57,7 @@ impl Link {
 /// * every stored link spans at least two hops (local links are implicit),
 /// * links are deduplicated (a placement is a *set* of express links; parallel
 ///   duplicates would consume cross-section budget without reducing latency).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RowPlacement {
     n: usize,
     express: BTreeSet<Link>,
@@ -160,11 +159,7 @@ impl RowPlacement {
     /// Panics if `cut >= n - 1`.
     pub fn cross_section(&self, cut: usize) -> usize {
         assert!(cut + 1 < self.n, "cut {cut} out of range");
-        1 + self
-            .express
-            .iter()
-            .filter(|link| link.crosses(cut))
-            .count()
+        1 + self.express.iter().filter(|link| link.crosses(cut)).count()
     }
 
     /// Cross-section counts at every cut, as a vector of length `n - 1`.
@@ -178,8 +173,8 @@ impl RowPlacement {
         }
         let mut out = Vec::with_capacity(self.n - 1);
         let mut running = 1isize; // the local-link layer
-        for cut in 0..self.n - 1 {
-            running += diff[cut];
+        for &d in diff.iter().take(self.n - 1) {
+            running += d;
             out.push(running as usize);
         }
         out
@@ -335,8 +330,8 @@ mod tests {
     fn cross_sections_count_spanning_links() {
         // Paper Fig. 2(b): links 2–4, 4–8, 1–4, 4–7, 1–3, 5–8 (1-indexed)
         // = (1,3), (3,7), (0,3), (3,6), (0,2), (4,7) 0-indexed.
-        let row = RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)])
-            .unwrap();
+        let row =
+            RowPlacement::with_links(8, [(1, 3), (3, 7), (0, 3), (3, 6), (0, 2), (4, 7)]).unwrap();
         // Cut 0 (between routers 0 and 1): local + (0,3) + (0,2) = 3.
         assert_eq!(row.cross_section(0), 3);
         // All cuts within limit 4.
@@ -346,8 +341,8 @@ mod tests {
         assert_eq!(sections.len(), 7);
         assert_eq!(sections[0], 3);
         // Difference-array and naive counting agree everywhere.
-        for cut in 0..7 {
-            assert_eq!(sections[cut], row.cross_section(cut));
+        for (cut, &section) in sections.iter().enumerate() {
+            assert_eq!(section, row.cross_section(cut));
         }
     }
 

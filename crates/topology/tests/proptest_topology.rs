@@ -1,122 +1,157 @@
 //! Property-based tests for the topology layer: the connection matrix must
 //! always decode to a valid placement, encoding must round-trip, and
 //! structural accounting must be self-consistent.
+//!
+//! Cases are generated with the in-repo deterministic PRNG (`noc-rng`)
+//! instead of proptest, so the suite runs in hermetic offline builds; every
+//! case that fails prints its `(n, c, case)` triple for replay.
 
+use noc_rng::rngs::SmallRng;
+use noc_rng::{Rng, SeedableRng};
 use noc_topology::{ConnectionMatrix, MeshTopology, RowPlacement};
-use proptest::prelude::*;
 
-/// Strategy: a row size and link limit of practical scale.
-fn dims() -> impl Strategy<Value = (usize, usize)> {
-    (2usize..=16).prop_flat_map(|n| {
-        let c_max = ((n / 2) * n.div_ceil(2)).max(1);
-        (Just(n), 1usize..=c_max.min(16))
-    })
+const CASES: u64 = 64;
+
+/// Draws a row size and link limit of practical scale.
+fn dims(rng: &mut SmallRng) -> (usize, usize) {
+    let n = rng.gen_range(2usize..17);
+    let c_max = ((n / 2) * n.div_ceil(2)).clamp(1, 16);
+    (n, rng.gen_range(1usize..c_max + 1))
 }
 
-/// Strategy: a random connection matrix for the given dims.
-fn matrix() -> impl Strategy<Value = ConnectionMatrix> {
-    dims().prop_flat_map(|(n, c)| {
-        let nbits = (c - 1) * n.saturating_sub(2);
-        proptest::collection::vec(any::<bool>(), nbits)
-            .prop_map(move |bits| ConnectionMatrix::from_bits(n, c, bits).unwrap())
-    })
+/// Draws a random connection matrix for random dims.
+fn matrix(rng: &mut SmallRng) -> ConnectionMatrix {
+    let (n, c) = dims(rng);
+    let nbits = (c - 1) * n.saturating_sub(2);
+    let bits: Vec<bool> = (0..nbits).map(|_| rng.gen::<bool>()).collect();
+    ConnectionMatrix::from_bits(n, c, bits).unwrap()
 }
 
-/// Strategy: a random *valid* placement, via decoding a random matrix.
-fn placement() -> impl Strategy<Value = (RowPlacement, usize)> {
-    matrix().prop_map(|m| (m.decode(), m.link_limit()))
+/// Draws a random *valid* placement, via decoding a random matrix.
+fn placement(rng: &mut SmallRng) -> (RowPlacement, usize) {
+    let m = matrix(rng);
+    (m.decode(), m.link_limit())
 }
 
-proptest! {
-    /// Every matrix decodes within its link limit — the core validity
-    /// guarantee of the paper's §4.4.2 search space.
-    #[test]
-    fn decode_is_always_valid((row, c) in placement()) {
-        prop_assert!(row.validate(c).is_ok());
+/// Runs `body` over `CASES` deterministic seeds.
+fn for_cases(test_salt: u64, mut body: impl FnMut(&mut SmallRng)) {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(test_salt ^ (case * 0x9E37_79B9));
+        body(&mut rng);
     }
+}
 
-    /// Decoded placements never contain unit-span "express" links.
-    #[test]
-    fn decode_has_no_unit_links(m in matrix()) {
-        let row = m.decode();
+/// Every matrix decodes within its link limit — the core validity
+/// guarantee of the paper's §4.4.2 search space.
+#[test]
+fn decode_is_always_valid() {
+    for_cases(0x10, |rng| {
+        let (row, c) = placement(rng);
+        assert!(row.validate(c).is_ok(), "n={} c={c}", row.len());
+    });
+}
+
+/// Decoded placements never contain unit-span "express" links.
+#[test]
+fn decode_has_no_unit_links() {
+    for_cases(0x20, |rng| {
+        let row = matrix(rng).decode();
         for link in row.express_links() {
-            prop_assert!(link.span() >= 2);
+            assert!(link.span() >= 2, "unit link in {row:?}");
         }
-    }
+    });
+}
 
-    /// Encode(decode(M)) reproduces the same placement (the matrix itself
-    /// may differ — layer assignment is not unique).
-    #[test]
-    fn encode_round_trips((row, c) in placement()) {
+/// Encode(decode(M)) reproduces the same placement (the matrix itself
+/// may differ — layer assignment is not unique).
+#[test]
+fn encode_round_trips() {
+    for_cases(0x30, |rng| {
+        let (row, c) = placement(rng);
         let encoded = ConnectionMatrix::encode(&row, c);
-        prop_assert!(encoded.is_some(), "valid placements must be encodable");
-        prop_assert_eq!(encoded.unwrap().decode(), row);
-    }
+        assert!(encoded.is_some(), "valid placements must be encodable");
+        assert_eq!(encoded.unwrap().decode(), row);
+    });
+}
 
-    /// Flipping any bit twice restores the matrix exactly.
-    #[test]
-    fn double_flip_is_identity(m in matrix(), idx in any::<proptest::sample::Index>()) {
+/// Flipping any bit twice restores the matrix exactly.
+#[test]
+fn double_flip_is_identity() {
+    for_cases(0x40, |rng| {
+        let m = matrix(rng);
         if m.bit_count() == 0 {
-            return Ok(());
+            return;
         }
-        let i = idx.index(m.bit_count());
+        let i = rng.gen_range(0..m.bit_count());
         let mut flipped = m.clone();
         flipped.flip_flat(i);
         flipped.flip_flat(i);
-        prop_assert_eq!(flipped, m);
-    }
+        assert_eq!(flipped, m);
+    });
+}
 
-    /// A single bit flip still decodes to a valid placement (SA moves stay
-    /// inside the feasible region by construction).
-    #[test]
-    fn single_flip_stays_valid(m in matrix(), idx in any::<proptest::sample::Index>()) {
+/// A single bit flip still decodes to a valid placement (SA moves stay
+/// inside the feasible region by construction).
+#[test]
+fn single_flip_stays_valid() {
+    for_cases(0x50, |rng| {
+        let m = matrix(rng);
         if m.bit_count() == 0 {
-            return Ok(());
+            return;
         }
         let mut flipped = m.clone();
-        flipped.flip_flat(idx.index(m.bit_count()));
-        prop_assert!(flipped.decode().validate(m.link_limit()).is_ok());
-    }
+        flipped.flip_flat(rng.gen_range(0..m.bit_count()));
+        assert!(flipped.decode().validate(m.link_limit()).is_ok());
+    });
+}
 
-    /// Cross-section accounting: difference-array vector matches per-cut
-    /// counting, and the sum over cuts equals the total wire length.
-    #[test]
-    fn cross_sections_consistent((row, _) in placement()) {
+/// Cross-section accounting: difference-array vector matches per-cut
+/// counting, and the sum over cuts equals the total wire length.
+#[test]
+fn cross_sections_consistent() {
+    for_cases(0x60, |rng| {
+        let (row, _) = placement(rng);
         let sections = row.cross_sections();
         let mut expected_total = row.len() - 1; // local links, length 1 each
         for link in row.express_links() {
             expected_total += link.span();
         }
-        prop_assert_eq!(sections.iter().sum::<usize>(), expected_total);
+        assert_eq!(sections.iter().sum::<usize>(), expected_total);
         for (cut, &count) in sections.iter().enumerate() {
-            prop_assert_eq!(count, row.cross_section(cut));
+            assert_eq!(count, row.cross_section(cut));
         }
-    }
+    });
+}
 
-    /// Mirroring preserves cross-sections (reversed) and the express count.
-    #[test]
-    fn mirror_preserves_structure((row, c) in placement()) {
+/// Mirroring preserves cross-sections (reversed) and the express count.
+#[test]
+fn mirror_preserves_structure() {
+    for_cases(0x70, |rng| {
+        let (row, c) = placement(rng);
         let mirror = row.mirrored();
-        prop_assert_eq!(mirror.express_count(), row.express_count());
-        prop_assert!(mirror.validate(c).is_ok());
+        assert_eq!(mirror.express_count(), row.express_count());
+        assert!(mirror.validate(c).is_ok());
         let mut rev = mirror.cross_sections();
         rev.reverse();
-        prop_assert_eq!(rev, row.cross_sections());
-    }
+        assert_eq!(rev, row.cross_sections());
+    });
+}
 
-    /// Uniform 2D replication: the mesh link count and max cross-section
-    /// follow directly from the row placement.
-    #[test]
-    fn uniform_mesh_structure((row, c) in placement()) {
+/// Uniform 2D replication: the mesh link count and max cross-section
+/// follow directly from the row placement.
+#[test]
+fn uniform_mesh_structure() {
+    for_cases(0x80, |rng| {
+        let (row, c) = placement(rng);
         let n = row.len();
         let mesh = MeshTopology::uniform(n, &row);
-        prop_assert_eq!(mesh.link_count(), 2 * n * row.link_count());
-        prop_assert_eq!(mesh.max_cross_section(), row.max_cross_section());
-        prop_assert!(mesh.validate(c).is_ok());
+        assert_eq!(mesh.link_count(), 2 * n * row.link_count());
+        assert_eq!(mesh.max_cross_section(), row.max_cross_section());
+        assert!(mesh.validate(c).is_ok());
         // Degrees: every router's degree is row degree + column degree.
         for id in 0..mesh.routers() {
             let coord = mesh.coord(id);
-            prop_assert_eq!(mesh.degree(id), row.degree(coord.x) + row.degree(coord.y));
+            assert_eq!(mesh.degree(id), row.degree(coord.x) + row.degree(coord.y));
         }
-    }
+    });
 }

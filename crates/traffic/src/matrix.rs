@@ -7,11 +7,10 @@
 //! optimizer consumes.
 
 use crate::patterns::SyntheticPattern;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use noc_rng::Rng;
 
 /// A per-source destination distribution over an `n × n` mesh.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficMatrix {
     n: usize,
     /// Row-major `N × N`: `rates[src * N + dst]`, each row summing to 1
@@ -198,8 +197,8 @@ impl TrafficMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use noc_rng::rngs::SmallRng;
+    use noc_rng::SeedableRng;
 
     #[test]
     fn rows_are_normalised() {
@@ -270,7 +269,7 @@ mod tests {
     fn sampling_covers_uniform_support() {
         let m = TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, 4);
         let mut rng = SmallRng::seed_from_u64(2);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for _ in 0..2000 {
             seen[m.sample_destination(3, &mut rng).unwrap()] = true;
         }

@@ -24,9 +24,8 @@ use crate::matrix::TrafficMatrix;
 use crate::patterns::SyntheticPattern;
 use crate::workload::Workload;
 use noc_model::PacketMix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use noc_rng::rngs::SmallRng;
+use noc_rng::{Rng, SeedableRng};
 
 /// Builds a sparse sharing graph: each source communicates with a few fixed
 /// partners (producer→consumer pipeline stages, data sharers, directory
@@ -54,7 +53,7 @@ pub fn sharing_graph(n: usize, partners: usize, seed: u64) -> TrafficMatrix {
 }
 
 /// The ten PARSEC 2.0 benchmarks of the paper's Fig. 6 / Fig. 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParsecBenchmark {
     /// Option pricing; embarrassingly parallel, memory-bound reads.
     Blackscholes,
@@ -191,7 +190,11 @@ mod tests {
             let m = b.traffic_matrix(8);
             for src in 0..64 {
                 let sum: f64 = (0..64).map(|d| m.rate(src, d)).sum();
-                assert!((sum - 1.0).abs() < 1e-9, "{}: row {src} sums {sum}", b.name());
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "{}: row {src} sums {sum}",
+                    b.name()
+                );
             }
             let rate = b.injection_rate();
             assert!(rate > 0.0 && rate < 0.05, "{} rate {rate}", b.name());

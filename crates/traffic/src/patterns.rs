@@ -5,10 +5,8 @@
 //! shuffle) require the router count to be a power of two, which every
 //! `2^k × 2^k` mesh satisfies.
 
-use serde::{Deserialize, Serialize};
-
 /// A synthetic spatial traffic pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SyntheticPattern {
     /// Every destination (other than the source) equally likely — UR.
     UniformRandom,
@@ -82,7 +80,7 @@ mod tests {
     fn transpose_swaps_coordinates() {
         let p = SyntheticPattern::Transpose;
         // (1, 2) on 4x4: id 9 -> (2, 1): id 6.
-        assert_eq!(p.permutation_target(2 * 4 + 1, 4), Some(1 * 4 + 2));
+        assert_eq!(p.permutation_target(2 * 4 + 1, 4), Some(4 + 2));
         // Diagonal maps to itself.
         assert_eq!(p.permutation_target(5, 4), Some(5));
     }
@@ -127,7 +125,7 @@ mod tests {
             SyntheticPattern::BitComplement,
             SyntheticPattern::Shuffle,
         ] {
-            let mut seen = vec![false; 64];
+            let mut seen = [false; 64];
             for src in 0..64 {
                 let dst = p.permutation_target(src, 8).unwrap();
                 assert!(!seen[dst], "{p:?} not a bijection");

@@ -10,12 +10,11 @@
 
 use crate::matrix::TrafficMatrix;
 use crate::workload::Workload;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use noc_rng::rngs::SmallRng;
+use noc_rng::SeedableRng;
 
 /// One packet injection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Injection cycle.
     pub cycle: u64,
@@ -28,7 +27,7 @@ pub struct TraceEvent {
 }
 
 /// A time-ordered packet trace over an `n × n` mesh.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     side: usize,
     events: Vec<TraceEvent>,
@@ -181,9 +180,24 @@ mod tests {
         Trace::new(
             4,
             vec![
-                TraceEvent { cycle: 5, src: 0, dst: 3, bits: 128 },
-                TraceEvent { cycle: 1, src: 2, dst: 9, bits: 512 },
-                TraceEvent { cycle: 5, src: 1, dst: 0, bits: 128 },
+                TraceEvent {
+                    cycle: 5,
+                    src: 0,
+                    dst: 3,
+                    bits: 128,
+                },
+                TraceEvent {
+                    cycle: 1,
+                    src: 2,
+                    dst: 9,
+                    bits: 512,
+                },
+                TraceEvent {
+                    cycle: 5,
+                    src: 1,
+                    dst: 0,
+                    bits: 128,
+                },
             ],
         )
     }
@@ -213,7 +227,11 @@ mod tests {
             PacketMix::paper(),
         );
         let trace = Trace::record(&workload, 20_000, 3);
-        assert!((trace.mean_rate() - 0.05).abs() < 0.005, "rate {}", trace.mean_rate());
+        assert!(
+            (trace.mean_rate() - 0.05).abs() < 0.005,
+            "rate {}",
+            trace.mean_rate()
+        );
         // The empirical matrix approaches the true (uniform) matrix.
         let empirical = trace.to_matrix();
         for src in 0..16 {
@@ -235,6 +253,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "self-addressed")]
     fn rejects_self_traffic() {
-        let _ = Trace::new(4, vec![TraceEvent { cycle: 0, src: 1, dst: 1, bits: 64 }]);
+        let _ = Trace::new(
+            4,
+            vec![TraceEvent {
+                cycle: 0,
+                src: 1,
+                dst: 1,
+                bits: 64,
+            }],
+        );
     }
 }

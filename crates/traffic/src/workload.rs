@@ -2,8 +2,7 @@
 
 use crate::matrix::TrafficMatrix;
 use noc_model::PacketMix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use noc_rng::Rng;
 
 /// A packet to inject: destination and payload size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,7 +15,7 @@ pub struct PacketSpec {
 
 /// A complete traffic workload: spatial distribution, temporal intensity,
 /// and packet-size population.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     matrix: TrafficMatrix,
     injection_rate: f64,
@@ -99,8 +98,8 @@ impl Workload {
 mod tests {
     use super::*;
     use crate::patterns::SyntheticPattern;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use noc_rng::rngs::SmallRng;
+    use noc_rng::SeedableRng;
 
     fn ur_workload(rate: f64) -> Workload {
         Workload::new(

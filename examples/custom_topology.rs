@@ -16,7 +16,10 @@ fn main() {
     // A designer's guess: a "binary tree" of express links over 8 routers.
     let row = RowPlacement::with_links(8, [(0, 4), (4, 7), (0, 2), (2, 4), (4, 6)])
         .expect("links are valid");
-    println!("custom row placement (max cross-section {}):", row.max_cross_section());
+    println!(
+        "custom row placement (max cross-section {}):",
+        row.max_cross_section()
+    );
     println!("{}", display::render_row(&row));
 
     let topo = MeshTopology::uniform(8, &row);
@@ -53,5 +56,8 @@ fn main() {
             s.offered, s.accepted, s.avg_latency
         );
     }
-    println!("saturation throughput: {:.3} packets/node/cycle", result.saturation);
+    println!(
+        "saturation throughput: {:.3} packets/node/cycle",
+        result.saturation
+    );
 }

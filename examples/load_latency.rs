@@ -42,7 +42,10 @@ fn main() {
         let mean_flits = mix.mean_flits(*flit_bits);
         let serialization = mix.serialization_latency(*flit_bits);
         println!("{label}:");
-        println!("{:>8}  {:>10}  {:>10}  {:>8}", "rate", "model", "sim", "max rho");
+        println!(
+            "{:>8}  {:>10}  {:>10}  {:>8}",
+            "rate", "model", "sim", "max rho"
+        );
         for rate in [0.01, 0.03, 0.06, 0.1, 0.15] {
             let analysis =
                 contention.analyze(&dor, matrix.as_slice(), rate, mean_flits, serialization);

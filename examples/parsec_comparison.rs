@@ -11,7 +11,7 @@ use express_noc::placement::{optimize_network, InitialStrategy, SaParams};
 use express_noc::power::{network_power, PowerConfig};
 use express_noc::routing::HopWeights;
 use express_noc::sim::{SimConfig, Simulator};
-use express_noc::topology::{hfb_mesh, implied_link_limit, hfb_row, MeshTopology};
+use express_noc::topology::{hfb_mesh, hfb_row, implied_link_limit, MeshTopology};
 use express_noc::traffic::ParsecBenchmark;
 
 fn main() {
@@ -43,17 +43,25 @@ fn main() {
     let hfb_c = implied_link_limit(&hfb_row(n));
     let candidates = [
         ("Mesh", MeshTopology::mesh(n), 256u32),
-        ("HFB", hfb_mesh(n), budget.flit_bits(hfb_c).expect("power of two")),
         (
-            "D&C_SA",
-            design.best_topology(n),
-            design.best().flit_bits,
+            "HFB",
+            hfb_mesh(n),
+            budget.flit_bits(hfb_c).expect("power of two"),
         ),
+        ("D&C_SA", design.best_topology(n), design.best().flit_bits),
     ];
 
-    println!("{:>8}  {:>12}  {:>10}  {:>10}  {:>10}", "scheme", "latency(cyc)", "static(W)", "dynamic(W)", "total(W)");
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>10}  {:>10}",
+        "scheme", "latency(cyc)", "static(W)", "dynamic(W)", "total(W)"
+    );
     for (label, topo, flit_bits) in candidates {
-        let stats = Simulator::new(&topo, workload.clone(), SimConfig::latency_run(flit_bits, 3)).run();
+        let stats = Simulator::new(
+            &topo,
+            workload.clone(),
+            SimConfig::latency_run(flit_bits, 3),
+        )
+        .run();
         let power = network_power(&topo, flit_bits, 10_240, &stats, &PowerConfig::dsent_32nm());
         println!(
             "{label:>8}  {:>12.1}  {:>10.2}  {:>10.2}  {:>10.2}",

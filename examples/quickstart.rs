@@ -38,7 +38,10 @@ fn main() {
         );
     }
     let best = design.best();
-    println!("\nbest design: C = {} (b = {} bits)", best.c_limit, best.flit_bits);
+    println!(
+        "\nbest design: C = {} (b = {} bits)",
+        best.c_limit, best.flit_bits
+    );
     println!("{}", display::render_row(&best.placement));
 
     // 3. Verify in the cycle-level simulator under uniform-random traffic.

@@ -8,6 +8,10 @@
 //! express-noc-cli render   --n 8 --links 0-3,3-7,1-4
 //! express-noc-cli simulate --n 8 --pattern ur|tp|br|bc|sh|hs|nn --rate 0.02
 //!                          [--links 0-3,3-7] [--flit 64] [--cycles 20000] [--seed 42]
+//! express-noc-cli serve    [--addr 127.0.0.1:7474] [--workers N] [--queue N] [--cache N]
+//! express-noc-cli request  '<json>' [--addr 127.0.0.1:7474]
+//! express-noc-cli loadgen  [--addr ...] [--connections 4] [--requests 50]
+//!                          [--kind solve|simulate] [--n 8] [--c 4] [--distinct 8]
 //! ```
 
 use express_noc::model::{LatencyModel, LinkBudget, PacketMix};
@@ -16,11 +20,14 @@ use express_noc::placement::{
     exhaustive_optimal, optimize_network, solve_row, InitialStrategy, SaParams,
 };
 use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
+use express_noc::service::protocol::{self, Envelope, Request, SimulateRequest, SolveRequest};
+use express_noc::service::{generate_load, Client, Server, ServiceConfig};
 use express_noc::sim::{SimConfig, Simulator};
 use express_noc::topology::{display, MeshTopology, RowPlacement};
 use express_noc::traffic::{SyntheticPattern, TrafficMatrix, Workload};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +35,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `request` takes a positional JSON argument before its flags.
+    if command == "request" {
+        return match cmd_request(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_flags(rest) {
         Ok(opts) => opts,
         Err(e) => {
@@ -41,6 +58,8 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "render" => cmd_render(&opts),
         "simulate" => cmd_simulate(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -69,7 +88,15 @@ commands:
             validate and draw a placement; check deadlock freedom
   simulate  --n <N> --pattern ur|tp|br|bc|sh|hs|nn --rate R
             [--links A-B,...] [--flit BITS] [--cycles M] [--seed S]
-            cycle-level simulation of a workload on a placement";
+            cycle-level simulation of a workload on a placement
+  serve     [--addr 127.0.0.1:7474] [--workers N] [--queue N] [--cache N]
+            run the placement daemon (NDJSON over TCP; Ctrl-C drains)
+  request   '<json>' [--addr 127.0.0.1:7474]
+            send one request line to a running daemon, pretty-print the reply
+  loadgen   [--addr ...] [--connections 4] [--requests 50] [--kind solve|simulate]
+            [--n 8] [--c 4] [--moves 2000] [--distinct 8] [--deadline-ms 30000]
+            drive concurrent load; print throughput, latency percentiles,
+            and the daemon's cache hit counters";
 
 /// Parsed `--flag value` pairs.
 type Flags = HashMap<String, String>;
@@ -113,8 +140,14 @@ fn parse_links(spec: &str) -> Result<Vec<(usize, usize)>, String> {
             let (a, b) = pair
                 .split_once('-')
                 .ok_or_else(|| format!("bad link {pair:?}, expected A-B"))?;
-            let a = a.trim().parse().map_err(|_| format!("bad endpoint in {pair:?}"))?;
-            let b = b.trim().parse().map_err(|_| format!("bad endpoint in {pair:?}"))?;
+            let a = a
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad endpoint in {pair:?}"))?;
+            let b = b
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad endpoint in {pair:?}"))?;
             Ok((a, b))
         })
         .collect()
@@ -190,9 +223,16 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
         &SaParams::paper(),
         seed,
     );
-    println!("{:>4} {:>8} {:>8} {:>8} {:>8}", "C", "b(bits)", "L_D", "L_S", "total");
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>8}",
+        "C", "b(bits)", "L_D", "L_S", "total"
+    );
     for p in &design.points {
-        let marker = if p.c_limit == design.best().c_limit { "  <- best" } else { "" };
+        let marker = if p.c_limit == design.best().c_limit {
+            "  <- best"
+        } else {
+            ""
+        };
         println!(
             "{:>4} {:>8} {:>8.2} {:>8.2} {:>8.2}{marker}",
             p.c_limit, p.flit_bits, p.avg_head, p.avg_serialization, p.avg_latency
@@ -207,8 +247,7 @@ fn build_topology(opts: &Flags, n: usize) -> Result<MeshTopology, String> {
     match opts.get("links") {
         None => Ok(MeshTopology::mesh(n)),
         Some(spec) => {
-            let row = RowPlacement::with_links(n, parse_links(spec)?)
-                .map_err(|e| e.to_string())?;
+            let row = RowPlacement::with_links(n, parse_links(spec)?).map_err(|e| e.to_string())?;
             Ok(MeshTopology::uniform(n, &row))
         }
     }
@@ -219,10 +258,12 @@ fn cmd_render(opts: &Flags) -> Result<(), String> {
     let spec = opts
         .get("links")
         .ok_or("render needs --links A-B,C-D,...")?;
-    let row =
-        RowPlacement::with_links(n, parse_links(spec)?).map_err(|e| e.to_string())?;
+    let row = RowPlacement::with_links(n, parse_links(spec)?).map_err(|e| e.to_string())?;
     print!("{}", display::render_row(&row));
-    println!("max cross-section: {} (fits C >= that)", row.max_cross_section());
+    println!(
+        "max cross-section: {} (fits C >= that)",
+        row.max_cross_section()
+    );
     let topo = MeshTopology::uniform(n, &row);
     let dor = DorRouter::new(&topo, HopWeights::PAPER);
     match channel_dependency_cycle(&topo, &dor) {
@@ -258,7 +299,11 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
         stats.cycles,
         stats.measured_packets,
         stats.completed_packets,
-        if stats.drained { "" } else { " (NOT drained — beyond saturation?)" }
+        if stats.drained {
+            ""
+        } else {
+            " (NOT drained — beyond saturation?)"
+        }
     );
     println!(
         "latency: avg {:.2}, p50 {:.0}, p95 {:.0}, p99 {:.0}, max {} cycles",
@@ -275,13 +320,160 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Set by the SIGINT handler; `serve` drains and exits when it flips.
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+/// Installs a SIGINT handler via the C `signal(2)` that libc (already
+/// linked by std) provides — no external crate needed. Only the
+/// async-signal-safe atomic store happens in the handler.
+fn install_sigint_handler() {
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT_NUM: i32 = 2;
+        signal(SIGINT_NUM, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    let defaults = ServiceConfig::default();
+    let config = ServiceConfig {
+        addr: get_or(opts, "addr", defaults.addr.clone())?,
+        workers: get_or(opts, "workers", defaults.workers)?,
+        queue_capacity: get_or(opts, "queue", defaults.queue_capacity)?,
+        cache_capacity: get_or(opts, "cache", defaults.cache_capacity)?,
+        cache_shards: defaults.cache_shards,
+    };
+    let mut server = Server::bind(&config).map_err(|e| e.to_string())?;
+    install_sigint_handler();
+    server.drain_on(&SIGINT);
+    println!(
+        "noc-service listening on {} ({} workers, queue {}, cache {})",
+        server.local_addr().map_err(|e| e.to_string())?,
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity,
+    );
+    println!("Ctrl-C (or a shutdown request) drains in-flight work and exits");
+    server.run().map_err(|e| e.to_string())?;
+    println!("drained cleanly");
+    Ok(())
+}
+
+fn cmd_request(args: &[String]) -> Result<(), String> {
+    let Some((json, rest)) = args.split_first() else {
+        return Err("request needs a JSON argument, e.g. \
+                    request '{\"kind\":\"health\"}'"
+            .into());
+    };
+    let opts = parse_flags(rest)?;
+    let addr: String = get_or(&opts, "addr", "127.0.0.1:7474".to_string())?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reply = client.round_trip(json).map_err(|e| e.to_string())?;
+    match express_noc::json::parse(&reply) {
+        Ok(v) => println!("{}", v.pretty()),
+        Err(_) => println!("{reply}"),
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
+    let addr: String = get_or(opts, "addr", "127.0.0.1:7474".to_string())?;
+    let connections: usize = get_or(opts, "connections", 4)?;
+    let requests: usize = get_or(opts, "requests", 50)?;
+    let kind: String = get_or(opts, "kind", "solve".to_string())?;
+    let n: usize = get_or(opts, "n", 8)?;
+    let c: usize = get_or(opts, "c", 4)?;
+    let moves: usize = get_or(opts, "moves", 2_000)?;
+    let distinct: u64 = get_or(opts, "distinct", 8)?;
+    let deadline_ms: u64 = get_or(opts, "deadline-ms", 30_000)?;
+    if distinct == 0 {
+        return Err("--distinct must be at least 1".into());
+    }
+    let make_request = |conn: usize, i: usize| -> String {
+        // Cycle through `distinct` seeds so the run exercises both cache
+        // misses (first pass) and hits (every later repetition).
+        let seed = (conn * requests + i) as u64 % distinct;
+        let request = match kind.as_str() {
+            "simulate" => Request::Simulate(SimulateRequest {
+                n,
+                pattern: SyntheticPattern::UniformRandom,
+                rate: 0.01,
+                flit: 64,
+                cycles: 5_000,
+                seed,
+                links: Vec::new(),
+            }),
+            _ => Request::Solve(SolveRequest {
+                n,
+                c,
+                strategy: InitialStrategy::DivideAndConquer,
+                moves,
+                seed,
+                weights: HopWeights::PAPER,
+            }),
+        };
+        protocol::request_line(&Envelope {
+            id: format!("{conn}-{i}"),
+            deadline_ms,
+            request,
+        })
+    };
+    println!(
+        "loadgen: {connections} connections x {requests} {kind} requests \
+         against {addr} ({distinct} distinct seeds)"
+    );
+    let report =
+        generate_load(&addr, connections, requests, make_request).map_err(|e| e.to_string())?;
+    println!(
+        "sent {}, ok {} ({} cached), errors {} in {:.2} s",
+        report.sent,
+        report.ok,
+        report.cached,
+        report.errors,
+        report.elapsed.as_secs_f64(),
+    );
+    println!("throughput: {:.1} req/s", report.throughput_rps());
+    println!(
+        "latency: p50 {} us, p99 {} us, max {} us",
+        report.quantile_us(0.50),
+        report.quantile_us(0.99),
+        report.latencies_us.last().copied().unwrap_or(0),
+    );
+    // Server-side view: cache hit counters from the metrics endpoint.
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    if let Ok(express_noc::service::Response::Ok { result, .. }) =
+        client.request(r#"{"id":"loadgen-metrics","kind":"metrics"}"#)
+    {
+        let hits = result
+            .get("cache_hits")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        let misses = result
+            .get("cache_misses")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        println!("daemon cache: {hits} hits, {misses} misses");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn parse_flags_pairs() {
-        let args: Vec<String> = ["--n", "8", "--c", "4"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--n", "8", "--c", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let flags = parse_flags(&args).unwrap();
         assert_eq!(flags["n"], "8");
         assert_eq!(get::<usize>(&flags, "c").unwrap(), 4);
@@ -311,10 +503,7 @@ mod tests {
             InitialStrategy::DivideAndConquer
         );
         assert!(parse_strategy("zen").is_err());
-        assert_eq!(
-            parse_pattern("TP").unwrap(),
-            SyntheticPattern::Transpose
-        );
+        assert_eq!(parse_pattern("TP").unwrap(), SyntheticPattern::Transpose);
         assert!(parse_pattern("xx").is_err());
     }
 }

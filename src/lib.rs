@@ -1,8 +1,11 @@
 //! Umbrella crate.
-pub use noc_topology as topology;
-pub use noc_routing as routing;
+pub use noc_json as json;
 pub use noc_model as model;
 pub use noc_placement as placement;
-pub use noc_traffic as traffic;
-pub use noc_sim as sim;
 pub use noc_power as power;
+pub use noc_rng as rng;
+pub use noc_routing as routing;
+pub use noc_service as service;
+pub use noc_sim as sim;
+pub use noc_topology as topology;
+pub use noc_traffic as traffic;

@@ -2,10 +2,10 @@
 //! simulator to power model, at sizes small enough for CI.
 
 use express_noc::model::{LatencyModel, LinkBudget, PacketMix};
+use express_noc::placement::objective::AllPairsObjective;
 use express_noc::placement::{
     exhaustive_optimal, optimize_network, solve_row, InitialStrategy, SaParams,
 };
-use express_noc::placement::objective::AllPairsObjective;
 use express_noc::power::{network_power, PowerConfig};
 use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
 use express_noc::sim::{SimConfig, Simulator};

@@ -1,42 +1,53 @@
 //! Cross-crate property tests: invariants that must hold for *arbitrary*
 //! valid placements across the whole stack — routing, simulation, and the
 //! analytic model must agree with each other.
+//!
+//! Cases are generated with the in-repo deterministic PRNG (`noc-rng`)
+//! instead of proptest, so the suite runs in hermetic offline builds.
 
 use express_noc::model::{LatencyModel, PacketMix};
 use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
 use express_noc::sim::{SimConfig, Simulator};
 use express_noc::topology::{ConnectionMatrix, MeshTopology};
 use express_noc::traffic::{SyntheticPattern, TrafficMatrix, Workload};
-use proptest::prelude::*;
+use noc_rng::rngs::SmallRng;
+use noc_rng::{Rng, SeedableRng};
 
 /// Random valid placement on a row of `n` routers (n in 4..=6 keeps the
 /// CDG check and simulations CI-sized).
-fn small_mesh() -> impl Strategy<Value = (MeshTopology, usize)> {
-    (4usize..=6)
-        .prop_flat_map(|n| (Just(n), 2usize..=4))
-        .prop_flat_map(|(n, c)| {
-            let nbits = (c - 1) * (n - 2);
-            proptest::collection::vec(any::<bool>(), nbits).prop_map(move |bits| {
-                let row = ConnectionMatrix::from_bits(n, c, bits).unwrap().decode();
-                (MeshTopology::uniform(n, &row), c)
-            })
-        })
+fn small_mesh(rng: &mut SmallRng) -> (MeshTopology, usize) {
+    let n = rng.gen_range(4usize..7);
+    let c = rng.gen_range(2usize..5);
+    let nbits = (c - 1) * (n - 2);
+    let bits: Vec<bool> = (0..nbits).map(|_| rng.gen::<bool>()).collect();
+    let row = ConnectionMatrix::from_bits(n, c, bits).unwrap().decode();
+    (MeshTopology::uniform(n, &row), c)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any valid placement routes deadlock-free under DOR tables.
-    #[test]
-    fn any_valid_placement_is_deadlock_free((topo, _c) in small_mesh()) {
-        let dor = DorRouter::new(&topo, HopWeights::PAPER);
-        prop_assert!(channel_dependency_cycle(&topo, &dor).is_none());
+fn for_cases(cases: u64, test_salt: u64, mut body: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(test_salt ^ (case * 0x9E37_79B9));
+        body(&mut rng);
     }
+}
 
-    /// Conservation: at a safe load every measured packet drains, and the
-    /// simulated latency is bounded below by the analytic zero-load latency.
-    #[test]
-    fn simulation_conserves_and_bounds((topo, _c) in small_mesh(), seed in any::<u64>()) {
+/// Any valid placement routes deadlock-free under DOR tables.
+#[test]
+fn any_valid_placement_is_deadlock_free() {
+    for_cases(12, 0xE1, |rng| {
+        let (topo, _c) = small_mesh(rng);
+        let dor = DorRouter::new(&topo, HopWeights::PAPER);
+        assert!(channel_dependency_cycle(&topo, &dor).is_none());
+    });
+}
+
+/// Conservation: at a safe load every measured packet drains, and the
+/// simulated latency is bounded below by the analytic zero-load latency.
+#[test]
+fn simulation_conserves_and_bounds() {
+    for_cases(12, 0xE2, |rng| {
+        let (topo, _c) = small_mesh(rng);
+        let seed = rng.gen::<u64>();
         let n = topo.side();
         let workload = Workload::new(
             TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, n),
@@ -47,8 +58,8 @@ proptest! {
         config.warmup_cycles = 500;
         config.measure_cycles = 3_000;
         let stats = Simulator::new(&topo, workload, config).run();
-        prop_assert!(stats.drained, "undrained at 1% load");
-        prop_assert_eq!(stats.completed_packets, stats.measured_packets);
+        assert!(stats.drained, "undrained at 1% load");
+        assert_eq!(stats.completed_packets, stats.measured_packets);
 
         if stats.measured_packets > 50 {
             // Zero-load head latency averaged over UR pairs lower-bounds the
@@ -67,30 +78,33 @@ proptest! {
                 }
             }
             let zero_load_head = head / pairs as f64;
-            prop_assert!(
+            assert!(
                 stats.avg_packet_latency > zero_load_head - 1.0,
                 "sim {} below zero-load head {}",
                 stats.avg_packet_latency,
                 zero_load_head
             );
         }
-    }
+    });
+}
 
-    /// The analytic max head latency is an upper bound for mesh distances:
-    /// express links never make any pair slower than the plain mesh.
-    #[test]
-    fn express_never_slower_than_mesh_anywhere((topo, _c) in small_mesh()) {
+/// The analytic max head latency is an upper bound for mesh distances:
+/// express links never make any pair slower than the plain mesh.
+#[test]
+fn express_never_slower_than_mesh_anywhere() {
+    for_cases(12, 0xE3, |rng| {
+        let (topo, _c) = small_mesh(rng);
         let n = topo.side();
         let dor = DorRouter::new(&topo, HopWeights::PAPER);
         let mesh_dor = DorRouter::new(&MeshTopology::mesh(n), HopWeights::PAPER);
         let model = LatencyModel::paper();
         for s in 0..n * n {
             for d in 0..n * n {
-                prop_assert!(
+                assert!(
                     model.head_pair(&dor, s, d) <= model.head_pair(&mesh_dor, s, d),
-                    "pair ({}, {}) slower than mesh", s, d
+                    "pair ({s}, {d}) slower than mesh"
                 );
             }
         }
-    }
+    });
 }
