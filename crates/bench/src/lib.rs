@@ -20,7 +20,13 @@ pub fn random_row(n: usize, c_limit: usize, seed: u64) -> RowPlacement {
 /// offline builds): runs `f` until ~200 ms of samples accumulate and
 /// reports the per-iteration time. Statistics are intentionally simple —
 /// these benches guide relative sizing decisions, not publication numbers.
-pub fn bench<F: FnMut()>(name: &str, mut f: F) {
+pub fn bench<F: FnMut()>(name: &str, f: F) {
+    bench_timed(name, f);
+}
+
+/// Like [`bench()`], but also returns the measured per-iteration time so a
+/// bench binary can derive ratios (e.g. a speedup figure) from two runs.
+pub fn bench_timed<F: FnMut()>(name: &str, mut f: F) -> std::time::Duration {
     // Warm up and estimate a single-iteration cost.
     let start = std::time::Instant::now();
     f();
@@ -33,6 +39,7 @@ pub fn bench<F: FnMut()>(name: &str, mut f: F) {
     }
     let per_iter = start.elapsed() / iters;
     println!("{name:<48} {per_iter:>12.2?}/iter  ({iters} iters)");
+    per_iter
 }
 
 #[cfg(test)]

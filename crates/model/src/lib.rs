@@ -20,6 +20,8 @@
 //!   for the optimizer's inner loop, full 2D averages via the Eq. (5)
 //!   decomposition, and zero-load worst cases (Table 2).
 
+#![warn(missing_docs)]
+
 pub mod bandwidth;
 pub mod contention;
 pub mod latency;

@@ -1,0 +1,321 @@
+//! Incremental objective evaluation for the SA inner loop.
+//!
+//! Every annealing move flips one bit of the connection matrix, yet the
+//! baseline evaluator re-solves all `n²` pairs from scratch. This module
+//! exploits the locality of a bit flip: flipping the connection point of
+//! layer `l` at interior router `r` merges the two spans meeting at `r`
+//! into one (or splits one span back into two), so the set of express
+//! links changes only among `(a, r)`, `(r, b)` and `(a, b)`, where `a`
+//! and `b` are the span boundaries adjacent to `r` in that layer.
+//!
+//! Because U-turn-free 1D shortest paths visit strictly monotone router
+//! indices (see [`noc_routing::monotone`]), a forward path `i → j` can
+//! only use links whose endpoints both lie in `[i, j]`. Every changed
+//! link has its right endpoint at `r` or beyond, and its left endpoint at
+//! `a < r` or at `r`; hence a pair `(i, j)` with `j < r` or `i > r` keeps
+//! its distance. Only the rectangle `i ≤ r`, `j ≥ r` — at most
+//! `(r+1)·(n−r)` of the `n²/2` forward pairs — needs recomputation.
+//!
+//! Distances are kept per source as exact `u32` cycles and summed into an
+//! exact `u64`, mirroring [`noc_routing::monotone::monotone_all_pairs_sum`], so the
+//! incremental objective is **bit-identical** to the full evaluator: the
+//! annealer takes the same accept/reject branches, consumes the same RNG
+//! stream, and lands on the same result in either mode. [`anneal`] keeps
+//! a `debug_assertions` cross-check of this invariant on every move.
+//!
+//! [`anneal`]: crate::sa::anneal
+//!
+//! # Example
+//!
+//! ```
+//! use noc_placement::incremental::{IncrementalAllPairs, MoveEvaluator};
+//! use noc_placement::objective::{AllPairsObjective, Objective};
+//! use noc_routing::HopWeights;
+//! use noc_topology::ConnectionMatrix;
+//!
+//! let full = AllPairsObjective::paper();
+//! let mut matrix = ConnectionMatrix::new(8, 4);
+//! let mut inc = IncrementalAllPairs::new(&matrix, HopWeights::PAPER);
+//! assert_eq!(inc.objective(), full.eval(&matrix.decode())); // mesh row: 10.5
+//!
+//! // Flip a few bits; the incremental value tracks the full evaluator.
+//! for bit in [0usize, 5, 11, 5] {
+//!     matrix.flip_flat(bit);
+//!     let fast = inc.flip(bit);
+//!     assert_eq!(fast.to_bits(), full.eval(&matrix.decode()).to_bits());
+//! }
+//! ```
+
+use noc_routing::{Cycles, HopWeights, INF};
+use noc_topology::ConnectionMatrix;
+
+/// A stateful evaluator that tracks the objective of the connection matrix
+/// under single-bit flips, without re-solving the whole row each move.
+///
+/// The annealer obtains one through
+/// [`Objective::incremental_evaluator`](crate::objective::Objective::incremental_evaluator)
+/// and drives it in lock-step with its own copy of the matrix. Flipping the
+/// same bit twice restores the previous state exactly (a flip is an
+/// involution), which is how rejected moves are undone.
+pub trait MoveEvaluator {
+    /// Objective value of the placement the tracked matrix decodes to.
+    /// Must be bit-identical to the owning [`Objective`]'s `eval` of that
+    /// placement.
+    ///
+    /// [`Objective`]: crate::objective::Objective
+    fn objective(&self) -> f64;
+
+    /// Applies one bit flip (flat index as in
+    /// [`ConnectionMatrix::flip_flat`]) and returns the new objective.
+    fn flip(&mut self, bit: usize) -> f64;
+}
+
+/// Incremental all-pairs mean segment latency — the fast path behind
+/// [`AllPairsObjective`](crate::objective::AllPairsObjective).
+///
+/// Holds a private copy of the connection matrix, the multiset of links it
+/// decodes to (as left-neighbour adjacency lists), the full forward
+/// distance triangle `dist[i][j]` for `j > i`, and the exact `u64` sum of
+/// that triangle. [`flip`](MoveEvaluator::flip) is `O((r+1)·(n−r)·deg)`
+/// instead of the full evaluator's `O(n²·deg)` plus a decode.
+#[derive(Debug, Clone)]
+pub struct IncrementalAllPairs {
+    n: usize,
+    weights: HopWeights,
+    matrix: ConnectionMatrix,
+    /// `left[j]`: left endpoints `k < j` of links into `j`, with hop cost.
+    /// A multiset — the same span in two layers appears twice, which is
+    /// harmless for the min-based DP and keeps removal bookkeeping local
+    /// to one layer.
+    left: Vec<Vec<(usize, Cycles)>>,
+    /// Row-major forward distances: `dist[i*n + j]` for `j > i`.
+    dist: Vec<Cycles>,
+    /// Exact sum of the forward triangle (the all-pairs sum is twice this).
+    sum_forward: u64,
+}
+
+impl IncrementalAllPairs {
+    /// Builds the evaluator for the placement `matrix` currently decodes to.
+    pub fn new(matrix: &ConnectionMatrix, weights: HopWeights) -> Self {
+        let n = matrix.routers();
+        let mut left: Vec<Vec<(usize, Cycles)>> = vec![Vec::new(); n];
+        // Local mesh links.
+        for (j, adj) in left.iter_mut().enumerate().skip(1) {
+            adj.push((j - 1, weights.hop_cost(1)));
+        }
+        // Express spans, one entry per layer contribution. Walking the
+        // matrix (rather than `decode()`, which returns a deduplicated
+        // link *set*) keeps the multiset invariant `remove_span` relies
+        // on: two layers encoding the same span yield two entries.
+        let points = matrix.points();
+        for layer in 0..matrix.layers() {
+            let mut span_start = 0usize;
+            for point in 0..points {
+                let router = point + 1;
+                if !matrix.get(layer, point) {
+                    if router - span_start >= 2 {
+                        left[router].push((span_start, weights.hop_cost(router - span_start)));
+                    }
+                    span_start = router;
+                }
+            }
+            if (n - 1) - span_start >= 2 {
+                left[n - 1].push((span_start, weights.hop_cost(n - 1 - span_start)));
+            }
+        }
+        let mut eval = IncrementalAllPairs {
+            n,
+            weights,
+            matrix: matrix.clone(),
+            left,
+            dist: vec![0; n * n],
+            sum_forward: 0,
+        };
+        for i in 0..n {
+            eval.recompute_source(i, i + 1);
+        }
+        eval
+    }
+
+    /// Re-runs the monotone DP for source `i`, destinations `from..n`,
+    /// adjusting the forward sum by the difference. Prefix distances
+    /// `dist[i][i+1..from]` must already be correct — the DP only ever
+    /// reads distances to the left of the destination being relaxed.
+    fn recompute_source(&mut self, i: usize, from: usize) {
+        let n = self.n;
+        let from = from.max(i + 1);
+        let row = i * n;
+        let mut old = 0u64;
+        let mut new = 0u64;
+        for j in from..n {
+            old += self.dist[row + j] as u64;
+            let mut best = INF;
+            for &(k, w) in &self.left[j] {
+                if k < i {
+                    continue;
+                }
+                let cand = self.dist[row + k].saturating_add(w);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            self.dist[row + j] = best;
+            new += best as u64;
+        }
+        self.sum_forward = self.sum_forward - old + new;
+    }
+
+    /// Registers the express link `(a, b)` if the span is long enough to
+    /// produce one (unit spans only duplicate the local link and are
+    /// dropped by [`ConnectionMatrix::decode`]).
+    fn add_span(&mut self, a: usize, b: usize) {
+        if b - a >= 2 {
+            self.left[b].push((a, self.weights.hop_cost(b - a)));
+        }
+    }
+
+    /// Removes one occurrence of the express link `(a, b)` (the one this
+    /// layer contributed; a duplicate from another layer stays).
+    fn remove_span(&mut self, a: usize, b: usize) {
+        if b - a >= 2 {
+            let list = &mut self.left[b];
+            let pos = list
+                .iter()
+                .position(|&(k, _)| k == a)
+                .expect("removed span was present in the adjacency");
+            list.swap_remove(pos);
+        }
+    }
+}
+
+impl MoveEvaluator for IncrementalAllPairs {
+    fn objective(&self) -> f64 {
+        // Matches `monotone_all_pairs_sum` exactly: that routine doubles
+        // the forward triangle (d(i→j) == d(j→i) on bidirectional links)
+        // into one u64 before the single f64 division.
+        (2 * self.sum_forward) as f64 / (self.n * self.n) as f64
+    }
+
+    fn flip(&mut self, bit: usize) -> f64 {
+        let points = self.matrix.points();
+        let layer = bit / points;
+        let point = bit % points;
+        let r = point + 1;
+
+        // Span boundaries adjacent to r in this layer: the nearest
+        // disconnected interior router (or row end) on each side. They do
+        // not depend on the bit being flipped.
+        let mut a = r - 1;
+        while a > 0 && self.matrix.get(layer, a - 1) {
+            a -= 1;
+        }
+        let mut b = r + 1;
+        while b < self.n - 1 && self.matrix.get(layer, b - 1) {
+            b += 1;
+        }
+
+        let connected = self.matrix.flip_flat(bit);
+        if connected {
+            // Spans [a, r] and [r, b] merge into [a, b].
+            self.remove_span(a, r);
+            self.remove_span(r, b);
+            self.add_span(a, b);
+        } else {
+            // Span [a, b] splits into [a, r] and [r, b].
+            self.remove_span(a, b);
+            self.add_span(a, r);
+            self.add_span(r, b);
+        }
+
+        // Every changed link has its right endpoint at r or beyond and its
+        // left endpoint at or before r, so only pairs (i <= r, j >= r) can
+        // change (monotone paths use links inside [i, j] only).
+        for i in 0..=r {
+            self.recompute_source(i, r);
+        }
+        self.objective()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{AllPairsObjective, Objective};
+    use noc_rng::rngs::SmallRng;
+    use noc_rng::{Rng, SeedableRng};
+
+    fn assert_tracks_full(matrix: &mut ConnectionMatrix, flips: &[usize]) {
+        let full = AllPairsObjective::paper();
+        let mut inc = IncrementalAllPairs::new(matrix, HopWeights::PAPER);
+        assert_eq!(
+            inc.objective().to_bits(),
+            full.eval(&matrix.decode()).to_bits(),
+            "initial state"
+        );
+        for (step, &bit) in flips.iter().enumerate() {
+            matrix.flip_flat(bit);
+            let fast = inc.flip(bit);
+            let slow = full.eval(&matrix.decode());
+            assert_eq!(
+                fast.to_bits(),
+                slow.to_bits(),
+                "step {step}: flip {bit} gave {fast}, full evaluator {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_full_on_systematic_single_flips() {
+        for (n, c) in [(4usize, 2usize), (6, 3), (8, 4), (8, 2)] {
+            let mut matrix = ConnectionMatrix::new(n, c);
+            let flips: Vec<usize> = (0..matrix.bit_count()).collect();
+            assert_tracks_full(&mut matrix, &flips);
+        }
+    }
+
+    #[test]
+    fn matches_full_on_long_random_walks() {
+        let mut rng = SmallRng::seed_from_u64(0xF11F);
+        for (n, c) in [(8usize, 4usize), (12, 3), (16, 8)] {
+            let mut matrix = ConnectionMatrix::new(n, c);
+            let bits = matrix.bit_count();
+            let flips: Vec<usize> = (0..200).map(|_| rng.gen_range(0..bits)).collect();
+            assert_tracks_full(&mut matrix, &flips);
+        }
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let mut matrix = ConnectionMatrix::new(8, 4);
+        // Scramble, then check flip/unflip restores the objective bits.
+        let mut inc = IncrementalAllPairs::new(&matrix, HopWeights::PAPER);
+        for bit in [0usize, 7, 3, 12] {
+            matrix.flip_flat(bit);
+            inc.flip(bit);
+        }
+        let before = inc.objective().to_bits();
+        for bit in 0..matrix.bit_count() {
+            inc.flip(bit);
+            let restored = inc.flip(bit);
+            assert_eq!(restored.to_bits(), before, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn custom_weights_are_respected() {
+        let weights = HopWeights {
+            router_cycles: 5,
+            unit_link_cycles: 2,
+        };
+        let full = AllPairsObjective::with_weights(weights);
+        let mut matrix = ConnectionMatrix::new(8, 3);
+        let mut inc = IncrementalAllPairs::new(&matrix, weights);
+        for bit in 0..matrix.bit_count() {
+            matrix.flip_flat(bit);
+            assert_eq!(
+                inc.flip(bit).to_bits(),
+                full.eval(&matrix.decode()).to_bits()
+            );
+        }
+    }
+}

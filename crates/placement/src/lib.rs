@@ -16,10 +16,13 @@
 //!   cross link.
 //! * [`bb`] — exhaustive search with branch-and-bound pruning, used as the
 //!   D&C base case and as the optimality reference of §5.6.3 (Fig. 12).
+//! * [`incremental`] — exact incremental re-evaluation under single-bit
+//!   connection-matrix flips, the annealer's fast path (bit-identical to
+//!   full evaluation).
 //! * [`optimizer`] — end-to-end drivers: `OnlySA` vs `D&C_SA`, the per-`C`
 //!   sweep of §4 ("determine all the possible values of C, and for each C
-//!   the optimal placement; compare"), and the 2D application-specific
-//!   optimizer.
+//!   the optimal placement; compare"), multi-chain best-of-K annealing,
+//!   and the 2D application-specific optimizer.
 //!
 //! # Example: solve `P̂(8, 4)` like the paper
 //!
@@ -35,10 +38,13 @@
 //! assert!(outcome.best.is_within_limit(4));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bb;
 pub mod dnc;
 pub mod fingerprint;
 pub mod greedy;
+pub mod incremental;
 pub mod naive;
 pub mod objective;
 pub mod optimizer;
@@ -47,9 +53,11 @@ pub mod sa;
 pub use bb::{exhaustive_optimal, BbOutcome};
 pub use dnc::{initial_solution, DncOutcome};
 pub use greedy::greedy_solution;
+pub use incremental::{IncrementalAllPairs, MoveEvaluator};
 pub use naive::{anneal_naive, NaiveSaOutcome};
 pub use objective::{AllPairsObjective, Objective, WeightedObjective};
 pub use optimizer::{
-    optimize_app_specific, optimize_network, solve_row, InitialStrategy, NetworkDesign, SweepPoint,
+    evaluate_design, optimize_app_specific, optimize_network, solve_row, InitialStrategy,
+    NetworkDesign, SweepPoint,
 };
-pub use sa::{anneal, SaOutcome, SaParams, TracePoint};
+pub use sa::{anneal, chain_seed, EvalMode, SaOutcome, SaParams, TracePoint};

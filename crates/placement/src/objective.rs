@@ -1,9 +1,10 @@
 //! Placement objectives: what the optimizer minimises.
 
 use crate::fingerprint;
+use crate::incremental::{IncrementalAllPairs, MoveEvaluator};
 use noc_model::RowObjective;
 use noc_routing::HopWeights;
-use noc_topology::RowPlacement;
+use noc_topology::{ConnectionMatrix, RowPlacement};
 
 /// An objective function over row placements. Implementations must be cheap
 /// to evaluate — they sit in the simulated-annealing inner loop — and `Sync`
@@ -11,6 +12,19 @@ use noc_topology::RowPlacement;
 pub trait Objective: Sync {
     /// Cost of a placement (lower is better), in cycles.
     fn eval(&self, row: &RowPlacement) -> f64;
+
+    /// An optional incremental evaluator tracking single-bit flips of
+    /// `matrix`, for the annealing inner loop. Implementations returning
+    /// `Some` must guarantee the incremental values are **bit-identical**
+    /// to [`eval`](Objective::eval) on the decoded placement — the
+    /// annealer relies on this to keep accept/reject decisions, and thus
+    /// its RNG stream, independent of the evaluation mode. The default
+    /// returns `None`, which makes [`anneal`](crate::sa::anneal) fall back
+    /// to full per-move evaluation.
+    fn incremental_evaluator(&self, matrix: &ConnectionMatrix) -> Option<Box<dyn MoveEvaluator>> {
+        let _ = matrix;
+        None
+    }
 }
 
 impl<F: Fn(&RowPlacement) -> f64 + Sync> Objective for F {
@@ -63,10 +77,23 @@ impl Objective for AllPairsObjective {
     fn eval(&self, row: &RowPlacement) -> f64 {
         self.inner.eval(row)
     }
+
+    /// All-pairs latency supports exact incremental evaluation: both paths
+    /// sum the same `u32` distances into one `u64` before a single `f64`
+    /// division, so the values agree bit-for-bit (property-tested in
+    /// `tests/proptest_placement.rs`).
+    fn incremental_evaluator(&self, matrix: &ConnectionMatrix) -> Option<Box<dyn MoveEvaluator>> {
+        Some(Box::new(IncrementalAllPairs::new(matrix, self.weights())))
+    }
 }
 
 /// The application-specific objective of §5.6.4: `Σγ_ij·L_D(i,j)/Σγ_ij`,
 /// weighting pairs by an observed communication rate matrix.
+///
+/// This objective keeps the default (full) evaluation path in the
+/// annealer: its value is a sum of `f64` products whose result depends on
+/// summation order, so an incremental update could not stay bit-identical
+/// to the full evaluator.
 #[derive(Debug, Clone)]
 pub struct WeightedObjective {
     inner: RowObjective,

@@ -8,7 +8,7 @@
 
 use crate::dnc::{initial_solution, DivisibleObjective};
 use crate::objective::{AllPairsObjective, WeightedObjective};
-use crate::sa::{anneal, random_placement, SaOutcome, SaParams};
+use crate::sa::{anneal, chain_seed, random_placement, SaOutcome, SaParams};
 use noc_model::{LatencyModel, LinkBudget, PacketMix};
 use noc_par::prelude::*;
 use noc_rng::rngs::SmallRng;
@@ -28,6 +28,16 @@ pub enum InitialStrategy {
 }
 
 /// Solves the one-dimensional problem `P̂(n, C)` with the chosen scheme.
+///
+/// When `params.chains > 1`, `K` independent annealing chains run in
+/// parallel via [`noc_par::par_map`], each with a seed derived by
+/// [`chain_seed`], and the best result wins. Deterministic initial
+/// solutions (D&C, greedy) are constructed once and shared; the random
+/// strategy draws a fresh start per chain. Chain 0 uses the caller's seed
+/// unchanged, so `chains = 1` reproduces the single-chain result
+/// bit-for-bit. The winner is the first chain attaining the minimal
+/// objective — a fixed reduction order over the order-preserving
+/// `par_map` output — so the outcome is independent of thread count.
 pub fn solve_row<O: DivisibleObjective>(
     n: usize,
     c_limit: usize,
@@ -36,35 +46,62 @@ pub fn solve_row<O: DivisibleObjective>(
     params: &SaParams,
     seed: u64,
 ) -> SaOutcome {
-    match strategy {
-        InitialStrategy::Random => {
-            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_1e55_u64);
+    let chains = params.chains.max(1);
+    let outcomes = match strategy {
+        // Random starts are per-chain: each chain draws its own initial
+        // placement from its own seed, for extra diversity.
+        InitialStrategy::Random => noc_par::par_map((0..chains).collect(), |k: usize| {
+            let chain = chain_seed(seed, k);
+            let mut rng = SmallRng::seed_from_u64(chain ^ 0x5eed_1e55_u64);
             let initial = random_placement(n, c_limit, &mut rng);
-            anneal(c_limit, &initial, objective, params, seed, 0)
+            anneal(c_limit, &initial, objective, params, chain, 0)
+        }),
+        InitialStrategy::DivideAndConquer | InitialStrategy::Greedy => {
+            let (initial, build_cost) = match strategy {
+                InitialStrategy::DivideAndConquer => {
+                    let init = initial_solution(n, c_limit, objective);
+                    (init.placement, init.evaluations)
+                }
+                _ => {
+                    let init = crate::greedy::greedy_solution(n, c_limit, objective);
+                    (init.placement, init.evaluations)
+                }
+            };
+            // The shared initial solution is built once; charge its
+            // evaluations to chain 0 only so aggregate counts stay honest.
+            noc_par::par_map((0..chains).collect(), |k: usize| {
+                let cost = if k == 0 { build_cost } else { 0 };
+                anneal(
+                    c_limit,
+                    &initial,
+                    objective,
+                    params,
+                    chain_seed(seed, k),
+                    cost,
+                )
+            })
         }
-        InitialStrategy::DivideAndConquer => {
-            let init = initial_solution(n, c_limit, objective);
-            anneal(
-                c_limit,
-                &init.placement,
-                objective,
-                params,
-                seed,
-                init.evaluations,
-            )
-        }
-        InitialStrategy::Greedy => {
-            let init = crate::greedy::greedy_solution(n, c_limit, objective);
-            anneal(
-                c_limit,
-                &init.placement,
-                objective,
-                params,
-                seed,
-                init.evaluations,
-            )
+    };
+    best_of_chains(outcomes)
+}
+
+/// Reduces per-chain outcomes to the winner (first chain attaining the
+/// minimal objective), summing evaluation and acceptance counters across
+/// all chains. The winner's convergence trace is kept as-is, with its own
+/// chain-local evaluation axis.
+fn best_of_chains(outcomes: Vec<SaOutcome>) -> SaOutcome {
+    let evaluations = outcomes.iter().map(|o| o.evaluations).sum();
+    let accepted_moves = outcomes.iter().map(|o| o.accepted_moves).sum();
+    let mut it = outcomes.into_iter();
+    let mut best = it.next().expect("at least one annealing chain");
+    for o in it {
+        if o.best_objective < best.best_objective {
+            best = o;
         }
     }
+    best.evaluations = evaluations;
+    best.accepted_moves = accepted_moves;
+    best
 }
 
 /// One design point of the per-`C` sweep (one x-position of Fig. 5).
@@ -109,6 +146,21 @@ impl NetworkDesign {
 
 /// Builds a [`SweepPoint`] for a given solved placement: replicates it to
 /// 2D, routes it, and prices head + serialization latency.
+///
+/// ```
+/// use noc_model::PacketMix;
+/// use noc_placement::evaluate_design;
+/// use noc_routing::HopWeights;
+/// use noc_topology::RowPlacement;
+///
+/// // Price the plain 8×8 mesh row (no express links) at C = 1, 256-bit flits.
+/// let mesh = RowPlacement::new(8);
+/// let point = evaluate_design(8, 1, 256, mesh, 10.5, &PacketMix::paper(),
+///                             HopWeights::PAPER);
+/// // 512-bit packets serialize over 2 cycles, 128-bit over 1 (1:4 mix).
+/// assert!((point.avg_serialization - 1.2).abs() < 1e-12);
+/// assert_eq!(point.avg_latency, point.avg_head + point.avg_serialization);
+/// ```
 pub fn evaluate_design(
     n: usize,
     c_limit: usize,

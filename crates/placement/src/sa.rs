@@ -6,34 +6,71 @@
 //! at `T0 = 10` cycles, run `m = 10^4` moves total, divide the temperature by
 //! `S_c = 2` after every `m_c = 10^3` moves. A move with `ΔL ≤ 0` is always
 //! accepted; otherwise it is accepted with probability `e^(−ΔL/T)`.
+//!
+//! Two knobs extend the paper's single-chain, full-evaluation loop without
+//! changing its results:
+//!
+//! * [`SaParams::evaluator`] selects between full per-move re-evaluation
+//!   and the incremental evaluator of [`crate::incremental`]; for
+//!   objectives that support it the two are bit-identical, so the mode is
+//!   a pure speed choice.
+//! * [`SaParams::chains`] runs `K` independent chains with derived seeds
+//!   (see [`chain_seed`]) in parallel and keeps the best result —
+//!   deterministic for a fixed `(seed, K)` regardless of thread count.
+//!   Chain fan-out lives in [`solve_row`](crate::optimizer::solve_row);
+//!   [`anneal`] itself is always one chain.
 
+use crate::incremental::MoveEvaluator;
 use crate::objective::Objective;
 use noc_rng::rngs::SmallRng;
 use noc_rng::{Rng, SeedableRng};
 use noc_topology::{ConnectionMatrix, RowPlacement};
 
-/// Annealing schedule parameters (paper Table 1).
+/// How the annealer computes candidate objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Use the objective's incremental evaluator when it provides one
+    /// (bit-identical to full evaluation, much cheaper per move); fall
+    /// back to [`EvalMode::Full`] when it does not.
+    Incremental,
+    /// Decode and fully re-evaluate every candidate, as written in the
+    /// paper. Useful for cross-checks and as the reference in benchmarks.
+    Full,
+}
+
+/// Annealing schedule parameters (paper Table 1) plus the evaluation-mode
+/// and chain-count extensions.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaParams {
     /// Initial temperature `T0` in cycles.
     pub initial_temperature: f64,
-    /// Total number of moves `m`.
+    /// Total number of moves `m` per chain.
     pub total_moves: usize,
     /// Cooldown scale `S_c`: temperature divisor per stage.
     pub cooldown_scale: f64,
     /// Moves per cooling stage `m_c`.
     pub moves_per_stage: usize,
+    /// Number of independent annealing chains (best-of-K); `1` reproduces
+    /// the paper's single chain exactly. Interpreted by
+    /// [`solve_row`](crate::optimizer::solve_row).
+    pub chains: usize,
+    /// Candidate evaluation mode. Not part of the fingerprint: for every
+    /// objective with an incremental evaluator the modes produce
+    /// bit-identical results, so cached results are shared across modes.
+    pub evaluator: EvalMode,
 }
 
 impl SaParams {
     /// The paper's Table 1 values: `T0 = 10`, `m = 10^4`, `S_c = 2`,
-    /// `m_c = 10^3`.
+    /// `m_c = 10^3` — one chain, incremental evaluation.
     pub fn paper() -> Self {
         SaParams {
             initial_temperature: 10.0,
             total_moves: 10_000,
             cooldown_scale: 2.0,
             moves_per_stage: 1_000,
+            chains: 1,
+            evaluator: EvalMode::Incremental,
         }
     }
 
@@ -46,18 +83,51 @@ impl SaParams {
         }
     }
 
+    /// Same schedule with `K` independent chains (best-of-K).
+    ///
+    /// ```
+    /// use noc_placement::{SaParams, solve_row, InitialStrategy};
+    /// use noc_placement::objective::AllPairsObjective;
+    ///
+    /// let objective = AllPairsObjective::paper();
+    /// let base = SaParams::paper().with_moves(400);
+    /// let one = solve_row(8, 4, &objective, InitialStrategy::DivideAndConquer, &base, 7);
+    /// let four = solve_row(8, 4, &objective, InitialStrategy::DivideAndConquer,
+    ///                      &base.with_chains(4), 7);
+    /// // Chain 0 reuses the plain seed, so best-of-4 can only improve on it.
+    /// assert!(four.best_objective <= one.best_objective);
+    /// ```
+    pub fn with_chains(self, chains: usize) -> Self {
+        assert!(chains >= 1, "at least one annealing chain is required");
+        SaParams { chains, ..self }
+    }
+
+    /// Same schedule with an explicit candidate evaluation mode.
+    pub fn with_evaluator(self, evaluator: EvalMode) -> Self {
+        SaParams { evaluator, ..self }
+    }
+
     /// Stable fingerprint of the schedule. Together with `(n, C)`, the
     /// objective fingerprint, the initial strategy, and the seed, this
     /// pins down the annealing result exactly — the basis of the service
-    /// result cache.
+    /// result cache. Covers the chain count (best-of-K changes the
+    /// result) but not the evaluation mode (which does not).
     pub fn fingerprint(&self) -> u64 {
         let mut h = crate::fingerprint::Fnv1a::with_tag("sa-params");
         h.write_u64(self.initial_temperature.to_bits());
         h.write_u64(self.total_moves as u64);
         h.write_u64(self.cooldown_scale.to_bits());
         h.write_u64(self.moves_per_stage as u64);
+        h.write_u64(self.chains as u64);
         h.finish()
     }
+}
+
+/// Seed of chain `k` derived from the caller's `seed` (a golden-ratio
+/// multiply keeps the streams decorrelated). Chain 0 uses `seed` itself,
+/// so `chains = 1` reproduces single-chain results bit-for-bit.
+pub fn chain_seed(seed: u64, k: usize) -> u64 {
+    seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl Default for SaParams {
@@ -70,14 +140,19 @@ impl Default for SaParams {
 /// given number of objective evaluations.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
-    /// Objective evaluations performed so far (the runtime proxy — each
-    /// evaluation is one `O(n·e)` routing solve, the dominant cost).
+    /// Objective evaluations performed so far — the schedule-comparison
+    /// axis of Fig. 7. One candidate costs one evaluation in either mode:
+    /// a full `O(n·e)` routing solve under [`EvalMode::Full`], or a
+    /// recomputation of only the distance rows a bit flip can change
+    /// under [`EvalMode::Incremental`] (same count, cheaper wall-clock).
     pub evaluations: usize,
     /// Best objective value seen so far (cycles).
     pub best_objective: f64,
 }
 
-/// Result of one annealing run.
+/// Result of one annealing run (or the best of several chains, in which
+/// case `evaluations` and `accepted_moves` aggregate over all chains while
+/// `trace` is the winning chain's own).
 #[derive(Debug, Clone)]
 pub struct SaOutcome {
     /// Best placement found.
@@ -92,15 +167,37 @@ pub struct SaOutcome {
     pub trace: Vec<TracePoint>,
 }
 
-/// Runs simulated annealing on `P̂(n, C)` from the given initial placement.
+/// Runs one simulated-annealing chain on `P̂(n, C)` from the given initial
+/// placement.
 ///
 /// `initial_cost` accounts for evaluations already spent constructing the
 /// initial solution (the D&C procedure), so traces of `OnlySA` and `D&C_SA`
 /// share a comparable runtime axis (Fig. 7).
 ///
+/// Under [`EvalMode::Incremental`] (the default) the per-move objective
+/// comes from the objective's [`MoveEvaluator`], which updates only the
+/// distance rows a bit flip can change; with `debug_assertions` every move
+/// cross-checks that value bit-for-bit against a full re-evaluation. The
+/// accept/reject sequence, RNG stream, counters, and outcome are identical
+/// in both modes.
+///
 /// # Panics
 /// Panics if the initial placement does not fit a `(n-2)×(C-1)` connection
 /// matrix (i.e. violates the link limit).
+///
+/// # Example: a 4×4 row
+///
+/// ```
+/// use noc_placement::{anneal, SaParams};
+/// use noc_placement::objective::{AllPairsObjective, Objective};
+/// use noc_topology::RowPlacement;
+///
+/// let objective = AllPairsObjective::paper();
+/// let mesh = RowPlacement::new(4);
+/// let out = anneal(2, &mesh, &objective, &SaParams::paper().with_moves(500), 42, 0);
+/// assert!(out.best_objective <= objective.eval(&mesh));
+/// assert!(out.best.is_within_limit(2));
+/// ```
 pub fn anneal<O: Objective + ?Sized>(
     c_limit: usize,
     initial: &RowPlacement,
@@ -113,11 +210,10 @@ pub fn anneal<O: Objective + ?Sized>(
     let mut matrix = ConnectionMatrix::encode(initial, c_limit)
         .expect("initial placement must satisfy the link limit");
 
-    let mut current = initial.clone();
-    let mut current_obj = objective.eval(&current);
+    let mut current_obj = objective.eval(initial);
     let mut evaluations = initial_cost + 1;
 
-    let mut best = current.clone();
+    let mut best = initial.clone();
     let mut best_obj = current_obj;
     let mut accepted_moves = 0;
     let mut trace = vec![TracePoint {
@@ -136,6 +232,20 @@ pub fn anneal<O: Objective + ?Sized>(
         };
     }
 
+    // The incremental evaluator mirrors `matrix` flip-for-flip; a flip is
+    // its own inverse, so rejected moves are undone by re-flipping.
+    let mut inc: Option<Box<dyn MoveEvaluator>> = match params.evaluator {
+        EvalMode::Incremental => objective.incremental_evaluator(&matrix),
+        EvalMode::Full => None,
+    };
+    if let Some(ev) = &inc {
+        debug_assert_eq!(
+            ev.objective().to_bits(),
+            current_obj.to_bits(),
+            "incremental evaluator disagrees with the full evaluator on the initial placement"
+        );
+    }
+
     let mut temperature = params.initial_temperature;
     for mv in 0..params.total_moves {
         if mv > 0 && mv % params.moves_per_stage == 0 {
@@ -143,18 +253,27 @@ pub fn anneal<O: Objective + ?Sized>(
         }
         let bit = rng.gen_range(0..matrix.bit_count());
         matrix.flip_flat(bit);
-        let candidate = matrix.decode();
-        let candidate_obj = objective.eval(&candidate);
+        let candidate_obj = match &mut inc {
+            Some(ev) => {
+                let fast = ev.flip(bit);
+                debug_assert_eq!(
+                    fast.to_bits(),
+                    objective.eval(&matrix.decode()).to_bits(),
+                    "incremental evaluator diverged from the full evaluator at move {mv}"
+                );
+                fast
+            }
+            None => objective.eval(&matrix.decode()),
+        };
         evaluations += 1;
 
         let delta = candidate_obj - current_obj;
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
         if accept {
-            current = candidate;
             current_obj = candidate_obj;
             accepted_moves += 1;
             if current_obj < best_obj {
-                best = current.clone();
+                best = matrix.decode();
                 best_obj = current_obj;
                 trace.push(TracePoint {
                     evaluations,
@@ -162,8 +281,12 @@ pub fn anneal<O: Objective + ?Sized>(
                 });
             }
         } else {
-            // Undo the flip: the matrix always mirrors `current`.
+            // Undo the flip: the matrix (and evaluator) mirror the
+            // current placement.
             matrix.flip_flat(bit);
+            if let Some(ev) = &mut inc {
+                ev.flip(bit);
+            }
         }
     }
 

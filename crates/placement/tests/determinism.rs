@@ -1,9 +1,10 @@
 //! Seed-determinism of the solver — the contract the service result
 //! cache is built on: `solve_row(n, C, objective, strategy, params, seed)`
-//! must be bit-identical across repeated runs and across threads.
+//! must be bit-identical across repeated runs and across threads, with
+//! any chain count.
 
 use noc_placement::objective::AllPairsObjective;
-use noc_placement::{solve_row, InitialStrategy, SaParams};
+use noc_placement::{anneal, chain_seed, initial_solution, solve_row, InitialStrategy, SaParams};
 
 fn outcome_fingerprint(
     n: usize,
@@ -73,6 +74,112 @@ fn concurrent_runs_are_bit_identical() {
             h.join().unwrap();
         }
     });
+}
+
+fn chain_fingerprint(
+    n: usize,
+    c: usize,
+    strategy: InitialStrategy,
+    moves: usize,
+    chains: usize,
+    seed: u64,
+) -> (Vec<(usize, usize)>, u64, usize, usize) {
+    let out = solve_row(
+        n,
+        c,
+        &AllPairsObjective::paper(),
+        strategy,
+        &SaParams::paper().with_moves(moves).with_chains(chains),
+        seed,
+    );
+    (
+        out.best.express_links().map(|l| (l.a, l.b)).collect(),
+        out.best_objective.to_bits(),
+        out.evaluations,
+        out.accepted_moves,
+    )
+}
+
+#[test]
+fn multi_chain_repeated_runs_are_bit_identical() {
+    for strategy in [InitialStrategy::Random, InitialStrategy::DivideAndConquer] {
+        for chains in [2usize, 4, 7] {
+            let first = chain_fingerprint(10, 4, strategy, 400, chains, 13);
+            for _ in 0..3 {
+                assert_eq!(
+                    chain_fingerprint(10, 4, strategy, 400, chains, 13),
+                    first,
+                    "{strategy:?} K={chains} diverged across runs"
+                );
+            }
+        }
+    }
+}
+
+/// A multi-chain solve must equal a hand-rolled sequential loop over the
+/// derived chain seeds — proving the parallel fan-out (whatever the
+/// worker count) cannot influence the result.
+#[test]
+fn multi_chain_matches_sequential_reference() {
+    let (n, c, moves, chains, seed) = (12usize, 4usize, 500usize, 5usize, 99u64);
+    let obj = AllPairsObjective::paper();
+    let params = SaParams::paper().with_moves(moves);
+
+    let init = initial_solution(n, c, &obj);
+    let mut evaluations = 0;
+    let mut accepted = 0;
+    let mut best: Option<noc_placement::SaOutcome> = None;
+    for k in 0..chains {
+        let cost = if k == 0 { init.evaluations } else { 0 };
+        let out = anneal(c, &init.placement, &obj, &params, chain_seed(seed, k), cost);
+        evaluations += out.evaluations;
+        accepted += out.accepted_moves;
+        if best
+            .as_ref()
+            .is_none_or(|b| out.best_objective < b.best_objective)
+        {
+            best = Some(out);
+        }
+    }
+    let reference = best.unwrap();
+
+    let parallel = solve_row(
+        n,
+        c,
+        &obj,
+        InitialStrategy::DivideAndConquer,
+        &params.with_chains(chains),
+        seed,
+    );
+    assert_eq!(parallel.best, reference.best);
+    assert_eq!(
+        parallel.best_objective.to_bits(),
+        reference.best_objective.to_bits()
+    );
+    assert_eq!(parallel.evaluations, evaluations);
+    assert_eq!(parallel.accepted_moves, accepted);
+    assert_eq!(parallel.trace, reference.trace);
+}
+
+/// Chain 0 reuses the plain seed: `chains = 1` reproduces the historical
+/// single-chain result, and larger K can only improve on it.
+#[test]
+fn chain_zero_preserves_single_chain_results() {
+    let obj = AllPairsObjective::paper();
+    let params = SaParams::paper().with_moves(600);
+    assert_eq!(chain_seed(77, 0), 77);
+    let single = solve_row(10, 4, &obj, InitialStrategy::DivideAndConquer, &params, 77);
+    let multi = solve_row(
+        10,
+        4,
+        &obj,
+        InitialStrategy::DivideAndConquer,
+        &params.with_chains(6),
+        77,
+    );
+    assert!(multi.best_objective <= single.best_objective);
+    // Six chains of 600 moves each: counters aggregate over all chains.
+    assert!(multi.evaluations > single.evaluations * 5);
 }
 
 #[test]

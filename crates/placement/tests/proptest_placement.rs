@@ -6,7 +6,10 @@
 //! instead of proptest, so the suite runs in hermetic offline builds.
 
 use noc_placement::objective::{AllPairsObjective, Objective};
-use noc_placement::{anneal, exhaustive_optimal, initial_solution, sa::random_placement, SaParams};
+use noc_placement::{
+    anneal, exhaustive_optimal, initial_solution, sa::random_placement, EvalMode,
+    IncrementalAllPairs, MoveEvaluator, SaParams,
+};
 use noc_rng::rngs::SmallRng;
 use noc_rng::{Rng, SeedableRng};
 use noc_topology::{ConnectionMatrix, RowPlacement};
@@ -74,6 +77,91 @@ fn dnc_feasible_and_beats_mesh() {
         assert!(out.placement.validate(c).is_ok());
         assert!(out.objective <= obj.eval(&RowPlacement::new(n)) + 1e-12);
     });
+}
+
+/// The incremental evaluator agrees with the full evaluator bit-for-bit
+/// after arbitrary flip sequences, starting from random valid placements,
+/// for every feasible link limit on small rows.
+#[test]
+fn incremental_matches_full_after_random_flips() {
+    let obj = AllPairsObjective::paper();
+    for n in [4usize, 6, 8] {
+        for c in 2..=n {
+            for_cases(6, 0xA5 ^ ((n * 31 + c) as u64), |rng| {
+                // Random valid starting matrix for P̂(n, C).
+                let nbits = (c - 1) * (n - 2);
+                let bits: Vec<bool> = (0..nbits).map(|_| rng.gen::<bool>()).collect();
+                let mut matrix = ConnectionMatrix::from_bits(n, c, bits).unwrap();
+                let mut inc = IncrementalAllPairs::new(&matrix, obj.weights());
+                assert_eq!(
+                    inc.objective().to_bits(),
+                    obj.eval(&matrix.decode()).to_bits()
+                );
+                for step in 0..40 {
+                    let bit = rng.gen_range(0..matrix.bit_count());
+                    matrix.flip_flat(bit);
+                    let fast = inc.flip(bit);
+                    let slow = obj.eval(&matrix.decode());
+                    assert_eq!(
+                        fast.to_bits(),
+                        slow.to_bits(),
+                        "P({n},{c}) step {step} flip {bit}: incremental {fast} vs full {slow}"
+                    );
+                }
+            });
+        }
+    }
+}
+
+/// Annealing under `EvalMode::Incremental` and `EvalMode::Full` takes the
+/// same trajectory: same best placement, objective bits, and counters.
+#[test]
+fn sa_evaluation_modes_agree_bit_for_bit() {
+    for_cases(16, 0xA6, |rng| {
+        let (row, c) = valid_placement(rng);
+        let seed = rng.gen::<u64>();
+        let obj = AllPairsObjective::paper();
+        let base = SaParams::paper().with_moves(400);
+        let fast = anneal(c, &row, &obj, &base, seed, 0);
+        let slow = anneal(c, &row, &obj, &base.with_evaluator(EvalMode::Full), seed, 0);
+        assert_eq!(fast.best, slow.best);
+        assert_eq!(fast.best_objective.to_bits(), slow.best_objective.to_bits());
+        assert_eq!(fast.evaluations, slow.evaluations);
+        assert_eq!(fast.accepted_moves, slow.accepted_moves);
+        assert_eq!(fast.trace, slow.trace);
+    });
+}
+
+/// On every instance small enough for the branch-and-bound oracle, the
+/// paper-budget annealer reaches the exact optimum in both evaluation
+/// modes — the incremental fast path changes the speed, not the optima.
+#[test]
+fn incremental_sa_reaches_bb_optima() {
+    let obj = AllPairsObjective::paper();
+    for (n, c) in [(4usize, 2usize), (4, 3), (6, 2), (6, 3), (8, 3), (8, 4)] {
+        let opt = exhaustive_optimal(n, c, &obj);
+        for (mode, label) in [
+            (EvalMode::Incremental, "incremental"),
+            (EvalMode::Full, "full"),
+        ] {
+            let params = SaParams::paper().with_evaluator(mode);
+            let sa = noc_placement::solve_row(
+                n,
+                c,
+                &obj,
+                noc_placement::InitialStrategy::DivideAndConquer,
+                &params,
+                42,
+            );
+            assert_eq!(
+                sa.best_objective.to_bits(),
+                opt.best_objective.to_bits(),
+                "P({n},{c}) {label}: SA {} vs optimum {}",
+                sa.best_objective,
+                opt.best_objective
+            );
+        }
+    }
 }
 
 /// The exhaustive optimum lower-bounds both D&C and SA outcomes, and the

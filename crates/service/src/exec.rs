@@ -47,6 +47,11 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
             c,
             strategy,
             moves,
+            chains,
+            // Deliberately NOT keyed: both evaluation modes are bit-identical
+            // (see `SaParams::fingerprint`), so either mode may serve a hit
+            // produced by the other.
+            evaluator: _,
             seed,
             weights,
         }) => Some(CacheKey {
@@ -54,7 +59,12 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
             n: *n as u64,
             c: *c as u64,
             objective_fp: AllPairsObjective::with_weights(*weights).fingerprint(),
-            params_fp: SaParams::paper().with_moves(*moves).fingerprint(),
+            // `chains` is part of the SaParams fingerprint: best-of-K is a
+            // different (usually better) result than best-of-1.
+            params_fp: SaParams::paper()
+                .with_moves(*moves)
+                .with_chains(*chains)
+                .fingerprint(),
             seed: *seed,
             extra: strategy_tag(*strategy),
         }),
@@ -102,12 +112,16 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
 
 fn exec_solve(r: &SolveRequest) -> Result<Value, String> {
     let objective = AllPairsObjective::with_weights(r.weights);
-    let params = SaParams::paper().with_moves(r.moves);
+    let params = SaParams::paper()
+        .with_moves(r.moves)
+        .with_chains(r.chains)
+        .with_evaluator(r.evaluator);
     let out = solve_row(r.n, r.c, &objective, r.strategy, &params, r.seed);
     Ok(noc_json::obj! {
         "n" => Value::Int(r.n as i128),
         "c" => Value::Int(r.c as i128),
         "strategy" => Value::Str(strategy_name(r.strategy).to_string()),
+        "chains" => Value::Int(r.chains as i128),
         "seed" => Value::Int(r.seed as i128),
         "objective" => Value::Float(out.best_objective),
         "links" => links_json(&out.best),
@@ -215,9 +229,29 @@ mod tests {
             c: 4,
             strategy: InitialStrategy::DivideAndConquer,
             moves: 300,
+            chains: 1,
+            evaluator: noc_placement::EvalMode::Incremental,
             seed,
             weights: HopWeights::PAPER,
         })
+    }
+
+    #[test]
+    fn chains_key_but_evaluator_does_not() {
+        let base = solve_request(7);
+        let Request::Solve(r) = &base else {
+            unreachable!()
+        };
+        let more_chains = Request::Solve(SolveRequest {
+            chains: 4,
+            ..r.clone()
+        });
+        let full_eval = Request::Solve(SolveRequest {
+            evaluator: noc_placement::EvalMode::Full,
+            ..r.clone()
+        });
+        assert_ne!(cache_key(&base), cache_key(&more_chains));
+        assert_eq!(cache_key(&base), cache_key(&full_eval));
     }
 
     #[test]

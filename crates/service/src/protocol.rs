@@ -6,7 +6,8 @@
 //! `deadline_ms`, and kind-specific parameters:
 //!
 //! ```text
-//! {"id":"1","kind":"solve","n":8,"c":4,"strategy":"dnc","moves":10000,"seed":42}
+//! {"id":"1","kind":"solve","n":8,"c":4,"strategy":"dnc","moves":10000,"seed":42,
+//!  "chains":4,"evaluator":"incremental"}
 //! {"id":"2","kind":"optimal","n":8,"c":3}
 //! {"id":"3","kind":"sweep","n":8,"base_flit":256,"seed":42}
 //! {"id":"4","kind":"simulate","n":8,"pattern":"ur","rate":0.02,"flit":64,
@@ -20,7 +21,7 @@
 //! Failure: `{"id":"1","ok":false,"error":{"code":"overloaded","message":"..."}}`.
 
 use noc_json::Value;
-use noc_placement::InitialStrategy;
+use noc_placement::{EvalMode, InitialStrategy};
 use noc_routing::HopWeights;
 use noc_traffic::SyntheticPattern;
 
@@ -30,6 +31,10 @@ use noc_traffic::SyntheticPattern;
 pub const MAX_N: usize = 64;
 /// Upper bound on the SA move budget per request.
 pub const MAX_MOVES: usize = 2_000_000;
+/// Upper bound on parallel annealing chains per request: bounded so one
+/// request cannot fan out unbounded work (the move budget cap applies per
+/// chain).
+pub const MAX_CHAINS: usize = 64;
 /// Upper bound on simulated measurement cycles per request.
 pub const MAX_CYCLES: u64 = 2_000_000;
 /// Default and maximum per-request deadlines.
@@ -46,8 +51,16 @@ pub struct SolveRequest {
     pub c: usize,
     /// Initial-solution scheme.
     pub strategy: InitialStrategy,
-    /// SA move budget `m`.
+    /// SA move budget `m` (per chain).
     pub moves: usize,
+    /// Independent annealing chains, best-of-K (optional `chains` field,
+    /// default 1). Part of the cache key — a best-of-4 result is not a
+    /// best-of-1 result.
+    pub chains: usize,
+    /// Candidate evaluation mode (optional `evaluator` field, default
+    /// incremental). *Not* part of the cache key: both modes are
+    /// bit-identical, so either may serve a hit for the other.
+    pub evaluator: EvalMode,
     /// RNG seed (the solve is deterministic given all fields).
     pub seed: u64,
     /// Hop weights of the objective.
@@ -358,6 +371,22 @@ pub fn strategy_name(s: InitialStrategy) -> &'static str {
     }
 }
 
+fn parse_evaluator(name: &str) -> Result<EvalMode, String> {
+    match name {
+        "incremental" => Ok(EvalMode::Incremental),
+        "full" => Ok(EvalMode::Full),
+        other => Err(format!("unknown evaluator {other:?} (incremental|full)")),
+    }
+}
+
+/// Wire name of an [`EvalMode`] (inverse of request parsing).
+pub fn evaluator_name(mode: EvalMode) -> &'static str {
+    match mode {
+        EvalMode::Incremental => "incremental",
+        EvalMode::Full => "full",
+    }
+}
+
 fn parse_pattern(name: &str) -> Result<SyntheticPattern, String> {
     match name.to_ascii_lowercase().as_str() {
         "ur" => Ok(SyntheticPattern::UniformRandom),
@@ -415,6 +444,22 @@ fn parse_links(v: &Value) -> Result<Vec<(usize, usize)>, String> {
 
 /// Parses one request line into an [`Envelope`], validating bounds so a
 /// single request cannot monopolise a worker.
+///
+/// Optional fields default (`strategy` → dnc, `moves` → 10⁴, `chains` → 1,
+/// `evaluator` → incremental, `seed` → 42), and [`request_line`] inverts
+/// the parse exactly:
+///
+/// ```
+/// use noc_service::protocol::{parse_request, request_line, Request};
+///
+/// let env = parse_request(
+///     r#"{"id":"1","kind":"solve","n":8,"c":4,"chains":4,"evaluator":"full"}"#,
+/// ).unwrap();
+/// let Request::Solve(solve) = &env.request else { panic!() };
+/// assert_eq!((solve.chains, solve.moves, solve.seed), (4, 10_000, 42));
+/// // Serialising and re-parsing is the identity.
+/// assert_eq!(parse_request(&request_line(&env)).unwrap(), env);
+/// ```
 pub fn parse_request(line: &str) -> Result<Envelope, String> {
     let v = noc_json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
     let id = v
@@ -449,15 +494,25 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             if moves > MAX_MOVES {
                 return Err(format!("moves must be at most {MAX_MOVES}"));
             }
+            let chains = field_usize(&v, "chains")?.unwrap_or(1);
+            if !(1..=MAX_CHAINS).contains(&chains) {
+                return Err(format!("chains must be in 1..={MAX_CHAINS}"));
+            }
             let strategy = match v.get("strategy").and_then(Value::as_str) {
                 None => InitialStrategy::DivideAndConquer,
                 Some(name) => parse_strategy(name)?,
+            };
+            let evaluator = match v.get("evaluator").and_then(Value::as_str) {
+                None => EvalMode::Incremental,
+                Some(name) => parse_evaluator(name)?,
             };
             Request::Solve(SolveRequest {
                 n,
                 c,
                 strategy,
                 moves,
+                chains,
+                evaluator,
                 seed: field_u64(&v, "seed")?.unwrap_or(42),
                 weights: parse_weights(&v)?,
             })
@@ -566,6 +621,11 @@ pub fn request_line(env: &Envelope) -> String {
                 Value::Str(strategy_name(r.strategy).to_string()),
             ));
             fields.push(("moves".to_string(), Value::Int(r.moves as i128)));
+            fields.push(("chains".to_string(), Value::Int(r.chains as i128)));
+            fields.push((
+                "evaluator".to_string(),
+                Value::Str(evaluator_name(r.evaluator).to_string()),
+            ));
             fields.push(("seed".to_string(), Value::Int(r.seed as i128)));
             push_weights(&mut fields, r.weights);
         }
@@ -620,6 +680,8 @@ mod tests {
                 assert_eq!((r.n, r.c, r.moves, r.seed), (8, 4, 10_000, 42));
                 assert_eq!(r.strategy, InitialStrategy::DivideAndConquer);
                 assert_eq!(r.weights, HopWeights::PAPER);
+                assert_eq!(r.chains, 1);
+                assert_eq!(r.evaluator, EvalMode::Incremental);
             }
             other => panic!("wrong variant {other:?}"),
         }
@@ -630,6 +692,9 @@ mod tests {
         assert!(parse_request(r#"{"kind":"solve","n":1,"c":4}"#).is_err());
         assert!(parse_request(r#"{"kind":"solve","n":300,"c":4}"#).is_err());
         assert!(parse_request(r#"{"kind":"solve","n":8,"c":0}"#).is_err());
+        assert!(parse_request(r#"{"kind":"solve","n":8,"c":4,"chains":0}"#).is_err());
+        assert!(parse_request(r#"{"kind":"solve","n":8,"c":4,"chains":65}"#).is_err());
+        assert!(parse_request(r#"{"kind":"solve","n":8,"c":4,"evaluator":"magic"}"#).is_err());
         assert!(parse_request(r#"{"kind":"optimal","n":17,"c":2}"#).is_err());
         assert!(parse_request(r#"{"kind":"simulate","n":8,"pattern":"ur","rate":1.5}"#).is_err());
         assert!(parse_request(r#"{"kind":"nope"}"#).is_err());

@@ -3,7 +3,7 @@
 //! every response shape.
 
 use noc_json::Value;
-use noc_placement::InitialStrategy;
+use noc_placement::{EvalMode, InitialStrategy};
 use noc_routing::HopWeights;
 use noc_service::protocol::{
     parse_request, request_line, Envelope, ErrorCode, OptimalRequest, Request, Response,
@@ -26,6 +26,8 @@ fn every_request_variant_round_trips() {
             c: 5,
             strategy: InitialStrategy::Random,
             moves: 777,
+            chains: 4,
+            evaluator: EvalMode::Full,
             seed: u64::MAX,
             weights: HopWeights {
                 router_cycles: 2,
@@ -37,6 +39,8 @@ fn every_request_variant_round_trips() {
             c: 4,
             strategy: InitialStrategy::Greedy,
             moves: 10_000,
+            chains: 1,
+            evaluator: EvalMode::Incremental,
             seed: 0,
             weights: HopWeights::PAPER,
         }),

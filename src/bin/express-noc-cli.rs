@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! express-noc-cli solve    --n 8 --c 4 [--strategy dnc|random|greedy] [--moves 10000] [--seed 42]
+//!                          [--chains 1] [--evaluator incremental|full]
 //! express-noc-cli optimal  --n 8 --c 3
-//! express-noc-cli sweep    --n 8 [--base-flit 256] [--seed 42]
+//! express-noc-cli sweep    --n 8 [--base-flit 256] [--seed 42] [--chains 1]
 //! express-noc-cli render   --n 8 --links 0-3,3-7,1-4
 //! express-noc-cli simulate --n 8 --pattern ur|tp|br|bc|sh|hs|nn --rate 0.02
 //!                          [--links 0-3,3-7] [--flit 64] [--cycles 20000] [--seed 42]
@@ -17,7 +18,7 @@
 use express_noc::model::{LatencyModel, LinkBudget, PacketMix};
 use express_noc::placement::objective::AllPairsObjective;
 use express_noc::placement::{
-    exhaustive_optimal, optimize_network, solve_row, InitialStrategy, SaParams,
+    exhaustive_optimal, optimize_network, solve_row, EvalMode, InitialStrategy, SaParams,
 };
 use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
 use express_noc::service::protocol::{self, Envelope, Request, SimulateRequest, SolveRequest};
@@ -79,10 +80,12 @@ const USAGE: &str = "express-noc-cli — express-link placement toolkit
 
 commands:
   solve     --n <N> --c <C> [--strategy dnc|random|greedy] [--moves M] [--seed S]
-            solve the 1D placement problem P(N, C) with simulated annealing
+            [--chains K] [--evaluator incremental|full]
+            solve the 1D placement problem P(N, C) with simulated annealing;
+            K > 1 runs K independent chains in parallel and keeps the best
   optimal   --n <N> --c <C>
             exhaustive branch-and-bound optimum of P(N, C)
-  sweep     --n <N> [--base-flit BITS] [--seed S]
+  sweep     --n <N> [--base-flit BITS] [--seed S] [--chains K]
             full network optimization across all admissible link limits
   render    --n <N> --links A-B,C-D,...
             validate and draw a placement; check deadlock freedom
@@ -162,6 +165,14 @@ fn parse_strategy(name: &str) -> Result<InitialStrategy, String> {
     }
 }
 
+fn parse_evaluator(name: &str) -> Result<EvalMode, String> {
+    match name {
+        "incremental" => Ok(EvalMode::Incremental),
+        "full" => Ok(EvalMode::Full),
+        other => Err(format!("unknown evaluator {other:?} (incremental|full)")),
+    }
+}
+
 fn parse_pattern(name: &str) -> Result<SyntheticPattern, String> {
     match name.to_ascii_lowercase().as_str() {
         "ur" => Ok(SyntheticPattern::UniformRandom),
@@ -181,12 +192,22 @@ fn cmd_solve(opts: &Flags) -> Result<(), String> {
     let strategy = parse_strategy(&get_or(opts, "strategy", "dnc".to_string())?)?;
     let moves: usize = get_or(opts, "moves", 10_000)?;
     let seed: u64 = get_or(opts, "seed", 42)?;
+    let chains: usize = get_or(opts, "chains", 1)?;
+    if chains == 0 {
+        return Err("--chains must be at least 1".into());
+    }
+    let evaluator = parse_evaluator(&get_or(opts, "evaluator", "incremental".to_string())?)?;
     let objective = AllPairsObjective::paper();
-    let params = SaParams::paper().with_moves(moves);
+    let params = SaParams::paper()
+        .with_moves(moves)
+        .with_chains(chains)
+        .with_evaluator(evaluator);
     let out = solve_row(n, c, &objective, strategy, &params, seed);
     println!(
-        "P({n},{c}) via {strategy:?}: objective {:.4} cycles ({} evaluations)",
-        out.best_objective, out.evaluations
+        "P({n},{c}) via {strategy:?} ({chains} chain{}): objective {:.4} cycles ({} evaluations)",
+        if chains == 1 { "" } else { "s" },
+        out.best_objective,
+        out.evaluations
     );
     print!("{}", display::render_row(&out.best));
     Ok(())
@@ -211,6 +232,10 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
     let n: usize = get(opts, "n")?;
     let base_flit: u32 = get_or(opts, "base-flit", 256)?;
     let seed: u64 = get_or(opts, "seed", 42)?;
+    let chains: usize = get_or(opts, "chains", 1)?;
+    if chains == 0 {
+        return Err("--chains must be at least 1".into());
+    }
     let budget = LinkBudget {
         n,
         base_flit_bits: base_flit,
@@ -220,7 +245,7 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
         &PacketMix::paper(),
         HopWeights::PAPER,
         InitialStrategy::DivideAndConquer,
-        &SaParams::paper(),
+        &SaParams::paper().with_chains(chains),
         seed,
     );
     println!(
@@ -415,6 +440,8 @@ fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
                 c,
                 strategy: InitialStrategy::DivideAndConquer,
                 moves,
+                chains: 1,
+                evaluator: EvalMode::Incremental,
                 seed,
                 weights: HopWeights::PAPER,
             }),
