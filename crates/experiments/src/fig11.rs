@@ -26,10 +26,6 @@ pub struct BandwidthResult {
     pub best: f64,
 }
 
-fn simulated_latency(scheme: &Scheme, budget: &LinkBudget) -> f64 {
-    crate::fig5::parsec_average_latency(scheme, budget, &crate::fig5::benchmark_set())
-}
-
 /// Runs one bandwidth setting.
 pub fn run_budget(base_flit_bits: u32) -> BandwidthResult {
     let budget = LinkBudget {
@@ -45,24 +41,56 @@ pub fn run_budget(base_flit_bits: u32) -> BandwidthResult {
         .iter()
         .map(|p| p.avg_latency)
         .fold(f64::INFINITY, f64::min);
-    let curve: Vec<(usize, f64)> = design
+
+    // Schemes worth simulating: competitive curve points plus the Mesh and
+    // HFB fixed points. `slots[i]` maps design point `i` to its scheme
+    // index, or `None` for analytic-only points.
+    let mut schemes: Vec<Scheme> = Vec::new();
+    let slots: Vec<Option<usize>> = design
         .points
         .iter()
         .map(|p| {
             if p.avg_latency > 1.6 * best_analytic {
-                return (p.c_limit, p.avg_latency);
+                return None;
             }
-            let scheme = Scheme {
+            schemes.push(Scheme {
                 kind: SchemeKind::DncSa,
                 topology: MeshTopology::uniform(8, &p.placement),
                 flit_bits: p.flit_bits,
                 c_limit: p.c_limit,
-            };
-            (p.c_limit, simulated_latency(&scheme, &budget))
+            });
+            Some(schemes.len() - 1)
         })
         .collect();
-    let mesh = simulated_latency(&Scheme::mesh(&budget), &budget);
-    let hfb = simulated_latency(&Scheme::hfb(&budget), &budget);
+    let mesh_idx = schemes.len();
+    schemes.push(Scheme::mesh(&budget));
+    let hfb_idx = schemes.len();
+    schemes.push(Scheme::hfb(&budget));
+
+    // One flat (scheme × benchmark) batch keeps every core busy for the
+    // whole figure instead of draining one scheme's benchmarks at a time.
+    let benchmarks = crate::fig5::benchmark_set();
+    let jobs: Vec<(Scheme, _)> = schemes
+        .iter()
+        .flat_map(|s| benchmarks.iter().map(|b| (s.clone(), b.workload(8))))
+        .collect();
+    let stats = harness::simulate_batch(&budget, jobs, harness::SEED ^ 0xb);
+    let latency_of = |i: usize| -> f64 {
+        let chunk = &stats[i * benchmarks.len()..(i + 1) * benchmarks.len()];
+        chunk.iter().map(|s| s.avg_packet_latency).sum::<f64>() / chunk.len() as f64
+    };
+
+    let curve: Vec<(usize, f64)> = design
+        .points
+        .iter()
+        .zip(&slots)
+        .map(|(p, slot)| match slot {
+            Some(i) => (p.c_limit, latency_of(*i)),
+            None => (p.c_limit, p.avg_latency),
+        })
+        .collect();
+    let mesh = latency_of(mesh_idx);
+    let hfb = latency_of(hfb_idx);
     let best = curve.iter().map(|&(_, l)| l).fold(f64::INFINITY, f64::min);
     BandwidthResult {
         base_flit_bits,

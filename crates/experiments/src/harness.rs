@@ -4,7 +4,7 @@
 use noc_model::{LatencyModel, LinkBudget, PacketMix, ZeroLoad};
 use noc_placement::{optimize_network, InitialStrategy, NetworkDesign, SaParams};
 use noc_routing::{DorRouter, HopWeights};
-use noc_sim::{SimConfig, SimStats, Simulator};
+use noc_sim::{SimConfig, SimScratch, SimStats, Simulator};
 use noc_topology::{hfb_mesh, hfb_row, implied_link_limit, MeshTopology, RowPlacement};
 use noc_traffic::Workload;
 use std::collections::HashMap;
@@ -192,6 +192,24 @@ pub fn sim_config(scheme: &Scheme, budget: &LinkBudget, seed: u64) -> SimConfig 
 pub fn simulate(scheme: &Scheme, budget: &LinkBudget, workload: &Workload, seed: u64) -> SimStats {
     let config = sim_config(scheme, budget, seed);
     Simulator::new(&scheme.topology, workload.clone(), config).run()
+}
+
+/// Runs one latency simulation per `(scheme, workload)` job, fanned flat
+/// across the `noc-par` pool with per-worker simulator scratch reuse.
+/// Results come back in job order and are bit-identical to running
+/// [`simulate`] on each job sequentially. This is the preferred shape for
+/// figure sweeps: a single flat (design point × benchmark) batch keeps
+/// every core busy instead of nesting a parallel benchmark loop inside a
+/// parallel point loop.
+pub fn simulate_batch(
+    budget: &LinkBudget,
+    jobs: Vec<(Scheme, Workload)>,
+    seed: u64,
+) -> Vec<SimStats> {
+    noc_par::par_map_with(jobs, 0, SimScratch::new, |scratch, (scheme, workload)| {
+        let config = sim_config(&scheme, budget, seed);
+        Simulator::new(&scheme.topology, workload, config).run_with_scratch(scratch)
+    })
 }
 
 /// Replicated-row design point helper used by sweep figures: the D&C_SA

@@ -11,6 +11,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// The default worker count: one per available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Applies `f` to every item on a pool of scoped threads, preserving input
 /// order in the output. Falls back to a plain sequential map when there is
 /// one item or one core.
@@ -20,31 +27,54 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    par_map_with(items, 0, || (), |(), item| f(item))
+}
+
+/// Like [`par_map`], but with an explicit worker count (`0` = one per
+/// available core) and a per-worker state: `init` runs once on each worker
+/// thread and the state is threaded through every item that worker
+/// executes. This lets allocation-heavy work items reuse scratch buffers
+/// across the batch. Output order — and, for items whose result does not
+/// depend on the shared state, output *values* — are independent of the
+/// worker count.
+pub fn par_map_with<T, U, S, F, I>(items: Vec<T>, workers: usize, init: I, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    }
+    .min(n);
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
     let input: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let output: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = input[i]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("work index claimed twice");
+                    let result = f(&mut state, item);
+                    *output[i].lock().expect("output slot poisoned") = Some(result);
                 }
-                let item = input[i]
-                    .lock()
-                    .expect("input slot poisoned")
-                    .take()
-                    .expect("work index claimed twice");
-                let result = f(item);
-                *output[i].lock().expect("output slot poisoned") = Some(result);
             });
         }
     });
@@ -179,6 +209,36 @@ mod tests {
             .unwrap_or(1);
         if cores > 1 {
             assert!(ids.len() > 1, "expected multi-threaded execution");
+        }
+    }
+
+    #[test]
+    fn par_map_with_reuses_per_worker_state() {
+        // Each worker counts the items it processed: every item sees a
+        // positive per-worker counter, and results stay in input order.
+        let results = super::par_map_with(
+            (0..40).collect::<Vec<usize>>(),
+            4,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        assert_eq!(results.len(), 40);
+        for (k, &(i, count)) in results.iter().enumerate() {
+            assert_eq!(i, k, "order must be preserved");
+            assert!((1..=40).contains(&count));
+        }
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let items: Vec<u64> = (0..33).collect();
+        let seq = super::par_map_with(items.clone(), 1, || (), |(), x| x * x + 1);
+        for workers in [2, 4, 8] {
+            let par = super::par_map_with(items.clone(), workers, || (), |(), x| x * x + 1);
+            assert_eq!(seq, par, "results must not depend on worker count");
         }
     }
 

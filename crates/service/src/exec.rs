@@ -10,7 +10,7 @@
 use crate::cache::CacheKey;
 use crate::protocol::{
     pattern_name, strategy_name, OptimalRequest, Request, SimulateRequest, SolveRequest,
-    SweepRequest,
+    SweepRequest, ThroughputRequest,
 };
 use noc_json::Value;
 use noc_model::{LinkBudget, PacketMix};
@@ -19,7 +19,7 @@ use noc_placement::{
     exhaustive_optimal, optimize_network, solve_row, AllPairsObjective, InitialStrategy, SaParams,
 };
 use noc_routing::HopWeights;
-use noc_sim::{SimConfig, Simulator};
+use noc_sim::{SimConfig, Simulator, SweepRunner};
 use noc_topology::{MeshTopology, RowPlacement};
 use noc_traffic::{TrafficMatrix, Workload};
 
@@ -98,6 +98,27 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
             }
             Some(CacheKey {
                 kind: "simulate",
+                n: r.n as u64,
+                c: 0,
+                objective_fp: 0,
+                params_fp: config.fingerprint(),
+                seed: r.seed,
+                extra: extra.finish(),
+            })
+        }
+        Request::Throughput(r) => {
+            let config = SimConfig::throughput_run(r.flit, r.seed);
+            let mut extra = Fnv1a::with_tag("throughput-sweep");
+            extra.write_bytes(pattern_name(r.pattern).as_bytes());
+            extra.write_u64(r.start_rate.to_bits());
+            for &(a, b) in &r.links {
+                extra.write_u64(a as u64);
+                extra.write_u64(b as u64);
+            }
+            // `workers` is deliberately NOT keyed: the sweep is bit-identical
+            // for any worker count, so any fan-out may serve any hit.
+            Some(CacheKey {
+                kind: "throughput",
                 n: r.n as u64,
                 c: 0,
                 objective_fp: 0,
@@ -205,6 +226,35 @@ fn exec_simulate(r: &SimulateRequest) -> Result<Value, String> {
     })
 }
 
+fn exec_throughput(r: &ThroughputRequest) -> Result<Value, String> {
+    let row = RowPlacement::with_links(r.n, r.links.clone()).map_err(|e| e.to_string())?;
+    let topo = MeshTopology::uniform(r.n, &row);
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(r.pattern, r.n),
+        r.start_rate,
+        PacketMix::paper(),
+    );
+    let config = SimConfig::throughput_run(r.flit, r.seed);
+    let result =
+        SweepRunner::new(r.workers).saturation_sweep(&topo, &workload, &config, r.start_rate);
+    let samples: Vec<Value> = result
+        .samples
+        .iter()
+        .map(|s| {
+            noc_json::obj! {
+                "offered" => Value::Float(s.offered),
+                "accepted" => Value::Float(s.accepted),
+                "avg_latency" => Value::Float(s.avg_latency),
+            }
+        })
+        .collect();
+    Ok(noc_json::obj! {
+        "n" => Value::Int(r.n as i128),
+        "saturation" => Value::Float(result.saturation),
+        "samples" => Value::Arr(samples),
+    })
+}
+
 /// Runs a compute request to completion. Inline kinds (`metrics`,
 /// `health`, `shutdown`) are answered by the server, not here.
 pub fn execute(request: &Request) -> Result<Value, String> {
@@ -213,6 +263,7 @@ pub fn execute(request: &Request) -> Result<Value, String> {
         Request::Optimal(r) => exec_optimal(r),
         Request::Sweep(r) => exec_sweep(r),
         Request::Simulate(r) => exec_simulate(r),
+        Request::Throughput(r) => exec_throughput(r),
         Request::Metrics | Request::Health | Request::Shutdown => {
             Err("inline request kinds are not executed on the pool".into())
         }
@@ -270,6 +321,31 @@ mod tests {
         assert!(cache_key(&Request::Health).is_none());
         assert!(cache_key(&Request::Shutdown).is_none());
         assert!(execute(&Request::Health).is_err());
+    }
+
+    #[test]
+    fn throughput_key_ignores_workers_and_result_does_too() {
+        let base = ThroughputRequest {
+            n: 4,
+            pattern: noc_traffic::SyntheticPattern::UniformRandom,
+            start_rate: 0.05,
+            flit: 64,
+            seed: 3,
+            links: vec![],
+            workers: 1,
+        };
+        let wide = ThroughputRequest {
+            workers: 4,
+            ..base.clone()
+        };
+        assert_eq!(
+            cache_key(&Request::Throughput(base.clone())),
+            cache_key(&Request::Throughput(wide.clone())),
+            "worker count must not change the cache key"
+        );
+        let a = execute(&Request::Throughput(base)).unwrap();
+        let b = execute(&Request::Throughput(wide)).unwrap();
+        assert_eq!(a, b, "sweep results must not depend on worker count");
     }
 
     #[test]

@@ -11,9 +11,16 @@ use noc_json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of request kinds tracked per-kind (solve, optimal, sweep,
-/// simulate, metrics, health, shutdown).
-pub const KINDS: [&str; 7] = [
-    "solve", "optimal", "sweep", "simulate", "metrics", "health", "shutdown",
+/// simulate, throughput, metrics, health, shutdown).
+pub const KINDS: [&str; 8] = [
+    "solve",
+    "optimal",
+    "sweep",
+    "simulate",
+    "throughput",
+    "metrics",
+    "health",
+    "shutdown",
 ];
 
 fn kind_index(kind: &str) -> usize {
@@ -259,5 +266,24 @@ mod tests {
             Some(1)
         );
         assert!(snap.get("service_time_us").unwrap().get("solve").is_some());
+    }
+
+    #[test]
+    fn every_protocol_kind_has_its_own_counter() {
+        // An unknown kind falls back to slot 0 ("solve") — so every kind
+        // the protocol can parse must be listed, or its requests would be
+        // silently misattributed.
+        for kind in [
+            "solve",
+            "optimal",
+            "sweep",
+            "simulate",
+            "throughput",
+            "metrics",
+            "health",
+            "shutdown",
+        ] {
+            assert_eq!(KINDS[kind_index(kind)], kind, "{kind} not tracked");
+        }
     }
 }

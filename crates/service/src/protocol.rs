@@ -12,9 +12,11 @@
 //! {"id":"3","kind":"sweep","n":8,"base_flit":256,"seed":42}
 //! {"id":"4","kind":"simulate","n":8,"pattern":"ur","rate":0.02,"flit":64,
 //!  "cycles":20000,"seed":42,"links":[[0,3],[3,7]]}
-//! {"id":"5","kind":"metrics"}
-//! {"id":"6","kind":"health"}
-//! {"id":"7","kind":"shutdown"}
+//! {"id":"5","kind":"throughput","n":8,"pattern":"ur","start_rate":0.02,
+//!  "flit":64,"seed":42,"workers":4}
+//! {"id":"6","kind":"metrics"}
+//! {"id":"7","kind":"health"}
+//! {"id":"8","kind":"shutdown"}
 //! ```
 //!
 //! Success: `{"id":"1","ok":true,"cached":false,"result":{...}}`.
@@ -108,6 +110,27 @@ pub struct SimulateRequest {
     pub links: Vec<(usize, usize)>,
 }
 
+/// Parameters of a `throughput` request — a full saturation sweep run on
+/// the parallel [`noc_sim::SweepRunner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRequest {
+    /// Network side length `n`.
+    pub n: usize,
+    /// Synthetic traffic pattern.
+    pub pattern: SyntheticPattern,
+    /// First offered rate of the geometric sweep.
+    pub start_rate: f64,
+    /// Flit width in bits.
+    pub flit: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Express links of the row placement (empty = plain mesh).
+    pub links: Vec<(usize, usize)>,
+    /// Sweep worker threads (`0` = one per core). *Not* part of the cache
+    /// key: the sweep is bit-identical for any worker count.
+    pub workers: usize,
+}
+
 /// A decoded request body.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -119,6 +142,8 @@ pub enum Request {
     Sweep(SweepRequest),
     /// Cycle-level simulation.
     Simulate(SimulateRequest),
+    /// Saturation-throughput sweep on the parallel sweep runner.
+    Throughput(ThroughputRequest),
     /// Metrics snapshot.
     Metrics,
     /// Liveness/readiness probe.
@@ -135,6 +160,7 @@ impl Request {
             Request::Optimal(_) => "optimal",
             Request::Sweep(_) => "sweep",
             Request::Simulate(_) => "simulate",
+            Request::Throughput(_) => "throughput",
             Request::Metrics => "metrics",
             Request::Health => "health",
             Request::Shutdown => "shutdown",
@@ -145,7 +171,11 @@ impl Request {
     pub fn is_compute(&self) -> bool {
         matches!(
             self,
-            Request::Solve(_) | Request::Optimal(_) | Request::Sweep(_) | Request::Simulate(_)
+            Request::Solve(_)
+                | Request::Optimal(_)
+                | Request::Sweep(_)
+                | Request::Simulate(_)
+                | Request::Throughput(_)
         )
     }
 }
@@ -575,6 +605,37 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 links: parse_links(&v)?,
             })
         }
+        "throughput" => {
+            let n = bounded_n(require(field_usize(&v, "n")?, "n")?)?;
+            if n > 32 {
+                return Err("throughput supports n up to 32".into());
+            }
+            let start_rate = field_f64(&v, "start_rate")?.unwrap_or(0.02);
+            if !(start_rate > 0.0 && start_rate <= 1.0) {
+                return Err("start_rate must be in (0, 1]".into());
+            }
+            let flit = field_u64(&v, "flit")?.unwrap_or(256);
+            if flit == 0 || flit > 4_096 {
+                return Err("flit must be in 1..=4096".into());
+            }
+            let workers = field_usize(&v, "workers")?.unwrap_or(0);
+            if workers > MAX_CHAINS {
+                return Err(format!("workers must be at most {MAX_CHAINS}"));
+            }
+            let pattern = parse_pattern(require(
+                v.get("pattern").and_then(Value::as_str),
+                "pattern",
+            )?)?;
+            Request::Throughput(ThroughputRequest {
+                n,
+                pattern,
+                start_rate,
+                flit: flit as u32,
+                seed: field_u64(&v, "seed")?.unwrap_or(42),
+                links: parse_links(&v)?,
+                workers,
+            })
+        }
         "metrics" => Request::Metrics,
         "health" => Request::Health,
         "shutdown" => Request::Shutdown,
@@ -661,6 +722,28 @@ pub fn request_line(env: &Envelope) -> String {
                 ),
             ));
         }
+        Request::Throughput(r) => {
+            fields.push(("n".to_string(), Value::Int(r.n as i128)));
+            fields.push((
+                "pattern".to_string(),
+                Value::Str(pattern_name(r.pattern).to_string()),
+            ));
+            fields.push(("start_rate".to_string(), Value::Float(r.start_rate)));
+            fields.push(("flit".to_string(), Value::Int(r.flit as i128)));
+            fields.push(("seed".to_string(), Value::Int(r.seed as i128)));
+            fields.push((
+                "links".to_string(),
+                Value::Arr(
+                    r.links
+                        .iter()
+                        .map(|&(a, b)| {
+                            Value::Arr(vec![Value::Int(a as i128), Value::Int(b as i128)])
+                        })
+                        .collect(),
+                ),
+            ));
+            fields.push(("workers".to_string(), Value::Int(r.workers as i128)));
+        }
         Request::Metrics | Request::Health | Request::Shutdown => {}
     }
     Value::Obj(fields).compact()
@@ -699,6 +782,30 @@ mod tests {
         assert!(parse_request(r#"{"kind":"simulate","n":8,"pattern":"ur","rate":1.5}"#).is_err());
         assert!(parse_request(r#"{"kind":"nope"}"#).is_err());
         assert!(parse_request("{").is_err());
+    }
+
+    #[test]
+    fn throughput_parses_and_round_trips() {
+        let env = parse_request(
+            r#"{"id":"t","kind":"throughput","n":8,"pattern":"ur","flit":64,"links":[[0,3]]}"#,
+        )
+        .unwrap();
+        match &env.request {
+            Request::Throughput(r) => {
+                assert_eq!((r.n, r.flit, r.seed, r.workers), (8, 64, 42, 0));
+                assert_eq!(r.start_rate, 0.02);
+                assert_eq!(r.links, vec![(0, 3)]);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        assert_eq!(parse_request(&request_line(&env)).unwrap(), env);
+        assert!(
+            parse_request(r#"{"kind":"throughput","n":8,"pattern":"ur","workers":65}"#).is_err()
+        );
+        assert!(
+            parse_request(r#"{"kind":"throughput","n":8,"pattern":"ur","start_rate":0.0}"#)
+                .is_err()
+        );
     }
 
     #[test]

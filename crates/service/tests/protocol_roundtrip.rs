@@ -7,7 +7,7 @@ use noc_placement::{EvalMode, InitialStrategy};
 use noc_routing::HopWeights;
 use noc_service::protocol::{
     parse_request, request_line, Envelope, ErrorCode, OptimalRequest, Request, Response,
-    SimulateRequest, SolveRequest, SweepRequest,
+    SimulateRequest, SolveRequest, SweepRequest, ThroughputRequest,
 };
 use noc_traffic::SyntheticPattern;
 
@@ -71,6 +71,15 @@ fn every_request_variant_round_trips() {
             cycles: 1,
             seed: 0,
             links: vec![],
+        }),
+        Request::Throughput(ThroughputRequest {
+            n: 8,
+            pattern: SyntheticPattern::BitReverse,
+            start_rate: 0.02,
+            flit: 64,
+            seed: 11,
+            links: vec![(1, 4)],
+            workers: 8,
         }),
         Request::Metrics,
         Request::Health,

@@ -6,23 +6,61 @@
 //! at `t+1` and switch-traverse at `t+2`; a flit issued at `u` lands in the
 //! downstream buffer at `u + 1 + span`, making an uncontended hop cost
 //! exactly `T_r + span·T_l = 3 + span` cycles buffer-to-buffer.
+//!
+//! Hot path. The loop allocates nothing per cycle: in-flight flits live in
+//! a fixed event wheel of `max_span + 2` buckets indexed by `cycle %
+//! horizon` (a flit issued at `t` arrives at `t + 1 + span`, so no pending
+//! arrival ever wraps onto the bucket being drained), credit returns use a
+//! two-slot wheel (always a 1-cycle wire delay), injection reuses a scratch
+//! vector, and routers whose `active_inputs` count is zero are skipped
+//! entirely — safe because round-robin pointers only advance on
+//! assignments, which require an active input VC.
 
 use crate::config::SimConfig;
 use crate::flit::{Flit, PacketRecord};
-use crate::network::{BufferedFlit, Network};
+use crate::network::{Network, NONE_U16, NONE_U32};
 use crate::stats::{ActivityCounters, SimStats};
 use noc_rng::rngs::SmallRng;
 use noc_rng::SeedableRng;
 use noc_routing::DorRouter;
 use noc_topology::MeshTopology;
 use noc_traffic::{Trace, Workload};
-use std::collections::VecDeque;
 
 /// Where injected packets come from: a stochastic workload or a recorded
 /// trace replayed cycle-exactly.
 enum Source {
     Workload(Workload),
     Trace { trace: Trace, next: usize },
+}
+
+/// A flit in flight on a link, parked in the event wheel until its arrival
+/// cycle.
+#[derive(Debug, Clone, Copy)]
+struct ArrivalEvent {
+    /// Destination flat input port.
+    port: u32,
+    /// Destination VC (the allocated downstream VC).
+    vc: u16,
+    /// The flit itself.
+    flit: Flit,
+}
+
+/// Reusable run-to-run scratch storage: the packet ledger and latency
+/// sample vector a [`Simulator::run_with_scratch`] call borrows its
+/// capacity from and returns it to. Replicated runs (sweeps, replicated
+/// experiment points) reuse one scratch instead of growing fresh vectors
+/// from empty each time.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    packets: Vec<PacketRecord>,
+    latencies: Vec<u32>,
+}
+
+impl SimScratch {
+    /// An empty scratch; capacity grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A cycle-level simulation of one workload on one topology.
@@ -33,15 +71,30 @@ pub struct Simulator {
     rng: SmallRng,
     cycle: u64,
     packets: Vec<PacketRecord>,
-    /// Pending credit returns: `(apply_cycle, router, output port, vc)`.
-    credits: VecDeque<(u64, usize, usize, usize)>,
+    latencies: Vec<u32>,
+    /// Injection scratch: `(src node, bits, dst)` gathered per cycle.
+    pending: Vec<(u32, u32, u32)>,
+    /// Link-arrival event wheel; bucket `t % horizon` holds cycle-`t`
+    /// arrivals.
+    arrivals: Vec<Vec<ArrivalEvent>>,
+    /// Credit-return wheel: a credit issued at `t` applies at `t+1`, so two
+    /// slots indexed by `cycle & 1` suffice. Entries are flat output-VC
+    /// indices.
+    credit_wheel: [Vec<u32>; 2],
+    /// Per-local-output-port request masks (one bit per input VC of the
+    /// router being processed), rebuilt by the VA and SA stages each cycle.
+    req: Vec<u128>,
+    horizon: u64,
+    /// Expected packet-ledger size, from the injection rate and window.
+    est_packets: usize,
+    /// Expected measured-sample count.
+    est_latencies: usize,
     activity: Vec<ActivityCounters>,
     measured_total: u64,
     completed_measured: u64,
     latency_sum: u64,
     head_latency_sum: u64,
     max_latency: u64,
-    latencies: Vec<u32>,
     flit_sum: u64,
     ejected_in_window: u64,
 }
@@ -90,6 +143,24 @@ impl Simulator {
     ) -> Self {
         let network = Network::build(topology, dor, &config);
         let routers = network.routers_len();
+        // Arrivals land `1..=1 + max_span` cycles out, so `max_span + 2`
+        // buckets keep every pending event clear of the bucket being
+        // drained.
+        let horizon = network.max_span() as u64 + 2;
+        let max_outputs = (0..routers)
+            .map(|r| network.output_ports(r).len())
+            .max()
+            .unwrap_or(0);
+        let (est_packets, est_latencies) = match &source {
+            Source::Workload(w) => {
+                let per_cycle = w.injection_rate() * routers as f64;
+                let window = (config.warmup_cycles + config.measure_cycles) as f64;
+                let expect = (per_cycle * window).ceil() as usize;
+                let measured = (per_cycle * config.measure_cycles as f64).ceil() as usize;
+                (expect + expect / 8 + 64, measured + measured / 8 + 16)
+            }
+            Source::Trace { trace, .. } => (trace.events().len(), trace.events().len()),
+        };
         Simulator {
             network,
             config,
@@ -97,14 +168,20 @@ impl Simulator {
             rng: SmallRng::seed_from_u64(config.seed),
             cycle: 0,
             packets: Vec::new(),
-            credits: VecDeque::new(),
+            latencies: Vec::new(),
+            pending: Vec::new(),
+            arrivals: vec![Vec::new(); horizon as usize],
+            credit_wheel: [Vec::new(), Vec::new()],
+            req: vec![0u128; max_outputs],
+            horizon,
+            est_packets,
+            est_latencies,
             activity: vec![ActivityCounters::default(); routers],
             measured_total: 0,
             completed_measured: 0,
             latency_sum: 0,
             head_latency_sum: 0,
             max_latency: 0,
-            latencies: Vec::new(),
             flit_sum: 0,
             ejected_in_window: 0,
         }
@@ -122,19 +199,41 @@ impl Simulator {
 
     /// Runs the full warmup + measurement + drain schedule and returns the
     /// collected statistics.
-    pub fn run(mut self) -> SimStats {
+    pub fn run(self) -> SimStats {
+        self.run_with_scratch(&mut SimScratch::new())
+    }
+
+    /// Like [`run`](Self::run), but borrows the packet ledger and latency
+    /// vector capacity from `scratch` and returns it (cleared) afterwards,
+    /// so replicated runs do not re-grow them from empty. Statistics are
+    /// bit-identical to [`run`](Self::run).
+    pub fn run_with_scratch(mut self, scratch: &mut SimScratch) -> SimStats {
+        std::mem::swap(&mut self.packets, &mut scratch.packets);
+        std::mem::swap(&mut self.latencies, &mut scratch.latencies);
+        self.packets.clear();
+        self.latencies.clear();
+        self.packets.reserve(self.est_packets);
+        self.latencies.reserve(self.est_latencies);
+
         let window_end = self.config.warmup_cycles + self.config.measure_cycles;
         let hard_end = window_end + self.config.drain_cycles_max;
-        loop {
+        let drained = loop {
             self.step();
             if self.cycle < window_end {
                 continue;
             }
             let drained = self.completed_measured == self.measured_total;
             if drained || self.cycle >= hard_end {
-                return self.finish(drained);
+                break drained;
             }
-        }
+        };
+
+        let stats = self.compute_stats(drained);
+        self.packets.clear();
+        self.latencies.clear();
+        std::mem::swap(&mut self.packets, &mut scratch.packets);
+        std::mem::swap(&mut self.latencies, &mut scratch.latencies);
+        stats
     }
 
     /// Advances the simulation by one cycle.
@@ -149,48 +248,48 @@ impl Simulator {
     }
 
     fn apply_credits(&mut self, t: u64) {
-        while let Some(&(when, router, port, vc)) = self.credits.front() {
-            if when > t {
-                break;
-            }
-            self.credits.pop_front();
-            self.network.routers[router].outputs[port].vcs[vc].credits += 1;
+        let Simulator {
+            network: net,
+            credit_wheel,
+            ..
+        } = self;
+        let slot = &mut credit_wheel[(t & 1) as usize];
+        for &ovc in slot.iter() {
+            net.ovc_credits[ovc as usize] += 1;
         }
+        slot.clear();
     }
 
     fn process_arrivals(&mut self, t: u64) {
         let measure = self.in_measure_window();
-        let Network {
-            channels, routers, ..
-        } = &mut self.network;
-        for channel in channels.iter_mut() {
-            while let Some(&(arrival, flit, vc)) = channel.in_flight.front() {
-                if arrival > t {
-                    break;
-                }
-                channel.in_flight.pop_front();
-                routers[channel.dst_router].inputs[channel.dst_port].vcs[vc]
-                    .buffer
-                    .push_back(BufferedFlit {
-                        flit,
-                        eligible: t + 2,
-                    });
-                if measure {
-                    self.activity[channel.dst_router].buffer_writes += 1;
-                }
+        let slot = (t % self.horizon) as usize;
+        let Simulator {
+            network: net,
+            activity,
+            arrivals,
+            ..
+        } = self;
+        let vcs = net.vcs;
+        let bucket = &mut arrivals[slot];
+        for ev in bucket.iter() {
+            let g = ev.port as usize * vcs + ev.vc as usize;
+            net.push_flit(g, ev.flit, t + 2);
+            if measure {
+                activity[net.in_port_router[ev.port as usize] as usize].buffer_writes += 1;
             }
         }
+        bucket.clear();
     }
 
     fn inject(&mut self, t: u64) {
         let nodes = self.network.routers_len();
         // Gather this cycle's injections from the source.
-        let mut pending: Vec<(usize, u32, usize)> = Vec::new(); // (src, bits, dst)
+        self.pending.clear();
         match &mut self.source {
             Source::Workload(workload) => {
                 for node in 0..nodes {
                     if let Some(spec) = workload.generate(node, &mut self.rng) {
-                        pending.push((node, spec.bits, spec.dst));
+                        self.pending.push((node as u32, spec.bits, spec.dst as u32));
                     }
                 }
             }
@@ -199,18 +298,28 @@ impl Simulator {
                 while *next < events.len() && events[*next].cycle <= t {
                     let e = events[*next];
                     *next += 1;
-                    pending.push((e.src, e.bits, e.dst));
+                    self.pending.push((e.src as u32, e.bits, e.dst as u32));
                 }
             }
         }
         let measure = self.in_measure_window();
-        for (node, bits, dst) in pending {
-            let spec_dst = dst;
-            let flits = bits.div_ceil(self.config.flit_bits).max(1);
-            let packet_id = self.packets.len() as u32;
-            self.packets.push(PacketRecord {
+        let flit_bits = self.config.flit_bits;
+        let Simulator {
+            network: net,
+            packets,
+            pending,
+            measured_total,
+            flit_sum,
+            ..
+        } = self;
+        let vcs = net.vcs;
+        for &(node, bits, dst) in pending.iter() {
+            let node = node as usize;
+            let flits = bits.div_ceil(flit_bits).max(1);
+            let packet_id = packets.len() as u32;
+            packets.push(PacketRecord {
                 src: node,
-                dst: spec_dst,
+                dst: dst as usize,
                 flits,
                 created: t,
                 head_done: None,
@@ -218,81 +327,153 @@ impl Simulator {
                 measured: measure,
             });
             if measure {
-                self.measured_total += 1;
-                self.flit_sum += flits as u64;
+                *measured_total += 1;
+                *flit_sum += flits as u64;
             }
             // Enqueue into the least-loaded injection VC (the NI's queues).
-            let router = &mut self.network.routers[node];
-            let inj = router.injection_port();
-            let vc_idx = (0..router.inputs[inj].vcs.len())
-                .min_by_key(|&v| router.inputs[inj].vcs[v].buffer.len())
+            let inj = net.in_port_off[node + 1] as usize - 1;
+            let vc_idx = (0..vcs)
+                .min_by_key(|&v| net.vc_len[inj * vcs + v])
                 .expect("at least one VC");
-            let queue = &mut router.inputs[inj].vcs[vc_idx].buffer;
+            let g = inj * vcs + vc_idx;
             for seq in 0..flits {
-                queue.push_back(BufferedFlit {
-                    flit: Flit {
+                net.push_flit(
+                    g,
+                    Flit {
                         packet: packet_id,
                         seq: seq as u16,
                         tail: seq + 1 == flits,
-                        dst: spec_dst as u16,
+                        dst: dst as u16,
                     },
-                    eligible: t + 2,
-                });
+                    t + 2,
+                );
             }
         }
     }
 
     fn route_and_allocate(&mut self, t: u64) {
         let measure = self.in_measure_window();
-        for (r, router) in self.network.routers.iter_mut().enumerate() {
-            let inputs = &mut router.inputs;
-            let outputs = &mut router.outputs;
-            let table = &router.out_port_for_dst;
+        let Simulator {
+            network: net,
+            activity,
+            req,
+            ..
+        } = self;
+        let vcs = net.vcs;
+        let routers = net.routers;
+        // `r` indexes several parallel SoA arrays, not just `activity` — a
+        // range loop is the honest shape here.
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..routers {
+            if net.active_inputs[r] == 0 {
+                continue;
+            }
+            let in_lo = net.in_port_off[r] as usize;
+            let in_hi = net.in_port_off[r + 1] as usize;
+            let base = in_lo * vcs;
+            let total_vcs = (in_hi - in_lo) * vcs;
+            let out_lo = net.out_port_off[r] as usize;
+            let out_hi = net.out_port_off[r + 1] as usize;
 
-            // RC: head flits at buffer fronts compute their output port.
-            for port in inputs.iter_mut() {
-                for vc in port.vcs.iter_mut() {
-                    if vc.route_out.is_none() {
-                        if let Some(front) = vc.buffer.front() {
-                            if front.flit.is_head() {
-                                vc.route_out = Some(table[front.flit.dst as usize] as usize);
-                            }
+            if total_vcs <= 128 {
+                // Fused RC + request-mask build: one pass over the input VCs
+                // computes routes and records, per local output port, a bit
+                // per input VC that requests a downstream VC this cycle.
+                for m in req[..out_hi - out_lo].iter_mut() {
+                    *m = 0;
+                }
+                for idx in 0..total_vcs {
+                    let g = base + idx;
+                    let mut route = net.vc_route[g];
+                    let head = net.front_flit[g].is_head();
+                    if route == NONE_U16 {
+                        if !head {
+                            continue;
+                        }
+                        route = net.route[r * routers + net.front_flit[g].dst as usize];
+                        net.vc_route[g] = route;
+                    }
+                    if net.vc_out_vc[g] == NONE_U16 && head && t + 1 >= net.front_eligible[g] {
+                        req[route as usize] |= 1u128 << idx;
+                    }
+                }
+                // VA: first requesting VC at or after the round-robin pointer
+                // is a wrapped first-set-bit lookup.
+                for o in out_lo..out_hi {
+                    let o_local = o - out_lo;
+                    for ovc in 0..vcs {
+                        let ov = o * vcs + ovc;
+                        if net.ovc_owner[ov] != NONE_U32 {
+                            continue;
+                        }
+                        let m = req[o_local];
+                        if m == 0 {
+                            break;
+                        }
+                        let start = net.out_va_rr[o] as usize;
+                        let at_or_after = m & (u128::MAX << start);
+                        let pick = if at_or_after != 0 {
+                            at_or_after.trailing_zeros()
+                        } else {
+                            m.trailing_zeros()
+                        } as usize;
+                        let g = base + pick;
+                        req[o_local] &= !(1u128 << pick);
+                        net.ovc_owner[ov] = g as u32;
+                        net.vc_out_vc[g] = ovc as u16;
+                        net.vc_va_done[g] = t;
+                        let next = pick + 1;
+                        net.out_va_rr[o] = if next == total_vcs { 0 } else { next } as u32;
+                        if measure {
+                            activity[r].vc_allocations += 1;
                         }
                     }
                 }
+                continue;
             }
 
+            // Wide-router fallback (more than 128 input VCs): the plain
+            // round-robin scans.
+            // RC: head flits at buffer fronts compute their output port
+            // (empty VCs hold a non-head sentinel).
+            for g in base..in_hi * vcs {
+                if net.vc_route[g] == NONE_U16 && net.front_flit[g].is_head() {
+                    net.vc_route[g] = net.route[r * routers + net.front_flit[g].dst as usize];
+                }
+            }
             // VA: hand free output VCs to requesting input VCs, round-robin.
-            let total_vcs: usize = inputs.iter().map(|p| p.vcs.len()).sum();
-            for (o, out) in outputs.iter_mut().enumerate() {
-                for ovc in 0..out.vcs.len() {
-                    if out.vcs[ovc].owner.is_some() {
+            for o in out_lo..out_hi {
+                let o_local = (o - out_lo) as u16;
+                for ovc in 0..vcs {
+                    let ov = o * vcs + ovc;
+                    if net.ovc_owner[ov] != NONE_U32 {
                         continue;
                     }
-                    let start = out.va_rr;
+                    let mut idx = net.out_va_rr[o] as usize;
                     let mut assigned = None;
-                    for k in 0..total_vcs {
-                        let idx = (start + k) % total_vcs;
-                        let (i, v) = Self::decode_vc(inputs, idx);
-                        let vc = &inputs[i].vcs[v];
-                        let requesting = vc.route_out == Some(o)
-                            && vc.out_vc.is_none()
-                            && vc
-                                .buffer
-                                .front()
-                                .is_some_and(|f| f.flit.is_head() && t + 1 >= f.eligible);
+                    for _ in 0..total_vcs {
+                        let g = base + idx;
+                        let requesting = net.vc_route[g] == o_local
+                            && net.vc_out_vc[g] == NONE_U16
+                            && net.front_flit[g].is_head()
+                            && t + 1 >= net.front_eligible[g];
                         if requesting {
-                            assigned = Some((i, v, idx));
+                            assigned = Some(g);
                             break;
                         }
+                        idx += 1;
+                        if idx == total_vcs {
+                            idx = 0;
+                        }
                     }
-                    if let Some((i, v, idx)) = assigned {
-                        out.vcs[ovc].owner = Some((i, v));
-                        inputs[i].vcs[v].out_vc = Some(ovc);
-                        inputs[i].vcs[v].va_done = Some(t);
-                        out.va_rr = (idx + 1) % total_vcs;
+                    if let Some(g) = assigned {
+                        net.ovc_owner[ov] = g as u32;
+                        net.vc_out_vc[g] = ovc as u16;
+                        net.vc_va_done[g] = t;
+                        idx += 1;
+                        net.out_va_rr[o] = if idx == total_vcs { 0 } else { idx } as u32;
                         if measure {
-                            self.activity[r].vc_allocations += 1;
+                            activity[r].vc_allocations += 1;
                         }
                     }
                 }
@@ -304,126 +485,225 @@ impl Simulator {
         let measure = self.in_measure_window();
         let window_start = self.config.warmup_cycles;
         let window_end = window_start + self.config.measure_cycles;
-        // Channel pushes are buffered to keep the borrow checker happy and
-        // applied after the router loop.
-        let mut sends: Vec<(usize, u64, Flit, usize)> = Vec::new();
+        let horizon = self.horizon;
+        let Simulator {
+            network: net,
+            activity,
+            packets,
+            latencies,
+            arrivals,
+            credit_wheel,
+            req,
+            completed_measured,
+            latency_sum,
+            head_latency_sum,
+            max_latency,
+            ejected_in_window,
+            ..
+        } = self;
+        let vcs = net.vcs;
+        let routers = net.routers;
+        let credit_slot = ((t + 1) & 1) as usize;
+        let horizon = horizon as usize;
+        let slot0 = (t % horizon as u64) as usize;
 
-        for r in 0..self.network.routers.len() {
-            let router = &mut self.network.routers[r];
-            let injection = router.injection_port();
-            let ejection = router.ejection_port();
-            let inputs = &mut router.inputs;
-            let outputs = &mut router.outputs;
-            let total_vcs: usize = inputs.iter().map(|p| p.vcs.len()).sum();
+        // As in `route_and_allocate`: `r` indexes many SoA arrays at once.
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..routers {
+            if net.active_inputs[r] == 0 {
+                continue;
+            }
+            let in_lo = net.in_port_off[r] as usize;
+            let in_hi = net.in_port_off[r + 1] as usize;
+            let base = in_lo * vcs;
+            let injection_local = in_hi - in_lo - 1;
+            let out_lo = net.out_port_off[r] as usize;
+            let out_hi = net.out_port_off[r + 1] as usize;
+            let ejection = out_hi - 1;
+            let total_vcs = (in_hi - in_lo) * vcs;
             let mut used_inputs: u64 = 0;
+            let fast = total_vcs <= 128;
 
-            for (o, out) in outputs.iter_mut().enumerate() {
-                let start = out.sa_rr;
-                let mut winner = None;
-                for k in 0..total_vcs {
-                    let idx = (start + k) % total_vcs;
-                    let (i, v) = Self::decode_vc(inputs, idx);
-                    if used_inputs & (1 << i) != 0 {
-                        continue;
-                    }
-                    let vc = &inputs[i].vcs[v];
-                    if vc.route_out != Some(o) {
-                        continue;
-                    }
-                    let Some(ovc) = vc.out_vc else { continue };
-                    let Some(front) = vc.buffer.front() else {
-                        continue;
-                    };
-                    if front.eligible > t {
-                        continue;
-                    }
-                    if front.flit.is_head() && vc.va_done.is_none_or(|d| t <= d) {
-                        continue;
-                    }
-                    if out.vcs[ovc].credits == 0 {
-                        continue;
-                    }
-                    winner = Some((i, v, ovc, idx));
-                    break;
+            if fast {
+                // One pass builds, per local output port, the mask of input
+                // VCs whose front flit could traverse this cycle (all SA
+                // conditions except credits and the one-per-input rule,
+                // which are resolved at pick time). The snapshot is exact:
+                // nothing earlier in this stage mutates this router, and a
+                // popped VC only ever requested the already-processed port.
+                for m in req[..out_hi - out_lo].iter_mut() {
+                    *m = 0;
                 }
+                for idx in 0..total_vcs {
+                    let g = base + idx;
+                    let route = net.vc_route[g];
+                    if route == NONE_U16 || net.vc_out_vc[g] == NONE_U16 {
+                        continue;
+                    }
+                    if net.front_eligible[g] > t {
+                        continue;
+                    }
+                    if net.front_flit[g].is_head() && t <= net.vc_va_done[g] {
+                        continue;
+                    }
+                    req[route as usize] |= 1u128 << idx;
+                }
+            }
+            // Input VCs of already-used input ports, as a VC-bit mask.
+            let mut used_vcs: u128 = 0;
+            let input_mask = if vcs >= 128 {
+                u128::MAX
+            } else {
+                (1u128 << vcs) - 1
+            };
 
-                let Some((i, v, ovc, idx)) = winner else {
+            for o in out_lo..out_hi {
+                let o_local = (o - out_lo) as u16;
+                let winner = if fast {
+                    let mut m = req[o - out_lo] & !used_vcs;
+                    let start = net.out_sa_rr[o] as usize;
+                    loop {
+                        if m == 0 {
+                            break None;
+                        }
+                        let at_or_after = m & (u128::MAX << start);
+                        let pick = if at_or_after != 0 {
+                            at_or_after.trailing_zeros()
+                        } else {
+                            m.trailing_zeros()
+                        } as usize;
+                        let g = base + pick;
+                        let ovc = net.vc_out_vc[g] as usize;
+                        if net.ovc_credits[o * vcs + ovc] == 0 {
+                            m &= !(1u128 << pick);
+                            continue;
+                        }
+                        break Some((g, pick / vcs, pick % vcs, ovc, pick));
+                    }
+                } else {
+                    // Wide-router fallback: plain round-robin scan tracking
+                    // (input port, vc) incrementally.
+                    let mut idx = net.out_sa_rr[o] as usize;
+                    let mut i = idx / vcs;
+                    let mut v = idx - i * vcs;
+                    let mut winner = None;
+                    'scan: for _ in 0..total_vcs {
+                        'check: {
+                            if used_inputs & (1 << i) != 0 {
+                                break 'check;
+                            }
+                            let g = base + idx;
+                            if net.vc_route[g] != o_local {
+                                break 'check;
+                            }
+                            let ovc = net.vc_out_vc[g];
+                            if ovc == NONE_U16 {
+                                break 'check;
+                            }
+                            if net.front_eligible[g] > t {
+                                break 'check;
+                            }
+                            if net.front_flit[g].is_head() && t <= net.vc_va_done[g] {
+                                break 'check;
+                            }
+                            if net.ovc_credits[o * vcs + ovc as usize] == 0 {
+                                break 'check;
+                            }
+                            winner = Some((g, i, v, ovc as usize, idx));
+                            break 'scan;
+                        }
+                        idx += 1;
+                        v += 1;
+                        if v == vcs {
+                            v = 0;
+                            i += 1;
+                        }
+                        if idx == total_vcs {
+                            idx = 0;
+                            i = 0;
+                            v = 0;
+                        }
+                    }
+                    winner
+                };
+
+                let Some((g, i, v, ovc, idx)) = winner else {
                     continue;
                 };
-                out.sa_rr = (idx + 1) % total_vcs;
+                let next = idx + 1;
+                net.out_sa_rr[o] = if next == total_vcs { 0 } else { next } as u32;
                 used_inputs |= 1 << i;
-                let buffered = inputs[i].vcs[v]
-                    .buffer
-                    .pop_front()
-                    .expect("winner has a front flit");
-                let flit = buffered.flit;
+                if fast {
+                    used_vcs |= input_mask << (i * vcs);
+                }
+                let flit = net.pop_front(g);
 
                 if measure {
-                    self.activity[r].crossbar_traversals += 1;
-                    if i != injection {
-                        self.activity[r].buffer_reads += 1;
+                    activity[r].crossbar_traversals += 1;
+                    if i != injection_local {
+                        activity[r].buffer_reads += 1;
                     }
                 }
 
                 if o == ejection {
                     // Flit leaves the network; completion is at end of cycle.
-                    let record = &mut self.packets[flit.packet as usize];
+                    let record = &mut packets[flit.packet as usize];
                     if flit.is_head() {
                         record.head_done = Some(t + 1);
                     }
                     if flit.tail {
                         record.tail_done = Some(t + 1);
                         if t >= window_start && t < window_end {
-                            self.ejected_in_window += 1;
+                            *ejected_in_window += 1;
                         }
                         if record.measured {
-                            self.completed_measured += 1;
+                            *completed_measured += 1;
                             let latency = t + 1 - record.created;
-                            self.latency_sum += latency;
-                            self.max_latency = self.max_latency.max(latency);
-                            self.latencies.push(latency.min(u32::MAX as u64) as u32);
-                            self.head_latency_sum +=
+                            *latency_sum += latency;
+                            *max_latency = (*max_latency).max(latency);
+                            latencies.push(latency.min(u32::MAX as u64) as u32);
+                            *head_latency_sum +=
                                 record.head_done.expect("head before tail") - record.created;
                         }
                     }
                 } else {
-                    out.vcs[ovc].credits -= 1;
-                    sends.push((out.channel, t + 1 + out.span as u64, flit, ovc));
+                    net.ovc_credits[o * vcs + ovc] -= 1;
+                    let span = net.out_span[o] as usize;
+                    // `1 + span < horizon`, so one conditional wrap suffices.
+                    let mut slot = slot0 + 1 + span;
+                    if slot >= horizon {
+                        slot -= horizon;
+                    }
+                    arrivals[slot].push(ArrivalEvent {
+                        port: net.out_dst_port[o],
+                        vc: ovc as u16,
+                        flit,
+                    });
                     if measure {
-                        self.activity[r].link_flit_segments += out.span as u64;
+                        activity[r].link_flit_segments += span as u64;
                     }
                 }
 
                 if flit.tail {
-                    let vc_state = &mut inputs[i].vcs[v];
-                    vc_state.route_out = None;
-                    vc_state.out_vc = None;
-                    vc_state.va_done = None;
-                    out.vcs[ovc].owner = None;
+                    net.vc_route[g] = NONE_U16;
+                    net.vc_out_vc[g] = NONE_U16;
+                    net.vc_va_done[g] = u64::MAX;
+                    net.ovc_owner[o * vcs + ovc] = NONE_U32;
+                }
+                if net.vc_len[g] == 0 && net.vc_route[g] == NONE_U16 {
+                    net.active_inputs[r] -= 1;
                 }
 
                 // Return the freed buffer slot upstream (1-cycle credit wire).
-                if let Some((up_router, up_port)) = inputs[i].upstream {
-                    self.credits.push_back((t + 1, up_router, up_port, v));
+                let base = net.in_credit_base[in_lo + i];
+                if base != NONE_U32 {
+                    credit_wheel[credit_slot].push(base + v as u32);
                 }
             }
         }
-
-        for (channel, arrival, flit, ovc) in sends {
-            self.network.channels[channel]
-                .in_flight
-                .push_back((arrival, flit, ovc));
-        }
     }
 
-    /// Maps a flat VC index to `(input port, vc)`; all ports share the same
-    /// VC count so this is a simple div/mod.
-    fn decode_vc(inputs: &[crate::network::InputPort], idx: usize) -> (usize, usize) {
-        let vcs = inputs[0].vcs.len();
-        (idx / vcs, idx % vcs)
-    }
-
-    fn finish(mut self, drained: bool) -> SimStats {
+    fn compute_stats(&mut self, drained: bool) -> SimStats {
         let completed = self.completed_measured;
         let denom = completed.max(1) as f64;
         self.latencies.sort_unstable();
@@ -455,7 +735,7 @@ impl Simulator {
                 Source::Trace { trace, .. } => trace.mean_rate(),
             },
             avg_flits_per_packet: self.flit_sum as f64 / self.measured_total.max(1) as f64,
-            activity: self.activity,
+            activity: std::mem::take(&mut self.activity),
             drained,
         }
     }
@@ -598,6 +878,21 @@ mod tests {
         assert_eq!(a.avg_packet_latency, b.avg_packet_latency);
         assert_eq!(a.measured_packets, b.measured_packets);
         assert_eq!(a.total_activity(), b.total_activity());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // run_with_scratch must be statistically invisible: same stats as
+        // run(), across repeated reuse of one scratch.
+        let topo = MeshTopology::mesh(4);
+        let mut scratch = SimScratch::new();
+        for seed in [5, 7, 11] {
+            let config = SimConfig::latency_run(256, seed);
+            let fresh = Simulator::new(&topo, workload(4, 0.03), config).run();
+            let reused =
+                Simulator::new(&topo, workload(4, 0.03), config).run_with_scratch(&mut scratch);
+            assert_eq!(fresh.fingerprint(), reused.fingerprint());
+        }
     }
 
     #[test]

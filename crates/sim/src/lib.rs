@@ -39,6 +39,6 @@ pub mod stats;
 pub mod throughput;
 
 pub use config::SimConfig;
-pub use engine::Simulator;
+pub use engine::{SimScratch, Simulator};
 pub use stats::{ActivityCounters, SimStats};
-pub use throughput::{saturation_sweep, SweepSample, ThroughputResult};
+pub use throughput::{saturation_sweep, SweepRunner, SweepSample, ThroughputResult};

@@ -1,11 +1,29 @@
-//! Static network structures: routers, ports, virtual channels, channels,
-//! and the compiled routing tables.
+//! Flattened (struct-of-arrays) network state: ports, virtual channels and
+//! compiled routing tables live in contiguous flat arrays indexed by
+//! precomputed offsets, so the per-cycle engine loops walk linear memory
+//! instead of chasing nested `Vec`s.
+//!
+//! Layout. Ports are numbered globally: router `r`'s input ports occupy
+//! `in_port_off[r]..in_port_off[r+1]` (link ports in topology order, the
+//! injection port last), and its output ports occupy
+//! `out_port_off[r]..out_port_off[r+1]` (ejection last). Every port has the
+//! same number of VCs `V`, so input VC `(port p, vc v)` lives at flat index
+//! `p·V + v` in the `vc_*` arrays and output VC state at `o·V + v` in the
+//! `ovc_*` arrays. The port construction order is exactly the order the
+//! previous nested representation used (links in `topology.links()` order,
+//! the `a→b` direction before `b→a`), which keeps round-robin arbitration —
+//! and therefore every simulation statistic — bit-identical.
 
 use crate::config::SimConfig;
 use crate::flit::Flit;
 use noc_routing::DorRouter;
 use noc_topology::MeshTopology;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+/// Sentinel for "no port/VC" in `u16` fields.
+pub const NONE_U16: u16 = u16::MAX;
+/// Sentinel for "no port/VC" in `u32` fields.
+pub const NONE_U32: u32 = u32::MAX;
 
 /// A flit sitting in a VC buffer with its earliest switch-traversal cycle
 /// (`arrival + 2`: BW+RC, VA, then SA — the 3-stage pipeline).
@@ -17,211 +35,294 @@ pub struct BufferedFlit {
     pub eligible: u64,
 }
 
-/// One virtual channel of an input port.
-#[derive(Debug, Clone)]
-pub struct InputVc {
-    /// FIFO of buffered flits (depth enforced upstream via credits; the
-    /// injection port is unbounded — it models the NI source queue).
-    pub buffer: VecDeque<BufferedFlit>,
-    /// Output port of the packet currently owning this VC (set at RC).
-    pub route_out: Option<usize>,
-    /// Downstream VC allocated to that packet (set at VA).
-    pub out_vc: Option<usize>,
-    /// Cycle VA succeeded, gating SA to the following cycle.
-    pub va_done: Option<u64>,
-}
-
-impl InputVc {
-    fn new() -> Self {
-        InputVc {
-            buffer: VecDeque::new(),
-            route_out: None,
-            out_vc: None,
-            va_done: None,
-        }
-    }
-}
-
-/// An input port: a set of VCs plus the upstream output port credits return
-/// to (`None` for the injection port).
-#[derive(Debug, Clone)]
-pub struct InputPort {
-    /// The port's virtual channels.
-    pub vcs: Vec<InputVc>,
-    /// Upstream `(router, output port)` this port's credits flow back to.
-    pub upstream: Option<(usize, usize)>,
-}
-
-/// Per-output-VC state at an output port.
-#[derive(Debug, Clone, Copy)]
-pub struct OutVcState {
-    /// Input VC `(port, vc)` whose packet currently owns the downstream VC.
-    pub owner: Option<(usize, usize)>,
-    /// Credits: free buffer slots at the downstream VC.
-    pub credits: usize,
-}
-
-/// An output port: either a physical channel to a neighbour router or the
-/// local ejection port (`channel == usize::MAX`).
-#[derive(Debug, Clone)]
-pub struct OutputPort {
-    /// Downstream router flat id (`usize::MAX` for ejection).
-    pub to_router: usize,
-    /// Link length in unit segments (0 for ejection).
-    pub span: usize,
-    /// Index into the network channel table (`usize::MAX` for ejection).
-    pub channel: usize,
-    /// Downstream VC states.
-    pub vcs: Vec<OutVcState>,
-    /// Round-robin pointer for VC allocation fairness.
-    pub va_rr: usize,
-    /// Round-robin pointer for switch allocation fairness.
-    pub sa_rr: usize,
-}
-
-impl OutputPort {
-    /// Whether this is the local ejection port.
-    pub fn is_ejection(&self) -> bool {
-        self.channel == usize::MAX
-    }
-}
-
-/// One router's dynamic state.
-#[derive(Debug, Clone)]
-pub struct RouterState {
-    /// Link input ports followed by the injection port (last).
-    pub inputs: Vec<InputPort>,
-    /// Link output ports followed by the ejection port (last).
-    pub outputs: Vec<OutputPort>,
-    /// Compiled route table: output port index for every destination
-    /// (self maps to the ejection port).
-    pub out_port_for_dst: Vec<u16>,
-}
-
-impl RouterState {
-    /// Index of the injection input port.
-    pub fn injection_port(&self) -> usize {
-        self.inputs.len() - 1
-    }
-
-    /// Index of the ejection output port.
-    pub fn ejection_port(&self) -> usize {
-        self.outputs.len() - 1
-    }
-}
-
-/// A directed physical channel between two routers. Flits are in flight
-/// until their arrival cycle; the queue stays arrival-ordered because the
-/// upstream ST issues at most one flit per cycle.
-#[derive(Debug, Clone)]
-pub struct Channel {
-    /// Receiving router flat id.
-    pub dst_router: usize,
-    /// Receiving input port index at `dst_router`.
-    pub dst_port: usize,
-    /// Link length in unit segments.
-    pub span: usize,
-    /// In-flight flits: `(arrival cycle, flit, destination VC)`.
-    pub in_flight: VecDeque<(u64, Flit, usize)>,
-}
-
-/// The complete static + dynamic network state.
+/// The complete static + dynamic network state in flat arrays.
 #[derive(Debug, Clone)]
 pub struct Network {
     /// Mesh side length.
     pub side: usize,
-    /// Router states, indexed by flat id.
-    pub routers: Vec<RouterState>,
-    /// All directed channels.
-    pub channels: Vec<Channel>,
+    /// Number of routers.
+    pub(crate) routers: usize,
+    /// Virtual channels per port.
+    pub(crate) vcs: usize,
+    // ---- static structure ----
+    /// Input-port range per router (`routers + 1` entries; injection last).
+    pub(crate) in_port_off: Vec<u32>,
+    /// Output-port range per router (`routers + 1` entries; ejection last).
+    pub(crate) out_port_off: Vec<u32>,
+    /// Per input port: owning router.
+    pub(crate) in_port_router: Vec<u32>,
+    /// Per input port: flat output-VC base (`out_port · V`) credits return
+    /// to upstream, or [`NONE_U32`] for injection ports.
+    pub(crate) in_credit_base: Vec<u32>,
+    /// Per output port: flat destination input port ([`NONE_U32`] for
+    /// ejection).
+    pub(crate) out_dst_port: Vec<u32>,
+    /// Per output port: destination router ([`NONE_U32`] for ejection).
+    pub(crate) out_dst_router: Vec<u32>,
+    /// Per output port: link length in unit segments (0 for ejection).
+    pub(crate) out_span: Vec<u32>,
+    /// Compiled route table, `routers × routers`: local output port index
+    /// at router `r` toward destination `d` at `r·routers + d` (self maps
+    /// to the ejection port).
+    pub(crate) route: Vec<u16>,
+    // ---- dynamic state ----
+    /// Per input VC: the buffered flits *behind* the front one (depth is
+    /// enforced upstream via credits; injection VCs are unbounded NI source
+    /// queues). The front flit itself is mirrored into the flat
+    /// `front_flit`/`front_eligible` arrays so the per-cycle stages read
+    /// contiguous memory instead of chasing per-deque heap pointers.
+    pub(crate) vc_buf: Vec<VecDeque<BufferedFlit>>,
+    /// Per input VC: the front (oldest) flit. When the VC is empty this is
+    /// a sentinel with a non-zero `seq`, so `is_head()` is false without a
+    /// separate length check.
+    pub(crate) front_flit: Vec<Flit>,
+    /// Per input VC: the front flit's earliest SA cycle; `u64::MAX` when
+    /// the VC is empty, so every eligibility comparison fails naturally.
+    pub(crate) front_eligible: Vec<u64>,
+    /// Per input VC: buffered flit count (front + queued).
+    pub(crate) vc_len: Vec<u32>,
+    /// Per input VC: local output port of the owning packet ([`NONE_U16`]
+    /// until RC).
+    pub(crate) vc_route: Vec<u16>,
+    /// Per input VC: allocated downstream VC ([`NONE_U16`] until VA).
+    pub(crate) vc_out_vc: Vec<u16>,
+    /// Per input VC: cycle VA succeeded (`u64::MAX` = not yet), gating SA
+    /// to the following cycle.
+    pub(crate) vc_va_done: Vec<u64>,
+    /// Per output VC: global input-VC index of the packet owning the
+    /// downstream VC ([`NONE_U32`] = free).
+    pub(crate) ovc_owner: Vec<u32>,
+    /// Per output VC: credits (free downstream buffer slots).
+    pub(crate) ovc_credits: Vec<u32>,
+    /// Per output port: round-robin pointer for VC allocation.
+    pub(crate) out_va_rr: Vec<u32>,
+    /// Per output port: round-robin pointer for switch allocation.
+    pub(crate) out_sa_rr: Vec<u32>,
+    /// Per router: input VCs that are non-empty or hold route state. A
+    /// router at 0 is provably idle and RC/VA/SA skip it entirely — the
+    /// skip cannot change arbitration because round-robin pointers only
+    /// advance on assignments, which require an active input VC.
+    pub(crate) active_inputs: Vec<u32>,
 }
 
 impl Network {
     /// Number of routers.
     pub fn routers_len(&self) -> usize {
-        self.routers.len()
+        self.routers
     }
 
-    /// Builds the network for a topology: instantiates two directed channels
-    /// per physical link, sizes ports/VCs/credits from the config, and
+    /// Virtual channels per port.
+    pub fn vcs_per_port(&self) -> usize {
+        self.vcs
+    }
+
+    /// Longest link span of any output port (0 on an empty network).
+    pub fn max_span(&self) -> usize {
+        self.out_span.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Input ports of router `r` as a flat range (injection port last).
+    pub fn input_ports(&self, r: usize) -> std::ops::Range<usize> {
+        self.in_port_off[r] as usize..self.in_port_off[r + 1] as usize
+    }
+
+    /// Output ports of router `r` as a flat range (ejection port last).
+    pub fn output_ports(&self, r: usize) -> std::ops::Range<usize> {
+        self.out_port_off[r] as usize..self.out_port_off[r + 1] as usize
+    }
+
+    /// Flat index of router `r`'s injection input port.
+    pub fn injection_port(&self, r: usize) -> usize {
+        self.in_port_off[r + 1] as usize - 1
+    }
+
+    /// Flat index of router `r`'s ejection output port.
+    pub fn ejection_port(&self, r: usize) -> usize {
+        self.out_port_off[r + 1] as usize - 1
+    }
+
+    /// Owning router of a flat input port.
+    pub fn port_router(&self, port: usize) -> usize {
+        self.in_port_router[port] as usize
+    }
+
+    /// Destination router of a flat output port ([`NONE_U32`] for ejection).
+    pub fn out_to_router(&self, port: usize) -> u32 {
+        self.out_dst_router[port]
+    }
+
+    /// Destination flat input port of a flat output port.
+    pub fn out_dst_port(&self, port: usize) -> u32 {
+        self.out_dst_port[port]
+    }
+
+    /// Link span of a flat output port.
+    pub fn out_span(&self, port: usize) -> u32 {
+        self.out_span[port]
+    }
+
+    /// Upstream flat output-VC base of a flat input port.
+    pub fn credit_base(&self, port: usize) -> u32 {
+        self.in_credit_base[port]
+    }
+
+    /// Credits of a flat output VC.
+    pub fn credits(&self, ovc: usize) -> u32 {
+        self.ovc_credits[ovc]
+    }
+
+    /// Local output port toward `dst` at router `r`.
+    pub fn route_port(&self, r: usize, dst: usize) -> u16 {
+        self.route[r * self.routers + dst]
+    }
+
+    /// Buffered-flit count of the global input VC `g`.
+    pub fn buffer_len(&self, g: usize) -> usize {
+        self.vc_len[g] as usize
+    }
+
+    /// Applies one returned credit to a flat output VC.
+    #[inline]
+    pub fn apply_credit(&mut self, ovc: usize) {
+        self.ovc_credits[ovc] += 1;
+    }
+
+    /// Pushes a flit into global input VC `g`, maintaining the front-flit
+    /// mirror and the router's active count.
+    #[inline]
+    pub fn push_flit(&mut self, g: usize, flit: Flit, eligible: u64) {
+        if self.vc_len[g] == 0 {
+            if self.vc_route[g] == NONE_U16 {
+                self.active_inputs[self.in_port_router[g / self.vcs] as usize] += 1;
+            }
+            self.front_flit[g] = flit;
+            self.front_eligible[g] = eligible;
+        } else {
+            self.vc_buf[g].push_back(BufferedFlit { flit, eligible });
+        }
+        self.vc_len[g] += 1;
+    }
+
+    /// Pops the front flit of global input VC `g`, refilling the mirror
+    /// from the queue. The VC must be non-empty.
+    #[inline]
+    pub(crate) fn pop_front(&mut self, g: usize) -> Flit {
+        let flit = self.front_flit[g];
+        self.vc_len[g] -= 1;
+        match self.vc_buf[g].pop_front() {
+            Some(next) => {
+                self.front_flit[g] = next.flit;
+                self.front_eligible[g] = next.eligible;
+            }
+            None => {
+                self.front_flit[g].seq = 1;
+                self.front_eligible[g] = u64::MAX;
+            }
+        }
+        flit
+    }
+
+    /// Number of active input VCs at router `r` (see `active_inputs`).
+    pub fn active_inputs(&self, r: usize) -> u32 {
+        self.active_inputs[r]
+    }
+
+    /// Builds the network for a topology: instantiates two directed port
+    /// pairs per physical link, sizes VCs/credits from the config, and
     /// compiles per-router output-port tables from the DOR solve.
     pub fn build(topology: &MeshTopology, dor: &DorRouter, config: &SimConfig) -> Self {
         let n = topology.side();
-        let routers_len = topology.routers();
+        let routers = topology.routers();
         let vcs = config.vcs_per_port;
-        let depth = config.buffer_flits_per_vc;
+        let depth = config.buffer_flits_per_vc as u32;
 
-        let mut inputs: Vec<Vec<InputPort>> = vec![Vec::new(); routers_len];
-        let mut outputs: Vec<Vec<OutputPort>> = vec![Vec::new(); routers_len];
-        let mut channels: Vec<Channel> = Vec::new();
-        // neighbour flat id -> output port index, per router.
-        let mut out_index: Vec<HashMap<usize, usize>> = vec![HashMap::new(); routers_len];
+        // Per-router port lists in the legacy construction order: links in
+        // `topology.links()` order, the a→b direction before b→a, then the
+        // injection/ejection ports. `usize::MAX` marks not-yet-known flat
+        // indices resolved after flattening.
+        struct InPort {
+            upstream: Option<(usize, usize)>, // (router, local output port)
+        }
+        struct OutPort {
+            to_router: usize,
+            to_local_in: usize, // local input port index at to_router
+            span: usize,
+        }
+        let mut inputs: Vec<Vec<InPort>> = (0..routers).map(|_| Vec::new()).collect();
+        let mut outputs: Vec<Vec<OutPort>> = (0..routers).map(|_| Vec::new()).collect();
+        // neighbour flat id -> local output port index, per router.
+        let mut out_index: Vec<std::collections::HashMap<usize, usize>> =
+            vec![std::collections::HashMap::new(); routers];
 
         for link in topology.links() {
             for (from, to) in [(link.a, link.b), (link.b, link.a)] {
-                let channel_idx = channels.len();
-                let dst_port = inputs[to].len();
-                let src_port = outputs[from].len();
-                channels.push(Channel {
-                    dst_router: to,
-                    dst_port,
-                    span: link.length,
-                    in_flight: VecDeque::new(),
+                let dst_local = inputs[to].len();
+                let src_local = outputs[from].len();
+                inputs[to].push(InPort {
+                    upstream: Some((from, src_local)),
                 });
-                inputs[to].push(InputPort {
-                    vcs: (0..vcs).map(|_| InputVc::new()).collect(),
-                    upstream: Some((from, src_port)),
-                });
-                outputs[from].push(OutputPort {
+                outputs[from].push(OutPort {
                     to_router: to,
+                    to_local_in: dst_local,
                     span: link.length,
-                    channel: channel_idx,
-                    vcs: (0..vcs)
-                        .map(|_| OutVcState {
-                            owner: None,
-                            credits: depth,
-                        })
-                        .collect(),
-                    va_rr: 0,
-                    sa_rr: 0,
                 });
-                out_index[from].insert(to, src_port);
+                out_index[from].insert(to, src_local);
+            }
+        }
+        for r in 0..routers {
+            inputs[r].push(InPort { upstream: None }); // injection
+            outputs[r].push(OutPort {
+                to_router: usize::MAX,
+                to_local_in: usize::MAX,
+                span: 0,
+            }); // ejection
+        }
+
+        // Flatten: offsets first, then per-port arrays.
+        let mut in_port_off = Vec::with_capacity(routers + 1);
+        let mut out_port_off = Vec::with_capacity(routers + 1);
+        in_port_off.push(0u32);
+        out_port_off.push(0u32);
+        for r in 0..routers {
+            in_port_off.push(in_port_off[r] + inputs[r].len() as u32);
+            out_port_off.push(out_port_off[r] + outputs[r].len() as u32);
+        }
+        let total_in: usize = in_port_off[routers] as usize;
+        let total_out: usize = out_port_off[routers] as usize;
+
+        let mut in_port_router = vec![0u32; total_in];
+        let mut in_credit_base = vec![NONE_U32; total_in];
+        let mut out_dst_port = vec![NONE_U32; total_out];
+        let mut out_dst_router = vec![NONE_U32; total_out];
+        let mut out_span = vec![0u32; total_out];
+        for r in 0..routers {
+            for (local, port) in inputs[r].iter().enumerate() {
+                let flat = in_port_off[r] as usize + local;
+                in_port_router[flat] = r as u32;
+                if let Some((up_router, up_local)) = port.upstream {
+                    let up_flat = out_port_off[up_router] as usize + up_local;
+                    in_credit_base[flat] = (up_flat * vcs) as u32;
+                }
+            }
+            for (local, port) in outputs[r].iter().enumerate() {
+                let flat = out_port_off[r] as usize + local;
+                out_span[flat] = port.span as u32;
+                if port.to_router != usize::MAX {
+                    out_dst_router[flat] = port.to_router as u32;
+                    out_dst_port[flat] = in_port_off[port.to_router] + port.to_local_in as u32;
+                }
             }
         }
 
-        let mut routers = Vec::with_capacity(routers_len);
-        for r in 0..routers_len {
-            let mut ins = std::mem::take(&mut inputs[r]);
-            let mut outs = std::mem::take(&mut outputs[r]);
-            // Injection port: unbounded NI source queues, no upstream.
-            ins.push(InputPort {
-                vcs: (0..vcs).map(|_| InputVc::new()).collect(),
-                upstream: None,
-            });
-            // Ejection port: one consumer, effectively infinite credit.
-            outs.push(OutputPort {
-                to_router: usize::MAX,
-                span: 0,
-                channel: usize::MAX,
-                vcs: vec![
-                    OutVcState {
-                        owner: None,
-                        credits: usize::MAX / 2,
-                    };
-                    vcs
-                ],
-                va_rr: 0,
-                sa_rr: 0,
-            });
-            let ejection = outs.len() - 1;
-
-            // Compile the route table: next hop per destination via DOR.
+        // Compile the route tables: next hop per destination via DOR.
+        let mut route = vec![0u16; routers * routers];
+        for r in 0..routers {
             let (rx, ry) = (r % n, r / n);
-            let out_port_for_dst: Vec<u16> = (0..routers_len)
-                .map(|d| {
-                    if d == r {
-                        return ejection as u16;
-                    }
+            let ejection_local = outputs[r].len() - 1;
+            for d in 0..routers {
+                route[r * routers + d] = if d == r {
+                    ejection_local as u16
+                } else {
                     let (dx, dy) = (d % n, d / n);
                     let next = if dx != rx {
                         let nx = dor
@@ -237,20 +338,52 @@ impl Network {
                         ny * n + rx
                     };
                     out_index[r][&next] as u16
-                })
-                .collect();
+                };
+            }
+        }
 
-            routers.push(RouterState {
-                inputs: ins,
-                outputs: outs,
-                out_port_for_dst,
-            });
+        // Dynamic state: credits are the buffer depth everywhere except
+        // ejection ports, whose single consumer is effectively infinite.
+        let mut ovc_credits = vec![depth; total_out * vcs];
+        for r in 0..routers {
+            let ej = out_port_off[r + 1] as usize - 1;
+            for v in 0..vcs {
+                ovc_credits[ej * vcs + v] = u32::MAX / 2;
+            }
         }
 
         Network {
             side: n,
             routers,
-            channels,
+            vcs,
+            in_port_off,
+            out_port_off,
+            in_port_router,
+            in_credit_base,
+            out_dst_port,
+            out_dst_router,
+            out_span,
+            route,
+            vc_buf: (0..total_in * vcs).map(|_| VecDeque::new()).collect(),
+            front_flit: vec![
+                Flit {
+                    packet: 0,
+                    seq: 1,
+                    tail: false,
+                    dst: 0,
+                };
+                total_in * vcs
+            ],
+            front_eligible: vec![u64::MAX; total_in * vcs],
+            vc_len: vec![0u32; total_in * vcs],
+            vc_route: vec![NONE_U16; total_in * vcs],
+            vc_out_vc: vec![NONE_U16; total_in * vcs],
+            vc_va_done: vec![u64::MAX; total_in * vcs],
+            ovc_owner: vec![NONE_U32; total_out * vcs],
+            ovc_credits,
+            out_va_rr: vec![0u32; total_out],
+            out_sa_rr: vec![0u32; total_out],
+            active_inputs: vec![0u32; routers],
         }
     }
 }
@@ -270,13 +403,14 @@ mod tests {
     fn mesh_port_counts() {
         let net = build(&MeshTopology::mesh(4));
         // Corner router: 2 link inputs + injection, 2 link outputs + ejection.
-        assert_eq!(net.routers[0].inputs.len(), 3);
-        assert_eq!(net.routers[0].outputs.len(), 3);
+        assert_eq!(net.input_ports(0).len(), 3);
+        assert_eq!(net.output_ports(0).len(), 3);
         // Centre router (1,1): 4 + 1 each way.
-        assert_eq!(net.routers[5].inputs.len(), 5);
-        assert_eq!(net.routers[5].outputs.len(), 5);
-        // Channels: 2 per bidirectional link; 24 links on a 4x4 mesh.
-        assert_eq!(net.channels.len(), 48);
+        assert_eq!(net.input_ports(5).len(), 5);
+        assert_eq!(net.output_ports(5).len(), 5);
+        // Directed channels: 2 per bidirectional link; 24 links on 4x4.
+        let link_outs: usize = (0..16).map(|r| net.output_ports(r).len() - 1).sum();
+        assert_eq!(link_outs, 48);
     }
 
     #[test]
@@ -285,24 +419,24 @@ mod tests {
         let net = build(&MeshTopology::uniform(4, &row));
         // Corner (0,0): row links to 1 and 3, col links to 4 and 12,
         // + injection = 5 inputs.
-        assert_eq!(net.routers[0].inputs.len(), 5);
+        assert_eq!(net.input_ports(0).len(), 5);
     }
 
     #[test]
     fn route_tables_point_dimension_order() {
         let net = build(&MeshTopology::mesh(4));
-        let r = &net.routers[0];
+        let base = net.output_ports(0).start;
         // Destination 0 (self) -> ejection.
-        assert_eq!(r.out_port_for_dst[0] as usize, r.ejection_port());
+        assert_eq!(base + net.route_port(0, 0) as usize, net.ejection_port(0));
         // Destination (2,0) = id 2: X first -> port toward router 1.
-        let p = r.out_port_for_dst[2] as usize;
-        assert_eq!(net.routers[0].outputs[p].to_router, 1);
+        let p = base + net.route_port(0, 2) as usize;
+        assert_eq!(net.out_to_router(p), 1);
         // Destination (0,2) = id 8: same column -> toward router 4.
-        let p = r.out_port_for_dst[8] as usize;
-        assert_eq!(net.routers[0].outputs[p].to_router, 4);
+        let p = base + net.route_port(0, 8) as usize;
+        assert_eq!(net.out_to_router(p), 4);
         // Destination (1,1) = id 5: X first.
-        let p = r.out_port_for_dst[5] as usize;
-        assert_eq!(net.routers[0].outputs[p].to_router, 1);
+        let p = base + net.route_port(0, 5) as usize;
+        assert_eq!(net.out_to_router(p), 1);
     }
 
     #[test]
@@ -310,24 +444,29 @@ mod tests {
         let row = RowPlacement::with_links(8, [(0, 7)]).unwrap();
         let net = build(&MeshTopology::uniform(8, &row));
         // From (0,0) to (7,0): the direct express link.
-        let p = net.routers[0].out_port_for_dst[7] as usize;
-        assert_eq!(net.routers[0].outputs[p].to_router, 7);
-        assert_eq!(net.routers[0].outputs[p].span, 7);
+        let p = net.output_ports(0).start + net.route_port(0, 7) as usize;
+        assert_eq!(net.out_to_router(p), 7);
+        assert_eq!(net.out_span(p), 7);
+        assert_eq!(net.max_span(), 7);
     }
 
     #[test]
-    fn channel_endpoints_are_consistent() {
+    fn port_wiring_is_consistent() {
         let row = RowPlacement::with_links(4, [(1, 3)]).unwrap();
         let net = build(&MeshTopology::uniform(4, &row));
-        for (ci, ch) in net.channels.iter().enumerate() {
-            let port = &net.routers[ch.dst_router].inputs[ch.dst_port];
-            let (up_router, up_port) = port.upstream.expect("link inputs have upstream");
-            assert_eq!(net.routers[up_router].outputs[up_port].channel, ci);
-            assert_eq!(
-                net.routers[up_router].outputs[up_port].to_router,
-                ch.dst_router
-            );
-            assert_eq!(net.routers[up_router].outputs[up_port].span, ch.span);
+        for r in 0..net.routers_len() {
+            for o in net.output_ports(r) {
+                if o == net.ejection_port(r) {
+                    assert_eq!(net.out_dst_port(o), NONE_U32);
+                    continue;
+                }
+                // The destination input port's credit base points back here.
+                let dst_port = net.out_dst_port(o) as usize;
+                assert_eq!(net.credit_base(dst_port) as usize, o * net.vcs_per_port());
+                assert_eq!(net.port_router(dst_port), net.out_to_router(o) as usize);
+            }
+            // Injection ports return no credits.
+            assert_eq!(net.credit_base(net.injection_port(r)), NONE_U32);
         }
     }
 
@@ -337,15 +476,28 @@ mod tests {
         let topo = MeshTopology::mesh(4);
         let dor = DorRouter::new(&topo, HopWeights::PAPER);
         let net = Network::build(&topo, &dor, &config);
-        for r in &net.routers {
-            for (oi, out) in r.outputs.iter().enumerate() {
-                if oi != r.ejection_port() {
-                    for vc in &out.vcs {
-                        assert_eq!(vc.credits, config.buffer_flits_per_vc);
-                        assert!(vc.owner.is_none());
+        for r in 0..net.routers_len() {
+            for o in net.output_ports(r) {
+                for v in 0..net.vcs_per_port() {
+                    let got = net.credits(o * net.vcs_per_port() + v);
+                    if o == net.ejection_port(r) {
+                        assert!(
+                            got > 1 << 30,
+                            "ejection credits must be effectively infinite"
+                        );
+                    } else {
+                        assert_eq!(got as usize, config.buffer_flits_per_vc);
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fresh_network_is_idle() {
+        let net = build(&MeshTopology::mesh(4));
+        for r in 0..net.routers_len() {
+            assert_eq!(net.active_inputs(r), 0);
         }
     }
 }

@@ -67,6 +67,46 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Stable FNV-1a fingerprint of every field, including the exact bit
+    /// patterns of the floating-point aggregates and every per-router
+    /// activity counter. Two runs with equal fingerprints produced
+    /// bit-identical statistics — the contract the golden regression tests
+    /// and the sweep determinism tests pin the engine against.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut state = OFFSET;
+        let mut write = |x: u64| {
+            for b in x.to_le_bytes() {
+                state ^= b as u64;
+                state = state.wrapping_mul(PRIME);
+            }
+        };
+        write(self.cycles);
+        write(self.measure_cycles);
+        write(self.nodes as u64);
+        write(self.measured_packets);
+        write(self.completed_packets);
+        write(self.avg_packet_latency.to_bits());
+        write(self.avg_head_latency.to_bits());
+        write(self.max_packet_latency);
+        write(self.p50_latency.to_bits());
+        write(self.p95_latency.to_bits());
+        write(self.p99_latency.to_bits());
+        write(self.accepted_throughput.to_bits());
+        write(self.offered_rate.to_bits());
+        write(self.avg_flits_per_packet.to_bits());
+        for a in &self.activity {
+            write(a.buffer_writes);
+            write(a.buffer_reads);
+            write(a.crossbar_traversals);
+            write(a.link_flit_segments);
+            write(a.vc_allocations);
+        }
+        write(self.drained as u64);
+        state
+    }
+
     /// Total activity across all routers.
     pub fn total_activity(&self) -> ActivityCounters {
         let mut total = ActivityCounters::default();

@@ -7,7 +7,9 @@
 //! saturation throughput in packets per node per cycle.
 
 use crate::config::SimConfig;
-use crate::engine::Simulator;
+use crate::engine::{SimScratch, Simulator};
+use crate::stats::SimStats;
+use noc_routing::DorRouter;
 use noc_topology::MeshTopology;
 use noc_traffic::Workload;
 
@@ -40,46 +42,25 @@ pub fn saturation_sweep(
     config: &SimConfig,
     start_rate: f64,
 ) -> ThroughputResult {
-    assert!(start_rate > 0.0 && start_rate <= 1.0);
-    let mut samples = Vec::new();
-    let mut rate = start_rate;
-    let mut prev_rate = 0.0;
-    let growth = 1.3;
-
-    loop {
-        let sample = run_at(topology, workload, config, rate);
-        let saturated = sample.accepted < 0.9 * sample.offered;
-        samples.push(sample);
-        if saturated || rate >= 1.0 {
-            break;
-        }
-        prev_rate = rate;
-        rate = (rate * growth).min(1.0);
-    }
-
-    // One refinement step between the last sub-saturation and the first
-    // saturated rate sharpens the knee estimate.
-    if samples.len() >= 2 && prev_rate > 0.0 {
-        let mid = (prev_rate + rate) / 2.0;
-        let sample = run_at(topology, workload, config, mid);
-        samples.push(sample);
-        samples.sort_by(|a, b| a.offered.total_cmp(&b.offered));
-    }
-
-    let saturation = samples.iter().map(|s| s.accepted).fold(0.0f64, f64::max);
-    ThroughputResult {
-        samples,
-        saturation,
-    }
+    SweepRunner::sequential().saturation_sweep(topology, workload, config, start_rate)
 }
 
-fn run_at(
-    topology: &MeshTopology,
-    workload: &Workload,
-    config: &SimConfig,
-    rate: f64,
-) -> SweepSample {
-    let stats = Simulator::new(topology, workload.at_rate(rate), *config).run();
+/// The geometric rate ladder `saturation_sweep` walks: `start`, then
+/// `rate · 1.3` capped at `1.0`, ending with the capped point. Computing it
+/// up front (with bit-identical arithmetic to the sequential walk) is what
+/// lets the parallel sweep speculate ahead of the stopping rule.
+fn rate_ladder(start_rate: f64) -> Vec<f64> {
+    let growth = 1.3;
+    let mut rates = vec![start_rate];
+    let mut rate = start_rate;
+    while rate < 1.0 {
+        rate = (rate * growth).min(1.0);
+        rates.push(rate);
+    }
+    rates
+}
+
+fn sample_of(stats: &SimStats) -> SweepSample {
     // Offered load is what the sources actually injected, not the nominal
     // Bernoulli rate: permutation patterns silence their fixed points (e.g.
     // the transpose diagonal), which must not read as saturation.
@@ -89,6 +70,128 @@ fn run_at(
         offered,
         accepted: stats.accepted_throughput,
         avg_latency: stats.avg_packet_latency,
+    }
+}
+
+/// Fans independent (load-point, seed) simulations across `noc-par`
+/// workers. Results are returned in input order and are **bit-identical**
+/// for any worker count, including the sequential reference: each
+/// simulation is internally deterministic, the routing solve is shared,
+/// and worker assignment only changes *which thread* runs a point, never
+/// its inputs. Adaptive sweeps speculate: the whole rate ladder is
+/// simulated in worker-sized waves and the sequential stopping rule is
+/// applied afterwards, discarding any points the sequential walk would not
+/// have reached.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    workers: usize,
+}
+
+impl SweepRunner {
+    /// A runner with an explicit worker count (`0` = one per core).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            noc_par::default_workers()
+        } else {
+            workers
+        };
+        SweepRunner { workers }
+    }
+
+    /// The single-threaded reference runner.
+    pub fn sequential() -> Self {
+        SweepRunner { workers: 1 }
+    }
+
+    /// Worker threads this runner fans out across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Simulates one workload per rate in `rates` (sharing one routing
+    /// solve) and returns the full statistics in input order.
+    pub fn run_rates(
+        &self,
+        topology: &MeshTopology,
+        workload: &Workload,
+        config: &SimConfig,
+        rates: &[f64],
+    ) -> Vec<SimStats> {
+        let dor = DorRouter::new(topology, config.weights);
+        self.run_rates_with(topology, &dor, workload, config, rates)
+    }
+
+    fn run_rates_with(
+        &self,
+        topology: &MeshTopology,
+        dor: &DorRouter,
+        workload: &Workload,
+        config: &SimConfig,
+        rates: &[f64],
+    ) -> Vec<SimStats> {
+        noc_par::par_map_with(
+            rates.to_vec(),
+            self.workers,
+            SimScratch::new,
+            |scratch, rate| {
+                Simulator::with_router(topology, dor, workload.at_rate(rate), *config)
+                    .run_with_scratch(scratch)
+            },
+        )
+    }
+
+    /// Sweeps offered load geometrically from `start_rate` until the
+    /// network saturates (accepted < 90% of offered) or the rate reaches
+    /// 1.0, then refines once between the last two rates. Samples are
+    /// bit-identical to the sequential [`saturation_sweep`] for any worker
+    /// count; with more than one worker the ladder is simulated
+    /// speculatively in waves.
+    pub fn saturation_sweep(
+        &self,
+        topology: &MeshTopology,
+        workload: &Workload,
+        config: &SimConfig,
+        start_rate: f64,
+    ) -> ThroughputResult {
+        assert!(start_rate > 0.0 && start_rate <= 1.0);
+        let dor = DorRouter::new(topology, config.weights);
+        let ladder = rate_ladder(start_rate);
+
+        // Simulate the ladder in worker-sized waves, applying the stopping
+        // rule after each wave: every sample up to and including the first
+        // saturated point is exactly what the sequential walk produces;
+        // later points in the same wave are discarded speculation.
+        let mut samples: Vec<SweepSample> = Vec::new();
+        let mut stop = ladder.len() - 1;
+        'waves: for wave in ladder.chunks(self.workers.max(1)) {
+            let stats = self.run_rates_with(topology, &dor, workload, config, wave);
+            for (k, s) in stats.iter().enumerate() {
+                let sample = sample_of(s);
+                let rate = wave[k];
+                samples.push(sample);
+                if sample.accepted < 0.9 * sample.offered || rate >= 1.0 {
+                    stop = samples.len() - 1;
+                    break 'waves;
+                }
+            }
+        }
+        samples.truncate(stop + 1);
+
+        // One refinement step between the last sub-saturation and the first
+        // saturated rate sharpens the knee estimate.
+        if samples.len() >= 2 {
+            let mid = (ladder[stop - 1] + ladder[stop]) / 2.0;
+            let stats =
+                Simulator::with_router(topology, &dor, workload.at_rate(mid), *config).run();
+            samples.push(sample_of(&stats));
+            samples.sort_by(|a, b| a.offered.total_cmp(&b.offered));
+        }
+
+        let saturation = samples.iter().map(|s| s.accepted).fold(0.0f64, f64::max);
+        ThroughputResult {
+            samples,
+            saturation,
+        }
     }
 }
 
@@ -110,13 +213,47 @@ mod tests {
     fn below_saturation_accepted_tracks_offered() {
         let topo = MeshTopology::mesh(4);
         let config = SimConfig::throughput_run(256, 3);
-        let s = run_at(&topo, &ur_workload(4), &config, 0.02);
+        let stats = SweepRunner::sequential().run_rates(&topo, &ur_workload(4), &config, &[0.02]);
+        let s = sample_of(&stats[0]);
         assert!(
             (s.accepted - s.offered).abs() < 0.005,
             "accepted {} vs offered {}",
             s.accepted,
             s.offered
         );
+    }
+
+    #[test]
+    fn sweep_runner_is_deterministic_across_worker_counts() {
+        let topo = MeshTopology::mesh(4);
+        let mut config = SimConfig::throughput_run(256, 7);
+        config.warmup_cycles = 500;
+        config.measure_cycles = 2_000;
+        let workload = ur_workload(4);
+
+        let key = |r: &ThroughputResult| -> Vec<(u64, u64, u64)> {
+            r.samples
+                .iter()
+                .map(|s| {
+                    (
+                        s.offered.to_bits(),
+                        s.accepted.to_bits(),
+                        s.avg_latency.to_bits(),
+                    )
+                })
+                .collect()
+        };
+        let reference = saturation_sweep(&topo, &workload, &config, 0.02);
+        for workers in [1usize, 2, 8] {
+            let result =
+                SweepRunner::new(workers).saturation_sweep(&topo, &workload, &config, 0.02);
+            assert_eq!(
+                key(&result),
+                key(&reference),
+                "{workers}-worker sweep must be bit-identical to the sequential reference"
+            );
+            assert_eq!(result.saturation.to_bits(), reference.saturation.to_bits());
+        }
     }
 
     #[test]
