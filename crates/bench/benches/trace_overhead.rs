@@ -1,0 +1,92 @@
+//! Tracing overhead benchmarks: the annealer and simulator hot paths with
+//! the global `noc-trace` sink disabled vs enabled. The disabled numbers
+//! guard the zero-overhead-when-off contract (the instrumented code pays
+//! one relaxed atomic load per guard); the enabled numbers size the cost
+//! of convergence series, move-timing histograms, and per-link counters.
+//! Results go to `BENCH_trace.json` next to the committed baseline.
+//!
+//! Measurement order matters: the "off" points run first, before the
+//! global sink is ever installed, so they exercise the exact fast path a
+//! production run with tracing off sees.
+
+use noc_bench::bench_timed;
+use noc_json::Value;
+use noc_model::PacketMix;
+use noc_placement::objective::AllPairsObjective;
+use noc_placement::{anneal, SaParams};
+use noc_sim::{SimConfig, Simulator};
+use noc_topology::{MeshTopology, RowPlacement};
+use noc_traffic::{SyntheticPattern, TrafficMatrix, Workload};
+
+const SA_MOVES: usize = 20_000;
+const SIM_CYCLES: u64 = 2_000;
+
+fn run_anneal() {
+    let objective = AllPairsObjective::paper();
+    let params = SaParams::paper().with_moves(SA_MOVES);
+    let initial = RowPlacement::new(8);
+    std::hint::black_box(anneal(4, &initial, &objective, &params, 42, 0));
+}
+
+fn run_sim() {
+    let config = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: SIM_CYCLES,
+        drain_cycles_max: 0,
+        ..SimConfig::latency_run(256, 7)
+    };
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(SyntheticPattern::UniformRandom, 8),
+        0.05,
+        PacketMix::paper(),
+    );
+    let stats = Simulator::new(&MeshTopology::mesh(8), workload, config).run();
+    std::hint::black_box(stats);
+}
+
+fn main() {
+    assert!(
+        !noc_trace::enabled(),
+        "off-path points must run before the sink is installed"
+    );
+    let sa_off = bench_timed(&format!("trace_off/anneal_{SA_MOVES}_moves"), run_anneal);
+    let sim_off = bench_timed(&format!("trace_off/sim_mesh8_{SIM_CYCLES}cyc"), run_sim);
+
+    noc_trace::enable();
+    let sa_on = bench_timed(&format!("trace_on/anneal_{SA_MOVES}_moves"), run_anneal);
+    let sim_on = bench_timed(&format!("trace_on/sim_mesh8_{SIM_CYCLES}cyc"), run_sim);
+    let events = noc_trace::drain_events();
+    noc_trace::disable();
+    assert!(
+        events.iter().any(|e| e.name == "sa.epoch"),
+        "instrumented anneal emits convergence epochs"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "sim.link"),
+        "instrumented sim emits per-link utilization"
+    );
+
+    let point = |name: &str, off: std::time::Duration, on: std::time::Duration| {
+        let ratio = on.as_secs_f64() / off.as_secs_f64();
+        println!("    {name}: on/off = {ratio:.3}x");
+        noc_json::obj! {
+            "name" => Value::Str(name.to_string()),
+            "off_seconds" => Value::Float(off.as_secs_f64()),
+            "on_seconds" => Value::Float(on.as_secs_f64()),
+            "on_over_off" => Value::Float(ratio),
+        }
+    };
+    let report = noc_json::obj! {
+        "bench" => Value::Str("trace_overhead".to_string()),
+        "sa_moves" => Value::Int(SA_MOVES as i128),
+        "sim_cycles" => Value::Int(SIM_CYCLES as i128),
+        "points" => Value::Arr(vec![
+            point("anneal", sa_off, sa_on),
+            point("simulator", sim_off, sim_on),
+        ]),
+    };
+    let out = std::env::var("NOC_TRACE_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json").into());
+    std::fs::write(&out, report.pretty() + "\n").expect("write bench report");
+    println!("wrote {out}");
+}

@@ -82,6 +82,28 @@ pub fn solve_row<O: DivisibleObjective>(
             })
         }
     };
+    if noc_trace::enabled() {
+        // Publish the chain-index → seed mapping so `sa.epoch` events
+        // (keyed by seed; `anneal` never learns its chain index) can be
+        // grouped per chain when reading a convergence trace.
+        use noc_trace::FieldValue;
+        for (k, outcome) in outcomes.iter().enumerate() {
+            noc_trace::emit(
+                "series",
+                "sa.chain",
+                vec![
+                    ("chain", FieldValue::U64(k as u64)),
+                    ("seed", FieldValue::U64(chain_seed(seed, k))),
+                    ("best", FieldValue::F64(outcome.best_objective)),
+                    ("evaluations", FieldValue::U64(outcome.evaluations as u64)),
+                    (
+                        "accepted_moves",
+                        FieldValue::U64(outcome.accepted_moves as u64),
+                    ),
+                ],
+            );
+        }
+    }
     best_of_chains(outcomes)
 }
 

@@ -246,13 +246,48 @@ pub fn anneal<O: Objective + ?Sized>(
         );
     }
 
+    // Telemetry is sampled once up front: the enabled flag is a relaxed
+    // atomic load, and hoisting it keeps the move loop free of even that
+    // when tracing is off. None of the emission below touches the RNG
+    // stream or the accept/reject sequence.
+    let tracing = noc_trace::enabled();
+    let move_hist = if tracing {
+        noc_trace::sink().map(|sink| {
+            sink.registry().histogram(match inc {
+                Some(_) => "sa.move.incremental",
+                None => "sa.move.full",
+            })
+        })
+    } else {
+        None
+    };
+    let mut epoch = 0u64;
+    let mut stage_accepted = 0usize;
+    let mut stage_moves = 0usize;
+
     let mut temperature = params.initial_temperature;
     for mv in 0..params.total_moves {
         if mv > 0 && mv % params.moves_per_stage == 0 {
+            if tracing {
+                emit_epoch(
+                    seed,
+                    epoch,
+                    temperature,
+                    stage_accepted,
+                    stage_moves,
+                    current_obj,
+                    best_obj,
+                    evaluations,
+                );
+                epoch += 1;
+                stage_accepted = 0;
+                stage_moves = 0;
+            }
             temperature /= params.cooldown_scale;
         }
         let bit = rng.gen_range(0..matrix.bit_count());
         matrix.flip_flat(bit);
+        let move_start = move_hist.as_ref().map(|_| std::time::Instant::now());
         let candidate_obj = match &mut inc {
             Some(ev) => {
                 let fast = ev.flip(bit);
@@ -265,13 +300,18 @@ pub fn anneal<O: Objective + ?Sized>(
             }
             None => objective.eval(&matrix.decode()),
         };
+        if let (Some(hist), Some(start)) = (&move_hist, move_start) {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
         evaluations += 1;
+        stage_moves += 1;
 
         let delta = candidate_obj - current_obj;
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
         if accept {
             current_obj = candidate_obj;
             accepted_moves += 1;
+            stage_accepted += 1;
             if current_obj < best_obj {
                 best = matrix.decode();
                 best_obj = current_obj;
@@ -290,6 +330,19 @@ pub fn anneal<O: Objective + ?Sized>(
         }
     }
 
+    if tracing && stage_moves > 0 {
+        emit_epoch(
+            seed,
+            epoch,
+            temperature,
+            stage_accepted,
+            stage_moves,
+            current_obj,
+            best_obj,
+            evaluations,
+        );
+    }
+
     trace.push(TracePoint {
         evaluations,
         best_objective: best_obj,
@@ -301,6 +354,42 @@ pub fn anneal<O: Objective + ?Sized>(
         accepted_moves,
         trace,
     }
+}
+
+/// Emits one `sa.epoch` convergence point: the schedule state at the end
+/// of a cooling stage, keyed by the chain's RNG seed (chain index → seed
+/// is published separately as `sa.chain` by
+/// [`solve_row`](crate::optimizer::solve_row)).
+#[allow(clippy::too_many_arguments)]
+fn emit_epoch(
+    seed: u64,
+    epoch: u64,
+    temperature: f64,
+    stage_accepted: usize,
+    stage_moves: usize,
+    current_obj: f64,
+    best_obj: f64,
+    evaluations: usize,
+) {
+    use noc_trace::FieldValue;
+    let acceptance = if stage_moves == 0 {
+        0.0
+    } else {
+        stage_accepted as f64 / stage_moves as f64
+    };
+    noc_trace::emit(
+        "series",
+        "sa.epoch",
+        vec![
+            ("seed", FieldValue::U64(seed)),
+            ("epoch", FieldValue::U64(epoch)),
+            ("temperature", FieldValue::F64(temperature)),
+            ("acceptance", FieldValue::F64(acceptance)),
+            ("current", FieldValue::F64(current_obj)),
+            ("best", FieldValue::F64(best_obj)),
+            ("evaluations", FieldValue::U64(evaluations as u64)),
+        ],
+    );
 }
 
 /// Draws a uniformly random connection matrix and decodes it — the random
@@ -374,6 +463,41 @@ mod tests {
         let b = anneal(4, &RowPlacement::new(8), &obj, &params, 99, 0);
         assert_eq!(a.best, b.best);
         assert_eq!(a.accepted_moves, b.accepted_moves);
+    }
+
+    #[test]
+    fn tracing_preserves_determinism_and_emits_epochs() {
+        let obj = AllPairsObjective::paper();
+        let params = SaParams::paper().with_moves(3_000);
+        let off = anneal(4, &RowPlacement::new(8), &obj, &params, 21, 0);
+
+        noc_trace::enable_with_capacity(16_384);
+        let on = anneal(4, &RowPlacement::new(8), &obj, &params, 21, 0);
+        let events = noc_trace::drain_events();
+        noc_trace::disable();
+
+        // Telemetry never touches the RNG stream or accept/reject path.
+        assert_eq!(off.best, on.best);
+        assert_eq!(off.accepted_moves, on.accepted_moves);
+        assert_eq!(off.best_objective.to_bits(), on.best_objective.to_bits());
+
+        // Other tests may anneal concurrently; key on our seed.
+        use noc_trace::FieldValue;
+        let epochs: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "sa.epoch" && e.field("seed") == Some(&FieldValue::U64(21)))
+            .collect();
+        // 3000 moves at 1000/stage: two cooldown boundaries plus the final.
+        assert_eq!(epochs.len(), 3);
+        for (i, epoch) in epochs.iter().enumerate() {
+            assert_eq!(epoch.field("epoch"), Some(&FieldValue::U64(i as u64)));
+            for key in ["temperature", "acceptance", "current", "best"] {
+                assert!(
+                    matches!(epoch.field(key), Some(FieldValue::F64(_))),
+                    "epoch missing {key}"
+                );
+            }
+        }
     }
 
     #[test]

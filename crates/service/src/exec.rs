@@ -127,7 +127,11 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
                 extra: extra.finish(),
             })
         }
-        Request::Metrics | Request::Health | Request::Shutdown => None,
+        Request::Metrics
+        | Request::Health
+        | Request::Shutdown
+        | Request::Trace
+        | Request::Prometheus => None,
     }
 }
 
@@ -264,9 +268,11 @@ pub fn execute(request: &Request) -> Result<Value, String> {
         Request::Sweep(r) => exec_sweep(r),
         Request::Simulate(r) => exec_simulate(r),
         Request::Throughput(r) => exec_throughput(r),
-        Request::Metrics | Request::Health | Request::Shutdown => {
-            Err("inline request kinds are not executed on the pool".into())
-        }
+        Request::Metrics
+        | Request::Health
+        | Request::Shutdown
+        | Request::Trace
+        | Request::Prometheus => Err("inline request kinds are not executed on the pool".into()),
     }
 }
 
@@ -320,6 +326,8 @@ mod tests {
         assert!(cache_key(&Request::Metrics).is_none());
         assert!(cache_key(&Request::Health).is_none());
         assert!(cache_key(&Request::Shutdown).is_none());
+        assert!(cache_key(&Request::Trace).is_none());
+        assert!(cache_key(&Request::Prometheus).is_none());
         assert!(execute(&Request::Health).is_err());
     }
 

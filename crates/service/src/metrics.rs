@@ -10,9 +10,10 @@
 use noc_json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of request kinds tracked per-kind (solve, optimal, sweep,
-/// simulate, throughput, metrics, health, shutdown).
-pub const KINDS: [&str; 8] = [
+/// Request kinds tracked per-kind. The final `other` bucket absorbs any
+/// kind not listed here, so an unknown kind can never inflate another
+/// kind's counters.
+pub const KINDS: [&str; 11] = [
     "solve",
     "optimal",
     "sweep",
@@ -21,10 +22,16 @@ pub const KINDS: [&str; 8] = [
     "metrics",
     "health",
     "shutdown",
+    "trace",
+    "prometheus",
+    "other",
 ];
 
 fn kind_index(kind: &str) -> usize {
-    KINDS.iter().position(|&k| k == kind).unwrap_or(0)
+    KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .unwrap_or(KINDS.len() - 1)
 }
 
 /// Histogram over `floor(log2(micros))` buckets, 0..=63.
@@ -76,6 +83,11 @@ impl LatencyHistogram {
             }
         }
         u64::MAX
+    }
+
+    /// Sum of all observations in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
     }
 
     /// Mean observation in microseconds (0 with no observations).
@@ -224,6 +236,77 @@ impl Metrics {
             "service_time_us" => Value::Obj(service_time),
         }
     }
+
+    /// Renders every counter and histogram in the Prometheus text
+    /// exposition format (served by the `prometheus` request kind).
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        out.push_str("# TYPE noc_requests_total counter\n");
+        for (i, &kind) in KINDS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "noc_requests_total{{kind=\"{kind}\"}} {}",
+                load(&self.requests_by_kind[i])
+            );
+        }
+        let counters: [(&str, &AtomicU64); 7] = [
+            ("noc_responses_ok_total", &self.responses_ok),
+            ("noc_responses_err_total", &self.responses_err),
+            ("noc_bad_requests_total", &self.bad_requests),
+            ("noc_shed_overloaded_total", &self.shed_overloaded),
+            ("noc_deadline_exceeded_total", &self.deadline_exceeded),
+            ("noc_cache_hits_total", &self.cache_hits),
+            ("noc_cache_misses_total", &self.cache_misses),
+        ];
+        for (name, counter) in counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {}", load(counter));
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE noc_connections_opened_total counter\nnoc_connections_opened_total {}",
+            load(&self.connections_opened)
+        );
+        let gauges: [(&str, &AtomicU64); 3] = [
+            ("noc_connections_active", &self.connections_active),
+            ("noc_queue_depth", &self.queue_depth),
+            ("noc_inflight", &self.inflight),
+        ];
+        for (name, gauge) in gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", load(gauge));
+        }
+
+        out.push_str("# TYPE noc_service_time_microseconds summary\n");
+        for (i, &kind) in KINDS.iter().enumerate() {
+            let hist = &self.service_time_by_kind[i];
+            if hist.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "noc_service_time_microseconds{{kind=\"{kind}\",quantile=\"0.5\"}} {}",
+                hist.quantile_micros(0.50)
+            );
+            let _ = writeln!(
+                out,
+                "noc_service_time_microseconds{{kind=\"{kind}\",quantile=\"0.99\"}} {}",
+                hist.quantile_micros(0.99)
+            );
+            let _ = writeln!(
+                out,
+                "noc_service_time_microseconds_sum{{kind=\"{kind}\"}} {}",
+                hist.sum_micros()
+            );
+            let _ = writeln!(
+                out,
+                "noc_service_time_microseconds_count{{kind=\"{kind}\"}} {}",
+                hist.count()
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -270,9 +353,6 @@ mod tests {
 
     #[test]
     fn every_protocol_kind_has_its_own_counter() {
-        // An unknown kind falls back to slot 0 ("solve") — so every kind
-        // the protocol can parse must be listed, or its requests would be
-        // silently misattributed.
         for kind in [
             "solve",
             "optimal",
@@ -282,8 +362,50 @@ mod tests {
             "metrics",
             "health",
             "shutdown",
+            "trace",
+            "prometheus",
         ] {
             assert_eq!(KINDS[kind_index(kind)], kind, "{kind} not tracked");
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_land_in_the_other_bucket() {
+        // Regression: `kind_index` used to fall back to slot 0, silently
+        // inflating the `solve` counters for any unlisted kind.
+        let m = Metrics::new();
+        m.record_request("frobnicate");
+        m.record_ok("frobnicate", 10);
+        let snap = m.snapshot();
+        let requests = snap.get("requests").unwrap();
+        assert_eq!(requests.get("other").unwrap().as_u64(), Some(1));
+        assert_eq!(requests.get("solve").unwrap().as_u64(), Some(0));
+        assert!(snap.get("service_time_us").unwrap().get("other").is_some());
+        assert!(snap.get("service_time_us").unwrap().get("solve").is_none());
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let m = Metrics::new();
+        m.record_request("solve");
+        m.record_ok("solve", 1500);
+        m.record_cache(true);
+        let text = m.prometheus_text();
+        assert!(text.contains("# TYPE noc_requests_total counter"));
+        assert!(text.contains("noc_requests_total{kind=\"solve\"} 1"));
+        assert!(text.contains("noc_cache_hits_total 1"));
+        assert!(
+            text.contains("noc_service_time_microseconds{kind=\"solve\",quantile=\"0.99\"} 2048")
+        );
+        assert!(text.contains("noc_service_time_microseconds_count{kind=\"solve\"} 1"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(!name.is_empty());
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
         }
     }
 }

@@ -165,7 +165,10 @@ fn run_job(shared: &PoolShared, job: Job) {
         return;
     }
     shared.metrics.job_started();
-    let outcome = exec::execute(&job.envelope.request);
+    let outcome = {
+        let _execute_span = noc_trace::span_labeled("request.execute", || kind.to_string());
+        exec::execute(&job.envelope.request)
+    };
     shared.metrics.job_finished();
     let response = match outcome {
         Ok(result) => {

@@ -150,6 +150,11 @@ pub enum Request {
     Health,
     /// Ask the daemon to drain and exit.
     Shutdown,
+    /// Drain the in-process `noc-trace` event log and registry snapshot.
+    Trace,
+    /// Metrics registry rendered in the Prometheus text exposition format
+    /// (carried as a string field of the JSON response).
+    Prometheus,
 }
 
 impl Request {
@@ -164,6 +169,8 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Health => "health",
             Request::Shutdown => "shutdown",
+            Request::Trace => "trace",
+            Request::Prometheus => "prometheus",
         }
     }
 
@@ -639,6 +646,8 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
         "metrics" => Request::Metrics,
         "health" => Request::Health,
         "shutdown" => Request::Shutdown,
+        "trace" => Request::Trace,
+        "prometheus" => Request::Prometheus,
         other => return Err(format!("unknown kind {other:?}")),
     };
     Ok(Envelope {
@@ -744,7 +753,11 @@ pub fn request_line(env: &Envelope) -> String {
             ));
             fields.push(("workers".to_string(), Value::Int(r.workers as i128)));
         }
-        Request::Metrics | Request::Health | Request::Shutdown => {}
+        Request::Metrics
+        | Request::Health
+        | Request::Shutdown
+        | Request::Trace
+        | Request::Prometheus => {}
     }
     Value::Obj(fields).compact()
 }

@@ -220,10 +220,17 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<Wo
         if trimmed.is_empty() {
             continue;
         }
+        // One span per request, covering parse through respond (the
+        // execute phase runs on a worker thread with its own span).
+        let _request_span = noc_trace::span("request");
         let response = handle_line(trimmed, state, pool);
         let mut payload = response.to_line();
         payload.push('\n');
-        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+        let sent = {
+            let _respond_span = noc_trace::span("request.respond");
+            writer.write_all(payload.as_bytes()).is_ok() && writer.flush().is_ok()
+        };
+        if !sent {
             break;
         }
     }
@@ -263,6 +270,7 @@ fn read_line_with_timeouts(
 
 fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) -> Response {
     let accepted_at = Instant::now();
+    let parse_span = noc_trace::span("request.parse");
     let envelope = match protocol::parse_request(line) {
         Ok(env) => env,
         Err(message) => {
@@ -274,6 +282,7 @@ fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) ->
             );
         }
     };
+    drop(parse_span);
     state.metrics.record_request(envelope.request.kind());
 
     // Inline kinds never touch the queue: they must stay responsive even
@@ -302,6 +311,27 @@ fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) ->
                 noc_json::obj! { "draining" => Value::Bool(true) },
             );
         }
+        Request::Trace => {
+            let events = noc_trace::drain_events();
+            let body = noc_json::obj! {
+                "enabled" => Value::Bool(noc_trace::enabled()),
+                "events" => Value::Arr(events.iter().map(|e| e.to_json()).collect()),
+                "registry" => noc_trace::registry_snapshot(),
+            };
+            let micros = accepted_at.elapsed().as_micros() as u64;
+            state.metrics.record_ok("trace", micros);
+            return Response::ok(envelope.id, false, body);
+        }
+        Request::Prometheus => {
+            state.metrics.set_queue_depth(pool.queue_depth() as u64);
+            let body = noc_json::obj! {
+                "content_type" => Value::Str("text/plain; version=0.0.4".to_string()),
+                "body" => Value::Str(state.metrics.prometheus_text()),
+            };
+            let micros = accepted_at.elapsed().as_micros() as u64;
+            state.metrics.record_ok("prometheus", micros);
+            return Response::ok(envelope.id, false, body);
+        }
         _ => {}
     }
 
@@ -317,6 +347,7 @@ fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) ->
     // Cache fast path: identical requests are bit-identical results.
     let key = exec::cache_key(&envelope.request);
     if let Some(key) = &key {
+        let _cache_span = noc_trace::span("request.cache");
         if let Some(result) = state.cache.get(key) {
             state.metrics.record_cache(true);
             let micros = accepted_at.elapsed().as_micros() as u64;

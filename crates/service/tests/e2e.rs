@@ -168,6 +168,49 @@ fn health_and_bad_requests() {
 }
 
 #[test]
+fn trace_and_prometheus_endpoints() {
+    noc_trace::enable_with_capacity(16_384);
+    let (addr, handle, thread) = start_daemon(small_config());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // A small solve generates request spans and SA convergence events.
+    expect_ok(
+        client
+            .request(r#"{"id":"s","kind":"solve","n":8,"c":4,"moves":2000,"seed":1}"#)
+            .expect("solve"),
+    );
+
+    let (_, trace) = expect_ok(
+        client
+            .request(r#"{"id":"t","kind":"trace"}"#)
+            .expect("trace"),
+    );
+    assert_eq!(trace.get("enabled"), Some(&Value::Bool(true)));
+    let events = trace.get("events").unwrap().as_array().unwrap();
+    let has = |name: &str| {
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+    };
+    assert!(has("request.execute"), "worker span missing from trace");
+    assert!(has("sa.epoch"), "SA convergence series missing from trace");
+    assert!(trace.get("registry").unwrap().get("histograms").is_some());
+
+    let (_, prom) = expect_ok(
+        client
+            .request(r#"{"id":"p","kind":"prometheus"}"#)
+            .expect("prometheus"),
+    );
+    let body = prom.get("body").unwrap().as_str().unwrap();
+    assert!(body.contains("# TYPE noc_requests_total counter"));
+    assert!(body.contains("noc_requests_total{kind=\"solve\"} 1"));
+    assert!(body.contains("noc_service_time_microseconds_count{kind=\"solve\"} 1"));
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
 fn tiny_deadline_is_reported_as_exceeded() {
     let (addr, handle, thread) = start_daemon(small_config());
     let mut client = Client::connect(&addr).expect("connect");

@@ -84,6 +84,8 @@ fn every_request_variant_round_trips() {
         Request::Metrics,
         Request::Health,
         Request::Shutdown,
+        Request::Trace,
+        Request::Prometheus,
     ];
     for request in requests {
         round_trips(Envelope {

@@ -97,6 +97,19 @@ pub struct Simulator {
     max_latency: u64,
     flit_sum: u64,
     ejected_in_window: u64,
+    /// Whether the global trace sink was enabled when this simulator was
+    /// built. Telemetry below only ever *reads* simulation state — the
+    /// RNG stream, arbitration, and [`SimStats`] are bit-identical with
+    /// tracing on or off (pinned by the golden-fingerprint tests).
+    trace_on: bool,
+    /// Per-output-port flits traversed inside the measure window
+    /// (telemetry only; empty when tracing is off).
+    link_flits: Vec<u64>,
+    /// Per-router buffered-flit occupancy, summed over samples taken every
+    /// 64 cycles of the measure window (telemetry only).
+    occ_sum: Vec<u64>,
+    /// Number of occupancy samples taken.
+    occ_samples: u64,
 }
 
 impl Simulator {
@@ -161,6 +174,8 @@ impl Simulator {
             }
             Source::Trace { trace, .. } => (trace.events().len(), trace.events().len()),
         };
+        let trace_on = noc_trace::enabled();
+        let total_outputs = network.out_port_off[routers] as usize;
         Simulator {
             network,
             config,
@@ -184,6 +199,18 @@ impl Simulator {
             max_latency: 0,
             flit_sum: 0,
             ejected_in_window: 0,
+            trace_on,
+            link_flits: if trace_on {
+                vec![0; total_outputs]
+            } else {
+                Vec::new()
+            },
+            occ_sum: if trace_on {
+                vec![0; routers]
+            } else {
+                Vec::new()
+            },
+            occ_samples: 0,
         }
     }
 
@@ -229,6 +256,9 @@ impl Simulator {
         };
 
         let stats = self.compute_stats(drained);
+        if self.trace_on {
+            self.emit_trace(&stats);
+        }
         self.packets.clear();
         self.latencies.clear();
         std::mem::swap(&mut self.packets, &mut scratch.packets);
@@ -244,7 +274,27 @@ impl Simulator {
         self.inject(t);
         self.route_and_allocate(t);
         self.switch_traversal(t);
+        if self.trace_on && (t & 63) == 0 && self.in_measure_window() {
+            self.sample_occupancy();
+        }
         self.cycle = t + 1;
+    }
+
+    /// Telemetry only: accumulates the number of buffered flits per router
+    /// (sampled every 64 measure-window cycles when tracing is on).
+    fn sample_occupancy(&mut self) {
+        self.occ_samples += 1;
+        let net = &self.network;
+        let vcs = net.vcs;
+        for r in 0..net.routers {
+            let lo = net.in_port_off[r] as usize * vcs;
+            let hi = net.in_port_off[r + 1] as usize * vcs;
+            let mut buffered = 0u64;
+            for g in lo..hi {
+                buffered += net.vc_len[g] as u64;
+            }
+            self.occ_sum[r] += buffered;
+        }
     }
 
     fn apply_credits(&mut self, t: u64) {
@@ -486,6 +536,7 @@ impl Simulator {
         let window_start = self.config.warmup_cycles;
         let window_end = window_start + self.config.measure_cycles;
         let horizon = self.horizon;
+        let trace_links = self.trace_on && measure;
         let Simulator {
             network: net,
             activity,
@@ -499,6 +550,7 @@ impl Simulator {
             head_latency_sum,
             max_latency,
             ejected_in_window,
+            link_flits,
             ..
         } = self;
         let vcs = net.vcs;
@@ -682,6 +734,9 @@ impl Simulator {
                     if measure {
                         activity[r].link_flit_segments += span as u64;
                     }
+                    if trace_links {
+                        link_flits[o] += 1;
+                    }
                 }
 
                 if flit.tail {
@@ -700,6 +755,58 @@ impl Simulator {
                     credit_wheel[credit_slot].push(base + v as u32);
                 }
             }
+        }
+    }
+
+    /// Telemetry only: publishes the per-link and per-router accumulators
+    /// gathered during the measure window as `sim.link` / `sim.router`
+    /// events. Runs once, after the statistics are final; it reads
+    /// `stats` and the telemetry vectors but mutates nothing the engine
+    /// uses, so fingerprints cannot be affected.
+    fn emit_trace(&self, stats: &SimStats) {
+        use noc_trace::FieldValue;
+        let net = &self.network;
+        let measure = self.config.measure_cycles.max(1) as f64;
+        for r in 0..net.routers_len() {
+            let ejection = net.ejection_port(r);
+            for o in net.output_ports(r) {
+                if o == ejection || self.link_flits[o] == 0 {
+                    continue;
+                }
+                let flits = self.link_flits[o];
+                noc_trace::emit(
+                    "series",
+                    "sim.link",
+                    vec![
+                        ("src", FieldValue::U64(r as u64)),
+                        ("dst", FieldValue::U64(net.out_to_router(o) as u64)),
+                        ("span", FieldValue::U64(net.out_span(o) as u64)),
+                        ("flits", FieldValue::U64(flits)),
+                        ("util", FieldValue::F64(flits as f64 / measure)),
+                    ],
+                );
+            }
+            let counters = &stats.activity[r];
+            let avg_occupancy = if self.occ_samples == 0 {
+                0.0
+            } else {
+                self.occ_sum[r] as f64 / self.occ_samples as f64
+            };
+            noc_trace::emit(
+                "series",
+                "sim.router",
+                vec![
+                    ("router", FieldValue::U64(r as u64)),
+                    (
+                        "crossbar_util",
+                        FieldValue::F64(counters.crossbar_traversals as f64 / measure),
+                    ),
+                    ("buffer_writes", FieldValue::U64(counters.buffer_writes)),
+                    ("buffer_reads", FieldValue::U64(counters.buffer_reads)),
+                    ("avg_occupancy", FieldValue::F64(avg_occupancy)),
+                    ("occ_samples", FieldValue::U64(self.occ_samples)),
+                ],
+            );
         }
     }
 

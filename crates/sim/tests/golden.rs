@@ -162,6 +162,37 @@ fn engine_reproduces_golden_fingerprints() {
 }
 
 #[test]
+fn fingerprints_unchanged_with_tracing_enabled() {
+    // Telemetry reads simulation state but never perturbs the RNG stream
+    // or arbitration: with the global sink enabled, every run must still
+    // reproduce its golden fingerprint bit for bit — and must emit the
+    // per-link utilization series.
+    noc_trace::enable_with_capacity(65_536);
+    for name in ["mesh4_tp_hot", "express8_br_64b", "mesh8_ur_saturated"] {
+        let expected = GOLDEN
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, f)| f)
+            .unwrap();
+        let got = run_case(name).fingerprint();
+        assert_eq!(
+            got, expected,
+            "{name}: tracing perturbed the simulation ({got:#018x} != {expected:#018x})"
+        );
+    }
+    let events = noc_trace::drain_events();
+    noc_trace::disable();
+    assert!(
+        events.iter().any(|e| e.name == "sim.link"),
+        "instrumented runs emit per-link utilization events"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "sim.router"),
+        "instrumented runs emit per-router events"
+    );
+}
+
+#[test]
 fn golden_runs_are_internally_deterministic() {
     // The fingerprints above are only meaningful if a run is reproducible
     // within one build; pin that separately from the cross-version contract.

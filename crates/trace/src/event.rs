@@ -1,0 +1,161 @@
+//! Trace events: the unit stored in the ring buffer and exported as NDJSON.
+
+use noc_json::Value;
+
+/// A single typed field value attached to an [`Event`].
+///
+/// The variants cover everything the instrumented layers emit; keeping the
+/// set closed lets the export path stay allocation-light and lets callers
+/// build field vectors without going through `noc_json::Value` on the hot
+/// side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, indices, durations in ns/us).
+    U64(u64),
+    /// Signed integer (gauge levels, deltas).
+    I64(i64),
+    /// Floating point (temperatures, rates, utilizations).
+    F64(f64),
+    /// Short owned string (labels chosen at emit time).
+    Str(String),
+}
+
+impl FieldValue {
+    /// Converts the field into a JSON value.
+    pub fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Int(*v as i128),
+            FieldValue::I64(v) => Value::Int(*v as i128),
+            FieldValue::F64(v) => Value::Float(*v),
+            FieldValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// One telemetry event: a kind ("span", "series", "point"), a static name,
+/// a monotonic timestamp relative to sink installation, and a small set of
+/// typed fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Global sequence number assigned by the ring buffer (total order of
+    /// emission, survives wraparound).
+    pub seq: u64,
+    /// Nanoseconds since the sink was installed (monotonic clock).
+    pub nanos: u64,
+    /// Event class: `"span"`, `"series"`, or `"point"`.
+    pub kind: &'static str,
+    /// Event name, e.g. `"sa.epoch"` or `"sim.link"`.
+    pub name: &'static str,
+    /// Typed key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Builds an event with `seq`/`nanos` zeroed; the ring buffer stamps
+    /// both when the event is recorded.
+    pub fn new(
+        kind: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> Self {
+        Event {
+            seq: 0,
+            nanos: 0,
+            kind,
+            name,
+            fields,
+        }
+    }
+
+    /// Converts the event to a JSON object (one NDJSON line when compact).
+    pub fn to_json(&self) -> Value {
+        let mut obj: Vec<(String, Value)> = Vec::with_capacity(4 + self.fields.len());
+        obj.push(("seq".to_string(), Value::Int(self.seq as i128)));
+        obj.push(("nanos".to_string(), Value::Int(self.nanos as i128)));
+        obj.push(("kind".to_string(), Value::Str(self.kind.to_string())));
+        obj.push(("name".to_string(), Value::Str(self.name.to_string())));
+        for (key, value) in &self.fields {
+            obj.push((key.to_string(), value.to_json()));
+        }
+        Value::Obj(obj)
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Renders a slice of events as NDJSON: one compact JSON object per line,
+/// terminated by `\n`, parseable line-by-line with `noc_json::parse`.
+pub fn to_ndjson(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_json().compact());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let mut ev = Event::new(
+            "series",
+            "sa.epoch",
+            vec![
+                ("epoch", FieldValue::U64(3)),
+                ("temperature", FieldValue::F64(1.5)),
+                ("label", FieldValue::from("chain")),
+            ],
+        );
+        ev.seq = 7;
+        ev.nanos = 99;
+        let line = to_ndjson(&[ev]);
+        let parsed = noc_json::parse(line.trim()).unwrap();
+        assert_eq!(parsed.get("seq").unwrap().as_u64(), Some(7));
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("sa.epoch"));
+        assert_eq!(parsed.get("epoch").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("temperature").unwrap().as_f64(), Some(1.5));
+        assert_eq!(parsed.get("label").unwrap().as_str(), Some("chain"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Lock-free metric primitives: counters, gauges, and log2 histograms.
+//!
+//! All three are plain relaxed atomics — updates never block, reads race
+//! with writers by design and only need to be approximately consistent
+//! with each other (the same contract as the service metrics registry).
+
+use noc_json::Value;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous level (queue depth, inflight work, ...).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram over `floor(log2(value))` buckets, 0..=63.
+///
+/// Bucket `i` holds observations in `[2^i, 2^(i+1))` (with 0 mapped to
+/// bucket 0), so any quantile estimate — reported as the upper edge of the
+/// bucket holding the target rank — is exact to within a factor of two.
+/// Values are unitless; callers pick ns, µs, flits, whatever fits.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = 63 - (value | 1).leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 with no observations).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (0 < q <= 1): the upper edge of the
+    /// bucket holding the `ceil(q·count)`-th observation. Returns 0 with
+    /// no observations. The estimate never exceeds 2x the true quantile
+    /// and is never below it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Snapshot as a JSON object (count, mean, p50, p99).
+    pub fn snapshot(&self) -> Value {
+        noc_json::obj! {
+            "count" => Value::Int(self.count() as i128),
+            "sum" => Value::Int(self.sum() as i128),
+            "mean" => Value::Float(self.mean()),
+            "p50" => Value::Int(self.quantile(0.50) as i128),
+            "p99" => Value::Int(self.quantile(0.99) as i128),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_brackets_observations() {
+        let h = Log2Histogram::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1100);
+        assert_eq!(h.quantile(0.5), 32); // 30 lives in [16,32)
+        assert_eq!(h.quantile(0.99), 1024); // 1000 lives in [512,1024)
+    }
+}

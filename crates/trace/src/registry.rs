@@ -1,0 +1,111 @@
+//! Named metric registry: get-or-create handles to counters, gauges, and
+//! histograms.
+//!
+//! Lookup takes a read lock on a name map; the returned `Arc` handle is
+//! then updated lock-free. Hot paths should look a handle up once and
+//! reuse it, but even per-event lookups are just an uncontended RwLock
+//! read plus a BTreeMap probe.
+
+use crate::metric::{Counter, Gauge, Log2Histogram};
+use noc_json::Value;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// Shared, name-indexed metric store.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Log2Histogram>>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        return Arc::clone(found);
+    }
+    let mut write = map.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(write.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Log2Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// Snapshot of every metric as a JSON object with `counters`,
+    /// `gauges`, and `histograms` sub-objects.
+    pub fn snapshot(&self) -> Value {
+        let counters: Vec<(String, Value)> = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, c)| (k.clone(), Value::Int(c.get() as i128)))
+            .collect();
+        let gauges: Vec<(String, Value)> = self
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, g)| (k.clone(), Value::Int(g.get() as i128)))
+            .collect();
+        let histograms: Vec<(String, Value)> = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        noc_json::obj! {
+            "counters" => Value::Obj(counters),
+            "gauges" => Value::Obj(gauges),
+            "histograms" => Value::Obj(histograms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.counter("a").add(2);
+        assert_eq!(reg.counter("a").get(), 3);
+        reg.gauge("g").set(-4);
+        reg.histogram("h").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("counters").unwrap().get("a").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            snap.get("histograms")
+                .unwrap()
+                .get("h")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+}

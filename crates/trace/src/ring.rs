@@ -1,0 +1,120 @@
+//! Fixed-capacity ring buffer for trace events.
+//!
+//! Writers claim a global sequence number with one `fetch_add`, then take
+//! the per-slot mutex for `seq % capacity` to store the event. The cursor
+//! is lock-free; slot mutexes are uncontended unless two writers land on
+//! the same slot modulo capacity at the same instant. Under wraparound a
+//! late writer may race a newer event for the same slot, so stores keep
+//! whichever event has the higher sequence number — drains therefore see
+//! at most one event per slot, with strictly increasing sequence numbers
+//! once sorted.
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Bounded event log. Capacity is fixed at construction; old events are
+/// overwritten once the buffer wraps.
+#[derive(Debug)]
+pub struct EventRing {
+    head: AtomicU64,
+    slots: Vec<Mutex<Option<Event>>>,
+}
+
+impl EventRing {
+    /// Creates a ring with room for `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Stamps `event.seq` with the next sequence number and stores it,
+    /// overwriting the oldest event once full. Returns the sequence number.
+    pub fn record(&self, mut event: Event) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        event.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner());
+        // Keep the newer event if a lagging writer lost the race.
+        let keep = match guard.as_ref() {
+            Some(existing) => existing.seq < seq,
+            None => true,
+        };
+        if keep {
+            *guard = Some(event);
+        }
+        seq
+    }
+
+    /// Copies out the retained events, sorted by sequence number, without
+    /// clearing the buffer.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut events: Vec<Event> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Removes and returns the retained events, sorted by sequence number.
+    /// The global sequence counter keeps running across drains.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut events: Vec<Event> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner()).take())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str) -> Event {
+        Event::new("point", name, Vec::new())
+    }
+
+    #[test]
+    fn wraps_and_keeps_the_newest() {
+        let ring = EventRing::new(4);
+        for _ in 0..10 {
+            ring.record(ev("x"));
+        }
+        let events = ring.drain();
+        assert_eq!(ring.total_recorded(), 10);
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn drain_clears_but_snapshot_does_not() {
+        let ring = EventRing::new(8);
+        ring.record(ev("a"));
+        ring.record(ev("b"));
+        assert_eq!(ring.snapshot().len(), 2);
+        assert_eq!(ring.snapshot().len(), 2);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.drain().is_empty());
+        // Sequence numbers keep counting after a drain.
+        assert_eq!(ring.record(ev("c")), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Lightweight spans: RAII guards that time a scope on the monotonic
+//! clock and emit a `"span"` event (plus a duration histogram sample) on
+//! drop.
+//!
+//! Nesting is tracked per thread: each open span pushes its name onto a
+//! thread-local stack, so the emitted event carries its depth and parent.
+//! When tracing is disabled the guard holds no timestamp and drop is a
+//! no-op — constructing one costs a single relaxed atomic load.
+
+use crate::event::{Event, FieldValue};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`span()`] / [`span_labeled()`]. Emits on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    label: Option<String>,
+    start: Option<Instant>,
+}
+
+/// Opens an unlabeled span. No-op (and allocation-free) when tracing is
+/// disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    open(name, None)
+}
+
+/// Opens a span carrying a free-form label (e.g. a request id). The label
+/// closure only runs when tracing is enabled, so callers pay no formatting
+/// cost when it is off.
+#[inline]
+pub fn span_labeled<F: FnOnce() -> String>(name: &'static str, label: F) -> SpanGuard {
+    if crate::enabled() {
+        open_enabled(name, Some(label()))
+    } else {
+        SpanGuard {
+            name,
+            label: None,
+            start: None,
+        }
+    }
+}
+
+#[inline]
+fn open(name: &'static str, label: Option<String>) -> SpanGuard {
+    if crate::enabled() {
+        open_enabled(name, label)
+    } else {
+        SpanGuard {
+            name,
+            label,
+            start: None,
+        }
+    }
+}
+
+fn open_enabled(name: &'static str, label: Option<String>) -> SpanGuard {
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    SpanGuard {
+        name,
+        label,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let (depth, parent) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.pop();
+            (stack.len() as u64, stack.last().copied())
+        });
+        if let Some(sink) = crate::sink() {
+            sink.registry().histogram(self.name).record(dur_ns);
+            let mut fields = vec![
+                ("dur_ns", FieldValue::U64(dur_ns)),
+                ("depth", FieldValue::U64(depth)),
+            ];
+            if let Some(parent) = parent {
+                fields.push(("parent", FieldValue::from(parent)));
+            }
+            if let Some(label) = self.label.take() {
+                fields.push(("label", FieldValue::Str(label)));
+            }
+            sink.emit(Event::new("span", self.name, fields));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        // The global sink is process-wide; this test must not enable it.
+        let guard = span("noop");
+        assert!(guard.start.is_none());
+        drop(guard);
+        SPAN_STACK.with(|stack| assert!(stack.borrow().is_empty()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests for `noc-trace`: concurrent ring-buffer wraparound,
+//! the histogram quantile error bound, and span nesting through the
+//! global sink.
+
+use noc_trace::{EventRing, FieldValue, Log2Histogram};
+use std::sync::Mutex;
+
+/// Tests that touch the process-global sink serialize through this lock
+/// so their drains don't steal each other's events.
+static GLOBAL_SINK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn ring_wraparound_under_concurrent_writers() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: u64 = 1_000;
+    const CAPACITY: usize = 64;
+    let ring = EventRing::new(CAPACITY);
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            scope.spawn(|| {
+                for i in 0..PER_WRITER {
+                    ring.record(noc_trace::Event::new(
+                        "point",
+                        "stress",
+                        vec![("i", FieldValue::U64(i))],
+                    ));
+                }
+            });
+        }
+    });
+    let total = WRITERS as u64 * PER_WRITER;
+    assert_eq!(ring.total_recorded(), total);
+    let events = ring.drain();
+    assert_eq!(events.len(), CAPACITY, "full ring retains exactly capacity");
+    // Keep-newest overwrite: after all writers finish, each slot holds the
+    // highest sequence number that mapped to it, i.e. exactly the last
+    // `CAPACITY` sequence numbers, in order.
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    let expected: Vec<u64> = (total - CAPACITY as u64..total).collect();
+    assert_eq!(seqs, expected);
+}
+
+#[test]
+fn histogram_quantile_error_is_within_2x() {
+    let h = Log2Histogram::default();
+    const N: u64 = 4096;
+    for v in 1..=N {
+        h.record(v);
+    }
+    for q in [0.10, 0.25, 0.50, 0.90, 0.99, 1.0] {
+        // With values 1..=N the true q-quantile is its own rank.
+        let true_q = ((q * N as f64).ceil() as u64).clamp(1, N);
+        let est = h.quantile(q);
+        assert!(
+            est > true_q && est <= 2 * true_q,
+            "q={q}: estimate {est} outside ({true_q}, {}]",
+            2 * true_q
+        );
+    }
+}
+
+#[test]
+fn span_nesting_tracks_depth_and_parent() {
+    let _lock = GLOBAL_SINK.lock().unwrap();
+    noc_trace::enable_with_capacity(1024);
+    noc_trace::drain_events();
+    {
+        let _outer = noc_trace::span("nest_outer");
+        {
+            let _inner = noc_trace::span_labeled("nest_inner", || "case-7".to_string());
+        }
+    }
+    let events = noc_trace::drain_events();
+    let inner = events
+        .iter()
+        .find(|e| e.name == "nest_inner")
+        .expect("inner span event");
+    let outer = events
+        .iter()
+        .find(|e| e.name == "nest_outer")
+        .expect("outer span event");
+    assert_eq!(inner.kind, "span");
+    assert_eq!(inner.field("depth"), Some(&FieldValue::U64(1)));
+    assert_eq!(
+        inner.field("parent"),
+        Some(&FieldValue::Str("nest_outer".to_string()))
+    );
+    assert_eq!(
+        inner.field("label"),
+        Some(&FieldValue::Str("case-7".to_string()))
+    );
+    assert_eq!(outer.field("depth"), Some(&FieldValue::U64(0)));
+    assert!(outer.field("parent").is_none());
+    // The inner span closed first, so it was emitted first.
+    assert!(inner.seq < outer.seq);
+    // Both spans also landed duration samples in the registry.
+    let sink = noc_trace::installed_sink().expect("sink installed");
+    assert_eq!(sink.registry().histogram("nest_inner").count(), 1);
+    assert_eq!(sink.registry().histogram("nest_outer").count(), 1);
+}
+
+#[test]
+fn disabled_emission_is_dropped_and_drain_survives_disable() {
+    let _lock = GLOBAL_SINK.lock().unwrap();
+    noc_trace::enable_with_capacity(1024);
+    noc_trace::drain_events();
+    noc_trace::emit("point", "kept", Vec::new());
+    noc_trace::disable();
+    assert!(!noc_trace::enabled());
+    noc_trace::emit("point", "lost", Vec::new());
+    let events = noc_trace::drain_events();
+    noc_trace::enable();
+    assert!(events.iter().any(|e| e.name == "kept"));
+    assert!(!events.iter().any(|e| e.name == "lost"));
+}

@@ -9,6 +9,7 @@
 //! express-noc-cli render   --n 8 --links 0-3,3-7,1-4
 //! express-noc-cli simulate --n 8 --pattern ur|tp|br|bc|sh|hs|nn --rate 0.02
 //!                          [--links 0-3,3-7] [--flit 64] [--cycles 20000] [--seed 42]
+//!                          [--trace-out trace.ndjson]
 //! express-noc-cli serve    [--addr 127.0.0.1:7474] [--workers N] [--queue N] [--cache N]
 //! express-noc-cli request  '<json>' [--addr 127.0.0.1:7474]
 //! express-noc-cli loadgen  [--addr ...] [--connections 4] [--requests 50]
@@ -53,6 +54,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--trace-out PATH` enables the global telemetry sink for the run
+    // and writes the drained event log as NDJSON afterwards.
+    let trace_out = opts.get("trace-out").cloned();
+    if trace_out.is_some() {
+        express_noc::trace::enable();
+    }
     let result = match command.as_str() {
         "solve" => cmd_solve(&opts),
         "optimal" => cmd_optimal(&opts),
@@ -67,6 +74,10 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other:?}")),
     };
+    let result = result.and_then(|()| match &trace_out {
+        Some(path) => write_trace(path),
+        None => Ok(()),
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -80,7 +91,7 @@ const USAGE: &str = "express-noc-cli — express-link placement toolkit
 
 commands:
   solve     --n <N> --c <C> [--strategy dnc|random|greedy] [--moves M] [--seed S]
-            [--chains K] [--evaluator incremental|full]
+            [--chains K] [--evaluator incremental|full] [--trace-out PATH]
             solve the 1D placement problem P(N, C) with simulated annealing;
             K > 1 runs K independent chains in parallel and keeps the best
   optimal   --n <N> --c <C>
@@ -90,7 +101,7 @@ commands:
   render    --n <N> --links A-B,C-D,...
             validate and draw a placement; check deadlock freedom
   simulate  --n <N> --pattern ur|tp|br|bc|sh|hs|nn --rate R
-            [--links A-B,...] [--flit BITS] [--cycles M] [--seed S]
+            [--links A-B,...] [--flit BITS] [--cycles M] [--seed S] [--trace-out PATH]
             cycle-level simulation of a workload on a placement
   serve     [--addr 127.0.0.1:7474] [--workers N] [--queue N] [--cache N]
             run the placement daemon (NDJSON over TCP; Ctrl-C drains)
@@ -99,7 +110,21 @@ commands:
   loadgen   [--addr ...] [--connections 4] [--requests 50] [--kind solve|simulate]
             [--n 8] [--c 4] [--moves 2000] [--distinct 8] [--deadline-ms 30000]
             drive concurrent load; print throughput, latency percentiles,
-            and the daemon's cache hit counters";
+            and the daemon's cache hit counters
+
+any command also accepts --trace-out PATH: enable the in-process noc-trace
+sink for the run and write its event log (SA convergence series, per-link
+utilization, spans) as NDJSON to PATH on success";
+
+/// Drains the global trace sink and writes one compact JSON object per
+/// line (NDJSON), parseable line-by-line with `noc_json::parse`.
+fn write_trace(path: &str) -> Result<(), String> {
+    let events = express_noc::trace::drain_events();
+    std::fs::write(path, express_noc::trace::to_ndjson(&events))
+        .map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {} trace events to {path}", events.len());
+    Ok(())
+}
 
 /// Parsed `--flag value` pairs.
 type Flags = HashMap<String, String>;
@@ -187,6 +212,7 @@ fn parse_pattern(name: &str) -> Result<SyntheticPattern, String> {
 }
 
 fn cmd_solve(opts: &Flags) -> Result<(), String> {
+    let _span = express_noc::trace::span("cli.solve");
     let n: usize = get(opts, "n")?;
     let c: usize = get(opts, "c")?;
     let strategy = parse_strategy(&get_or(opts, "strategy", "dnc".to_string())?)?;
@@ -229,6 +255,7 @@ fn cmd_optimal(opts: &Flags) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Flags) -> Result<(), String> {
+    let _span = express_noc::trace::span("cli.sweep");
     let n: usize = get(opts, "n")?;
     let base_flit: u32 = get_or(opts, "base-flit", 256)?;
     let seed: u64 = get_or(opts, "seed", 42)?;
@@ -304,6 +331,7 @@ fn cmd_render(opts: &Flags) -> Result<(), String> {
 }
 
 fn cmd_simulate(opts: &Flags) -> Result<(), String> {
+    let _span = express_noc::trace::span("cli.simulate");
     let n: usize = get(opts, "n")?;
     let pattern = parse_pattern(&get::<String>(opts, "pattern")?)?;
     let rate: f64 = get(opts, "rate")?;

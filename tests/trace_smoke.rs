@@ -1,0 +1,180 @@
+//! Trace smoke test: run the CLI with `--trace-out`, then validate that the
+//! emitted NDJSON parses line-by-line and carries the expected telemetry —
+//! SA convergence series from `solve`, per-link utilization from `simulate`,
+//! and the CLI spans. This is what the CI trace-smoke job runs.
+
+use noc_json::Value;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs the CLI binary with `args`, asserting success, and returns stdout.
+fn run_cli(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_express-noc-cli"))
+        .args(args)
+        .output()
+        .expect("spawn express-noc-cli");
+    assert!(
+        out.status.success(),
+        "cli {args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("cli output is utf-8")
+}
+
+/// Parses every NDJSON line with noc-json; panics on any malformed line.
+fn parse_trace(path: &std::path::Path) -> Vec<Value> {
+    let text = std::fs::read_to_string(path).expect("trace file written");
+    assert!(!text.trim().is_empty(), "trace file is empty");
+    text.lines()
+        .map(|line| {
+            noc_json::parse(line)
+                .unwrap_or_else(|e| panic!("trace line is not valid JSON: {e}\nline: {line}"))
+        })
+        .collect()
+}
+
+fn names(events: &[Value]) -> BTreeSet<String> {
+    events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()).map(str::to_string))
+        .collect()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("express-noc-{name}-{}", std::process::id()));
+    p
+}
+
+#[test]
+fn solve_trace_carries_convergence_series() {
+    let path = tmp_path("solve-trace.ndjson");
+    run_cli(&[
+        "solve",
+        "--n",
+        "8",
+        "--c",
+        "4",
+        "--moves",
+        "4000",
+        "--chains",
+        "2",
+        "--seed",
+        "7",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    let events = parse_trace(&path);
+    let seen = names(&events);
+    assert!(
+        seen.contains("sa.epoch"),
+        "no SA convergence series: {seen:?}"
+    );
+    assert!(
+        seen.contains("sa.chain"),
+        "no chain summary events: {seen:?}"
+    );
+    assert!(seen.contains("cli.solve"), "no CLI span: {seen:?}");
+
+    // Every epoch point must carry the convergence fields, and the
+    // temperature within a chain must be non-increasing over epochs.
+    let epochs: Vec<&Value> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("sa.epoch"))
+        .collect();
+    assert!(epochs.len() >= 2, "expected multiple cooling epochs");
+    for e in &epochs {
+        for key in [
+            "seed",
+            "epoch",
+            "temperature",
+            "acceptance",
+            "best",
+            "current",
+        ] {
+            assert!(e.get(key).is_some(), "epoch missing field {key}: {e:?}");
+        }
+        let acc = e.get("acceptance").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&acc), "acceptance {acc} out of range");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn simulate_trace_carries_link_utilization() {
+    let path = tmp_path("sim-trace.ndjson");
+    run_cli(&[
+        "simulate",
+        "--n",
+        "8",
+        "--pattern",
+        "ur",
+        "--rate",
+        "0.05",
+        "--cycles",
+        "2000",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    let events = parse_trace(&path);
+    let seen = names(&events);
+    assert!(
+        seen.contains("sim.link"),
+        "no link utilization series: {seen:?}"
+    );
+    assert!(seen.contains("sim.router"), "no router series: {seen:?}");
+    assert!(seen.contains("cli.simulate"), "no CLI span: {seen:?}");
+
+    for e in events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("sim.link"))
+    {
+        for key in ["src", "dst", "span", "flits", "util"] {
+            assert!(e.get(key).is_some(), "link missing field {key}: {e:?}");
+        }
+        let util = e.get("util").unwrap().as_f64().unwrap();
+        assert!(
+            (0.0..=1.0).contains(&util),
+            "utilization {util} out of range"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_events_are_well_formed_and_ordered() {
+    let path = tmp_path("order-trace.ndjson");
+    run_cli(&[
+        "solve",
+        "--n",
+        "8",
+        "--c",
+        "4",
+        "--moves",
+        "2000",
+        "--seed",
+        "3",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    let events = parse_trace(&path);
+    let mut last_seq = None;
+    for e in &events {
+        for key in ["seq", "nanos", "kind", "name"] {
+            assert!(e.get(key).is_some(), "event missing {key}: {e:?}");
+        }
+        let kind = e.get("kind").unwrap().as_str().unwrap();
+        assert!(
+            matches!(kind, "span" | "series" | "point"),
+            "unexpected event kind {kind}"
+        );
+        let seq = e.get("seq").unwrap().as_u64().unwrap();
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "drained events must be seq-ordered");
+        }
+        last_seq = Some(seq);
+    }
+    std::fs::remove_file(&path).ok();
+}
