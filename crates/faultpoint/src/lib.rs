@@ -1,0 +1,353 @@
+//! Deterministic fault injection behind named sites.
+//!
+//! Production code marks the places where the real world can go wrong —
+//! a socket write, a cache store, a worker dispatch — with a named
+//! *fault point*:
+//!
+//! ```
+//! match faultpoint::hit("pool.dispatch") {
+//!     Some(faultpoint::Injected::Error) => { /* pretend the dispatch failed */ }
+//!     Some(faultpoint::Injected::Poison) => { /* corrupt the stored value */ }
+//!     _ => { /* normal path (delays already slept in place) */ }
+//! }
+//! ```
+//!
+//! Disarmed (the default, and the only state production ever sees), a
+//! hit is **one relaxed atomic load** — the same discipline as
+//! `noc-trace`: no allocation, no locking, no clock reads. Armed with a
+//! [`Schedule`], each site counts its hits under a mutex and fires the
+//! scheduled [`Fault`] at exactly the configured hit number:
+//!
+//! * [`Fault::Panic`] — panics right inside [`hit`], exercising the
+//!   caller's panic-recovery story (e.g. worker respawn).
+//! * [`Fault::Delay`] — sleeps in place, exercising deadlines and
+//!   timeouts.
+//! * [`Fault::Error`] — returned to the caller as [`Injected::Error`];
+//!   the call site fabricates whatever failure it guards (an I/O error,
+//!   a refused dispatch, a cache miss).
+//! * [`Fault::Poison`] — returned as [`Injected::Poison`]; the call site
+//!   corrupts the value it was about to store, exercising integrity
+//!   checks downstream.
+//!
+//! Schedules are deterministic: built either with explicit hit counts
+//! ([`Schedule::fault_at`]) or from a seed ([`Schedule::seeded`] +
+//! [`Schedule::fault`], which draws hit counts from a SplitMix64
+//! stream). Same seed ⇒ same schedule ⇒ same failure sequence, which is
+//! what makes chaos tests CI-able. Every injection is appended to a log
+//! readable via [`injection_log`] so tests can assert the exact
+//! sequence of fired faults.
+//!
+//! The crate is dependency-free and global-state based on purpose: the
+//! sites live deep inside code that cannot thread a handle through, and
+//! tests that arm faults must serialize themselves (the armed schedule
+//! is process-wide).
+//!
+//! ```
+//! use faultpoint::{Fault, Schedule};
+//! use std::time::Duration;
+//!
+//! faultpoint::arm(Schedule::new().fault_at("demo.site", 2, Fault::Error));
+//! assert_eq!(faultpoint::hit("demo.site"), None); // hit 1: clean
+//! assert_eq!(faultpoint::hit("demo.site"), Some(faultpoint::Injected::Error));
+//! assert_eq!(faultpoint::hit("demo.site"), None); // hit 3: clean again
+//! assert_eq!(faultpoint::hits("demo.site"), 3);
+//! faultpoint::disarm();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What a scheduled fault does when its hit count comes up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside [`hit`] with a `"faultpoint: ..."` message.
+    Panic,
+    /// Sleep in place for the given duration, then continue normally.
+    Delay(Duration),
+    /// Report [`Injected::Error`] to the call site.
+    Error,
+    /// Report [`Injected::Poison`] to the call site.
+    Poison,
+}
+
+impl Fault {
+    fn kind(&self) -> &'static str {
+        match self {
+            Fault::Panic => "panic",
+            Fault::Delay(_) => "delay",
+            Fault::Error => "error",
+            Fault::Poison => "poison",
+        }
+    }
+}
+
+/// What [`hit`] reports back to the call site when a fault fires.
+///
+/// `Panic` never reaches the caller (it unwinds from inside [`hit`]);
+/// `Delayed` is informational — the sleep already happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injected {
+    /// A [`Fault::Delay`] slept for this long before returning.
+    Delayed(Duration),
+    /// The call site should fail the operation it guards.
+    Error,
+    /// The call site should corrupt the value it guards.
+    Poison,
+}
+
+/// One record of a fault that actually fired: `(site, hit number, kind)`.
+pub type InjectionRecord = (String, u64, &'static str);
+
+#[derive(Debug, Clone)]
+struct Plan {
+    site: String,
+    hit: u64,
+    fault: Fault,
+}
+
+/// A deterministic fault schedule: which fault fires at which hit of
+/// which site.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    plans: Vec<Plan>,
+    stream: u64,
+}
+
+impl Schedule {
+    /// Empty schedule; add plans with [`fault_at`](Schedule::fault_at).
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Empty schedule whose [`fault`](Schedule::fault) hit counts are
+    /// drawn from a SplitMix64 stream seeded with `seed`. Same seed ⇒
+    /// same hit counts ⇒ same failure schedule.
+    pub fn seeded(seed: u64) -> Self {
+        Schedule {
+            plans: Vec::new(),
+            stream: seed,
+        }
+    }
+
+    /// Schedules `fault` to fire on the `hit`-th hit (1-based) of `site`.
+    pub fn fault_at(mut self, site: &str, hit: u64, fault: Fault) -> Self {
+        self.plans.push(Plan {
+            site: site.to_string(),
+            hit: hit.max(1),
+            fault,
+        });
+        self
+    }
+
+    /// Schedules `fault` on `site` at a hit count in `1..=max_hit` drawn
+    /// deterministically from the seeded stream (see
+    /// [`seeded`](Schedule::seeded)).
+    pub fn fault(mut self, site: &str, max_hit: u64, fault: Fault) -> Self {
+        let draw = splitmix64(&mut self.stream);
+        let hit = 1 + draw % max_hit.max(1);
+        self.fault_at(site, hit, fault)
+    }
+
+    /// The planned `(site, hit, fault)` triples, in insertion order.
+    pub fn plans(&self) -> Vec<(String, u64, Fault)> {
+        self.plans
+            .iter()
+            .map(|p| (p.site.clone(), p.hit, p.fault.clone()))
+            .collect()
+    }
+}
+
+/// SplitMix64: the stateless seeded stream behind [`Schedule::fault`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Default)]
+struct Armory {
+    plans: Vec<Plan>,
+    counts: HashMap<String, u64>,
+    log: Vec<InjectionRecord>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ARMORY: Mutex<Option<Armory>> = Mutex::new(None);
+
+/// Arms the given schedule process-wide, resetting all hit counters and
+/// the injection log. Tests that arm faults must serialize themselves.
+pub fn arm(schedule: Schedule) {
+    let mut guard = ARMORY.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(Armory {
+        plans: schedule.plans,
+        counts: HashMap::new(),
+        log: Vec::new(),
+    });
+    drop(guard);
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms all fault points. Hit counters and the injection log survive
+/// until the next [`arm`], so they stay readable after a scenario.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Release);
+}
+
+/// Whether a schedule is currently armed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// The fault-point guard. Disarmed: one relaxed atomic load, returns
+/// `None`. Armed: counts the hit and fires the scheduled fault, if any
+/// (see [`Fault`] for per-kind behaviour).
+#[inline]
+pub fn hit(site: &'static str) -> Option<Injected> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    hit_armed(site)
+}
+
+#[cold]
+fn hit_armed(site: &'static str) -> Option<Injected> {
+    let fired = {
+        let mut guard = ARMORY.lock().unwrap_or_else(|e| e.into_inner());
+        let armory = guard.as_mut()?;
+        let count = armory.counts.entry(site.to_string()).or_insert(0);
+        *count += 1;
+        let now = *count;
+        let fault = armory
+            .plans
+            .iter()
+            .find(|p| p.site == site && p.hit == now)
+            .map(|p| p.fault.clone())?;
+        armory.log.push((site.to_string(), now, fault.kind()));
+        fault
+    };
+    match fired {
+        Fault::Panic => panic!("faultpoint: injected panic at {site}"),
+        Fault::Delay(d) => {
+            std::thread::sleep(d);
+            Some(Injected::Delayed(d))
+        }
+        Fault::Error => Some(Injected::Error),
+        Fault::Poison => Some(Injected::Poison),
+    }
+}
+
+/// Total hits recorded for `site` since the last [`arm`] (0 when never
+/// armed). Counts every hit, fault or not.
+pub fn hits(site: &str) -> u64 {
+    let guard = ARMORY.lock().unwrap_or_else(|e| e.into_inner());
+    guard
+        .as_ref()
+        .and_then(|a| a.counts.get(site).copied())
+        .unwrap_or(0)
+}
+
+/// The faults that actually fired since the last [`arm`], in firing
+/// order — the basis of determinism assertions in chaos tests.
+pub fn injection_log() -> Vec<InjectionRecord> {
+    let guard = ARMORY.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref().map(|a| a.log.clone()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // The armed schedule is process-global; serialize the tests here.
+    static SERIAL: Mutex<()> = Mutex::new(());
+    fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_hits_are_free_and_fire_nothing() {
+        let _s = serial();
+        disarm();
+        for _ in 0..1000 {
+            assert_eq!(hit("never.armed"), None);
+        }
+        assert!(!armed());
+    }
+
+    #[test]
+    fn fires_exactly_at_the_scheduled_hit() {
+        let _s = serial();
+        arm(Schedule::new()
+            .fault_at("a", 3, Fault::Error)
+            .fault_at("b", 1, Fault::Poison));
+        assert_eq!(hit("a"), None);
+        assert_eq!(hit("a"), None);
+        assert_eq!(hit("a"), Some(Injected::Error));
+        assert_eq!(hit("a"), None);
+        assert_eq!(hit("b"), Some(Injected::Poison));
+        assert_eq!(hits("a"), 4);
+        assert_eq!(
+            injection_log(),
+            vec![
+                ("a".to_string(), 3, "error"),
+                ("b".to_string(), 1, "poison")
+            ]
+        );
+        disarm();
+        assert_eq!(hit("a"), None, "disarmed sites never fire");
+    }
+
+    #[test]
+    fn injected_panic_unwinds_with_marker_message() {
+        let _s = serial();
+        arm(Schedule::new().fault_at("boom", 1, Fault::Panic));
+        let err = std::panic::catch_unwind(|| hit("boom")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("faultpoint: injected panic at boom"), "{msg}");
+        assert_eq!(injection_log(), vec![("boom".to_string(), 1, "panic")]);
+        disarm();
+    }
+
+    #[test]
+    fn delay_sleeps_then_continues() {
+        let _s = serial();
+        arm(Schedule::new().fault_at("slow", 1, Fault::Delay(Duration::from_millis(30))));
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            hit("slow"),
+            Some(Injected::Delayed(Duration::from_millis(30)))
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        disarm();
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let a = Schedule::seeded(7)
+            .fault("x", 8, Fault::Error)
+            .fault("y", 8, Fault::Poison);
+        let b = Schedule::seeded(7)
+            .fault("x", 8, Fault::Error)
+            .fault("y", 8, Fault::Poison);
+        assert_eq!(a.plans(), b.plans(), "same seed must give same schedule");
+        let c = Schedule::seeded(8).fault("x", 1 << 30, Fault::Error).fault(
+            "y",
+            1 << 30,
+            Fault::Poison,
+        );
+        assert_ne!(
+            a.plans().iter().map(|p| p.1).collect::<Vec<_>>(),
+            c.plans().iter().map(|p| p.1).collect::<Vec<_>>(),
+            "different seeds should draw different hit counts"
+        );
+        for (_, hit, _) in a.plans() {
+            assert!((1..=8).contains(&hit));
+        }
+    }
+}

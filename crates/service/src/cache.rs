@@ -13,8 +13,19 @@
 //! tick; finding the victim is an O(shard-size) scan, which at the
 //! default 256 entries per shard costs far less than the cheapest miss
 //! (a full SA solve).
+//!
+//! Every entry carries an integrity digest (FNV-1a over its compact JSON
+//! form) computed at insertion and verified on every hit. A corrupted
+//! entry — whether from an injected `cache.put` poison fault or a real
+//! memory-safety escape — is dropped as if it were a miss, counted on
+//! the `service.cache.poison_dropped` trace counter, and recomputed by
+//! the caller: the cache can therefore *lose* work but never *serve*
+//! poisoned work.
 
+use crate::fp;
+use crate::metrics::trace_inc;
 use noc_json::Value;
+use noc_placement::fingerprint::Fnv1a;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -41,7 +52,18 @@ pub struct CacheKey {
 
 struct Entry {
     value: Value,
+    /// Integrity digest of `value` at insertion; verified on every get.
+    digest: u64,
     last_used: u64,
+}
+
+/// Integrity digest of a cached payload: FNV-1a over its compact JSON
+/// serialisation, which covers every field (float payloads bit-exactly,
+/// since `Value` prints floats losslessly round-trippable).
+fn entry_digest(value: &Value) -> u64 {
+    let mut h = Fnv1a::with_tag("cache-entry");
+    h.write_bytes(value.compact().as_bytes());
+    h.finish()
 }
 
 struct Shard {
@@ -80,12 +102,22 @@ impl ShardedLru {
         &self.shards[(h.finish() % self.shards.len() as u64) as usize]
     }
 
-    /// Looks up a key, refreshing its recency on hit.
+    /// Looks up a key, refreshing its recency on hit. An entry whose
+    /// integrity digest no longer matches its value is dropped and
+    /// reported as a miss — a poisoned entry is never served.
     pub fn get(&self, key: &CacheKey) -> Option<Value> {
+        if fp::hit("cache.get") == Some(fp::Injected::Error) {
+            return None; // injected lookup failure: degrade to a miss
+        }
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         shard.tick += 1;
         let tick = shard.tick;
         let entry = shard.map.get_mut(key)?;
+        if entry_digest(&entry.value) != entry.digest {
+            shard.map.remove(key);
+            trace_inc("service.cache.poison_dropped");
+            return None;
+        }
         entry.last_used = tick;
         Some(entry.value.clone())
     }
@@ -93,6 +125,14 @@ impl ShardedLru {
     /// Inserts a value, evicting the least-recently-used entry of the
     /// shard if it is full.
     pub fn put(&self, key: CacheKey, value: Value) {
+        let digest = match fp::hit("cache.put") {
+            // Injected store failure: drop the write (callers recompute).
+            Some(fp::Injected::Error) => return,
+            // Injected poison: store a digest the value cannot match, so
+            // the integrity check on the next get must catch it.
+            Some(fp::Injected::Poison) => !entry_digest(&value),
+            _ => entry_digest(&value),
+        };
         let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
         shard.tick += 1;
         let tick = shard.tick;
@@ -110,6 +150,7 @@ impl ShardedLru {
             key,
             Entry {
                 value,
+                digest,
                 last_used: tick,
             },
         );

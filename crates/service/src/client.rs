@@ -1,6 +1,10 @@
-//! Blocking client and load generator for the daemon.
+//! Blocking client and load generator for the daemon, plus a retrying
+//! wrapper with seeded jittered exponential backoff.
 
-use crate::protocol::Response;
+use crate::metrics::trace_inc;
+use crate::protocol::{ErrorCode, Response};
+use noc_rng::rngs::SmallRng;
+use noc_rng::{RngCore, SeedableRng};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -44,6 +48,131 @@ impl Client {
         let line = self.round_trip(request_line)?;
         Response::from_line(&line)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Retry discipline for [`RetryingClient`]: how many attempts, and the
+/// backoff curve between them.
+///
+/// Backoff is exponential with full determinism: attempt `k` (0-based)
+/// waits a duration drawn uniformly from `[base·2ᵏ/2, base·2ᵏ]`, capped
+/// at `max_delay`, using a [`SmallRng`] seeded from `seed`. The jitter
+/// spreads retry storms without sacrificing reproducibility — the same
+/// seed produces the same wait sequence, which the chaos suite relies
+/// on.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "never retry").
+    pub max_attempts: u32,
+    /// Backoff base: the upper bound of the first retry's wait.
+    pub base_delay: Duration,
+    /// Hard cap on any single wait.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered wait before retry number `attempt` (0-based), drawn
+    /// from `rng`.
+    fn backoff(&self, attempt: u32, rng: &mut SmallRng) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_delay);
+        let lo = exp.as_nanos() as u64 / 2;
+        let hi = (exp.as_nanos() as u64).max(lo + 1);
+        Duration::from_nanos(lo + rng.next_u64() % (hi - lo))
+    }
+}
+
+/// Whether a response (or transport failure) is worth retrying.
+///
+/// `overloaded` is the server shedding load — the request never ran and
+/// is safe to resend. Transport errors mean the connection died
+/// mid-exchange; every request kind the service exposes is idempotent
+/// (compute kinds are deterministic and cached, inline kinds are reads
+/// or drain triggers), so resending after a reconnect is safe too.
+/// Deadline and bad-request errors are *not* retried: resending cannot
+/// change the outcome.
+fn retryable(result: &std::io::Result<Response>) -> bool {
+    match result {
+        Ok(Response::Err { code, .. }) => *code == ErrorCode::Overloaded,
+        Ok(Response::Ok { .. }) => false,
+        Err(_) => true,
+    }
+}
+
+/// A [`Client`] wrapper that retries shed and transport-failed requests
+/// with seeded jittered exponential backoff, reconnecting as needed.
+pub struct RetryingClient {
+    addr: String,
+    client: Option<Client>,
+    policy: RetryPolicy,
+    rng: SmallRng,
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Connects lazily on first use; `addr` is kept for reconnects.
+    pub fn new(addr: &str, policy: RetryPolicy) -> RetryingClient {
+        let rng = SmallRng::seed_from_u64(policy.seed);
+        RetryingClient {
+            addr: addr.to_string(),
+            client: None,
+            policy,
+            rng,
+            retries: 0,
+        }
+    }
+
+    /// Total retries performed so far (not counting first attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Sends one request line, retrying per the policy. Returns the last
+    /// outcome when attempts are exhausted.
+    pub fn request(&mut self, request_line: &str) -> std::io::Result<Response> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let wait = self.policy.backoff(attempt - 1, &mut self.rng);
+                std::thread::sleep(wait);
+                self.retries += 1;
+                trace_inc("service.client.retry");
+            }
+            let outcome = self.try_once(request_line);
+            if !retryable(&outcome) {
+                return outcome;
+            }
+            if outcome.is_err() {
+                // The connection died mid-exchange; force a reconnect.
+                self.client = None;
+            }
+            last = Some(outcome);
+        }
+        last.expect("at least one attempt was made")
+    }
+
+    fn try_once(&mut self, request_line: &str) -> std::io::Result<Response> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect(&self.addr)?);
+        }
+        let client = self.client.as_mut().expect("client just connected");
+        client.request(request_line)
     }
 }
 
@@ -189,6 +318,59 @@ mod tests {
         assert_eq!(report.quantile_us(0.99), 40);
         assert_eq!(report.quantile_us(1.0), 40);
         assert!((report.throughput_rps() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_is_seeded_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            seed: 42,
+        };
+        let draw = |seed: u64| -> Vec<Duration> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..6).map(|k| policy.backoff(k, &mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42), "same seed must give the same waits");
+        assert_ne!(draw(42), draw(43));
+        let mut rng = SmallRng::seed_from_u64(42);
+        for k in 0..16 {
+            let w = policy.backoff(k, &mut rng);
+            let exp = policy
+                .base_delay
+                .saturating_mul(1u32 << k.min(20))
+                .min(policy.max_delay);
+            assert!(w <= exp, "attempt {k}: {w:?} above {exp:?}");
+            assert!(w >= exp / 2, "attempt {k}: {w:?} below half of {exp:?}");
+        }
+    }
+
+    #[test]
+    fn only_overloaded_and_transport_failures_retry() {
+        let shed = Ok(Response::err(
+            "id".to_string(),
+            ErrorCode::Overloaded,
+            "shed",
+        ));
+        let deadline = Ok(Response::err(
+            "id".to_string(),
+            ErrorCode::DeadlineExceeded,
+            "late",
+        ));
+        let ok = Ok(Response::ok(
+            "id".to_string(),
+            false,
+            noc_json::Value::Bool(true),
+        ));
+        let transport = Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "dead",
+        ));
+        assert!(retryable(&shed));
+        assert!(retryable(&transport));
+        assert!(!retryable(&deadline));
+        assert!(!retryable(&ok));
     }
 
     #[test]

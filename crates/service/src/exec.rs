@@ -8,6 +8,7 @@
 //! workload. The cache key therefore covers exactly the function inputs.
 
 use crate::cache::CacheKey;
+use crate::metrics::trace_inc;
 use crate::protocol::{
     pattern_name, strategy_name, OptimalRequest, Request, SimulateRequest, SolveRequest,
     SweepRequest, ThroughputRequest,
@@ -16,12 +17,14 @@ use noc_json::Value;
 use noc_model::{LinkBudget, PacketMix};
 use noc_placement::fingerprint::Fnv1a;
 use noc_placement::{
-    exhaustive_optimal, optimize_network, solve_row, AllPairsObjective, InitialStrategy, SaParams,
+    exhaustive_optimal, greedy_solution, initial_solution, optimize_network, solve_row,
+    AllPairsObjective, InitialStrategy, SaParams,
 };
 use noc_routing::HopWeights;
 use noc_sim::{SimConfig, Simulator, SweepRunner};
 use noc_topology::{MeshTopology, RowPlacement};
 use noc_traffic::{TrafficMatrix, Workload};
+use std::time::Instant;
 
 fn links_json(row: &RowPlacement) -> Value {
     Value::Arr(
@@ -135,24 +138,99 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
     }
 }
 
-fn exec_solve(r: &SolveRequest) -> Result<Value, String> {
+/// Result of executing a compute request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutput {
+    /// The response payload.
+    pub value: Value,
+    /// Whether the result came from a degraded (fallback) path. Degraded
+    /// results are tagged `"degraded": true` in the payload and must not
+    /// be cached — the degradation decision depends on wall-clock budget,
+    /// not only on the request parameters.
+    pub degraded: bool,
+}
+
+/// Structured execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The deadline passed before (or while) executing.
+    DeadlineExceeded,
+    /// The request itself is unexecutable (bad links, inline kind, …).
+    Failed(String),
+}
+
+/// Conservative solver throughput estimate used by the degradation
+/// heuristic: how many SA moves one worker retires per millisecond.
+/// Deliberately pessimistic — a wrong "degrade" still answers within
+/// budget; a wrong "run full" risks missing the deadline.
+const MOVES_PER_MS: u64 = 100;
+
+/// Whether a full SA run of `moves × chains` plausibly fits in the
+/// remaining deadline budget.
+fn sa_fits_budget(moves: u64, chains: u64, deadline: Option<Instant>) -> bool {
+    let Some(deadline) = deadline else {
+        return true;
+    };
+    let remaining_ms = deadline
+        .saturating_duration_since(Instant::now())
+        .as_millis() as u64;
+    let estimated_ms = moves.saturating_mul(chains) / MOVES_PER_MS;
+    estimated_ms <= remaining_ms
+}
+
+fn exec_solve(r: &SolveRequest, deadline: Option<Instant>) -> Result<ExecOutput, ExecError> {
     let objective = AllPairsObjective::with_weights(r.weights);
+    if !sa_fits_budget(r.moves as u64, r.chains as u64, deadline) {
+        // Graceful degradation: the deadline budget cannot absorb the
+        // full annealing run, so answer with the deterministic
+        // constructive heuristic the SA would have started from. Seconds
+        // of budget buy a milliseconds-scale construction, so this always
+        // lands inside the deadline.
+        let out = match r.strategy {
+            InitialStrategy::Greedy => greedy_solution(r.n, r.c, &objective),
+            // Random starts carry no constructive signal; fall back to the
+            // paper's divide-and-conquer construction instead.
+            InitialStrategy::Random | InitialStrategy::DivideAndConquer => {
+                initial_solution(r.n, r.c, &objective)
+            }
+        };
+        trace_inc("service.degraded");
+        return Ok(ExecOutput {
+            value: noc_json::obj! {
+                "n" => Value::Int(r.n as i128),
+                "c" => Value::Int(r.c as i128),
+                "strategy" => Value::Str(strategy_name(r.strategy).to_string()),
+                "chains" => Value::Int(r.chains as i128),
+                "seed" => Value::Int(r.seed as i128),
+                "objective" => Value::Float(out.objective),
+                "links" => links_json(&out.placement),
+                "max_cross_section" => Value::Int(out.placement.max_cross_section() as i128),
+                "evaluations" => Value::Int(out.evaluations as i128),
+                "accepted_moves" => Value::Int(0),
+                "degraded" => Value::Bool(true),
+            },
+            degraded: true,
+        });
+    }
     let params = SaParams::paper()
         .with_moves(r.moves)
         .with_chains(r.chains)
         .with_evaluator(r.evaluator);
     let out = solve_row(r.n, r.c, &objective, r.strategy, &params, r.seed);
-    Ok(noc_json::obj! {
-        "n" => Value::Int(r.n as i128),
-        "c" => Value::Int(r.c as i128),
-        "strategy" => Value::Str(strategy_name(r.strategy).to_string()),
-        "chains" => Value::Int(r.chains as i128),
-        "seed" => Value::Int(r.seed as i128),
-        "objective" => Value::Float(out.best_objective),
-        "links" => links_json(&out.best),
-        "max_cross_section" => Value::Int(out.best.max_cross_section() as i128),
-        "evaluations" => Value::Int(out.evaluations as i128),
-        "accepted_moves" => Value::Int(out.accepted_moves as i128),
+    Ok(ExecOutput {
+        value: noc_json::obj! {
+            "n" => Value::Int(r.n as i128),
+            "c" => Value::Int(r.c as i128),
+            "strategy" => Value::Str(strategy_name(r.strategy).to_string()),
+            "chains" => Value::Int(r.chains as i128),
+            "seed" => Value::Int(r.seed as i128),
+            "objective" => Value::Float(out.best_objective),
+            "links" => links_json(&out.best),
+            "max_cross_section" => Value::Int(out.best.max_cross_section() as i128),
+            "evaluations" => Value::Int(out.evaluations as i128),
+            "accepted_moves" => Value::Int(out.accepted_moves as i128),
+        },
+        degraded: false,
     })
 }
 
@@ -259,20 +337,55 @@ fn exec_throughput(r: &ThroughputRequest) -> Result<Value, String> {
     })
 }
 
-/// Runs a compute request to completion. Inline kinds (`metrics`,
-/// `health`, `shutdown`) are answered by the server, not here.
-pub fn execute(request: &Request) -> Result<Value, String> {
+/// Runs a compute request to completion, enforcing `deadline` where the
+/// request kind supports it. Inline kinds (`metrics`, `health`,
+/// `shutdown`) are answered by the server, not here.
+///
+/// Deadline semantics per kind:
+///
+/// - `solve` degrades gracefully: when the remaining budget cannot absorb
+///   the requested annealing run, the deterministic constructive
+///   heuristic answers instead, tagged `"degraded": true`.
+/// - every other kind runs in full; a request whose deadline has already
+///   passed fails with [`ExecError::DeadlineExceeded`] without running.
+pub fn execute_within(
+    request: &Request,
+    deadline: Option<Instant>,
+) -> Result<ExecOutput, ExecError> {
+    if let Some(deadline) = deadline {
+        if Instant::now() >= deadline {
+            return Err(ExecError::DeadlineExceeded);
+        }
+    }
+    let plain = |r: Result<Value, String>| {
+        r.map(|value| ExecOutput {
+            value,
+            degraded: false,
+        })
+        .map_err(ExecError::Failed)
+    };
     match request {
-        Request::Solve(r) => exec_solve(r),
-        Request::Optimal(r) => exec_optimal(r),
-        Request::Sweep(r) => exec_sweep(r),
-        Request::Simulate(r) => exec_simulate(r),
-        Request::Throughput(r) => exec_throughput(r),
+        Request::Solve(r) => exec_solve(r, deadline),
+        Request::Optimal(r) => plain(exec_optimal(r)),
+        Request::Sweep(r) => plain(exec_sweep(r)),
+        Request::Simulate(r) => plain(exec_simulate(r)),
+        Request::Throughput(r) => plain(exec_throughput(r)),
         Request::Metrics
         | Request::Health
         | Request::Shutdown
         | Request::Trace
-        | Request::Prometheus => Err("inline request kinds are not executed on the pool".into()),
+        | Request::Prometheus => Err(ExecError::Failed(
+            "inline request kinds are not executed on the pool".into(),
+        )),
+    }
+}
+
+/// Runs a compute request with no deadline (never degrades).
+pub fn execute(request: &Request) -> Result<Value, String> {
+    match execute_within(request, None) {
+        Ok(out) => Ok(out.value),
+        Err(ExecError::DeadlineExceeded) => Err("deadline exceeded".into()),
+        Err(ExecError::Failed(message)) => Err(message),
     }
 }
 
@@ -319,6 +432,63 @@ mod tests {
         assert_eq!(a, b, "solve must be seed-deterministic");
         assert_eq!(cache_key(&req), cache_key(&solve_request(7)));
         assert_ne!(cache_key(&req), cache_key(&solve_request(8)));
+    }
+
+    #[test]
+    fn solve_degrades_when_budget_cannot_fit_the_run() {
+        use std::time::Duration;
+        let req = Request::Solve(SolveRequest {
+            n: 12,
+            c: 4,
+            strategy: InitialStrategy::DivideAndConquer,
+            moves: 2_000_000,
+            chains: 4,
+            evaluator: noc_placement::EvalMode::Incremental,
+            seed: 9,
+            weights: HopWeights::PAPER,
+        });
+        // 8M moves at 100 moves/ms needs ~80s; a 2s budget must degrade.
+        let out = execute_within(&req, Some(Instant::now() + Duration::from_secs(2))).unwrap();
+        assert!(out.degraded);
+        let Value::Obj(fields) = &out.value else {
+            panic!("expected object")
+        };
+        assert_eq!(
+            fields.iter().find(|(k, _)| k == "degraded").map(|(_, v)| v),
+            Some(&Value::Bool(true))
+        );
+        // The fallback is still a valid placement under the C limit.
+        let Some((_, Value::Int(mcs))) = fields.iter().find(|(k, _)| k == "max_cross_section")
+        else {
+            panic!("missing max_cross_section")
+        };
+        assert!(*mcs <= 4);
+        // Without a deadline the same request would run in full; the
+        // degraded tag must then be absent (not `false`), keeping
+        // un-deadlined responses bit-identical to the pre-robustness ones.
+        let small = Request::Solve(SolveRequest {
+            n: 8,
+            c: 4,
+            strategy: InitialStrategy::DivideAndConquer,
+            moves: 200,
+            chains: 1,
+            evaluator: noc_placement::EvalMode::Incremental,
+            seed: 9,
+            weights: HopWeights::PAPER,
+        });
+        let full = execute_within(&small, None).unwrap();
+        assert!(!full.degraded);
+        let Value::Obj(fields) = &full.value else {
+            panic!("expected object")
+        };
+        assert!(fields.iter().all(|(k, _)| k != "degraded"));
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_running() {
+        let req = solve_request(1);
+        let err = execute_within(&req, Some(Instant::now())).unwrap_err();
+        assert_eq!(err, ExecError::DeadlineExceeded);
     }
 
     #[test]

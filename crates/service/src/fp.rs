@@ -1,0 +1,42 @@
+//! Fault-injection shim: the service's named fault-point sites.
+//!
+//! With the `faultpoint` cargo feature enabled this re-exports
+//! `faultpoint::hit`; without it, `hit` is an inlined no-op that the
+//! optimiser deletes entirely, so production builds carry zero overhead
+//! and zero extra dependencies. Either way the call sites read the same.
+//!
+//! Sites wired through the service (see `docs/ARCHITECTURE.md` for the
+//! full map of what each can inject):
+//!
+//! | site             | guards                                         |
+//! |------------------|------------------------------------------------|
+//! | `server.accept`  | the accept loop, per accepted connection       |
+//! | `protocol.parse` | request-line parsing in the connection handler |
+//! | `cache.get`      | cache lookups (error ⇒ treated as a miss)      |
+//! | `cache.put`      | cache stores (poison ⇒ corrupt stored entry)   |
+//! | `pool.dispatch`  | worker-pool submission (error ⇒ shed)          |
+//! | `worker.exec`    | request execution on a worker thread           |
+//! | `response.write` | the response write back to the socket          |
+
+#[cfg(feature = "faultpoint")]
+pub use faultpoint::{hit, Injected};
+
+/// What a fired fault asks the call site to do (mirror of
+/// `faultpoint::Injected` for feature-less builds).
+#[cfg(not(feature = "faultpoint"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injected {
+    /// An injected delay already slept in place.
+    Delayed(std::time::Duration),
+    /// The call site should fail the guarded operation.
+    Error,
+    /// The call site should corrupt the value it guards.
+    Poison,
+}
+
+/// No-op fault point: compiled out without the `faultpoint` feature.
+#[cfg(not(feature = "faultpoint"))]
+#[inline(always)]
+pub fn hit(_site: &'static str) -> Option<Injected> {
+    None
+}

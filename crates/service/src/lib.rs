@@ -22,6 +22,19 @@
 //! [`client`] provides the blocking client plus the load generator used
 //! by `express-noc-cli loadgen`.
 //!
+//! # Robustness
+//!
+//! The service degrades instead of failing: full queues shed with
+//! `overloaded` (clients retry via [`client::RetryingClient`]'s seeded
+//! jittered backoff), deadlines are enforced at every stage (queued,
+//! executing, and waiting), solve requests whose budget cannot absorb
+//! the full annealing run answer with the constructive heuristic tagged
+//! `"degraded": true`, cache entries carry integrity digests so a
+//! corrupted entry is recomputed rather than served, and a panicking
+//! worker fails only its in-flight request while a replacement thread
+//! respawns. All of it is exercised deterministically by the chaos
+//! suite through the `faultpoint` feature (see [`fp`]).
+//!
 //! # Quick start
 //!
 //! ```no_run
@@ -36,14 +49,16 @@
 pub mod cache;
 pub mod client;
 pub mod exec;
+pub mod fp;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, ShardedLru};
-pub use client::{generate_load, Client, LoadReport};
-pub use metrics::Metrics;
+pub use client::{generate_load, Client, LoadReport, RetryPolicy, RetryingClient};
+pub use exec::{ExecError, ExecOutput};
+pub use metrics::{trace_prometheus_text, Metrics};
 pub use pool::{Job, SubmitError, WorkerPool};
 pub use protocol::{Envelope, ErrorCode, Request, Response};
 pub use server::{Server, ServerHandle, ServiceConfig};

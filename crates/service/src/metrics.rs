@@ -121,6 +121,8 @@ pub struct Metrics {
     bad_requests: AtomicU64,
     shed_overloaded: AtomicU64,
     deadline_exceeded: AtomicU64,
+    degraded: AtomicU64,
+    worker_respawns: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     connections_opened: AtomicU64,
@@ -162,6 +164,17 @@ impl Metrics {
             }
             ErrorCode::ShuttingDown | ErrorCode::Internal => {}
         }
+    }
+
+    /// Counts a request answered with the degraded (initial-solution)
+    /// fallback because its deadline budget was too small for full SA.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a worker thread respawned after a panic.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts a cache hit or miss for a compute request.
@@ -227,6 +240,8 @@ impl Metrics {
             "bad_requests" => load(&self.bad_requests),
             "shed_overloaded" => load(&self.shed_overloaded),
             "deadline_exceeded" => load(&self.deadline_exceeded),
+            "degraded" => load(&self.degraded),
+            "worker_respawns" => load(&self.worker_respawns),
             "cache_hits" => load(&self.cache_hits),
             "cache_misses" => load(&self.cache_misses),
             "connections_opened" => load(&self.connections_opened),
@@ -252,12 +267,14 @@ impl Metrics {
                 load(&self.requests_by_kind[i])
             );
         }
-        let counters: [(&str, &AtomicU64); 7] = [
+        let counters: [(&str, &AtomicU64); 9] = [
             ("noc_responses_ok_total", &self.responses_ok),
             ("noc_responses_err_total", &self.responses_err),
             ("noc_bad_requests_total", &self.bad_requests),
             ("noc_shed_overloaded_total", &self.shed_overloaded),
             ("noc_deadline_exceeded_total", &self.deadline_exceeded),
+            ("noc_degraded_total", &self.degraded),
+            ("noc_worker_respawns_total", &self.worker_respawns),
             ("noc_cache_hits_total", &self.cache_hits),
             ("noc_cache_misses_total", &self.cache_misses),
         ];
@@ -307,6 +324,45 @@ impl Metrics {
         }
         out
     }
+}
+
+/// Bumps the named `noc-trace` counter (no-op when tracing is off). The
+/// robustness events — shed, deadline-exceeded, degraded, respawned,
+/// retried, poison-dropped — go through here so they are observable in
+/// the `trace` and `prometheus` request kinds alongside the core
+/// service metrics.
+pub(crate) fn trace_inc(name: &str) {
+    if let Some(sink) = noc_trace::sink() {
+        sink.registry().counter(name).inc();
+    }
+}
+
+/// Renders the `noc-trace` registry's counters and gauges in the
+/// Prometheus text exposition format, as `noc_trace_counter` /
+/// `noc_trace_gauge` families labelled by metric name. Empty when
+/// tracing was never enabled. Appended to [`Metrics::prometheus_text`]
+/// by the `prometheus` request handler.
+pub fn trace_prometheus_text() -> String {
+    use std::fmt::Write as _;
+    let Some(sink) = noc_trace::installed_sink() else {
+        return String::new();
+    };
+    let snapshot = sink.registry().snapshot();
+    let mut out = String::new();
+    for (family, kind) in [("counters", "counter"), ("gauges", "gauge")] {
+        let Some(Value::Obj(entries)) = snapshot.get(family).cloned() else {
+            continue;
+        };
+        if entries.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE noc_trace_{kind} {kind}");
+        for (name, value) in entries {
+            let v = value.as_i128().unwrap_or(0);
+            let _ = writeln!(out, "noc_trace_{kind}{{name=\"{name}\"}} {v}");
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -382,6 +438,23 @@ mod tests {
         assert_eq!(requests.get("solve").unwrap().as_u64(), Some(0));
         assert!(snap.get("service_time_us").unwrap().get("other").is_some());
         assert!(snap.get("service_time_us").unwrap().get("solve").is_none());
+    }
+
+    #[test]
+    fn trace_counters_render_as_prometheus_text() {
+        noc_trace::enable_with_capacity(1024);
+        trace_inc("service.test.metric");
+        let text = trace_prometheus_text();
+        assert!(text.contains("# TYPE noc_trace_counter counter"));
+        assert!(text.contains("noc_trace_counter{name=\"service.test.metric\"}"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
+        }
+        noc_trace::disable();
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Bounded worker pool with per-request deadlines and load shedding.
+//! Bounded worker pool with per-request deadlines, load shedding, and
+//! worker panic recovery.
 //!
 //! Compute requests go through a bounded FIFO guarded by a mutex and
 //! condvar. When the queue is full, [`WorkerPool::submit`] refuses
@@ -9,16 +10,25 @@
 //! which keeps an overload burst from wasting workers on answers nobody
 //! is waiting for.
 //!
-//! Shutdown is graceful by construction: `shutdown()` closes the intake
-//! and wakes every worker, but workers keep draining the queue until it
-//! is empty before exiting, so every accepted job still gets a response.
+//! Shutdown is graceful *and race-free* by construction: the `accepting`
+//! flag lives inside the queue mutex, so "may I enqueue?" and "is there
+//! work left or should I exit?" are decided under the same lock. A
+//! submit that wins the lock before shutdown lands its job where a
+//! draining worker must still see it; one that loses is refused with
+//! `ShuttingDown`. No accepted job can be silently dropped.
+//!
+//! Workers survive panics in request execution (a solver bug, or an
+//! injected `worker.exec` fault): an `InFlightGuard` converts the
+//! unwinding into a structured `internal` error for the one in-flight
+//! request, and a `RespawnGuard` spawns a replacement worker thread so
+//! pool capacity is not permanently eroded.
 
 use crate::cache::ShardedLru;
-use crate::exec;
-use crate::metrics::Metrics;
+use crate::exec::{self, ExecError};
+use crate::fp;
+use crate::metrics::{trace_inc, Metrics};
 use crate::protocol::{Envelope, ErrorCode, Response};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -38,13 +48,23 @@ pub struct Job {
     pub reply: Sender<Response>,
 }
 
+/// Queue state: jobs and the intake flag share one mutex so that
+/// submission and worker-exit decisions are linearized (see module docs).
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    accepting: bool,
+}
+
 struct PoolShared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<PoolQueue>,
     work_ready: Condvar,
-    accepting: AtomicBool,
     capacity: usize,
     metrics: Arc<Metrics>,
     cache: Arc<ShardedLru>,
+    /// Join handles of workers respawned after a panic. Drained by
+    /// [`WorkerPool::join`] in a loop, since a respawned worker can
+    /// itself panic and respawn.
+    respawned: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// Error returned by [`WorkerPool::submit`] when the job is not queued.
@@ -73,21 +93,18 @@ impl WorkerPool {
         cache: Arc<ShardedLru>,
     ) -> Self {
         let shared = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                accepting: true,
+            }),
             work_ready: Condvar::new(),
-            accepting: AtomicBool::new(true),
             capacity: capacity.max(1),
             metrics,
             cache,
+            respawned: Mutex::new(Vec::new()),
         });
         let workers = (0..workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("noc-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
+            .map(|i| spawn_worker(shared.clone(), i))
             .collect();
         WorkerPool { shared, workers }
     }
@@ -96,15 +113,18 @@ impl WorkerPool {
     /// refused job is dropped — its reply channel closes, and the caller
     /// already holds the id needed to build the error response.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
-        if !self.shared.accepting.load(Ordering::SeqCst) {
-            return Err(SubmitError::ShuttingDown);
+        if fp::hit("pool.dispatch") == Some(fp::Injected::Error) {
+            return Err(SubmitError::QueueFull); // injected dispatch failure sheds
         }
         let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
-        if queue.len() >= self.shared.capacity {
+        if !queue.accepting {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if queue.jobs.len() >= self.shared.capacity {
             return Err(SubmitError::QueueFull);
         }
-        queue.push_back(job);
-        self.shared.metrics.set_queue_depth(queue.len() as u64);
+        queue.jobs.push_back(job);
+        self.shared.metrics.set_queue_depth(queue.jobs.len() as u64);
         drop(queue);
         self.shared.work_ready.notify_one();
         Ok(())
@@ -112,12 +132,19 @@ impl WorkerPool {
 
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("pool queue poisoned").len()
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .jobs
+            .len()
     }
 
     /// Closes the intake and wakes all workers. Queued jobs still run.
     pub fn shutdown(&self) {
-        self.shared.accepting.store(false, Ordering::SeqCst);
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        queue.accepting = false;
+        drop(queue);
         self.shared.work_ready.notify_all();
     }
 
@@ -129,6 +156,96 @@ impl WorkerPool {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // Respawned workers appear while joining (a panicking worker's
+        // replacement), and a replacement can itself be replaced — loop
+        // until the list stays empty.
+        loop {
+            let drained: Vec<JoinHandle<()>> = self
+                .shared
+                .respawned
+                .lock()
+                .expect("respawn list poisoned")
+                .drain(..)
+                .collect();
+            if drained.is_empty() {
+                break;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn spawn_worker(shared: Arc<PoolShared>, index: usize) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("noc-worker-{index}"))
+        .spawn(move || {
+            let _respawn = RespawnGuard {
+                shared: shared.clone(),
+                index,
+            };
+            worker_loop(&shared);
+        })
+        .expect("spawn worker thread")
+}
+
+/// Replaces a worker thread that dies by panic. Dropped on every worker
+/// exit; only a panicking exit (checked via [`std::thread::panicking`])
+/// spawns a replacement, so graceful drain does not respawn.
+struct RespawnGuard {
+    shared: Arc<PoolShared>,
+    index: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        self.shared.metrics.record_worker_respawn();
+        trace_inc("service.worker.respawned");
+        let replacement = spawn_worker(self.shared.clone(), self.index);
+        self.shared
+            .respawned
+            .lock()
+            .expect("respawn list poisoned")
+            .push(replacement);
+    }
+}
+
+/// Fails the one in-flight request with a structured `internal` error if
+/// execution panics, instead of letting the reply channel close silently.
+struct InFlightGuard<'a> {
+    shared: &'a PoolShared,
+    id: String,
+    reply: Sender<Response>,
+    done: bool,
+}
+
+impl InFlightGuard<'_> {
+    fn finish(mut self, response: Response) {
+        self.done = true;
+        self.shared.metrics.job_finished();
+        let _ = self.reply.send(response);
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // A panic is unwinding through the worker (solver bug or injected
+        // fault): fail only this request. RespawnGuard replaces the
+        // worker thread itself.
+        self.shared.metrics.job_finished();
+        self.shared.metrics.record_err(ErrorCode::Internal);
+        let _ = self.reply.send(Response::err(
+            self.id.clone(),
+            ErrorCode::Internal,
+            "worker panicked while executing the request",
+        ));
     }
 }
 
@@ -137,11 +254,11 @@ fn worker_loop(shared: &PoolShared) {
         let job = {
             let mut queue = shared.queue.lock().expect("pool queue poisoned");
             loop {
-                if let Some(job) = queue.pop_front() {
-                    shared.metrics.set_queue_depth(queue.len() as u64);
+                if let Some(job) = queue.jobs.pop_front() {
+                    shared.metrics.set_queue_depth(queue.jobs.len() as u64);
                     break job;
                 }
-                if !shared.accepting.load(Ordering::SeqCst) {
+                if !queue.accepting {
                     return; // drained and draining: exit
                 }
                 queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
@@ -153,40 +270,71 @@ fn worker_loop(shared: &PoolShared) {
 
 fn run_job(shared: &PoolShared, job: Job) {
     let kind = job.envelope.request.kind();
-    if Instant::now() >= job.deadline {
+    let Job {
+        envelope,
+        accepted_at,
+        deadline,
+        reply,
+    } = job;
+    if Instant::now() >= deadline {
         // Shed without running: the client has already been told (or is
         // about to be told) that the deadline passed.
         shared.metrics.record_err(ErrorCode::DeadlineExceeded);
-        let _ = job.reply.send(Response::err(
-            job.envelope.id.clone(),
+        trace_inc("service.deadline_exceeded");
+        let _ = reply.send(Response::err(
+            envelope.id.clone(),
             ErrorCode::DeadlineExceeded,
             "deadline elapsed while queued",
         ));
         return;
     }
     shared.metrics.job_started();
-    let outcome = {
+    let guard = InFlightGuard {
+        shared,
+        id: envelope.id.clone(),
+        reply,
+        done: false,
+    };
+    // `worker.exec` fault point: a Panic fires inside `hit` and unwinds
+    // through the guards above; an Error fails the request without
+    // touching the solver; a Delay has already slept in place.
+    let outcome = if fp::hit("worker.exec") == Some(fp::Injected::Error) {
+        Err(ExecError::Failed("injected worker failure".into()))
+    } else {
         let _execute_span = noc_trace::span_labeled("request.execute", || kind.to_string());
-        exec::execute(&job.envelope.request)
+        exec::execute_within(&envelope.request, Some(deadline))
     };
-    shared.metrics.job_finished();
     let response = match outcome {
-        Ok(result) => {
-            // Cache even if the requester timed out meanwhile — the work
-            // is done, and a retry should hit.
-            if let Some(key) = exec::cache_key(&job.envelope.request) {
-                shared.cache.put(key, result.clone());
+        Ok(out) => {
+            if out.degraded {
+                // A degraded answer reflects this request's deadline
+                // budget, not the request parameters alone — caching it
+                // would serve the weaker result to un-deadlined retries.
+                shared.metrics.record_degraded();
+            } else if let Some(key) = exec::cache_key(&envelope.request) {
+                // Cache even if the requester timed out meanwhile — the
+                // work is done, and a retry should hit.
+                shared.cache.put(key, out.value.clone());
             }
-            let micros = job.accepted_at.elapsed().as_micros() as u64;
+            let micros = accepted_at.elapsed().as_micros() as u64;
             shared.metrics.record_ok(kind, micros);
-            Response::ok(job.envelope.id.clone(), false, result)
+            Response::ok(envelope.id.clone(), false, out.value)
         }
-        Err(message) => {
+        Err(ExecError::DeadlineExceeded) => {
+            shared.metrics.record_err(ErrorCode::DeadlineExceeded);
+            trace_inc("service.deadline_exceeded");
+            Response::err(
+                envelope.id.clone(),
+                ErrorCode::DeadlineExceeded,
+                "deadline exceeded during execution",
+            )
+        }
+        Err(ExecError::Failed(message)) => {
             shared.metrics.record_err(ErrorCode::Internal);
-            Response::err(job.envelope.id.clone(), ErrorCode::Internal, message)
+            Response::err(envelope.id.clone(), ErrorCode::Internal, message)
         }
     };
-    let _ = job.reply.send(response);
+    guard.finish(response);
 }
 
 #[cfg(test)]
@@ -289,5 +437,47 @@ mod tests {
             other => panic!("expected deadline error, got {other:?}"),
         }
         pool.join();
+    }
+
+    #[test]
+    fn degraded_results_are_not_cached() {
+        let metrics = Arc::new(Metrics::new());
+        let cache = Arc::new(ShardedLru::new(16, 2));
+        let pool = WorkerPool::new(1, 4, metrics.clone(), cache.clone());
+        // 2M moves at the conservative 100 moves/ms budget needs ~20s; a
+        // 2s deadline forces the degraded constructive answer.
+        let env = parse_request(
+            r#"{"id":"d","kind":"solve","n":12,"c":4,"moves":2000000,"deadline_ms":2000}"#,
+        )
+        .unwrap();
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Job {
+            envelope: env,
+            accepted_at: now,
+            deadline: now + Duration::from_secs(2),
+            reply: tx,
+        })
+        .unwrap();
+        let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let Response::Ok { result, .. } = resp else {
+            panic!("expected ok, got {resp:?}")
+        };
+        let noc_json::Value::Obj(fields) = &result else {
+            panic!("expected object")
+        };
+        assert_eq!(
+            fields.iter().find(|(k, _)| k == "degraded").map(|(_, v)| v),
+            Some(&noc_json::Value::Bool(true))
+        );
+        pool.join();
+        assert!(
+            cache.is_empty(),
+            "degraded results must not be written through to the cache"
+        );
+        assert_eq!(
+            metrics.snapshot().get("degraded").and_then(|v| v.as_u64()),
+            Some(1)
+        );
     }
 }

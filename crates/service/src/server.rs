@@ -15,7 +15,8 @@
 
 use crate::cache::ShardedLru;
 use crate::exec;
-use crate::metrics::Metrics;
+use crate::fp;
+use crate::metrics::{trace_inc, trace_prometheus_text, Metrics};
 use crate::pool::{Job, SubmitError, WorkerPool};
 use crate::protocol::{self, ErrorCode, Request, Response};
 use noc_json::Value;
@@ -24,6 +25,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// Upper bound on one request line. A line that exceeds it gets a
+/// `bad_request` response and the connection is closed (there is no
+/// cheap way to resynchronize on a stream that ignores the framing
+/// contract), so a hostile or broken client cannot grow a handler's
+/// buffer without bound.
+const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Tuning knobs of the daemon.
 #[derive(Debug, Clone)]
@@ -168,6 +176,10 @@ impl Server {
             }
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    if fp::hit("server.accept") == Some(fp::Injected::Error) {
+                        drop(stream); // injected accept failure: refuse the connection
+                        continue;
+                    }
                     let state = state.clone();
                     let pool = pool.clone();
                     connections.retain(|h| !h.is_finished());
@@ -215,6 +227,21 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<Wo
         match read_line_with_timeouts(&mut reader, &mut line, state) {
             ReadOutcome::Line => {}
             ReadOutcome::Closed => break,
+            ReadOutcome::TooLong => {
+                // Answer with a structured refusal, then close: the rest
+                // of the oversized line cannot be skipped reliably.
+                state.metrics.record_err(ErrorCode::BadRequest);
+                let resp = Response::err(
+                    protocol::best_effort_id(""),
+                    ErrorCode::BadRequest,
+                    format!("request line exceeds the {MAX_LINE_BYTES}-byte limit"),
+                );
+                let mut payload = resp.to_line();
+                payload.push('\n');
+                let _ = writer.write_all(payload.as_bytes());
+                let _ = writer.flush();
+                break;
+            }
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -226,7 +253,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<Wo
         let response = handle_line(trimmed, state, pool);
         let mut payload = response.to_line();
         payload.push('\n');
-        let sent = {
+        let sent = if fp::hit("response.write") == Some(fp::Injected::Error) {
+            // Injected mid-response socket death: leak a torn prefix so
+            // clients must treat a connection as unusable after it.
+            let _ = writer.write_all(&payload.as_bytes()[..payload.len() / 2]);
+            let _ = writer.flush();
+            false
+        } else {
             let _respond_span = noc_trace::span("request.respond");
             writer.write_all(payload.as_bytes()).is_ok() && writer.flush().is_ok()
         };
@@ -240,30 +273,61 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<Wo
 enum ReadOutcome {
     Line,
     Closed,
+    /// The line outgrew [`MAX_LINE_BYTES`] before its newline arrived.
+    TooLong,
 }
 
-/// Reads one line, waking on the socket timeout to poll the shutdown
-/// flag so idle connections close during a drain.
+/// Reads one newline-terminated line of at most [`MAX_LINE_BYTES`]
+/// bytes, waking on the socket timeout to poll the shutdown flag so
+/// idle connections close during a drain. Chunked (`fill_buf`) rather
+/// than `read_line` so the cap is enforced *while* reading — a peer
+/// streaming an endless unterminated line is cut off at the limit
+/// instead of growing the buffer until the allocator gives out.
 fn read_line_with_timeouts(
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
     state: &ServiceState,
 ) -> ReadOutcome {
+    let mut bytes: Vec<u8> = Vec::new();
     loop {
-        match reader.read_line(line) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(_) => {
-                if line.ends_with('\n') || !line.is_empty() {
-                    return ReadOutcome::Line;
+        let (found_newline, used) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if state.shutdown.load(Ordering::SeqCst) && bytes.is_empty() {
+                        return ReadOutcome::Closed;
+                    }
+                    continue;
                 }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if state.shutdown.load(Ordering::SeqCst) && line.is_empty() {
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Closed,
+            };
+            if buf.is_empty() {
+                // EOF: a final unterminated line still gets served.
+                if bytes.is_empty() {
                     return ReadOutcome::Closed;
                 }
+                line.push_str(&String::from_utf8_lossy(&bytes));
+                return ReadOutcome::Line;
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return ReadOutcome::Closed,
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    bytes.extend_from_slice(&buf[..pos]);
+                    (true, pos + 1)
+                }
+                None => {
+                    bytes.extend_from_slice(buf);
+                    (false, buf.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if bytes.len() > MAX_LINE_BYTES {
+            return ReadOutcome::TooLong;
+        }
+        if found_newline {
+            line.push_str(&String::from_utf8_lossy(&bytes));
+            return ReadOutcome::Line;
         }
     }
 }
@@ -271,6 +335,14 @@ fn read_line_with_timeouts(
 fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) -> Response {
     let accepted_at = Instant::now();
     let parse_span = noc_trace::span("request.parse");
+    if fp::hit("protocol.parse") == Some(fp::Injected::Error) {
+        state.metrics.record_err(ErrorCode::BadRequest);
+        return Response::err(
+            protocol::best_effort_id(line),
+            ErrorCode::BadRequest,
+            "injected parse failure",
+        );
+    }
     let envelope = match protocol::parse_request(line) {
         Ok(env) => env,
         Err(message) => {
@@ -324,9 +396,14 @@ fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) ->
         }
         Request::Prometheus => {
             state.metrics.set_queue_depth(pool.queue_depth() as u64);
+            // Core metrics first, then the noc-trace robustness counters
+            // (shed / deadline / degraded / respawn / retry / poison);
+            // the trace section is empty when tracing was never enabled.
+            let mut text = state.metrics.prometheus_text();
+            text.push_str(&trace_prometheus_text());
             let body = noc_json::obj! {
                 "content_type" => Value::Str("text/plain; version=0.0.4".to_string()),
-                "body" => Value::Str(state.metrics.prometheus_text()),
+                "body" => Value::Str(text),
             };
             let micros = accepted_at.elapsed().as_micros() as u64;
             state.metrics.record_ok("prometheus", micros);
@@ -370,6 +447,7 @@ fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) ->
         Ok(()) => {}
         Err(SubmitError::QueueFull) => {
             state.metrics.record_err(ErrorCode::Overloaded);
+            trace_inc("service.shed");
             return Response::err(id, ErrorCode::Overloaded, "worker queue full; shed");
         }
         Err(SubmitError::ShuttingDown) => {
@@ -380,12 +458,23 @@ fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) ->
     let budget = deadline.saturating_duration_since(Instant::now());
     match reply_rx.recv_timeout(budget) {
         Ok(response) => response,
-        Err(_) => {
+        Err(mpsc::RecvTimeoutError::Timeout) => {
             state.metrics.record_err(ErrorCode::DeadlineExceeded);
+            trace_inc("service.deadline_exceeded");
             Response::err(
                 id,
                 ErrorCode::DeadlineExceeded,
                 "deadline elapsed before the result was ready",
+            )
+        }
+        // The reply channel closing without a response means the worker
+        // died mid-job in a way even the in-flight guard could not catch.
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            state.metrics.record_err(ErrorCode::Internal);
+            Response::err(
+                id,
+                ErrorCode::Internal,
+                "worker dropped the request without replying",
             )
         }
     }

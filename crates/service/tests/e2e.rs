@@ -214,12 +214,56 @@ fn trace_and_prometheus_endpoints() {
 fn tiny_deadline_is_reported_as_exceeded() {
     let (addr, handle, thread) = start_daemon(small_config());
     let mut client = Client::connect(&addr).expect("connect");
-    // A 1 ms deadline on a non-trivial solve cannot be met.
-    let line = r#"{"id":"dl","kind":"solve","n":16,"c":4,"moves":150000,"seed":5,"deadline_ms":1}"#;
+    // A 1 ms deadline on a non-trivial simulation cannot be met, and
+    // `simulate` has no degraded fallback — the deadline must surface as
+    // a structured error. (`solve` would instead answer with the
+    // degraded constructive heuristic; see the degradation test below.)
+    let line = r#"{"id":"dl","kind":"simulate","n":16,"pattern":"ur","rate":0.05,"cycles":200000,"seed":5,"deadline_ms":1}"#;
     match client.request(line).expect("round trip") {
         Response::Err { code, .. } => assert_eq!(code, ErrorCode::DeadlineExceeded),
-        Response::Ok { .. } => panic!("a 1 ms deadline should not be met on 150k moves"),
+        Response::Ok { .. } => panic!("a 1 ms deadline should not be met on a 200k-cycle sim"),
     }
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn starved_solve_degrades_to_the_constructive_heuristic() {
+    let (addr, handle, thread) = start_daemon(small_config());
+    let mut client = Client::connect(&addr).expect("connect");
+    // 2M moves at the conservative 100 moves/ms planning rate needs
+    // ~20 s — a 5 s budget cannot absorb it, so the service answers with
+    // the divide-and-conquer construction instead of failing.
+    let line =
+        r#"{"id":"deg","kind":"solve","n":12,"c":4,"moves":2000000,"seed":3,"deadline_ms":5000}"#;
+    let (cached, result) = expect_ok(client.request(line).expect("round trip"));
+    assert!(!cached);
+    assert_eq!(result.get("degraded"), Some(&Value::Bool(true)));
+    assert!(result.get("links").is_some());
+    let mcs = result.get("max_cross_section").unwrap().as_u64().unwrap();
+    assert!(mcs <= 4, "degraded placement must still respect C");
+
+    // Degraded answers are never cached: the identical request misses
+    // again (and degrades again), because the weaker result must not be
+    // served to a later caller with a generous budget.
+    let (cached_again, again) = expect_ok(client.request(line).expect("second round trip"));
+    assert!(!cached_again, "degraded results must not be cached");
+    assert_eq!(again, result, "degradation path must be deterministic");
+
+    // An un-deadlined (default budget) small solve is never degraded and
+    // carries no `degraded` field at all — byte-identical to a build
+    // without the robustness layer.
+    let normal = r#"{"id":"n","kind":"solve","n":8,"c":4,"moves":300,"seed":3}"#;
+    let (_, full) = expect_ok(client.request(normal).expect("normal solve"));
+    assert_eq!(full.get("degraded"), None);
+
+    let (_, metrics) = expect_ok(
+        client
+            .request(r#"{"id":"m","kind":"metrics"}"#)
+            .expect("metrics"),
+    );
+    assert_eq!(metrics.get("degraded").unwrap().as_u64(), Some(2));
+
     handle.shutdown();
     thread.join().unwrap();
 }

@@ -1,0 +1,113 @@
+//! Shutdown-drain race regression: a submit that is *accepted* must
+//! always produce a response, even when it races the pool's shutdown.
+//!
+//! The original pool kept the `accepting` flag in an atomic checked
+//! outside the queue mutex, so this interleaving silently dropped jobs:
+//! a submitter passes the flag check, shutdown stores `false`, a worker
+//! observes `empty + draining` and exits, and only then does the
+//! submitter push its job onto a queue nobody drains. The fix moves the
+//! flag inside the queue mutex, making "may I enqueue?" and "should I
+//! exit?" one linearized decision. This test hammers that window.
+
+use noc_service::protocol::{parse_request, Envelope, Response};
+use noc_service::{Metrics, ShardedLru, SubmitError, WorkerPool};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn job(envelope: Envelope, reply: Sender<Response>) -> noc_service::Job {
+    let now = Instant::now();
+    noc_service::Job {
+        envelope,
+        accepted_at: now,
+        deadline: now + Duration::from_secs(60),
+        reply,
+    }
+}
+
+#[test]
+fn accepted_jobs_always_get_a_response_across_shutdown() {
+    // Many small rounds maximize the number of times the race window is
+    // crossed; each round races 4 submitters against shutdown.
+    for round in 0..200u64 {
+        let pool = Arc::new(WorkerPool::new(
+            2,
+            64,
+            Arc::new(Metrics::new()),
+            Arc::new(ShardedLru::new(8, 2)),
+        ));
+        let env = parse_request(r#"{"id":"r","kind":"solve","n":4,"c":2,"moves":10}"#).unwrap();
+        let (tx, rx) = mpsc::channel::<Response>();
+
+        let accepted = std::thread::scope(|s| {
+            let mut submitters = Vec::new();
+            for t in 0..4u64 {
+                let pool = pool.clone();
+                let env = env.clone();
+                let tx = tx.clone();
+                submitters.push(s.spawn(move || {
+                    let mut accepted = 0u64;
+                    for i in 0..25 {
+                        // Jitter the takeoff so submits land on both
+                        // sides of the shutdown in different rounds.
+                        if (round + t + i) % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                        match pool.submit(job(env.clone(), tx.clone())) {
+                            Ok(()) => accepted += 1,
+                            Err(SubmitError::ShuttingDown) => break,
+                            Err(SubmitError::QueueFull) => {}
+                        }
+                    }
+                    accepted
+                }));
+            }
+            // Shut down while the submitters are mid-flight.
+            pool.shutdown();
+            submitters
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<u64>()
+        });
+        drop(tx);
+
+        // Drain the pool, then count responses: one per accepted job —
+        // never fewer (silent drop) and never more.
+        Arc::try_unwrap(pool)
+            .unwrap_or_else(|_| panic!("pool still shared"))
+            .join();
+        let mut responses = 0u64;
+        while rx.try_recv().is_ok() {
+            responses += 1;
+        }
+        assert_eq!(
+            responses, accepted,
+            "round {round}: {accepted} accepted submits produced {responses} responses"
+        );
+    }
+}
+
+#[test]
+fn refused_jobs_report_shutting_down_not_silence() {
+    let pool = WorkerPool::new(
+        1,
+        4,
+        Arc::new(Metrics::new()),
+        Arc::new(ShardedLru::new(8, 2)),
+    );
+    pool.shutdown();
+    let env = parse_request(r#"{"id":"x","kind":"solve","n":4,"c":2,"moves":10}"#).unwrap();
+    let (tx, rx) = mpsc::channel();
+    // After shutdown every submit must be *refused* — the caller gets an
+    // immediate error to convert into an `overloaded`/`shutting_down`
+    // response, rather than an accepted job that never answers.
+    for _ in 0..16 {
+        assert_eq!(
+            pool.submit(job(env.clone(), tx.clone())).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+    drop(tx);
+    assert!(rx.try_recv().is_err(), "refused submits must send nothing");
+    pool.join();
+}

@@ -6,6 +6,7 @@
 //! instead of proptest, so the suite runs in hermetic offline builds.
 
 use express_noc::model::{LatencyModel, PacketMix};
+use express_noc::placement::{AllPairsObjective, IncrementalAllPairs, MoveEvaluator, Objective};
 use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
 use express_noc::sim::{SimConfig, Simulator};
 use express_noc::topology::{ConnectionMatrix, MeshTopology};
@@ -84,6 +85,88 @@ fn simulation_conserves_and_bounds() {
                 stats.avg_packet_latency,
                 zero_load_head
             );
+        }
+    });
+}
+
+/// Every connection matrix reachable by SA bit flips decodes to a valid
+/// placement (§4.4.2): local links present in every cut, all cross
+/// sections within the bisection limit `C`, express links well-formed,
+/// and the decoded row re-encodes losslessly under the same limit.
+#[test]
+fn sa_reachable_matrices_stay_valid() {
+    for_cases(24, 0xE4, |rng| {
+        let n = rng.gen_range(4usize..13);
+        let c = rng.gen_range(2usize..6);
+        let mut matrix = ConnectionMatrix::new(n, c);
+        let walk = rng.gen_range(50usize..200);
+        for _ in 0..walk {
+            matrix.flip_flat(rng.gen_range(0..matrix.bit_count()));
+            let row = matrix.decode();
+            assert_eq!(row.len(), n);
+            row.validate(c)
+                .unwrap_or_else(|e| panic!("decoded row invalid for (n={n}, c={c}): {e:?}"));
+            assert!(row.is_within_limit(c));
+            let sections = row.cross_sections();
+            assert_eq!(sections.len(), n - 1);
+            for (cut, &width) in sections.iter().enumerate() {
+                // The mesh's local link is always present, so every cut
+                // carries at least one wire and at most C.
+                assert!(
+                    (1..=c).contains(&width),
+                    "cut {cut} width {width} outside 1..={c} (n={n})"
+                );
+            }
+            for link in row.express_links() {
+                assert!(
+                    link.is_express(),
+                    "non-express link {link:?} in express set"
+                );
+                assert!(
+                    link.a + 2 <= link.b && link.b < n,
+                    "link {link:?} out of row"
+                );
+            }
+            // Round trip: a decoded placement must be representable again
+            // under the same limit, and re-decode to the same topology.
+            let encoded = ConnectionMatrix::encode(&row, c)
+                .unwrap_or_else(|| panic!("decoded row not re-encodable (n={n}, c={c})"));
+            assert_eq!(encoded.decode(), row);
+        }
+    });
+}
+
+/// The incremental move evaluator must stay *bit-identical* to the full
+/// all-pairs objective across arbitrary random flip bursts — this is the
+/// contract SA relies on when it skips full re-evaluation.
+#[test]
+fn incremental_evaluator_matches_full_eval_after_flip_bursts() {
+    for_cases(10, 0xE5, |rng| {
+        let n = rng.gen_range(4usize..11);
+        let c = rng.gen_range(2usize..5);
+        let mut matrix = ConnectionMatrix::new(n, c);
+        let mut eval = IncrementalAllPairs::new(&matrix, HopWeights::PAPER);
+        let full = AllPairsObjective::paper();
+        assert_eq!(
+            eval.objective().to_bits(),
+            full.eval(&matrix.decode()).to_bits(),
+            "fresh evaluator disagrees with full eval (n={n}, c={c})"
+        );
+        for _ in 0..20 {
+            let burst = rng.gen_range(1usize..8);
+            let mut incremental = f64::NAN;
+            for _ in 0..burst {
+                let bit = rng.gen_range(0..matrix.bit_count());
+                matrix.flip_flat(bit);
+                incremental = eval.flip(bit);
+            }
+            let reference = full.eval(&matrix.decode());
+            assert_eq!(
+                incremental.to_bits(),
+                reference.to_bits(),
+                "incremental {incremental} != full {reference} after burst (n={n}, c={c})"
+            );
+            assert_eq!(eval.objective().to_bits(), reference.to_bits());
         }
     });
 }
