@@ -1,0 +1,33 @@
+//! Fault-injection shim for the cluster layer (same pattern as
+//! `noc_service::fp`): with the `faultpoint` cargo feature this
+//! re-exports `faultpoint::hit`; without it, `hit` is an inlined no-op
+//! the optimiser deletes entirely.
+//!
+//! Site wired through this crate:
+//!
+//! | site                | guards                                          |
+//! |---------------------|-------------------------------------------------|
+//! | `cluster.link.send` | every simulated link send (error ⇒ drop the     |
+//! |                     | message, poison ⇒ duplicate the delivery)       |
+
+#[cfg(feature = "faultpoint")]
+pub use faultpoint::{hit, Injected};
+
+/// Mirror of `faultpoint::Injected` for feature-less builds.
+#[cfg(not(feature = "faultpoint"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injected {
+    /// An injected delay already slept in place.
+    Delayed(std::time::Duration),
+    /// The call site should fail the guarded operation.
+    Error,
+    /// The call site should corrupt the value it guards.
+    Poison,
+}
+
+/// No-op fault point: compiled out without the `faultpoint` feature.
+#[cfg(not(feature = "faultpoint"))]
+#[inline(always)]
+pub fn hit(_site: &'static str) -> Option<Injected> {
+    None
+}

@@ -1,0 +1,40 @@
+//! Sharded multi-node placement service.
+//!
+//! `noc-cluster` turns the single-daemon `noc-service` into a cluster:
+//! each node fronts its own transport-agnostic
+//! [`ServiceCore`](noc_service::ServiceCore), a consistent-hash ring
+//! ([`ring::HashRing`]) assigns every cacheable request key a shard
+//! owner, non-owners forward the request (once — the wire-level `fwd`
+//! flag pins forwarded lines to wherever they land), and health gossip
+//! removes silent peers from each node's ring view and re-adds them when
+//! they are heard again. A forward that times out fails over through the
+//! key's replica successors and, with the whole candidate set
+//! unreachable, executes at the origin — an accepted request is never
+//! dropped.
+//!
+//! Two transports drive the same decision logic ([`node::ClusterNode`]):
+//!
+//! * [`sim::ClusterSim`] — a deterministic in-process harness: seeded
+//!   logical clock, per-link latency/drop/duplication drawn from
+//!   `noc-rng`, scripted partition/heal/kill/revive events, and a
+//!   `cluster.link.send` fault point for `faultpoint` overlays. Same
+//!   `(config, script)` ⇒ byte-identical event log, counters, and
+//!   responses, regardless of worker count.
+//! * [`tcp::TcpForwarder`] — real TCP forwarding for daemon peers,
+//!   plugged into `noc_service::Server::set_forwarder`.
+//!
+//! Cluster-level events are counted on the `noc-trace` registry
+//! (`cluster.forwarded`, `cluster.failover`, `cluster.ring_change`,
+//! `cluster.dropped`) and therefore show up in the daemon's prometheus
+//! body alongside the service metrics.
+
+pub mod fp;
+pub mod node;
+pub mod ring;
+pub mod sim;
+pub mod tcp;
+
+pub use node::{ClusterNode, Decision};
+pub use ring::{cluster_fingerprint, HashRing};
+pub use sim::{ClusterCounters, ClusterSim, ScriptAction, SimConfig, SimReport};
+pub use tcp::TcpForwarder;

@@ -1,0 +1,238 @@
+//! One cluster member: a service core, a consistent-hash ring view, and
+//! the health bookkeeping that drives ring updates.
+//!
+//! A [`ClusterNode`] makes the *decisions* — serve inline, serve from
+//! cache, execute locally, or forward to the shard owner — and applies
+//! gossip-driven membership changes, but moves no bytes itself. The
+//! transport (the deterministic [`crate::sim`] harness, or real TCP via
+//! [`crate::tcp::TcpForwarder`] on the server side) owns delivery,
+//! latency, and failure.
+
+use crate::ring::HashRing;
+use noc_service::exec;
+use noc_service::protocol::{self, Envelope, Response};
+use noc_service::{ExecError, ExecOutput, ServiceCore};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What a node wants done with one incoming request line.
+#[derive(Debug)]
+pub enum Decision {
+    /// Answered already: a parse error, an inline kind, or a cache hit.
+    Respond(Response),
+    /// Execute locally (this node owns the key, the line was already
+    /// forwarded once, or the request has no cache key).
+    Execute(Envelope),
+    /// Forward to `owner`, which owns the key's shard. `line` is the
+    /// request rewritten with the `fwd` flag set, and `key_hash` is kept
+    /// for failover routing.
+    Forward {
+        /// Shard owner under this node's current ring view.
+        owner: usize,
+        /// Stable key hash, for picking replica successors on failover.
+        key_hash: u64,
+        /// The forwarded request line (`"fwd": true` set).
+        line: String,
+        /// The original envelope, kept for the local-fallback path.
+        envelope: Envelope,
+    },
+}
+
+/// One member of the cluster.
+pub struct ClusterNode {
+    id: usize,
+    core: Arc<ServiceCore>,
+    ring: HashRing,
+    /// Last tick each peer was heard from (gossip clock, transport-fed).
+    last_heard: Vec<u64>,
+}
+
+impl ClusterNode {
+    /// A node with id `id` and an initial ring view (normally the full
+    /// configured membership — nodes discover *departures*, not joins).
+    pub fn new(id: usize, core: Arc<ServiceCore>, ring: HashRing) -> Self {
+        let peers = ring.nodes().iter().copied().max().unwrap_or(0) + 1;
+        ClusterNode {
+            id,
+            core,
+            ring,
+            last_heard: vec![0; peers.max(id + 1)],
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The service core this node fronts.
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
+    /// This node's current ring view.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Decides how to handle one request line. Parse errors, inline
+    /// kinds, and local cache hits answer immediately; otherwise the key
+    /// either belongs here (execute) or to a peer (forward). Lines
+    /// already marked forwarded are always handled locally — a request
+    /// is forwarded at most once, so ring-view disagreements can cost a
+    /// cache miss but never a routing loop.
+    pub fn decide(&self, line: &str) -> Decision {
+        let accepted_at = Instant::now();
+        let envelope = match self.core.parse_line(line) {
+            Ok(envelope) => envelope,
+            Err(response) => return Decision::Respond(response),
+        };
+        if let Some(response) = self.core.answer_inline(&envelope, 0, accepted_at) {
+            return Decision::Respond(response);
+        }
+        let Some(key) = exec::cache_key(&envelope.request) else {
+            return Decision::Execute(envelope);
+        };
+        let key_hash = key.stable_hash();
+        let owner = self.ring.owner(key_hash).unwrap_or(self.id);
+        if envelope.forwarded || owner == self.id {
+            if let Some(response) = self.core.cache_lookup(&envelope, accepted_at) {
+                return Decision::Respond(response);
+            }
+            return Decision::Execute(envelope);
+        }
+        let mut fwd = envelope.clone();
+        fwd.forwarded = true;
+        Decision::Forward {
+            owner,
+            key_hash,
+            line: protocol::request_line(&fwd),
+            envelope,
+        }
+    }
+
+    /// Completes a locally executed request: shared accounting (caching,
+    /// metrics) via the core, producing the response.
+    pub fn complete(
+        &self,
+        envelope: &Envelope,
+        accepted_at: Instant,
+        outcome: Result<ExecOutput, ExecError>,
+    ) -> Response {
+        self.core
+            .complete(&envelope.id, &envelope.request, accepted_at, outcome)
+    }
+
+    /// Replica candidates for a key under this node's ring view: the
+    /// owner first, then its successors, excluding this node itself.
+    pub fn candidates(&self, key_hash: u64, replicas: usize) -> Vec<usize> {
+        self.ring
+            .successors(key_hash, replicas.saturating_add(1))
+            .into_iter()
+            .filter(|&n| n != self.id)
+            .take(replicas.max(1))
+            .collect()
+    }
+
+    /// Transport feedback: `peer` was heard from at `tick`. Re-adds a
+    /// peer that gossip had removed; returns true if the ring changed.
+    pub fn heard(&mut self, peer: usize, tick: u64) -> bool {
+        if peer >= self.last_heard.len() {
+            self.last_heard.resize(peer + 1, 0);
+        }
+        self.last_heard[peer] = tick;
+        peer != self.id && self.ring.insert(peer)
+    }
+
+    /// Gossip sweep at `tick`: removes every peer silent for more than
+    /// `window` ticks from the ring. Returns the removed ids (ring
+    /// changes), in ascending order.
+    pub fn sweep_silent(&mut self, tick: u64, window: u64) -> Vec<usize> {
+        let mut removed = Vec::new();
+        for peer in 0..self.last_heard.len() {
+            if peer == self.id || !self.ring.contains(peer) {
+                continue;
+            }
+            if tick.saturating_sub(self.last_heard[peer]) > window {
+                self.ring.remove(peer);
+                removed.push(peer);
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::cluster_fingerprint;
+
+    fn node(id: usize, n: usize) -> ClusterNode {
+        let nodes: Vec<usize> = (0..n).collect();
+        let ring = HashRing::new(cluster_fingerprint(&[], 8), &nodes, 8);
+        ClusterNode::new(id, Arc::new(ServiceCore::new(1, 64, 4)), ring)
+    }
+
+    #[test]
+    fn forwarded_lines_never_forward_again() {
+        // Find a request whose owner is not node 0, then check that the
+        // rewritten line is executed (not re-forwarded) on any node.
+        let origin = node(0, 4);
+        let mut seed = 0u64;
+        let (line, owner) = loop {
+            let line =
+                format!(r#"{{"id":"k","kind":"solve","n":6,"c":3,"moves":50,"seed":{seed}}}"#);
+            match origin.decide(&line) {
+                Decision::Forward { owner, line, .. } => break (line, owner),
+                _ => seed += 1,
+            }
+        };
+        assert_ne!(owner, 0);
+        // Even a node that does NOT own the key executes a forwarded line.
+        for id in 0..4 {
+            let n = node(id, 4);
+            match n.decide(&line) {
+                Decision::Execute(env) => assert!(env.forwarded),
+                other => panic!("node {id}: forwarded line must execute, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn owner_executes_and_caches_locally() {
+        // Sweep seeds until one is owned by node 0 itself.
+        let n0 = node(0, 4);
+        let mut seed = 0u64;
+        let (line, envelope) = loop {
+            let line =
+                format!(r#"{{"id":"o","kind":"solve","n":6,"c":3,"moves":50,"seed":{seed}}}"#);
+            match n0.decide(&line) {
+                Decision::Execute(env) => break (line, env),
+                _ => seed += 1,
+            }
+        };
+        let outcome = exec::execute_within(&envelope.request, None);
+        let resp = n0.complete(&envelope, Instant::now(), outcome);
+        assert!(matches!(resp, Response::Ok { .. }));
+        // Same line again now hits the local cache.
+        match n0.decide(&line) {
+            Decision::Respond(Response::Ok { cached, .. }) => assert!(cached),
+            other => panic!("expected cache hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gossip_removes_and_readds_peers() {
+        let mut n = node(0, 3);
+        for peer in 0..3 {
+            n.heard(peer, 10);
+        }
+        assert!(n.sweep_silent(20, 100).is_empty());
+        let removed = n.sweep_silent(200, 100);
+        assert_eq!(removed, vec![1, 2]);
+        assert_eq!(n.ring().nodes(), &[0]);
+        assert!(n.heard(2, 201), "hearing a removed peer re-adds it");
+        assert_eq!(n.ring().nodes(), &[0, 2]);
+        assert!(!n.heard(2, 202), "no ring change when already present");
+    }
+}

@@ -1,0 +1,253 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Cache-shard ownership: a request key's stable hash
+//! ([`noc_service::CacheKey::stable_hash`]) lands on the ring, and the
+//! first virtual-node point at or after it (wrapping) names the owner.
+//! Virtual nodes smooth the load split — with `V` points per node the
+//! largest ownership arc concentrates around `1/N` instead of the
+//! unbounded skew a single point per node gives.
+//!
+//! Every point is FNV-1a over `(cluster fingerprint, node id, vnode
+//! index)`, so two nodes that agree on the cluster configuration compute
+//! byte-identical rings without exchanging a single message — the
+//! deterministic-from-config property the simulation harness and the
+//! TCP forwarder both rely on. Membership changes (a peer marked down by
+//! health gossip, or re-added when heard from again) only add or remove
+//! that node's points; every other arc is untouched, which is what makes
+//! consistent hashing "consistent".
+
+use noc_placement::fingerprint::Fnv1a;
+
+/// Fingerprint of a cluster configuration: the peer list (or node
+/// count) and the virtual-node count. Nodes that disagree on this
+/// fingerprint would compute different rings, so it doubles as a cheap
+/// config-mismatch detector.
+pub fn cluster_fingerprint(peers: &[String], vnodes: usize) -> u64 {
+    let mut h = Fnv1a::with_tag("cluster-config");
+    h.write_u64(peers.len() as u64);
+    for peer in peers {
+        h.write_bytes(peer.as_bytes());
+    }
+    h.write_u64(vnodes as u64);
+    h.finish()
+}
+
+/// A consistent-hash ring mapping 64-bit key hashes to node ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(point, node)` pairs for every live node's vnodes.
+    points: Vec<(u64, usize)>,
+    /// Live node ids, sorted.
+    nodes: Vec<usize>,
+    cluster_fp: u64,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Builds a ring containing `nodes`, with `vnodes` points each, all
+    /// derived from `cluster_fp`.
+    pub fn new(cluster_fp: u64, nodes: &[usize], vnodes: usize) -> Self {
+        let mut ring = HashRing {
+            points: Vec::new(),
+            nodes: Vec::new(),
+            cluster_fp,
+            vnodes: vnodes.max(1),
+        };
+        for &node in nodes {
+            ring.insert(node);
+        }
+        ring
+    }
+
+    fn point(&self, node: usize, vnode: usize) -> u64 {
+        let mut h = Fnv1a::with_tag("cluster-ring-point");
+        h.write_u64(self.cluster_fp);
+        h.write_u64(node as u64);
+        h.write_u64(vnode as u64);
+        h.finish()
+    }
+
+    /// Adds a node's points; returns false if it was already present.
+    pub fn insert(&mut self, node: usize) -> bool {
+        if self.contains(node) {
+            return false;
+        }
+        self.nodes
+            .insert(self.nodes.binary_search(&node).unwrap_err(), node);
+        for vnode in 0..self.vnodes {
+            let point = self.point(node, vnode);
+            let at = self
+                .points
+                .binary_search(&(point, node))
+                .unwrap_or_else(|i| i);
+            self.points.insert(at, (point, node));
+        }
+        true
+    }
+
+    /// Removes a node's points; returns false if it was not present.
+    pub fn remove(&mut self, node: usize) -> bool {
+        match self.nodes.binary_search(&node) {
+            Ok(i) => {
+                self.nodes.remove(i);
+                self.points.retain(|&(_, n)| n != node);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether `node` is currently on the ring.
+    pub fn contains(&self, node: usize) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+
+    /// The live node ids, sorted ascending.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node owning `key_hash`: the first point at or after it,
+    /// wrapping at the top of the hash space. `None` on an empty ring.
+    pub fn owner(&self, key_hash: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let at = self.points.partition_point(|&(point, _)| point < key_hash);
+        Some(self.points[at % self.points.len()].1)
+    }
+
+    /// Up to `count` distinct nodes in ring order starting at the owner
+    /// of `key_hash` — the owner first, then its replica successors.
+    pub fn successors(&self, key_hash: u64, count: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.points.is_empty() || count == 0 {
+            return out;
+        }
+        let start = self.points.partition_point(|&(point, _)| point < key_hash);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == count {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Digest of the live membership — two nodes whose ring views have
+    /// converged report equal fingerprints. Covers the cluster
+    /// fingerprint too, so rings from different configs never compare
+    /// equal by accident.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::with_tag("cluster-ring-view");
+        h.write_u64(self.cluster_fp);
+        h.write_u64(self.vnodes as u64);
+        h.write_u64(self.nodes.len() as u64);
+        for &node in &self.nodes {
+            h.write_u64(node as u64);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> HashRing {
+        let nodes: Vec<usize> = (0..n).collect();
+        HashRing::new(cluster_fingerprint(&[], 16), &nodes, 16)
+    }
+
+    #[test]
+    fn ownership_is_total_and_deterministic() {
+        let r = ring(4);
+        for h in [0u64, 1, u64::MAX, 0xdead_beef, 1 << 40] {
+            let a = r.owner(h).unwrap();
+            let b = r.owner(h).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+        // Two independently built rings agree on every key.
+        let r2 = ring(4);
+        for i in 0..1000u64 {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(r.owner(h), r2.owner(h));
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_nodes_keys() {
+        let full = ring(4);
+        let mut partial = ring(4);
+        partial.remove(2);
+        for i in 0..2000u64 {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5bd1;
+            let before = full.owner(h).unwrap();
+            let after = partial.owner(h).unwrap();
+            if before != 2 {
+                assert_eq!(before, after, "key {h} moved although its owner stayed");
+            } else {
+                assert_ne!(after, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn vnodes_bound_the_load_skew() {
+        let r = HashRing::new(7, &(0..8).collect::<Vec<_>>(), 64);
+        let mut counts = [0usize; 8];
+        for i in 0..20_000u64 {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            counts[r.owner(h).unwrap()] += 1;
+        }
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(
+            max < min * 4,
+            "load skew too large with 64 vnodes: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn successors_are_distinct_and_start_with_owner() {
+        let r = ring(5);
+        for i in 0..100u64 {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let succ = r.successors(h, 3);
+            assert_eq!(succ.len(), 3);
+            assert_eq!(succ[0], r.owner(h).unwrap());
+            let mut sorted = succ.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "successors must be distinct nodes");
+        }
+        assert_eq!(r.successors(0, 10).len(), 5, "capped at live node count");
+    }
+
+    #[test]
+    fn fingerprints_converge_only_on_equal_membership() {
+        let mut a = ring(4);
+        let mut b = ring(4);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.remove(1);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.remove(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.insert(1);
+        b.insert(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

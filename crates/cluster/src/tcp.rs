@@ -1,0 +1,208 @@
+//! TCP request forwarding between real daemon peers.
+//!
+//! [`TcpForwarder`] plugs into the service's [`Forwarder`] seam
+//! (`noc_service::Server::set_forwarder`): before a cacheable request is
+//! executed locally, the forwarder checks the consistent-hash ring and —
+//! when the key belongs to a peer — replays the line (with the `fwd`
+//! flag set, so it cannot loop) over a fresh TCP connection to the
+//! owner, falling back through the replica successors on transport
+//! errors. If every candidate fails, it returns `None` and the local
+//! node executes the request itself: a request accepted by any live node
+//! is answered by *some* node, never dropped.
+//!
+//! Ring membership is trimmed pessimistically — a peer whose connection
+//! fails is removed from this node's view (`cluster.ring_change`) and
+//! retried after `REJOIN_COOLDOWN_MS`, so a restarted peer rejoins
+//! without any explicit join protocol. The deterministic twin of this
+//! logic (gossip windows instead of wall-clock cooldowns) lives in
+//! [`crate::sim`].
+
+use crate::ring::{cluster_fingerprint, HashRing};
+use noc_service::protocol::{self, Envelope, Response};
+use noc_service::{CacheKey, Client, Forwarder};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How long a peer stays out of the ring after a failed connection
+/// before we optimistically try it again.
+const REJOIN_COOLDOWN_MS: u64 = 2_000;
+
+fn trace_inc(name: &str) {
+    if let Some(sink) = noc_trace::sink() {
+        sink.registry().counter(name).inc();
+    }
+}
+
+struct RingState {
+    ring: HashRing,
+    /// `(peer, when it may rejoin)` for peers evicted after a transport
+    /// error.
+    benched: Vec<(usize, Instant)>,
+}
+
+/// Forwards owned-elsewhere requests to their shard owner over TCP.
+pub struct TcpForwarder {
+    self_id: usize,
+    peers: Vec<String>,
+    replicas: usize,
+    cluster_fp: u64,
+    state: Mutex<RingState>,
+}
+
+impl TcpForwarder {
+    /// Builds the forwarder for the node at `peers[self_id]`. All peers
+    /// must be configured with the identical peer list (same order) and
+    /// `vnodes`, or their rings disagree; `cluster_fingerprint` makes
+    /// such a mismatch visible in logs and metrics.
+    pub fn new(self_id: usize, peers: Vec<String>, vnodes: usize, replicas: usize) -> TcpForwarder {
+        assert!(
+            self_id < peers.len(),
+            "node id {self_id} out of range for {} peers",
+            peers.len()
+        );
+        let fp = cluster_fingerprint(&peers, vnodes);
+        let ids: Vec<usize> = (0..peers.len()).collect();
+        TcpForwarder {
+            self_id,
+            peers,
+            replicas: replicas.max(1),
+            cluster_fp: fp,
+            state: Mutex::new(RingState {
+                ring: HashRing::new(fp, &ids, vnodes),
+                benched: Vec::new(),
+            }),
+        }
+    }
+
+    /// The cluster-config fingerprint shared by all correctly configured
+    /// peers (stable across membership changes — compare it across nodes
+    /// to detect peer-list mismatches).
+    pub fn cluster_fp(&self) -> u64 {
+        self.cluster_fp
+    }
+
+    /// Replica candidates (owner first) for `key_hash` under the current
+    /// ring view, excluding this node.
+    fn candidates(&self, key_hash: u64) -> Vec<usize> {
+        let mut state = self.state.lock().unwrap();
+        let now = Instant::now();
+        let mut rejoining = Vec::new();
+        state.benched.retain(|&(peer, until)| {
+            if now >= until {
+                rejoining.push(peer);
+                false
+            } else {
+                true
+            }
+        });
+        if rejoining.iter().any(|&peer| state.ring.insert(peer)) {
+            trace_inc("cluster.ring_change");
+        }
+        state
+            .ring
+            .successors(key_hash, self.replicas.saturating_add(1))
+            .into_iter()
+            .filter(|&n| n != self.self_id)
+            .take(self.replicas)
+            .collect()
+    }
+
+    fn bench(&self, peer: usize) {
+        let mut state = self.state.lock().unwrap();
+        if state.ring.remove(peer) {
+            trace_inc("cluster.ring_change");
+            state.benched.push((
+                peer,
+                Instant::now() + Duration::from_millis(REJOIN_COOLDOWN_MS),
+            ));
+        }
+    }
+}
+
+impl Forwarder for TcpForwarder {
+    fn forward(&self, key: &CacheKey, envelope: &Envelope) -> Option<Response> {
+        let key_hash = key.stable_hash();
+        {
+            let state = self.state.lock().unwrap();
+            if state.ring.owner(key_hash) == Some(self.self_id) {
+                return None; // ours: execute locally
+            }
+        }
+        let mut fwd = envelope.clone();
+        fwd.forwarded = true;
+        let line = protocol::request_line(&fwd);
+        for peer in self.candidates(key_hash) {
+            let response =
+                Client::connect(&self.peers[peer]).and_then(|mut client| client.request(&line));
+            match response {
+                Ok(response) => {
+                    trace_inc("cluster.forwarded");
+                    return Some(response);
+                }
+                Err(_) => {
+                    trace_inc("cluster.failover");
+                    self.bench(peer);
+                }
+            }
+        }
+        // Every candidate unreachable (or we own the key after all the
+        // benching): execute locally rather than fail the request.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_service::exec;
+
+    fn forwarder(n: usize) -> TcpForwarder {
+        let peers: Vec<String> = (0..n)
+            .map(|i| format!("127.0.0.1:{}", 42_000 + i))
+            .collect();
+        TcpForwarder::new(0, peers, 16, 2)
+    }
+
+    fn envelope(seed: u64) -> Envelope {
+        let line = format!(r#"{{"id":"t","kind":"solve","n":6,"c":3,"moves":40,"seed":{seed}}}"#);
+        protocol::parse_request(&line).unwrap()
+    }
+
+    #[test]
+    fn unreachable_peers_mean_local_execution_not_failure() {
+        // Nothing listens on the peer ports: every forward must fail
+        // over and ultimately return None (execute locally).
+        let fwd = forwarder(3);
+        for seed in 0..6u64 {
+            let env = envelope(seed);
+            let key = exec::cache_key(&env.request).unwrap();
+            assert!(fwd.forward(&key, &env).is_none());
+        }
+        // The failed peers were benched: the ring shrank to just us.
+        let state = fwd.state.lock().unwrap();
+        assert_eq!(state.ring.nodes(), &[0]);
+        assert_eq!(state.benched.len(), 2);
+    }
+
+    #[test]
+    fn own_keys_are_never_forwarded() {
+        let fwd = forwarder(4);
+        // Find a key owned by node 0 and check forward() declines it
+        // without touching the network (no benched peers afterwards).
+        let mut seed = 0u64;
+        loop {
+            let env = envelope(seed);
+            let key = exec::cache_key(&env.request).unwrap();
+            let owner = {
+                let state = fwd.state.lock().unwrap();
+                state.ring.owner(key.stable_hash())
+            };
+            if owner == Some(0) {
+                assert!(fwd.forward(&key, &env).is_none());
+                assert!(fwd.state.lock().unwrap().benched.is_empty());
+                break;
+            }
+            seed += 1;
+        }
+    }
+}

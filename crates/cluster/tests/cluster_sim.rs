@@ -1,0 +1,176 @@
+//! Acceptance tests for the deterministic cluster simulation: identical
+//! reports across repeated runs and worker counts, ring convergence
+//! after partition-then-heal, and zero accepted-then-dropped requests
+//! when the shard owner is killed mid-forward.
+
+use noc_cluster::{ClusterSim, ScriptAction, SimConfig, SimReport};
+use noc_service::Response;
+
+fn solve_line(id: &str, seed: u64) -> String {
+    format!(r#"{{"id":"{id}","kind":"solve","n":6,"c":3,"moves":60,"seed":{seed}}}"#)
+}
+
+/// The reference scenario: four nodes, a partition that splits the
+/// cluster in half mid-run, a heal, and requests arriving round-robin
+/// the whole time — before, during, and after the partition.
+fn partition_heal_run(seed: u64, workers: usize) -> SimReport {
+    let mut sim = ClusterSim::new(SimConfig {
+        nodes: 4,
+        seed,
+        workers,
+        drop_rate: 0.02,
+        dup_rate: 0.02,
+        ..SimConfig::default()
+    });
+    sim.script(20, ScriptAction::Partition(vec![vec![0, 1], vec![2, 3]]));
+    sim.script(120, ScriptAction::Heal);
+    for r in 0..16u64 {
+        sim.client_request(
+            2 + 9 * r,
+            (r % 4) as usize,
+            solve_line(&format!("r{r}"), r % 5),
+        );
+    }
+    sim.run()
+}
+
+#[test]
+fn same_seed_reproduces_the_identical_report() {
+    let a = partition_heal_run(11, 1);
+    let b = partition_heal_run(11, 1);
+    assert_eq!(a.events, b.events, "event logs must be byte-identical");
+    assert_eq!(a.responses, b.responses);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.ring_fingerprints, b.ring_fingerprints);
+    assert_eq!(a.ticks, b.ticks);
+}
+
+#[test]
+fn worker_count_does_not_change_the_report() {
+    let one = partition_heal_run(11, 1);
+    for workers in [2, 4, 8] {
+        let many = partition_heal_run(11, workers);
+        assert_eq!(
+            one.events, many.events,
+            "event log diverged at {workers} workers"
+        );
+        assert_eq!(one.responses, many.responses);
+        assert_eq!(one.counters, many.counters);
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = partition_heal_run(11, 1);
+    let b = partition_heal_run(12, 1);
+    // Different link-latency draws must surface somewhere in the log.
+    assert_ne!(a.events, b.events);
+}
+
+#[test]
+fn partition_then_heal_converges_every_ring_view() {
+    let report = partition_heal_run(3, 1);
+    // The partition forces ring removals on both sides...
+    assert!(
+        report.counters.ring_change > 0,
+        "expected gossip-driven ring changes:\n{:#?}",
+        report.events
+    );
+    assert!(report.counters.dropped > 0, "partition must drop messages");
+    // ...and after the heal every surviving view converges back.
+    assert_eq!(report.ring_fingerprints.len(), 4);
+    let first = report.ring_fingerprints[0].1;
+    for &(node, fp) in &report.ring_fingerprints {
+        assert_eq!(fp, first, "node {node} ring view did not re-converge");
+    }
+    // Nothing accepted was lost, partition or not.
+    assert_eq!(report.accepted, 16);
+    assert_eq!(report.unanswered, 0);
+}
+
+#[test]
+fn killing_the_shard_owner_fails_over_without_losing_requests() {
+    // Find a solve seed whose shard owner is NOT node 0, so the request
+    // injected at node 0 must forward.
+    let (seed, owner) = (0..64u64)
+        .find_map(|seed| {
+            let line = solve_line("probe", seed);
+            match probe_owner(&line) {
+                Some(owner) if owner != 0 => Some((seed, owner)),
+                _ => None,
+            }
+        })
+        .expect("some seed lands on a remote owner");
+
+    let mut sim = ClusterSim::new(SimConfig {
+        nodes: 3,
+        seed: 5,
+        ..SimConfig::default()
+    });
+    // Kill the owner before the request arrives: the forward goes into
+    // the void, times out, and must fail over (replica, then local
+    // fallback if needed) — never silently drop.
+    sim.script(1, ScriptAction::Kill(owner));
+    let rid = sim.client_request(5, 0, solve_line("k0", seed));
+    let report = sim.run();
+    assert_eq!(report.accepted, 1);
+    assert_eq!(
+        report.unanswered, 0,
+        "accepted-then-dropped:\n{:#?}",
+        report.events
+    );
+    assert!(report.counters.forwarded >= 1);
+    assert!(
+        report.counters.failover >= 1,
+        "dead owner must trigger failover:\n{:#?}",
+        report.events
+    );
+    let (got_rid, _, line) = &report.responses[0];
+    assert_eq!(*got_rid, rid);
+    match Response::from_line(line).expect("well-formed response") {
+        Response::Ok { .. } => {}
+        Response::Err { code, message, .. } => {
+            panic!("failover answered with an error: {code:?} {message}")
+        }
+    }
+}
+
+#[test]
+fn revived_node_rejoins_the_ring() {
+    let mut sim = ClusterSim::new(SimConfig {
+        nodes: 3,
+        seed: 1,
+        ..SimConfig::default()
+    });
+    sim.script(10, ScriptAction::Kill(2));
+    sim.script(150, ScriptAction::Revive(2));
+    let report = sim.run();
+    // Dead long enough to be swept out, alive long enough to gossip back
+    // in: every final ring view contains all three nodes again.
+    assert!(report.counters.ring_change >= 2);
+    assert_eq!(report.ring_fingerprints.len(), 3);
+    let first = report.ring_fingerprints[0].1;
+    assert!(report.ring_fingerprints.iter().all(|&(_, fp)| fp == first));
+}
+
+/// Decides `line` on a standalone replica of the sim's node 0 and
+/// reports the owner it would forward to (`None` when node 0 handles it
+/// itself).
+fn probe_owner(line: &str) -> Option<usize> {
+    use noc_cluster::{ClusterNode, Decision, HashRing};
+    use noc_service::ServiceCore;
+    use std::sync::Arc;
+    // Rebuild node 0's ring exactly as ClusterSim::new does.
+    let peers: Vec<String> = (0..3).map(|i| format!("sim-node-{i}")).collect();
+    let fp = noc_cluster::cluster_fingerprint(&peers, 16);
+    let ids: Vec<usize> = (0..3).collect();
+    let node = ClusterNode::new(
+        0,
+        Arc::new(ServiceCore::new(1, 16, 2)),
+        HashRing::new(fp, &ids, 16),
+    );
+    match node.decide(line) {
+        Decision::Forward { owner, .. } => Some(owner),
+        _ => None,
+    }
+}

@@ -1,0 +1,80 @@
+//! Cluster counters on the `noc-trace` registry and in the prometheus
+//! body.
+//!
+//! Lives in its own integration-test binary (= its own process) because
+//! the trace sink is global: counters incremented by unrelated tests in
+//! the same process would pollute the deltas asserted here.
+
+use noc_cluster::{ClusterSim, ScriptAction, SimConfig};
+use noc_service::trace_prometheus_text;
+
+fn counter(name: &str) -> u64 {
+    noc_trace::sink()
+        .map(|s| s.registry().counter(name).get())
+        .unwrap_or(0)
+}
+
+#[test]
+fn sim_counters_mirror_onto_the_trace_registry_and_prometheus_body() {
+    noc_trace::enable();
+    let before = [
+        counter("cluster.forwarded"),
+        counter("cluster.failover"),
+        counter("cluster.ring_change"),
+        counter("cluster.dropped"),
+    ];
+
+    let mut sim = ClusterSim::new(SimConfig {
+        nodes: 4,
+        seed: 9,
+        drop_rate: 0.05,
+        ..SimConfig::default()
+    });
+    sim.script(15, ScriptAction::Partition(vec![vec![0, 1], vec![2, 3]]));
+    sim.script(100, ScriptAction::Heal);
+    for r in 0..12u64 {
+        let line = format!(
+            r#"{{"id":"t{r}","kind":"solve","n":6,"c":3,"moves":60,"seed":{}}}"#,
+            r % 3
+        );
+        sim.client_request(2 + 8 * r, (r % 4) as usize, line);
+    }
+    let report = sim.run();
+
+    // The registry deltas must equal the sim-internal counters exactly.
+    assert_eq!(
+        counter("cluster.forwarded") - before[0],
+        report.counters.forwarded
+    );
+    assert_eq!(
+        counter("cluster.failover") - before[1],
+        report.counters.failover
+    );
+    assert_eq!(
+        counter("cluster.ring_change") - before[2],
+        report.counters.ring_change
+    );
+    assert_eq!(
+        counter("cluster.dropped") - before[3],
+        report.counters.dropped
+    );
+    // A partitioned run exercises every counter.
+    assert!(report.counters.forwarded > 0);
+    assert!(report.counters.ring_change > 0);
+    assert!(report.counters.dropped > 0);
+
+    // And the daemon's prometheus body picks them up with no extra
+    // wiring, via the registry renderer.
+    let text = trace_prometheus_text();
+    for name in [
+        "cluster.forwarded",
+        "cluster.ring_change",
+        "cluster.dropped",
+    ] {
+        assert!(
+            text.contains(&format!("noc_trace_counter{{name=\"{name}\"}}")),
+            "{name} missing from prometheus body:\n{text}"
+        );
+    }
+    noc_trace::disable();
+}

@@ -50,6 +50,25 @@ pub struct CacheKey {
     pub extra: u64,
 }
 
+impl CacheKey {
+    /// Platform- and process-stable 64-bit digest of the key, used by the
+    /// cluster layer to place keys on the consistent-hash ring. Unlike
+    /// [`std::collections::hash_map::DefaultHasher`], this is FNV-1a over
+    /// the key fields, so every node of a cluster — and every run of a
+    /// deterministic cluster simulation — agrees on shard ownership.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = Fnv1a::with_tag("cluster-shard-key");
+        h.write_bytes(self.kind.as_bytes());
+        h.write_u64(self.n);
+        h.write_u64(self.c);
+        h.write_u64(self.objective_fp);
+        h.write_u64(self.params_fp);
+        h.write_u64(self.seed);
+        h.write_u64(self.extra);
+        h.finish()
+    }
+}
+
 struct Entry {
     value: Value,
     /// Integrity digest of `value` at insertion; verified on every get.

@@ -116,30 +116,57 @@ fn retryable(result: &std::io::Result<Response>) -> bool {
 
 /// A [`Client`] wrapper that retries shed and transport-failed requests
 /// with seeded jittered exponential backoff, reconnecting as needed.
+///
+/// With more than one peer address ([`with_peers`]), connections are
+/// established deterministically round-robin through the list, so a
+/// transport failure fails over to the next peer on the retry that
+/// follows — the client-side half of cluster failover.
+///
+/// [`with_peers`]: RetryingClient::with_peers
 pub struct RetryingClient {
-    addr: String,
+    addrs: Vec<String>,
+    /// Index of the peer the next (re)connect will use.
+    next: usize,
     client: Option<Client>,
     policy: RetryPolicy,
     rng: SmallRng,
     retries: u64,
+    failovers: u64,
 }
 
 impl RetryingClient {
-    /// Connects lazily on first use; `addr` is kept for reconnects.
+    /// Single-peer client; connects lazily on first use and keeps `addr`
+    /// for reconnects.
     pub fn new(addr: &str, policy: RetryPolicy) -> RetryingClient {
+        RetryingClient::with_peers(&[addr.to_string()], policy)
+    }
+
+    /// Multi-peer client: each (re)connect uses the next address in
+    /// `addrs`, in order, starting from the first. Panics on an empty
+    /// list.
+    pub fn with_peers(addrs: &[String], policy: RetryPolicy) -> RetryingClient {
+        assert!(!addrs.is_empty(), "RetryingClient needs at least one peer");
         let rng = SmallRng::seed_from_u64(policy.seed);
         RetryingClient {
-            addr: addr.to_string(),
+            addrs: addrs.to_vec(),
+            next: 0,
             client: None,
             policy,
             rng,
             retries: 0,
+            failovers: 0,
         }
     }
 
     /// Total retries performed so far (not counting first attempts).
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// How many times a transport failure moved this client to another
+    /// peer (always 0 with a single peer).
+    pub fn failovers(&self) -> u64 {
+        self.failovers
     }
 
     /// Sends one request line, retrying per the policy. Returns the last
@@ -159,8 +186,12 @@ impl RetryingClient {
                 return outcome;
             }
             if outcome.is_err() {
-                // The connection died mid-exchange; force a reconnect.
+                // The connection died mid-exchange; the next attempt
+                // reconnects — to the next peer, if there is one.
                 self.client = None;
+                if self.addrs.len() > 1 {
+                    self.failovers += 1;
+                }
             }
             last = Some(outcome);
         }
@@ -169,7 +200,9 @@ impl RetryingClient {
 
     fn try_once(&mut self, request_line: &str) -> std::io::Result<Response> {
         if self.client.is_none() {
-            self.client = Some(Client::connect(&self.addr)?);
+            let addr = &self.addrs[self.next % self.addrs.len()];
+            self.next = (self.next + 1) % self.addrs.len();
+            self.client = Some(Client::connect(addr)?);
         }
         let client = self.client.as_mut().expect("client just connected");
         client.request(request_line)
@@ -225,6 +258,26 @@ pub fn generate_load(
     requests_per_connection: usize,
     body: impl Fn(usize, usize) -> String + Sync,
 ) -> std::io::Result<LoadReport> {
+    generate_load_multi(
+        &[addr.to_string()],
+        connections,
+        requests_per_connection,
+        body,
+    )
+}
+
+/// [`generate_load`] over a cluster: connection `i` dials
+/// `addrs[i % addrs.len()]` (deterministic round-robin), and a
+/// connection whose transport dies mid-run fails over to the next peer
+/// in the list and resends the in-flight request — once per peer before
+/// giving up on that request.
+pub fn generate_load_multi(
+    addrs: &[String],
+    connections: usize,
+    requests_per_connection: usize,
+    body: impl Fn(usize, usize) -> String + Sync,
+) -> std::io::Result<LoadReport> {
+    assert!(!addrs.is_empty(), "generate_load needs at least one peer");
     let connections = connections.max(1);
     let started = Instant::now();
     let mut per_thread: Vec<(u64, u64, u64, u64, Vec<u64>)> = Vec::new();
@@ -233,7 +286,10 @@ pub fn generate_load(
         for conn in 0..connections {
             let body = &body;
             handles.push(s.spawn(move || {
-                let mut client = match Client::connect(addr) {
+                // Peer this connection currently talks to; advanced on
+                // transport failure (failover).
+                let mut peer = conn % addrs.len();
+                let mut client = match Client::connect(&addrs[peer]) {
                     Ok(c) => c,
                     Err(_) => {
                         return (
@@ -250,25 +306,43 @@ pub fn generate_load(
                 let mut cached = 0u64;
                 let mut errors = 0u64;
                 let mut latencies = Vec::with_capacity(requests_per_connection);
-                for i in 0..requests_per_connection {
+                'requests: for i in 0..requests_per_connection {
                     let line = body(conn, i);
                     sent += 1;
                     let t0 = Instant::now();
-                    match client.request(&line) {
-                        Ok(Response::Ok { cached: c, .. }) => {
-                            latencies.push(t0.elapsed().as_micros() as u64);
-                            ok += 1;
-                            if c {
-                                cached += 1;
+                    // One attempt per peer: the current connection, then a
+                    // reconnect against each remaining peer in order.
+                    let mut tries_left = addrs.len();
+                    loop {
+                        match client.request(&line) {
+                            Ok(Response::Ok { cached: c, .. }) => {
+                                latencies.push(t0.elapsed().as_micros() as u64);
+                                ok += 1;
+                                if c {
+                                    cached += 1;
+                                }
+                                break;
                             }
-                        }
-                        Ok(Response::Err { .. }) => {
-                            latencies.push(t0.elapsed().as_micros() as u64);
-                            errors += 1;
-                        }
-                        Err(_) => {
-                            errors += 1;
-                            break; // transport broken; stop this connection
+                            Ok(Response::Err { .. }) => {
+                                latencies.push(t0.elapsed().as_micros() as u64);
+                                errors += 1;
+                                break;
+                            }
+                            Err(_) => {
+                                tries_left -= 1;
+                                if tries_left == 0 {
+                                    errors += 1;
+                                    break 'requests; // every peer failed
+                                }
+                                peer = (peer + 1) % addrs.len();
+                                match Client::connect(&addrs[peer]) {
+                                    Ok(c) => client = c,
+                                    Err(_) => {
+                                        errors += 1;
+                                        break 'requests;
+                                    }
+                                }
+                            }
                         }
                     }
                 }

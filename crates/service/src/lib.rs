@@ -18,9 +18,14 @@
 //!   histograms, served by `metrics`/`health` requests without touching
 //!   the worker queue.
 //!
-//! [`server`] wires these into an accept loop with graceful drain, and
-//! [`client`] provides the blocking client plus the load generator used
-//! by `express-noc-cli loadgen`.
+//! [`core`] composes protocol, cache, and metrics into the
+//! transport-agnostic request pipeline (parse → inline → forward →
+//! cache → dispatch) that every transport shares. [`server`] wires it
+//! into a TCP accept loop with graceful drain, [`local`] serves the same
+//! pipeline over in-process channels, and [`client`] provides the
+//! blocking client plus the load generator used by
+//! `express-noc-cli loadgen`. The [`core::Forwarder`] seam is where the
+//! `noc-cluster` crate hooks shard ownership into the pipeline.
 //!
 //! # Robustness
 //!
@@ -48,17 +53,23 @@
 
 pub mod cache;
 pub mod client;
+pub mod core;
 pub mod exec;
 pub mod fp;
+pub mod local;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 
+pub use crate::core::{Dispatch, Forwarder, InlineDispatch, ServiceCore};
 pub use cache::{CacheKey, ShardedLru};
-pub use client::{generate_load, Client, LoadReport, RetryPolicy, RetryingClient};
+pub use client::{
+    generate_load, generate_load_multi, Client, LoadReport, RetryPolicy, RetryingClient,
+};
 pub use exec::{ExecError, ExecOutput};
+pub use local::{LocalConn, LocalServer};
 pub use metrics::{trace_prometheus_text, Metrics};
 pub use pool::{Job, SubmitError, WorkerPool};
-pub use protocol::{Envelope, ErrorCode, Request, Response};
+pub use protocol::{Envelope, ErrorCode, Request, Response, MAX_LINE_BYTES};
 pub use server::{Server, ServerHandle, ServiceConfig};

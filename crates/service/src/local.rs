@@ -1,0 +1,165 @@
+//! The in-process channel transport: the daemon's wire protocol served
+//! over `mpsc` channels, with no sockets and no worker pool.
+//!
+//! A [`LocalServer`] wraps a [`ServiceCore`]; each [`connect`] spawns a
+//! handler thread that reads request lines off a channel, runs them
+//! through the exact pipeline the TCP transport uses
+//! ([`ServiceCore::handle_line`] with [`InlineDispatch`]), and writes
+//! response lines back. The same framing rules apply — one request per
+//! line, lines over [`protocol::MAX_LINE_BYTES`] refused with
+//! `bad_request` and the connection closed — so tests and embedders
+//! exercising the protocol in-process see the daemon's semantics, not a
+//! simplified imitation.
+//!
+//! Handler threads exit when their connection's sender side is dropped,
+//! so a [`LocalConn`] going out of scope cleans itself up.
+//!
+//! [`connect`]: LocalServer::connect
+
+use crate::core::{InlineDispatch, ServiceCore};
+use crate::protocol::{self, ErrorCode, Response};
+use std::io;
+use std::sync::{mpsc, Arc};
+
+/// A socket-free server: hands out in-process connections to a shared
+/// [`ServiceCore`].
+pub struct LocalServer {
+    core: Arc<ServiceCore>,
+}
+
+impl LocalServer {
+    /// Serves `core` over in-process channels.
+    pub fn new(core: Arc<ServiceCore>) -> Self {
+        LocalServer { core }
+    }
+
+    /// Builds a fresh single-threaded core (`workers` reported as 1) and
+    /// serves it — the one-liner for tests and embedders.
+    pub fn with_defaults(cache_capacity: usize, cache_shards: usize) -> Self {
+        LocalServer::new(Arc::new(ServiceCore::new(1, cache_capacity, cache_shards)))
+    }
+
+    /// The request-handling core this transport fronts.
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
+    /// Opens a connection: a dedicated handler thread serving one line
+    /// at a time, in order, like one TCP connection handler.
+    pub fn connect(&self) -> LocalConn {
+        let (req_tx, req_rx) = mpsc::channel::<String>();
+        let (resp_tx, resp_rx) = mpsc::channel::<String>();
+        let core = self.core.clone();
+        std::thread::Builder::new()
+            .name("noc-local-conn".to_string())
+            .spawn(move || {
+                core.metrics().connection_opened();
+                let dispatch = InlineDispatch::default();
+                for line in req_rx {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let response = if trimmed.len() > protocol::MAX_LINE_BYTES {
+                        // Same framing contract as the TCP transport:
+                        // refuse the oversized line and close.
+                        core.metrics().record_err(ErrorCode::BadRequest);
+                        let resp = Response::err(
+                            protocol::best_effort_id(""),
+                            ErrorCode::BadRequest,
+                            format!(
+                                "request line exceeds the {}-byte limit",
+                                protocol::MAX_LINE_BYTES
+                            ),
+                        );
+                        let _ = resp_tx.send(resp.to_line());
+                        break;
+                    } else {
+                        let _request_span = noc_trace::span("request");
+                        core.handle_line(trimmed, &dispatch, None)
+                    };
+                    if resp_tx.send(response.to_line()).is_err() {
+                        break; // peer dropped the connection
+                    }
+                }
+                core.metrics().connection_closed();
+            })
+            .expect("spawn local connection thread");
+        LocalConn {
+            tx: req_tx,
+            rx: resp_rx,
+        }
+    }
+}
+
+/// One in-process connection: send a request line, receive the response
+/// line, strictly alternating — the same discipline [`crate::Client`]
+/// applies to its TCP stream.
+pub struct LocalConn {
+    tx: mpsc::Sender<String>,
+    rx: mpsc::Receiver<String>,
+}
+
+impl LocalConn {
+    /// Sends one request line and waits for its response line.
+    pub fn round_trip(&self, line: &str) -> io::Result<String> {
+        self.tx
+            .send(line.to_string())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "local connection closed"))?;
+        self.rx.recv().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "local connection closed before responding",
+            )
+        })
+    }
+
+    /// [`round_trip`](LocalConn::round_trip) plus response parsing.
+    pub fn request(&self, line: &str) -> io::Result<Response> {
+        let raw = self.round_trip(line)?;
+        Response::from_line(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_transport_matches_daemon_semantics() {
+        let server = LocalServer::with_defaults(64, 4);
+        let conn = server.connect();
+        let line = r#"{"id":"l1","kind":"solve","n":6,"c":3,"moves":100}"#;
+        let first = conn.request(line).unwrap();
+        let Response::Ok { cached, .. } = first else {
+            panic!("expected ok, got {first:?}")
+        };
+        assert!(!cached);
+        let second = conn.request(line).unwrap();
+        let Response::Ok { cached, .. } = second else {
+            panic!("expected ok, got {second:?}")
+        };
+        assert!(cached, "repeat request must hit the shared cache");
+        // A second connection shares the same core and cache.
+        let conn2 = server.connect();
+        let third = conn2.request(line).unwrap();
+        let Response::Ok { cached, .. } = third else {
+            panic!("expected ok, got {third:?}")
+        };
+        assert!(cached);
+    }
+
+    #[test]
+    fn oversized_line_is_refused_and_closes() {
+        let server = LocalServer::with_defaults(4, 1);
+        let conn = server.connect();
+        let oversized = "x".repeat(protocol::MAX_LINE_BYTES + 1);
+        let resp = conn.request(&oversized).unwrap();
+        match resp {
+            Response::Err { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected bad_request, got {other:?}"),
+        }
+        // The handler closed; further round trips fail cleanly.
+        assert!(conn.round_trip("{}").is_err());
+    }
+}

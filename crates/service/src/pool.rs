@@ -23,10 +23,10 @@
 //! request, and a `RespawnGuard` spawns a replacement worker thread so
 //! pool capacity is not permanently eroded.
 
-use crate::cache::ShardedLru;
-use crate::exec::{self, ExecError};
+use crate::core::ServiceCore;
+use crate::exec::ExecError;
 use crate::fp;
-use crate::metrics::{trace_inc, Metrics};
+use crate::metrics::trace_inc;
 use crate::protocol::{Envelope, ErrorCode, Response};
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
@@ -59,8 +59,9 @@ struct PoolShared {
     queue: Mutex<PoolQueue>,
     work_ready: Condvar,
     capacity: usize,
-    metrics: Arc<Metrics>,
-    cache: Arc<ShardedLru>,
+    /// The transport-agnostic core: execution accounting and the result
+    /// cache live there, shared with whatever transport feeds this pool.
+    core: Arc<ServiceCore>,
     /// Join handles of workers respawned after a panic. Drained by
     /// [`WorkerPool::join`] in a loop, since a respawned worker can
     /// itself panic and respawn.
@@ -84,14 +85,9 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads servicing a queue of at most `capacity`
-    /// jobs. Results are written through to `cache` and accounted in
-    /// `metrics`.
-    pub fn new(
-        workers: usize,
-        capacity: usize,
-        metrics: Arc<Metrics>,
-        cache: Arc<ShardedLru>,
-    ) -> Self {
+    /// jobs. Results are written through to the core's cache and
+    /// accounted in its metrics.
+    pub fn new(workers: usize, capacity: usize, core: Arc<ServiceCore>) -> Self {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue {
                 jobs: VecDeque::new(),
@@ -99,8 +95,7 @@ impl WorkerPool {
             }),
             work_ready: Condvar::new(),
             capacity: capacity.max(1),
-            metrics,
-            cache,
+            core,
             respawned: Mutex::new(Vec::new()),
         });
         let workers = (0..workers.max(1))
@@ -124,7 +119,10 @@ impl WorkerPool {
             return Err(SubmitError::QueueFull);
         }
         queue.jobs.push_back(job);
-        self.shared.metrics.set_queue_depth(queue.jobs.len() as u64);
+        self.shared
+            .core
+            .metrics()
+            .set_queue_depth(queue.jobs.len() as u64);
         drop(queue);
         self.shared.work_ready.notify_one();
         Ok(())
@@ -203,7 +201,7 @@ impl Drop for RespawnGuard {
         if !std::thread::panicking() {
             return;
         }
-        self.shared.metrics.record_worker_respawn();
+        self.shared.core.metrics().record_worker_respawn();
         trace_inc("service.worker.respawned");
         let replacement = spawn_worker(self.shared.clone(), self.index);
         self.shared
@@ -226,7 +224,7 @@ struct InFlightGuard<'a> {
 impl InFlightGuard<'_> {
     fn finish(mut self, response: Response) {
         self.done = true;
-        self.shared.metrics.job_finished();
+        self.shared.core.metrics().job_finished();
         let _ = self.reply.send(response);
     }
 }
@@ -239,8 +237,8 @@ impl Drop for InFlightGuard<'_> {
         // A panic is unwinding through the worker (solver bug or injected
         // fault): fail only this request. RespawnGuard replaces the
         // worker thread itself.
-        self.shared.metrics.job_finished();
-        self.shared.metrics.record_err(ErrorCode::Internal);
+        self.shared.core.metrics().job_finished();
+        self.shared.core.metrics().record_err(ErrorCode::Internal);
         let _ = self.reply.send(Response::err(
             self.id.clone(),
             ErrorCode::Internal,
@@ -255,7 +253,10 @@ fn worker_loop(shared: &PoolShared) {
             let mut queue = shared.queue.lock().expect("pool queue poisoned");
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
-                    shared.metrics.set_queue_depth(queue.jobs.len() as u64);
+                    shared
+                        .core
+                        .metrics()
+                        .set_queue_depth(queue.jobs.len() as u64);
                     break job;
                 }
                 if !queue.accepting {
@@ -279,7 +280,10 @@ fn run_job(shared: &PoolShared, job: Job) {
     if Instant::now() >= deadline {
         // Shed without running: the client has already been told (or is
         // about to be told) that the deadline passed.
-        shared.metrics.record_err(ErrorCode::DeadlineExceeded);
+        shared
+            .core
+            .metrics()
+            .record_err(ErrorCode::DeadlineExceeded);
         trace_inc("service.deadline_exceeded");
         let _ = reply.send(Response::err(
             envelope.id.clone(),
@@ -288,7 +292,7 @@ fn run_job(shared: &PoolShared, job: Job) {
         ));
         return;
     }
-    shared.metrics.job_started();
+    shared.core.metrics().job_started();
     let guard = InFlightGuard {
         shared,
         id: envelope.id.clone(),
@@ -302,38 +306,13 @@ fn run_job(shared: &PoolShared, job: Job) {
         Err(ExecError::Failed("injected worker failure".into()))
     } else {
         let _execute_span = noc_trace::span_labeled("request.execute", || kind.to_string());
-        exec::execute_within(&envelope.request, Some(deadline))
+        crate::exec::execute_within(&envelope.request, Some(deadline))
     };
-    let response = match outcome {
-        Ok(out) => {
-            if out.degraded {
-                // A degraded answer reflects this request's deadline
-                // budget, not the request parameters alone — caching it
-                // would serve the weaker result to un-deadlined retries.
-                shared.metrics.record_degraded();
-            } else if let Some(key) = exec::cache_key(&envelope.request) {
-                // Cache even if the requester timed out meanwhile — the
-                // work is done, and a retry should hit.
-                shared.cache.put(key, out.value.clone());
-            }
-            let micros = accepted_at.elapsed().as_micros() as u64;
-            shared.metrics.record_ok(kind, micros);
-            Response::ok(envelope.id.clone(), false, out.value)
-        }
-        Err(ExecError::DeadlineExceeded) => {
-            shared.metrics.record_err(ErrorCode::DeadlineExceeded);
-            trace_inc("service.deadline_exceeded");
-            Response::err(
-                envelope.id.clone(),
-                ErrorCode::DeadlineExceeded,
-                "deadline exceeded during execution",
-            )
-        }
-        Err(ExecError::Failed(message)) => {
-            shared.metrics.record_err(ErrorCode::Internal);
-            Response::err(envelope.id.clone(), ErrorCode::Internal, message)
-        }
-    };
+    // Shared completion accounting (degraded-not-cached, write-through,
+    // structured errors) lives on the core so every transport agrees.
+    let response = shared
+        .core
+        .complete(&envelope.id, &envelope.request, accepted_at, outcome);
     guard.finish(response);
 }
 
@@ -348,8 +327,7 @@ mod tests {
         WorkerPool::new(
             workers,
             capacity,
-            Arc::new(Metrics::new()),
-            Arc::new(ShardedLru::new(16, 2)),
+            Arc::new(ServiceCore::new(workers, 16, 2)),
         )
     }
 
@@ -441,9 +419,8 @@ mod tests {
 
     #[test]
     fn degraded_results_are_not_cached() {
-        let metrics = Arc::new(Metrics::new());
-        let cache = Arc::new(ShardedLru::new(16, 2));
-        let pool = WorkerPool::new(1, 4, metrics.clone(), cache.clone());
+        let core = Arc::new(ServiceCore::new(1, 16, 2));
+        let pool = WorkerPool::new(1, 4, core.clone());
         // 2M moves at the conservative 100 moves/ms budget needs ~20s; a
         // 2s deadline forces the degraded constructive answer.
         let env = parse_request(
@@ -472,11 +449,14 @@ mod tests {
         );
         pool.join();
         assert!(
-            cache.is_empty(),
+            core.cache().is_empty(),
             "degraded results must not be written through to the cache"
         );
         assert_eq!(
-            metrics.snapshot().get("degraded").and_then(|v| v.as_u64()),
+            core.metrics()
+                .snapshot()
+                .get("degraded")
+                .and_then(|v| v.as_u64()),
             Some(1)
         );
     }

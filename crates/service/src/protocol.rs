@@ -27,6 +27,15 @@ use noc_placement::{EvalMode, InitialStrategy};
 use noc_routing::HopWeights;
 use noc_traffic::SyntheticPattern;
 
+/// Upper bound on one wire line, shared by every transport and client.
+///
+/// The TCP server enforces it *while* reading (a peer streaming an
+/// endless unterminated line is cut off at the limit), the in-process
+/// channel transport refuses longer lines up front, and clients refuse
+/// to send a request the server is guaranteed to reject. Fuzz tests
+/// derive their oversized payloads from this constant so the three
+/// enforcement points can never drift apart.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 /// Upper bound on `n` for service requests: large enough for every setup
 /// in the paper (up to 16×16) with head-room, small enough that a single
 /// request cannot monopolise a worker for minutes.
@@ -194,6 +203,12 @@ pub struct Envelope {
     pub id: String,
     /// Per-request deadline in milliseconds.
     pub deadline_ms: u64,
+    /// Whether this request was already forwarded once by a cluster peer
+    /// (wire field `"fwd": true`, omitted when false). A forwarded
+    /// request is always handled where it lands — never re-forwarded —
+    /// so a transient ring disagreement between peers cannot bounce a
+    /// request around the cluster.
+    pub forwarded: bool,
     /// The request body.
     pub request: Request,
 }
@@ -511,6 +526,10 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
     let deadline_ms = field_u64(&v, "deadline_ms")?
         .unwrap_or(DEFAULT_DEADLINE_MS)
         .clamp(1, MAX_DEADLINE_MS);
+    let forwarded = match v.get("fwd") {
+        None | Some(Value::Null) => false,
+        Some(f) => f.as_bool().ok_or("field \"fwd\" must be a boolean")?,
+    };
 
     let bounded_n = |n: usize| -> Result<usize, String> {
         if (2..=MAX_N).contains(&n) {
@@ -653,6 +672,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
     Ok(Envelope {
         id,
         deadline_ms,
+        forwarded,
         request,
     })
 }
@@ -672,6 +692,11 @@ pub fn request_line(env: &Envelope) -> String {
             Value::Int(env.deadline_ms as i128),
         ),
     ];
+    // Omitted when false so non-cluster lines round-trip byte-identically
+    // with pre-cluster builds.
+    if env.forwarded {
+        fields.push(("fwd".to_string(), Value::Bool(true)));
+    }
     let push_weights = |fields: &mut Vec<(String, Value)>, w: HopWeights| {
         fields.push((
             "router_cycles".to_string(),
@@ -819,6 +844,20 @@ mod tests {
             parse_request(r#"{"kind":"throughput","n":8,"pattern":"ur","start_rate":0.0}"#)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn forwarded_flag_round_trips_and_defaults_off() {
+        let plain = parse_request(r#"{"id":"a","kind":"health"}"#).unwrap();
+        assert!(!plain.forwarded);
+        assert!(
+            !request_line(&plain).contains("fwd"),
+            "un-forwarded lines must not grow a fwd field"
+        );
+        let fwd = parse_request(r#"{"id":"a","kind":"health","fwd":true}"#).unwrap();
+        assert!(fwd.forwarded);
+        assert_eq!(parse_request(&request_line(&fwd)).unwrap(), fwd);
+        assert!(parse_request(r#"{"kind":"health","fwd":"yes"}"#).is_err());
     }
 
     #[test]

@@ -1,37 +1,29 @@
-//! The TCP daemon: accept loop, per-connection protocol handling, and
-//! graceful shutdown.
+//! The TCP transport: accept loop, per-connection line framing, and
+//! graceful shutdown around a shared [`ServiceCore`].
 //!
-//! Each connection gets one handler thread reading request lines. Compute
-//! requests are checked against the cache, then submitted to the worker
-//! pool with a reply channel; the handler waits with `recv_timeout` so a
-//! missed deadline turns into a `deadline_exceeded` response even if the
-//! worker is still busy (the worker's late result is dropped by the dead
-//! channel, but still written to the cache).
+//! Each connection gets one handler thread reading request lines and
+//! funnelling them through [`ServiceCore::handle_line`] with a
+//! [`PooledDispatch`]: compute requests are submitted to the bounded
+//! worker pool with a reply channel, and the handler waits with
+//! `recv_timeout` so a missed deadline turns into a `deadline_exceeded`
+//! response even if the worker is still busy (the worker's late result
+//! is dropped by the dead channel, but still written to the cache).
 //!
 //! Shutdown (SIGINT, a `shutdown` request, or [`ServerHandle::shutdown`])
 //! is a drain, not an abort: the accept loop stops, idle connections
 //! close, in-flight requests run to completion on the pool, and only then
 //! does [`Server::run`] return.
 
-use crate::cache::ShardedLru;
-use crate::exec;
+use crate::core::{Dispatch, Forwarder, ServiceCore};
 use crate::fp;
-use crate::metrics::{trace_inc, trace_prometheus_text, Metrics};
+use crate::metrics::trace_inc;
 use crate::pool::{Job, SubmitError, WorkerPool};
-use crate::protocol::{self, ErrorCode, Request, Response};
-use noc_json::Value;
+use crate::protocol::{self, Envelope, ErrorCode, Response, MAX_LINE_BYTES};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
-
-/// Upper bound on one request line. A line that exceeds it gets a
-/// `bad_request` response and the connection is closed (there is no
-/// cheap way to resynchronize on a stream that ignores the framing
-/// contract), so a hostile or broken client cannot grow a handler's
-/// buffer without bound.
-const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Tuning knobs of the daemon.
 #[derive(Debug, Clone)]
@@ -63,49 +55,26 @@ impl Default for ServiceConfig {
     }
 }
 
-/// Shared daemon state reachable from every connection handler.
-struct ServiceState {
-    metrics: Arc<Metrics>,
-    cache: Arc<ShardedLru>,
-    shutdown: AtomicBool,
-    started: Instant,
-    workers: usize,
-}
-
-impl ServiceState {
-    fn health(&self, queue_depth: usize) -> Value {
-        noc_json::obj! {
-            "status" => Value::Str(
-                if self.shutdown.load(Ordering::SeqCst) { "draining" } else { "ok" }
-                    .to_string(),
-            ),
-            "uptime_ms" => Value::Int(self.started.elapsed().as_millis() as i128),
-            "workers" => Value::Int(self.workers as i128),
-            "queue_depth" => Value::Int(queue_depth as i128),
-            "cache_entries" => Value::Int(self.cache.len() as i128),
-        }
-    }
-}
-
 /// A handle that can stop a running server from another thread.
 #[derive(Clone)]
 pub struct ServerHandle {
-    state: Arc<ServiceState>,
+    core: Arc<ServiceCore>,
 }
 
 impl ServerHandle {
     /// Initiates a graceful drain; [`Server::run`] returns once complete.
     pub fn shutdown(&self) {
-        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.core.begin_drain();
     }
 }
 
 /// A bound-but-not-yet-running daemon.
 pub struct Server {
     listener: TcpListener,
-    state: Arc<ServiceState>,
+    core: Arc<ServiceCore>,
     pool: WorkerPool,
     sigint: Option<&'static AtomicBool>,
+    forwarder: Option<Arc<dyn Forwarder>>,
 }
 
 impl Server {
@@ -113,25 +82,18 @@ impl Server {
     pub fn bind(config: &ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
-        let metrics = Arc::new(Metrics::new());
-        let cache = Arc::new(ShardedLru::new(config.cache_capacity, config.cache_shards));
-        let pool = WorkerPool::new(
+        let core = Arc::new(ServiceCore::new(
             config.workers,
-            config.queue_capacity,
-            metrics.clone(),
-            cache.clone(),
-        );
+            config.cache_capacity,
+            config.cache_shards,
+        ));
+        let pool = WorkerPool::new(config.workers, config.queue_capacity, core.clone());
         Ok(Server {
             listener,
-            state: Arc::new(ServiceState {
-                metrics,
-                cache,
-                shutdown: AtomicBool::new(false),
-                started: Instant::now(),
-                workers: config.workers.max(1),
-            }),
+            core,
             pool,
             sigint: None,
+            forwarder: None,
         })
     }
 
@@ -140,10 +102,15 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The request-handling core this server fronts.
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
     /// A handle for stopping the server from another thread.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
-            state: self.state.clone(),
+            core: self.core.clone(),
         }
     }
 
@@ -153,25 +120,32 @@ impl Server {
         self.sigint = Some(flag);
     }
 
+    /// Installs a cluster forwarder consulted for compute requests before
+    /// the local cache (see [`Forwarder`]). Used by `serve --peers`.
+    pub fn set_forwarder(&mut self, forwarder: Arc<dyn Forwarder>) {
+        self.forwarder = Some(forwarder);
+    }
+
     /// Serves until shutdown, then drains in-flight work and returns.
     pub fn run(self) -> std::io::Result<()> {
         let Server {
             listener,
-            state,
+            core,
             pool,
             sigint,
+            forwarder,
         } = self;
         let should_stop = || {
-            state.shutdown.load(Ordering::SeqCst)
-                || sigint.is_some_and(|f| f.load(Ordering::SeqCst))
+            core.is_draining()
+                || sigint.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst))
         };
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let pool = Arc::new(pool);
         loop {
             if should_stop() {
-                // Propagate external (signal) shutdown to the state flag
+                // Propagate external (signal) shutdown to the core flag
                 // so connection handlers and `health` see it too.
-                state.shutdown.store(true, Ordering::SeqCst);
+                core.begin_drain();
                 break;
             }
             match listener.accept() {
@@ -180,13 +154,16 @@ impl Server {
                         drop(stream); // injected accept failure: refuse the connection
                         continue;
                     }
-                    let state = state.clone();
+                    let core = core.clone();
                     let pool = pool.clone();
+                    let forwarder = forwarder.clone();
                     connections.retain(|h| !h.is_finished());
                     connections.push(
                         std::thread::Builder::new()
                             .name("noc-conn".to_string())
-                            .spawn(move || handle_connection(stream, &state, &pool))
+                            .spawn(move || {
+                                handle_connection(stream, &core, &pool, forwarder.as_deref())
+                            })
                             .expect("spawn connection thread"),
                     );
                 }
@@ -209,28 +186,93 @@ impl Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) {
-    state.metrics.connection_opened();
+/// The TCP transport's [`Dispatch`]: submit to the bounded worker pool,
+/// then wait out the request's deadline on the reply channel.
+struct PooledDispatch<'a> {
+    pool: &'a WorkerPool,
+}
+
+impl Dispatch for PooledDispatch<'_> {
+    fn dispatch(&self, core: &ServiceCore, envelope: Envelope, accepted_at: Instant) -> Response {
+        let deadline = accepted_at + Duration::from_millis(envelope.deadline_ms);
+        let id = envelope.id.clone();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            envelope,
+            accepted_at,
+            deadline,
+            reply: reply_tx,
+        };
+        match self.pool.submit(job) {
+            Ok(()) => {}
+            Err(SubmitError::QueueFull) => {
+                core.metrics().record_err(ErrorCode::Overloaded);
+                trace_inc("service.shed");
+                return Response::err(id, ErrorCode::Overloaded, "worker queue full; shed");
+            }
+            Err(SubmitError::ShuttingDown) => {
+                core.metrics().record_err(ErrorCode::ShuttingDown);
+                return Response::err(id, ErrorCode::ShuttingDown, "daemon is draining");
+            }
+        }
+        let budget = deadline.saturating_duration_since(Instant::now());
+        match reply_rx.recv_timeout(budget) {
+            Ok(response) => response,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                core.metrics().record_err(ErrorCode::DeadlineExceeded);
+                trace_inc("service.deadline_exceeded");
+                Response::err(
+                    id,
+                    ErrorCode::DeadlineExceeded,
+                    "deadline elapsed before the result was ready",
+                )
+            }
+            // The reply channel closing without a response means the worker
+            // died mid-job in a way even the in-flight guard could not catch.
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                core.metrics().record_err(ErrorCode::Internal);
+                Response::err(
+                    id,
+                    ErrorCode::Internal,
+                    "worker dropped the request without replying",
+                )
+            }
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    core: &Arc<ServiceCore>,
+    pool: &Arc<WorkerPool>,
+    forwarder: Option<&dyn Forwarder>,
+) {
+    core.metrics().connection_opened();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => {
-            state.metrics.connection_closed();
+            core.metrics().connection_closed();
             return;
         }
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let dispatch = PooledDispatch { pool };
     loop {
         line.clear();
-        match read_line_with_timeouts(&mut reader, &mut line, state) {
+        match read_line_with_timeouts(&mut reader, &mut line, core) {
             ReadOutcome::Line => {}
             ReadOutcome::Closed => break,
             ReadOutcome::TooLong => {
                 // Answer with a structured refusal, then close: the rest
                 // of the oversized line cannot be skipped reliably.
-                state.metrics.record_err(ErrorCode::BadRequest);
+                core.metrics().record_err(ErrorCode::BadRequest);
                 let resp = Response::err(
                     protocol::best_effort_id(""),
                     ErrorCode::BadRequest,
@@ -250,7 +292,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<Wo
         // One span per request, covering parse through respond (the
         // execute phase runs on a worker thread with its own span).
         let _request_span = noc_trace::span("request");
-        let response = handle_line(trimmed, state, pool);
+        let response = core.handle_line(trimmed, &dispatch, forwarder);
         let mut payload = response.to_line();
         payload.push('\n');
         let sent = if fp::hit("response.write") == Some(fp::Injected::Error) {
@@ -267,7 +309,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>, pool: &Arc<Wo
             break;
         }
     }
-    state.metrics.connection_closed();
+    core.metrics().connection_closed();
 }
 
 enum ReadOutcome {
@@ -278,15 +320,15 @@ enum ReadOutcome {
 }
 
 /// Reads one newline-terminated line of at most [`MAX_LINE_BYTES`]
-/// bytes, waking on the socket timeout to poll the shutdown flag so
-/// idle connections close during a drain. Chunked (`fill_buf`) rather
-/// than `read_line` so the cap is enforced *while* reading — a peer
+/// bytes, waking on the socket timeout to poll the drain flag so idle
+/// connections close during a drain. Chunked (`fill_buf`) rather than
+/// `read_line` so the cap is enforced *while* reading — a peer
 /// streaming an endless unterminated line is cut off at the limit
 /// instead of growing the buffer until the allocator gives out.
 fn read_line_with_timeouts(
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
-    state: &ServiceState,
+    core: &ServiceCore,
 ) -> ReadOutcome {
     let mut bytes: Vec<u8> = Vec::new();
     loop {
@@ -294,7 +336,7 @@ fn read_line_with_timeouts(
             let buf = match reader.fill_buf() {
                 Ok(buf) => buf,
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    if state.shutdown.load(Ordering::SeqCst) && bytes.is_empty() {
+                    if core.is_draining() && bytes.is_empty() {
                         return ReadOutcome::Closed;
                     }
                     continue;
@@ -328,154 +370,6 @@ fn read_line_with_timeouts(
         if found_newline {
             line.push_str(&String::from_utf8_lossy(&bytes));
             return ReadOutcome::Line;
-        }
-    }
-}
-
-fn handle_line(line: &str, state: &Arc<ServiceState>, pool: &Arc<WorkerPool>) -> Response {
-    let accepted_at = Instant::now();
-    let parse_span = noc_trace::span("request.parse");
-    if fp::hit("protocol.parse") == Some(fp::Injected::Error) {
-        state.metrics.record_err(ErrorCode::BadRequest);
-        return Response::err(
-            protocol::best_effort_id(line),
-            ErrorCode::BadRequest,
-            "injected parse failure",
-        );
-    }
-    let envelope = match protocol::parse_request(line) {
-        Ok(env) => env,
-        Err(message) => {
-            state.metrics.record_err(ErrorCode::BadRequest);
-            return Response::err(
-                protocol::best_effort_id(line),
-                ErrorCode::BadRequest,
-                message,
-            );
-        }
-    };
-    drop(parse_span);
-    state.metrics.record_request(envelope.request.kind());
-
-    // Inline kinds never touch the queue: they must stay responsive even
-    // under full load — that is the point of `metrics` and `health`.
-    match envelope.request {
-        Request::Metrics => {
-            state.metrics.set_queue_depth(pool.queue_depth() as u64);
-            let snapshot = state.metrics.snapshot();
-            let micros = accepted_at.elapsed().as_micros() as u64;
-            state.metrics.record_ok("metrics", micros);
-            return Response::ok(envelope.id, false, snapshot);
-        }
-        Request::Health => {
-            let body = state.health(pool.queue_depth());
-            let micros = accepted_at.elapsed().as_micros() as u64;
-            state.metrics.record_ok("health", micros);
-            return Response::ok(envelope.id, false, body);
-        }
-        Request::Shutdown => {
-            state.shutdown.store(true, Ordering::SeqCst);
-            let micros = accepted_at.elapsed().as_micros() as u64;
-            state.metrics.record_ok("shutdown", micros);
-            return Response::ok(
-                envelope.id,
-                false,
-                noc_json::obj! { "draining" => Value::Bool(true) },
-            );
-        }
-        Request::Trace => {
-            let events = noc_trace::drain_events();
-            let body = noc_json::obj! {
-                "enabled" => Value::Bool(noc_trace::enabled()),
-                "events" => Value::Arr(events.iter().map(|e| e.to_json()).collect()),
-                "registry" => noc_trace::registry_snapshot(),
-            };
-            let micros = accepted_at.elapsed().as_micros() as u64;
-            state.metrics.record_ok("trace", micros);
-            return Response::ok(envelope.id, false, body);
-        }
-        Request::Prometheus => {
-            state.metrics.set_queue_depth(pool.queue_depth() as u64);
-            // Core metrics first, then the noc-trace robustness counters
-            // (shed / deadline / degraded / respawn / retry / poison);
-            // the trace section is empty when tracing was never enabled.
-            let mut text = state.metrics.prometheus_text();
-            text.push_str(&trace_prometheus_text());
-            let body = noc_json::obj! {
-                "content_type" => Value::Str("text/plain; version=0.0.4".to_string()),
-                "body" => Value::Str(text),
-            };
-            let micros = accepted_at.elapsed().as_micros() as u64;
-            state.metrics.record_ok("prometheus", micros);
-            return Response::ok(envelope.id, false, body);
-        }
-        _ => {}
-    }
-
-    if state.shutdown.load(Ordering::SeqCst) {
-        state.metrics.record_err(ErrorCode::ShuttingDown);
-        return Response::err(
-            envelope.id,
-            ErrorCode::ShuttingDown,
-            "daemon is draining; retry against a live instance",
-        );
-    }
-
-    // Cache fast path: identical requests are bit-identical results.
-    let key = exec::cache_key(&envelope.request);
-    if let Some(key) = &key {
-        let _cache_span = noc_trace::span("request.cache");
-        if let Some(result) = state.cache.get(key) {
-            state.metrics.record_cache(true);
-            let micros = accepted_at.elapsed().as_micros() as u64;
-            state.metrics.record_ok(envelope.request.kind(), micros);
-            return Response::ok(envelope.id, true, result);
-        }
-        state.metrics.record_cache(false);
-    }
-
-    let deadline = accepted_at + Duration::from_millis(envelope.deadline_ms);
-    let id = envelope.id.clone();
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job {
-        envelope,
-        accepted_at,
-        deadline,
-        reply: reply_tx,
-    };
-    match pool.submit(job) {
-        Ok(()) => {}
-        Err(SubmitError::QueueFull) => {
-            state.metrics.record_err(ErrorCode::Overloaded);
-            trace_inc("service.shed");
-            return Response::err(id, ErrorCode::Overloaded, "worker queue full; shed");
-        }
-        Err(SubmitError::ShuttingDown) => {
-            state.metrics.record_err(ErrorCode::ShuttingDown);
-            return Response::err(id, ErrorCode::ShuttingDown, "daemon is draining");
-        }
-    }
-    let budget = deadline.saturating_duration_since(Instant::now());
-    match reply_rx.recv_timeout(budget) {
-        Ok(response) => response,
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            state.metrics.record_err(ErrorCode::DeadlineExceeded);
-            trace_inc("service.deadline_exceeded");
-            Response::err(
-                id,
-                ErrorCode::DeadlineExceeded,
-                "deadline elapsed before the result was ready",
-            )
-        }
-        // The reply channel closing without a response means the worker
-        // died mid-job in a way even the in-flight guard could not catch.
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            state.metrics.record_err(ErrorCode::Internal);
-            Response::err(
-                id,
-                ErrorCode::Internal,
-                "worker dropped the request without replying",
-            )
         }
     }
 }

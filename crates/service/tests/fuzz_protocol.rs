@@ -7,7 +7,7 @@
 use noc_json::Value;
 use noc_rng::rngs::SmallRng;
 use noc_rng::{Rng, RngCore, SeedableRng};
-use noc_service::protocol::parse_request;
+use noc_service::protocol::{parse_request, MAX_LINE_BYTES};
 use noc_service::{Client, ErrorCode, Metrics, Response, Server, ServerHandle, ServiceConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -237,10 +237,11 @@ fn oversized_line_is_refused_and_cut_off() {
     let mut writer = stream.try_clone().expect("clone");
     let mut reader = BufReader::new(stream);
 
-    // Stream 4 MiB without a newline: the server must cut the reader off
-    // at its 1 MiB cap with a structured refusal instead of buffering
-    // forever. Writes may fail once the server closes its end.
-    let chunk = vec![b'a'; 64 * 1024];
+    // Stream 4x the shared line cap without a newline: the server must
+    // cut the reader off at `protocol::MAX_LINE_BYTES` with a structured
+    // refusal instead of buffering forever. Writes may fail once the
+    // server closes its end.
+    let chunk = vec![b'a'; MAX_LINE_BYTES / 16];
     for _ in 0..64 {
         if writer.write_all(&chunk).is_err() {
             break;

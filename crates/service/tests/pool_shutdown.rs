@@ -10,7 +10,7 @@
 //! exit?" one linearized decision. This test hammers that window.
 
 use noc_service::protocol::{parse_request, Envelope, Response};
-use noc_service::{Metrics, ShardedLru, SubmitError, WorkerPool};
+use noc_service::{ServiceCore, SubmitError, WorkerPool};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,12 +30,7 @@ fn accepted_jobs_always_get_a_response_across_shutdown() {
     // Many small rounds maximize the number of times the race window is
     // crossed; each round races 4 submitters against shutdown.
     for round in 0..200u64 {
-        let pool = Arc::new(WorkerPool::new(
-            2,
-            64,
-            Arc::new(Metrics::new()),
-            Arc::new(ShardedLru::new(8, 2)),
-        ));
+        let pool = Arc::new(WorkerPool::new(2, 64, Arc::new(ServiceCore::new(2, 8, 2))));
         let env = parse_request(r#"{"id":"r","kind":"solve","n":4,"c":2,"moves":10}"#).unwrap();
         let (tx, rx) = mpsc::channel::<Response>();
 
@@ -89,12 +84,7 @@ fn accepted_jobs_always_get_a_response_across_shutdown() {
 
 #[test]
 fn refused_jobs_report_shutting_down_not_silence() {
-    let pool = WorkerPool::new(
-        1,
-        4,
-        Arc::new(Metrics::new()),
-        Arc::new(ShardedLru::new(8, 2)),
-    );
+    let pool = WorkerPool::new(1, 4, Arc::new(ServiceCore::new(1, 8, 2)));
     pool.shutdown();
     let env = parse_request(r#"{"id":"x","kind":"solve","n":4,"c":2,"moves":10}"#).unwrap();
     let (tx, rx) = mpsc::channel();

@@ -91,6 +91,7 @@ fn every_request_variant_round_trips() {
         round_trips(Envelope {
             id: format!("id-{}", request.kind()),
             deadline_ms: 1_234,
+            forwarded: false,
             request,
         });
     }

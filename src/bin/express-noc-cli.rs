@@ -11,11 +11,15 @@
 //!                          [--links 0-3,3-7] [--flit 64] [--cycles 20000] [--seed 42]
 //!                          [--trace-out trace.ndjson]
 //! express-noc-cli serve    [--addr 127.0.0.1:7474] [--workers N] [--queue N] [--cache N]
+//!                          [--peers A,B,C --node-id I] [--vnodes 16] [--replicas 2]
 //! express-noc-cli request  '<json>' [--addr 127.0.0.1:7474]
-//! express-noc-cli loadgen  [--addr ...] [--connections 4] [--requests 50]
+//! express-noc-cli loadgen  [--addr A[,B,...]] [--connections 4] [--requests 50]
 //!                          [--kind solve|simulate] [--n 8] [--c 4] [--distinct 8]
+//! express-noc-cli cluster-sim [--nodes 3] [--seed 0] [--requests 12]
+//!                          [--partition-at T] [--heal-at T] [--kill NODE --kill-at T]
 //! ```
 
+use express_noc::cluster::{ClusterSim, ScriptAction, TcpForwarder};
 use express_noc::model::{LatencyModel, LinkBudget, PacketMix};
 use express_noc::placement::objective::AllPairsObjective;
 use express_noc::placement::{
@@ -23,7 +27,7 @@ use express_noc::placement::{
 };
 use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
 use express_noc::service::protocol::{self, Envelope, Request, SimulateRequest, SolveRequest};
-use express_noc::service::{generate_load, Client, Server, ServiceConfig};
+use express_noc::service::{generate_load_multi, Client, Server, ServiceConfig};
 use express_noc::sim::{SimConfig, Simulator};
 use express_noc::topology::{display, MeshTopology, RowPlacement};
 use express_noc::traffic::{SyntheticPattern, TrafficMatrix, Workload};
@@ -68,6 +72,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "cluster-sim" => cmd_cluster_sim(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -104,13 +109,24 @@ commands:
             [--links A-B,...] [--flit BITS] [--cycles M] [--seed S] [--trace-out PATH]
             cycle-level simulation of a workload on a placement
   serve     [--addr 127.0.0.1:7474] [--workers N] [--queue N] [--cache N]
-            run the placement daemon (NDJSON over TCP; Ctrl-C drains)
+            [--peers A,B,C --node-id I] [--vnodes 16] [--replicas 2]
+            run the placement daemon (NDJSON over TCP; Ctrl-C drains);
+            with --peers, forward cache-shard-owned requests to peers
   request   '<json>' [--addr 127.0.0.1:7474]
             send one request line to a running daemon, pretty-print the reply
-  loadgen   [--addr ...] [--connections 4] [--requests 50] [--kind solve|simulate]
-            [--n 8] [--c 4] [--moves 2000] [--distinct 8] [--deadline-ms 30000]
-            drive concurrent load; print throughput, latency percentiles,
-            and the daemon's cache hit counters
+  loadgen   [--addr A[,B,...]] [--connections 4] [--requests 50]
+            [--kind solve|simulate] [--n 8] [--c 4] [--moves 2000]
+            [--distinct 8] [--deadline-ms 30000]
+            drive concurrent load (round-robin over comma-separated peers,
+            failing over on transport errors); print throughput, latency
+            percentiles, and the daemon's cache hit counters
+  cluster-sim
+            [--nodes 3] [--seed 0] [--requests 12] [--workers 1]
+            [--drop 0.0] [--dup 0.0] [--partition-at T] [--heal-at T]
+            [--kill NODE] [--kill-at T] [--verbose 0|1]
+            deterministic in-process cluster simulation: sharded requests,
+            forwarding, replica failover, gossip-driven ring changes; same
+            seed and script reproduce the identical event log
 
 any command also accepts --trace-out PATH: enable the in-process noc-trace
 sink for the run and write its event log (SA convergence series, per-link
@@ -406,6 +422,31 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     let mut server = Server::bind(&config).map_err(|e| e.to_string())?;
     install_sigint_handler();
     server.drain_on(&SIGINT);
+    // Cluster mode: forward requests whose cache shard a peer owns.
+    if let Some(peers_flag) = opts.get("peers") {
+        let peers: Vec<String> = peers_flag
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let node_id: usize = get(opts, "node-id")
+            .map_err(|_| "--peers requires --node-id <index into the peer list>".to_string())?;
+        if node_id >= peers.len() {
+            return Err(format!(
+                "--node-id {node_id} out of range for {} peers",
+                peers.len()
+            ));
+        }
+        let vnodes: usize = get_or(opts, "vnodes", 16)?;
+        let replicas: usize = get_or(opts, "replicas", 2)?;
+        let forwarder = TcpForwarder::new(node_id, peers.clone(), vnodes, replicas);
+        println!(
+            "cluster: node {node_id}/{} (fingerprint {:016x}, {vnodes} vnodes, {replicas} replicas)",
+            peers.len(),
+            forwarder.cluster_fp(),
+        );
+        server.set_forwarder(std::sync::Arc::new(forwarder));
+    }
     println!(
         "noc-service listening on {} ({} workers, queue {}, cache {})",
         server.local_addr().map_err(|e| e.to_string())?,
@@ -438,6 +479,14 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
 
 fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
     let addr: String = get_or(opts, "addr", "127.0.0.1:7474".to_string())?;
+    let addrs: Vec<String> = addr
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err("--addr needs at least one address".into());
+    }
     let connections: usize = get_or(opts, "connections", 4)?;
     let requests: usize = get_or(opts, "requests", 50)?;
     let kind: String = get_or(opts, "kind", "solve".to_string())?;
@@ -477,15 +526,17 @@ fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
         protocol::request_line(&Envelope {
             id: format!("{conn}-{i}"),
             deadline_ms,
+            forwarded: false,
             request,
         })
     };
     println!(
         "loadgen: {connections} connections x {requests} {kind} requests \
-         against {addr} ({distinct} distinct seeds)"
+         against {} peer(s) ({distinct} distinct seeds)",
+        addrs.len(),
     );
-    let report =
-        generate_load(&addr, connections, requests, make_request).map_err(|e| e.to_string())?;
+    let report = generate_load_multi(&addrs, connections, requests, make_request)
+        .map_err(|e| e.to_string())?;
     println!(
         "sent {}, ok {} ({} cached), errors {} in {:.2} s",
         report.sent,
@@ -502,7 +553,7 @@ fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
         report.latencies_us.last().copied().unwrap_or(0),
     );
     // Server-side view: cache hit counters from the metrics endpoint.
-    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    let mut client = Client::connect(&addrs[0]).map_err(|e| e.to_string())?;
     if let Ok(express_noc::service::Response::Ok { result, .. }) =
         client.request(r#"{"id":"loadgen-metrics","kind":"metrics"}"#)
     {
@@ -515,6 +566,93 @@ fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
             .and_then(|v| v.as_u64())
             .unwrap_or(0);
         println!("daemon cache: {hits} hits, {misses} misses");
+    }
+    Ok(())
+}
+
+fn cmd_cluster_sim(opts: &Flags) -> Result<(), String> {
+    let nodes: usize = get_or(opts, "nodes", 3)?;
+    let seed: u64 = get_or(opts, "seed", 0)?;
+    let requests: u64 = get_or(opts, "requests", 12)?;
+    let workers: usize = get_or(opts, "workers", 1)?;
+    let drop_rate: f64 = get_or(opts, "drop", 0.0)?;
+    let dup_rate: f64 = get_or(opts, "dup", 0.0)?;
+    let verbose: usize = get_or(opts, "verbose", 0)?;
+    if nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+    let mut sim = ClusterSim::new(express_noc::cluster::SimConfig {
+        nodes,
+        seed,
+        workers,
+        drop_rate,
+        dup_rate,
+        ..Default::default()
+    });
+    // Scripted faults. The default split for --partition-at halves the
+    // cluster; --kill/--kill-at removes one node outright.
+    if let Some(tick) = opts.get("partition-at") {
+        let tick: u64 = tick.parse().map_err(|_| "--partition-at wants a tick")?;
+        let left: Vec<usize> = (0..nodes / 2).collect();
+        let right: Vec<usize> = (nodes / 2..nodes).collect();
+        sim.script(tick, ScriptAction::Partition(vec![left, right]));
+    }
+    if let Some(tick) = opts.get("heal-at") {
+        let tick: u64 = tick.parse().map_err(|_| "--heal-at wants a tick")?;
+        sim.script(tick, ScriptAction::Heal);
+    }
+    if let Some(victim) = opts.get("kill") {
+        let victim: usize = victim.parse().map_err(|_| "--kill wants a node id")?;
+        let tick: u64 = get_or(opts, "kill-at", 10)?;
+        sim.script(tick, ScriptAction::Kill(victim));
+    }
+    // Client workload: solve requests spread round-robin over the nodes,
+    // with repeating seeds so cache shards and forwarding both engage.
+    for r in 0..requests {
+        let line = format!(
+            r#"{{"id":"cli-{r}","kind":"solve","n":6,"c":3,"moves":60,"seed":{}}}"#,
+            r % 4,
+        );
+        sim.client_request(2 + 3 * r, (r % nodes as u64) as usize, line);
+    }
+    let report = sim.run();
+    if verbose > 0 {
+        for event in &report.events {
+            println!("{event}");
+        }
+    }
+    println!(
+        "cluster-sim: {nodes} nodes, seed {seed}, {} accepted, {} answered, {} unanswered",
+        report.accepted,
+        report.responses.len(),
+        report.unanswered,
+    );
+    println!(
+        "counters: forwarded {}, failover {}, ring_change {}, dropped {}",
+        report.counters.forwarded,
+        report.counters.failover,
+        report.counters.ring_change,
+        report.counters.dropped,
+    );
+    let fps: Vec<String> = report
+        .ring_fingerprints
+        .iter()
+        .map(|(node, fp)| format!("{node}:{fp:016x}"))
+        .collect();
+    println!("ring views after {} ticks: {}", report.ticks, fps.join(" "));
+    let converged = report
+        .ring_fingerprints
+        .windows(2)
+        .all(|w| w[0].1 == w[1].1);
+    println!(
+        "ring convergence: {}",
+        if converged { "converged" } else { "DIVERGED" }
+    );
+    if report.unanswered > 0 {
+        return Err(format!(
+            "{} accepted request(s) left unanswered",
+            report.unanswered
+        ));
     }
     Ok(())
 }

@@ -1,4 +1,5 @@
 //! Umbrella crate.
+pub use noc_cluster as cluster;
 pub use noc_json as json;
 pub use noc_model as model;
 pub use noc_placement as placement;
