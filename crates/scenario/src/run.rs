@@ -1,0 +1,517 @@
+//! Executes resolved scenarios: topology resolution (explicit links, the
+//! SA solver, or the QoS-constrained per-row solver), per-phase traffic
+//! and link events, cycle-level simulation, and the deterministic batch
+//! runner that fans a whole expansion across `noc-par` workers.
+
+use crate::expand::{self, ResolvedScenario};
+use crate::manifest::{Manifest, ManifestError, PhaseSpec};
+use faultpoint::{Fault, Schedule};
+use noc_json::Value;
+use noc_model::PacketMix;
+use noc_placement::{
+    optimize_app_specific, solve_row, AllPairsObjective, InitialStrategy, SaParams,
+};
+use noc_routing::HopWeights;
+use noc_sim::{SimConfig, SimStats, Simulator};
+use noc_topology::{MeshTopology, RowPlacement};
+use noc_traffic::{SyntheticPattern, TrafficMatrix, Workload};
+
+/// Fault-injection site hit once per phase executed. An armed `Error`
+/// fails that scenario with a structured per-scenario error; an armed
+/// `Delay` stalls the phase (exercising batch deadline handling).
+pub const SITE_PHASE: &str = "scenario.phase";
+/// Site hit once per link-failure event applied to a phase topology.
+pub const SITE_LINK_FAIL: &str = "scenario.link.fail";
+/// Site hit once per link-degradation event applied to a phase topology.
+pub const SITE_LINK_DEGRADE: &str = "scenario.link.degrade";
+
+fn count(name: &str, n: u64) {
+    if let Some(sink) = noc_trace::sink() {
+        sink.registry().counter(name).add(n);
+    }
+}
+
+/// Compiles a manifest's per-phase link events onto a seeded
+/// [`faultpoint::Schedule`], arming the scenario sites at the exact
+/// hit counts the executor will reach. Arming the compiled schedule makes
+/// every fail/degrade event also fire as a recorded injection, so chaos
+/// tests can assert the exact event sequence a manifest encodes.
+///
+/// Only meaningful when the manifest has a `faults` section; the returned
+/// schedule is empty otherwise.
+pub fn compile_fault_schedule(manifest: &Manifest) -> Schedule {
+    let Some(faults) = &manifest.faults else {
+        return Schedule::new();
+    };
+    let mut schedule = Schedule::seeded(faults.seed);
+    let mut fail_hit = 0u64;
+    let mut degrade_hit = 0u64;
+    for phase in &manifest.phases {
+        for _ in &phase.fail_links {
+            fail_hit += 1;
+            schedule = schedule.fault_at(SITE_LINK_FAIL, fail_hit, Fault::Error);
+        }
+        for _ in &phase.degrade_links {
+            degrade_hit += 1;
+            schedule = schedule.fault_at(SITE_LINK_DEGRADE, degrade_hit, Fault::Error);
+        }
+    }
+    schedule
+}
+
+fn parse_pattern(name: &str) -> SyntheticPattern {
+    match name {
+        "tp" => SyntheticPattern::Transpose,
+        "br" => SyntheticPattern::BitReverse,
+        "bc" => SyntheticPattern::BitComplement,
+        "sh" => SyntheticPattern::Shuffle,
+        "hs" => SyntheticPattern::Hotspot { weight: 0.4 },
+        "nn" => SyntheticPattern::NearNeighbour,
+        // The manifest parser already validated the name.
+        _ => SyntheticPattern::UniformRandom,
+    }
+}
+
+fn parse_strategy(name: &str) -> InitialStrategy {
+    match name {
+        "random" => InitialStrategy::Random,
+        "greedy" => InitialStrategy::Greedy,
+        _ => InitialStrategy::DivideAndConquer,
+    }
+}
+
+/// A uniform background plus a concentrated component aimed at `target`:
+/// the hotspot-migration traffic model (phases move `target` around).
+fn hotspot_matrix(n: usize, target: usize, weight: f64) -> TrafficMatrix {
+    let routers = n * n;
+    let mut rates = vec![0.0f64; routers * routers];
+    let background = (1.0 - weight) / (routers.saturating_sub(1).max(1)) as f64;
+    for src in 0..routers {
+        for dst in 0..routers {
+            if src == dst {
+                continue;
+            }
+            let mut rate = background;
+            if dst == target {
+                rate += weight;
+            }
+            rates[src * routers + dst] = rate;
+        }
+    }
+    TrafficMatrix::from_rates(n, rates)
+}
+
+/// The QoS gamma matrix: uniform background weight 1 on every ordered
+/// pair, plus each flow's weight concentrated on its pair, scaled by the
+/// number of pairs so a weight-1 flow doubles its pair's share.
+fn qos_gamma(n: usize, flows: &[crate::manifest::QosFlow]) -> Vec<f64> {
+    let routers = n * n;
+    let mut gamma = vec![0.0f64; routers * routers];
+    for src in 0..routers {
+        for dst in 0..routers {
+            if src != dst {
+                gamma[src * routers + dst] = 1.0;
+            }
+        }
+    }
+    let pairs = (routers * (routers - 1)) as f64;
+    for flow in flows {
+        gamma[flow.src * routers + flow.dst] += flow.weight * pairs / routers as f64;
+    }
+    gamma
+}
+
+/// Splits a placement's links for one phase: failed links are removed,
+/// degraded links are split at their midpoint (the span survives but
+/// costs an extra router traversal; spans too short to split degrade to
+/// plain removal, since unit spans are the always-present local links).
+fn edit_placement(
+    row: &RowPlacement,
+    fail: &[(usize, usize)],
+    degrade: &[(usize, usize)],
+) -> RowPlacement {
+    let n = row.len();
+    let mut links: Vec<(usize, usize)> = Vec::new();
+    for link in row.express_links() {
+        let key = (link.a, link.b);
+        if fail.contains(&key) {
+            continue;
+        }
+        if degrade.contains(&key) {
+            let mid = (link.a + link.b) / 2;
+            if mid - link.a >= 2 {
+                links.push((link.a, mid));
+            }
+            if link.b - mid >= 2 {
+                links.push((mid, link.b));
+            }
+            continue;
+        }
+        links.push(key);
+    }
+    links.sort_unstable();
+    links.dedup();
+    // Midpoint splits only shorten spans, so the edited row keeps (or
+    // lowers) the original cross-section and stays constructible.
+    RowPlacement::with_links(n, links).expect("edited placement stays valid")
+}
+
+fn apply_link_events(
+    topo: &MeshTopology,
+    fail: &[(usize, usize)],
+    degrade: &[(usize, usize)],
+) -> MeshTopology {
+    if fail.is_empty() && degrade.is_empty() {
+        return topo.clone();
+    }
+    let n = topo.side();
+    let rows = (0..n)
+        .map(|y| edit_placement(topo.row_placement(y), fail, degrade))
+        .collect();
+    let cols = (0..n)
+        .map(|x| edit_placement(topo.col_placement(x), fail, degrade))
+        .collect();
+    MeshTopology::from_placements(rows, cols).expect("edited topology stays valid")
+}
+
+/// Deterministic per-phase seed derivation (SplitMix64 increment).
+fn phase_seed(base: u64, phase: usize) -> u64 {
+    let mut z = base.wrapping_add((phase as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct ResolvedTopology {
+    topo: MeshTopology,
+    links: Vec<(usize, usize)>,
+    objective: Option<f64>,
+}
+
+fn resolve_topology(m: &Manifest) -> Result<ResolvedTopology, String> {
+    let n = m.topology.n;
+    if let Some(p) = &m.placement {
+        let params = SaParams::paper().with_moves(p.moves).with_chains(p.chains);
+        if !m.qos.is_empty() {
+            let gamma = qos_gamma(n, &m.qos);
+            let topo = optimize_app_specific(n, p.c, &gamma, HopWeights::PAPER, &params, m.seed);
+            let links = topo
+                .row_placement(0)
+                .express_links()
+                .map(|l| (l.a, l.b))
+                .collect();
+            return Ok(ResolvedTopology {
+                topo,
+                links,
+                objective: None,
+            });
+        }
+        let objective = AllPairsObjective::paper();
+        let out = solve_row(
+            n,
+            p.c,
+            &objective,
+            parse_strategy(&p.strategy),
+            &params,
+            m.seed,
+        );
+        let links = out.best.express_links().map(|l| (l.a, l.b)).collect();
+        return Ok(ResolvedTopology {
+            topo: MeshTopology::uniform(n, &out.best),
+            links,
+            objective: Some(out.best_objective),
+        });
+    }
+    let row = RowPlacement::with_links(n, m.topology.links.clone()).map_err(|e| e.to_string())?;
+    Ok(ResolvedTopology {
+        topo: MeshTopology::uniform(n, &row),
+        links: m.topology.links.clone(),
+        objective: None,
+    })
+}
+
+fn phase_matrix(m: &Manifest, phase: &PhaseSpec) -> TrafficMatrix {
+    let n = m.topology.n;
+    if let Some(target) = phase.hotspot.or(m.traffic.hotspot) {
+        return hotspot_matrix(n, target, m.traffic.hotspot_weight);
+    }
+    let pattern = phase.pattern.as_deref().unwrap_or(&m.traffic.pattern);
+    TrafficMatrix::from_pattern(parse_pattern(pattern), n)
+}
+
+fn implicit_phase() -> PhaseSpec {
+    PhaseSpec {
+        name: "steady".to_string(),
+        cycles: None,
+        rate_scale: 1.0,
+        pattern: None,
+        hotspot: None,
+        fail_links: Vec::new(),
+        degrade_links: Vec::new(),
+    }
+}
+
+fn stats_json(phase: &PhaseSpec, rate: f64, stats: &SimStats) -> Value {
+    noc_json::obj! {
+        "name" => Value::Str(phase.name.clone()),
+        "cycles" => Value::Int(stats.measure_cycles as i128),
+        "rate" => Value::Float(rate),
+        "failed_links" => Value::Int(phase.fail_links.len() as i128),
+        "degraded_links" => Value::Int(phase.degrade_links.len() as i128),
+        "avg_latency" => Value::Float(stats.avg_packet_latency),
+        "p95_latency" => Value::Float(stats.p95_latency),
+        "accepted_throughput" => Value::Float(stats.accepted_throughput),
+        "drained" => Value::Bool(stats.drained),
+    }
+}
+
+/// Runs one fully-resolved scenario to completion.
+///
+/// The result is a single JSON object (one NDJSON line on the wire):
+/// identity (name, fingerprint, axis assignment), the resolved express
+/// links, one entry per phase, and cycle-weighted aggregates. Execution
+/// is deterministic: every seed is derived from the manifest, so the same
+/// resolved scenario always produces the same bytes.
+pub fn run_scenario(scenario: &ResolvedScenario) -> Result<Value, String> {
+    count("scenario.run", 1);
+    let m = &scenario.manifest;
+    let resolved = resolve_topology(m)?;
+    let phases: Vec<PhaseSpec> = if m.phases.is_empty() {
+        vec![implicit_phase()]
+    } else {
+        m.phases.clone()
+    };
+    let mut phase_results = Vec::with_capacity(phases.len());
+    let mut weighted_latency = 0.0f64;
+    let mut total_cycles = 0u64;
+    let mut throughput_sum = 0.0f64;
+    let mut all_drained = true;
+    for (i, phase) in phases.iter().enumerate() {
+        if faultpoint::hit(SITE_PHASE) == Some(faultpoint::Injected::Error) {
+            return Err(format!("injected fault at phase {:?}", phase.name));
+        }
+        for _ in &phase.fail_links {
+            faultpoint::hit(SITE_LINK_FAIL);
+        }
+        for _ in &phase.degrade_links {
+            faultpoint::hit(SITE_LINK_DEGRADE);
+        }
+        let topo = apply_link_events(&resolved.topo, &phase.fail_links, &phase.degrade_links);
+        let rate = m.traffic.rate * phase.rate_scale;
+        let workload = Workload::new(phase_matrix(m, phase), rate, PacketMix::paper());
+        let mut config = SimConfig::latency_run(m.sim.flit, phase_seed(m.seed, i));
+        config.warmup_cycles = m.sim.warmup;
+        config.measure_cycles = phase.cycles.unwrap_or(m.sim.cycles);
+        let stats = Simulator::new(&topo, workload, config).run();
+        count("scenario.phase", 1);
+        weighted_latency += stats.avg_packet_latency * stats.measure_cycles as f64;
+        total_cycles += stats.measure_cycles;
+        throughput_sum += stats.accepted_throughput;
+        all_drained &= stats.drained;
+        phase_results.push(stats_json(phase, rate, &stats));
+    }
+    let mut fields: Vec<(String, Value)> = vec![
+        ("name".to_string(), Value::Str(scenario.name.clone())),
+        (
+            "fingerprint".to_string(),
+            Value::Str(format!("{:016x}", scenario.fingerprint)),
+        ),
+        ("seed".to_string(), Value::Int(m.seed as i128)),
+        ("n".to_string(), Value::Int(m.topology.n as i128)),
+        (
+            "axes".to_string(),
+            Value::Obj(
+                scenario
+                    .axes
+                    .iter()
+                    .map(|(axis, value)| (axis.clone(), value.to_json()))
+                    .collect(),
+            ),
+        ),
+        (
+            "links".to_string(),
+            Value::Arr(
+                resolved
+                    .links
+                    .iter()
+                    .map(|&(a, b)| Value::Arr(vec![Value::Int(a as i128), Value::Int(b as i128)]))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(objective) = resolved.objective {
+        fields.push(("objective".to_string(), Value::Float(objective)));
+    }
+    fields.push(("phases".to_string(), Value::Arr(phase_results)));
+    fields.push((
+        "avg_latency".to_string(),
+        Value::Float(weighted_latency / total_cycles.max(1) as f64),
+    ));
+    fields.push((
+        "accepted_throughput".to_string(),
+        Value::Float(throughput_sum / phases.len() as f64),
+    ));
+    fields.push(("drained".to_string(), Value::Bool(all_drained)));
+    Ok(Value::Obj(fields))
+}
+
+/// A completed batch: one result per expanded scenario, in expansion
+/// order, plus the batch summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// One result object per scenario, in expansion order. A scenario
+    /// that failed contributes `{"name":…,"fingerprint":…,"error":…}`
+    /// instead of a result body — one bad combination does not sink the
+    /// batch.
+    pub items: Vec<Value>,
+    /// The batch summary: counts, the manifest fingerprint, aggregates.
+    pub summary: Value,
+}
+
+/// Expands a manifest and runs every resolved scenario.
+///
+/// The batch fans out over `noc_par::par_map_with` with the given worker
+/// count (`0` = one per core). The fan-out is order-preserving and every
+/// scenario is seed-deterministic, so the item list — and therefore the
+/// daemon's NDJSON stream — is **byte-identical across runs and across
+/// worker counts**.
+pub fn run_batch(manifest: &Manifest, workers: usize) -> Result<BatchResult, ManifestError> {
+    let scenarios = expand::expand(manifest)?;
+    count("scenario.batch", 1);
+    count("scenario.expanded", scenarios.len() as u64);
+    let total = scenarios.len();
+    let items: Vec<Value> = noc_par::par_map_with(
+        scenarios,
+        workers,
+        || (),
+        |(), scenario| match run_scenario(&scenario) {
+            Ok(value) => value,
+            Err(message) => {
+                count("scenario.failed", 1);
+                noc_json::obj! {
+                    "name" => Value::Str(scenario.name.clone()),
+                    "fingerprint" => Value::Str(format!("{:016x}", scenario.fingerprint)),
+                    "error" => Value::Str(message),
+                }
+            }
+        },
+    );
+    let failed = items.iter().filter(|v| v.get("error").is_some()).count();
+    let mean_latency = {
+        let oks: Vec<f64> = items
+            .iter()
+            .filter_map(|v| v.get("avg_latency").and_then(Value::as_f64))
+            .collect();
+        if oks.is_empty() {
+            0.0
+        } else {
+            oks.iter().sum::<f64>() / oks.len() as f64
+        }
+    };
+    let summary = noc_json::obj! {
+        "name" => Value::Str(manifest.name.clone()),
+        "scenario" => Value::Int(manifest.version as i128),
+        "scenarios" => Value::Int(total as i128),
+        "failed" => Value::Int(failed as i128),
+        "manifest_fingerprint" => Value::Str(
+            format!("{:016x}", expand::manifest_fingerprint(manifest)),
+        ),
+        "mean_avg_latency" => Value::Float(mean_latency),
+    };
+    Ok(BatchResult { items, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Manifest {
+        Manifest::parse(
+            r#"{"scenario":1,"name":"t","topology":{"n":4,"links":[[0,2]]},
+                "traffic":{"rate":0.01},"sim":{"warmup":100,"cycles":300},
+                "matrix":{"seed":[1,2]}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scenario_runs_deterministically() {
+        let batch = expand::expand(&tiny()).unwrap();
+        let a = run_scenario(&batch[0]).unwrap();
+        let b = run_scenario(&batch[0]).unwrap();
+        assert_eq!(a.compact(), b.compact());
+        assert_eq!(a.get("name").and_then(Value::as_str), Some("t#0"));
+        assert!(a.get("avg_latency").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn batch_is_worker_count_independent() {
+        let m = tiny();
+        let one = run_batch(&m, 1).unwrap();
+        let four = run_batch(&m, 4).unwrap();
+        assert_eq!(one, four, "batch results must not depend on worker count");
+        assert_eq!(one.items.len(), 2);
+        assert_eq!(
+            one.summary.get("scenarios").and_then(Value::as_usize),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn phases_apply_link_events() {
+        let m = Manifest::parse(
+            r#"{"scenario":1,"topology":{"n":4,"links":[[0,3]]},
+                "traffic":{"rate":0.01},"sim":{"warmup":100,"cycles":300},
+                "phases":[{"name":"ok"},
+                          {"name":"broken","fail_links":[[0,3]]},
+                          {"name":"limp","degrade_links":[[0,3]]}]}"#,
+        )
+        .unwrap();
+        let batch = expand::expand(&m).unwrap();
+        let result = run_scenario(&batch[0]).unwrap();
+        let phases = result.get("phases").and_then(Value::as_array).unwrap();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(
+            phases[1].get("failed_links").and_then(Value::as_usize),
+            Some(1)
+        );
+        // The degraded (0,3) span splits into (0,1)+(1,3): only the
+        // span-2 half survives as an express link, so the phase still
+        // differs from the plain-failure phase.
+        assert_eq!(
+            phases[2].get("degraded_links").and_then(Value::as_usize),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn qos_flows_drive_the_per_row_solver() {
+        let m = Manifest::parse(
+            r#"{"scenario":1,"topology":{"n":4},
+                "placement":{"c":2,"moves":200},
+                "qos":[{"src":0,"dst":15,"weight":4.0}],
+                "traffic":{"rate":0.01},"sim":{"warmup":100,"cycles":200}}"#,
+        )
+        .unwrap();
+        let batch = expand::expand(&m).unwrap();
+        let result = run_scenario(&batch[0]).unwrap();
+        assert!(result.get("error").is_none());
+        assert!(result.get("drained").is_some());
+    }
+
+    #[test]
+    fn fault_schedule_compiles_per_event() {
+        let m = Manifest::parse(
+            r#"{"scenario":1,"topology":{"n":4,"links":[[0,3]]},
+                "phases":[{"fail_links":[[0,3]]},{"degrade_links":[[0,3]]}],
+                "faults":{"seed":7}}"#,
+        )
+        .unwrap();
+        let schedule = compile_fault_schedule(&m);
+        let plans = schedule.plans();
+        assert_eq!(plans.len(), 2);
+        // Without a faults section the schedule is empty.
+        let bare = Manifest::parse(r#"{"scenario":1}"#).unwrap();
+        assert!(compile_fault_schedule(&bare).plans().is_empty());
+    }
+}

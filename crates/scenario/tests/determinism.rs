@@ -1,0 +1,101 @@
+//! The scenario subsystem's executable determinism contract: the same
+//! manifest produces byte-identical expansions and byte-identical batch
+//! results, across repeated runs and across worker counts.
+
+use noc_json::Value;
+use noc_scenario::{expand, manifest_fingerprint, run_batch, Manifest};
+
+const MANIFEST: &str = r#"{"scenario":1,"name":"det","seed":5,
+    "topology":{"n":4,"links":[[0,2]]},
+    "traffic":{"pattern":"ur","rate":0.01},
+    "sim":{"flit":64,"warmup":100,"cycles":300},
+    "phases":[{"name":"steady"},
+              {"name":"burst","rate_scale":2.0},
+              {"name":"hot","hotspot":5},
+              {"name":"broken","fail_links":[[0,2]]}],
+    "matrix":{"rate":[0.005,0.01],"seed":{"range":[1,3]}}}"#;
+
+fn expansion_bytes() -> String {
+    let manifest = Manifest::parse(MANIFEST).unwrap();
+    expand(&manifest)
+        .unwrap()
+        .iter()
+        .map(|s| {
+            format!(
+                "{} {:016x} {}\n",
+                s.name,
+                s.fingerprint,
+                s.manifest.to_value().compact()
+            )
+        })
+        .collect()
+}
+
+fn batch_bytes(workers: usize) -> String {
+    let manifest = Manifest::parse(MANIFEST).unwrap();
+    let batch = run_batch(&manifest, workers).unwrap();
+    let mut out: String = batch
+        .items
+        .iter()
+        .map(|item| format!("{}\n", item.compact()))
+        .collect();
+    out.push_str(&batch.summary.compact());
+    out
+}
+
+#[test]
+fn expansion_is_byte_identical_across_runs() {
+    let first = expansion_bytes();
+    for _ in 0..3 {
+        assert_eq!(expansion_bytes(), first);
+    }
+    let manifest = Manifest::parse(MANIFEST).unwrap();
+    assert_eq!(expand(&manifest).unwrap().len(), 6);
+    assert_eq!(
+        manifest_fingerprint(&manifest),
+        manifest_fingerprint(&Manifest::parse(MANIFEST).unwrap())
+    );
+}
+
+#[test]
+fn batches_are_byte_identical_across_runs_and_worker_counts() {
+    let reference = batch_bytes(1);
+    assert_eq!(batch_bytes(1), reference, "repeat run must be identical");
+    for workers in [2, 8] {
+        assert_eq!(
+            batch_bytes(workers),
+            reference,
+            "worker count {workers} must not change the stream"
+        );
+    }
+}
+
+#[test]
+fn round_trip_preserves_expansion() {
+    let manifest = Manifest::parse(MANIFEST).unwrap();
+    let reparsed = Manifest::parse(&manifest.to_value().compact()).unwrap();
+    assert_eq!(manifest, reparsed);
+    assert_eq!(expand(&manifest).unwrap(), expand(&reparsed).unwrap());
+}
+
+#[test]
+fn phase_results_reflect_the_phase_structure() {
+    let manifest = Manifest::parse(MANIFEST).unwrap();
+    let batch = run_batch(&manifest, 0).unwrap();
+    assert_eq!(batch.items.len(), 6);
+    for item in &batch.items {
+        assert!(
+            item.get("error").is_none(),
+            "no scenario may fail: {item:?}"
+        );
+        let phases = item.get("phases").and_then(Value::as_array).unwrap();
+        assert_eq!(phases.len(), 4);
+        let burst_rate = phases[1].get("rate").and_then(Value::as_f64).unwrap();
+        let steady_rate = phases[0].get("rate").and_then(Value::as_f64).unwrap();
+        assert!((burst_rate - 2.0 * steady_rate).abs() < 1e-12);
+        assert_eq!(
+            phases[3].get("failed_links").and_then(Value::as_usize),
+            Some(1)
+        );
+    }
+}

@@ -49,6 +49,43 @@ impl Client {
         Response::from_line(&line)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+
+    /// Sends one request line and reads the full (possibly streamed)
+    /// response: raw lines are collected until one carries `"done": true`,
+    /// `"ok": false`, or no `"seq"` (an ordinary single-line response) —
+    /// the framing of the `scenario` kind.
+    pub fn round_trip_stream(&mut self, request_line: &str) -> std::io::Result<Vec<String>> {
+        self.writer.write_all(request_line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-stream",
+                ));
+            }
+            let raw = line.trim_end().to_string();
+            let parsed = noc_json::parse(&raw)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            let ok = parsed
+                .get("ok")
+                .and_then(noc_json::Value::as_bool)
+                .unwrap_or(false);
+            let done = parsed
+                .get("done")
+                .and_then(noc_json::Value::as_bool)
+                .unwrap_or(false);
+            let streamed = parsed.get("seq").is_some();
+            lines.push(raw);
+            if !ok || done || !streamed {
+                return Ok(lines);
+            }
+        }
+    }
 }
 
 /// Retry discipline for [`RetryingClient`]: how many attempts, and the

@@ -329,9 +329,12 @@ impl ServiceCore {
         }
         // Cluster hook: the shard owner holds the cache line for a key,
         // so ownership is resolved before the local cache is consulted.
-        // Forwarded requests are handled where they land (no re-forward).
+        // Forwarded requests are handled where they land (no re-forward),
+        // and streaming kinds never forward at all: the peer forwarder
+        // reads exactly one response line per request, so a streamed
+        // batch must be served by the node it lands on.
         if let Some(forwarder) = forwarder {
-            if !envelope.forwarded {
+            if !envelope.forwarded && !envelope.request.is_streaming() {
                 if let Some(key) = exec::cache_key(&envelope.request) {
                     if let Some(response) = forwarder.forward(&key, &envelope) {
                         let micros = accepted_at.elapsed().as_micros() as u64;
@@ -469,5 +472,28 @@ mod tests {
             "forwarded lines must not be re-forwarded"
         );
         assert!(!core.cache().is_empty());
+    }
+
+    #[test]
+    fn streaming_kinds_are_never_forwarded() {
+        struct ClaimAll;
+        impl Forwarder for ClaimAll {
+            fn forward(&self, _key: &CacheKey, _envelope: &Envelope) -> Option<Response> {
+                panic!("streaming kinds must not consult the forwarder");
+            }
+        }
+        let core = core();
+        let line = r#"{"id":"s","kind":"scenario",
+            "manifest":{"scenario":1,"topology":{"n":4},
+                        "sim":{"warmup":50,"cycles":200}}}"#
+            .replace('\n', " ");
+        let resp = core.handle_line(&line, &InlineDispatch::default(), Some(&ClaimAll));
+        let Response::Ok { result, .. } = resp else {
+            panic!("expected local ok, got {resp:?}")
+        };
+        assert_eq!(
+            result.get("scenario_stream").and_then(Value::as_bool),
+            Some(true)
+        );
     }
 }

@@ -10,8 +10,8 @@
 use crate::cache::CacheKey;
 use crate::metrics::trace_inc;
 use crate::protocol::{
-    pattern_name, strategy_name, OptimalRequest, Request, SimulateRequest, SolveRequest,
-    SweepRequest, ThroughputRequest,
+    pattern_name, strategy_name, OptimalRequest, Request, ScenarioRequest, SimulateRequest,
+    SolveRequest, SweepRequest, ThroughputRequest,
 };
 use noc_json::Value;
 use noc_model::{LinkBudget, PacketMix};
@@ -128,6 +128,21 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
                 params_fp: config.fingerprint(),
                 seed: r.seed,
                 extra: extra.finish(),
+            })
+        }
+        Request::Scenario(r) => {
+            // `workers` is deliberately NOT keyed: the batch is
+            // bit-identical for any worker count, so any fan-out may serve
+            // any hit. The manifest fingerprint covers every other field,
+            // expansion order included.
+            Some(CacheKey {
+                kind: "scenario",
+                n: r.manifest.topology.n as u64,
+                c: 0,
+                objective_fp: 0,
+                params_fp: noc_scenario::manifest_fingerprint(&r.manifest),
+                seed: r.manifest.seed,
+                extra: r.manifest.expansion_count() as u64,
             })
         }
         Request::Metrics
@@ -337,6 +352,19 @@ fn exec_throughput(r: &ThroughputRequest) -> Result<Value, String> {
     })
 }
 
+fn exec_scenario(r: &ScenarioRequest) -> Result<Value, String> {
+    let batch = noc_scenario::run_batch(&r.manifest, r.workers).map_err(|e| e.to_string())?;
+    // The `"scenario_stream"` marker is what `protocol::wire_lines` keys
+    // on to fan the one cached value back out into the per-scenario
+    // stream; the whole batch is cached as one value so a hit replays an
+    // identical stream.
+    Ok(noc_json::obj! {
+        "scenario_stream" => Value::Bool(true),
+        "items" => Value::Arr(batch.items),
+        "summary" => batch.summary,
+    })
+}
+
 /// Runs a compute request to completion, enforcing `deadline` where the
 /// request kind supports it. Inline kinds (`metrics`, `health`,
 /// `shutdown`) are answered by the server, not here.
@@ -370,6 +398,7 @@ pub fn execute_within(
         Request::Sweep(r) => plain(exec_sweep(r)),
         Request::Simulate(r) => plain(exec_simulate(r)),
         Request::Throughput(r) => plain(exec_throughput(r)),
+        Request::Scenario(r) => plain(exec_scenario(r)),
         Request::Metrics
         | Request::Health
         | Request::Shutdown
@@ -524,6 +553,46 @@ mod tests {
         let a = execute(&Request::Throughput(base)).unwrap();
         let b = execute(&Request::Throughput(wide)).unwrap();
         assert_eq!(a, b, "sweep results must not depend on worker count");
+    }
+
+    #[test]
+    fn scenario_key_ignores_workers_and_result_does_too() {
+        let manifest = noc_scenario::Manifest::parse(
+            r#"{"scenario":1,"name":"k","topology":{"n":4},
+                "sim":{"warmup":50,"cycles":200},"matrix":{"seed":[1,2]}}"#,
+        )
+        .unwrap();
+        let base = Request::Scenario(Box::new(ScenarioRequest {
+            manifest: manifest.clone(),
+            workers: 1,
+        }));
+        let wide = Request::Scenario(Box::new(ScenarioRequest {
+            manifest: manifest.clone(),
+            workers: 8,
+        }));
+        assert_eq!(
+            cache_key(&base),
+            cache_key(&wide),
+            "worker count must not change the cache key"
+        );
+        let mut reseeded = manifest;
+        reseeded.seed = 7;
+        let other = Request::Scenario(Box::new(ScenarioRequest {
+            manifest: reseeded,
+            workers: 1,
+        }));
+        assert_ne!(cache_key(&base), cache_key(&other));
+        let a = execute(&base).unwrap();
+        let b = execute(&wide).unwrap();
+        assert_eq!(a, b, "batch results must not depend on worker count");
+        assert_eq!(
+            a.get("scenario_stream").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            a.get("items").and_then(Value::as_array).map(|i| i.len()),
+            Some(2)
+        );
     }
 
     #[test]

@@ -78,8 +78,19 @@ impl LocalServer {
                         let _request_span = noc_trace::span("request");
                         core.handle_line(trimmed, &dispatch, None)
                     };
-                    if resp_tx.send(response.to_line()).is_err() {
-                        break; // peer dropped the connection
+                    // One channel send per wire line: single-line for
+                    // ordinary kinds, one line per scenario plus the
+                    // summary for a streamed batch — mirroring the TCP
+                    // transport's framing exactly.
+                    let mut closed = false;
+                    for wire_line in protocol::wire_lines(&response) {
+                        if resp_tx.send(wire_line).is_err() {
+                            closed = true; // peer dropped the connection
+                            break;
+                        }
+                    }
+                    if closed {
+                        break;
                     }
                 }
                 core.metrics().connection_closed();
@@ -119,6 +130,40 @@ impl LocalConn {
         let raw = self.round_trip(line)?;
         Response::from_line(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
+
+    /// Sends one request line and reads the full (possibly streamed)
+    /// response: lines are collected until one carries `"done": true` or
+    /// `"ok": false` — the framing of the `scenario` kind. Single-line
+    /// responses come back as a one-element vector.
+    pub fn round_trip_batch(&self, line: &str) -> io::Result<Vec<String>> {
+        self.tx
+            .send(line.to_string())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "local connection closed"))?;
+        let mut lines = Vec::new();
+        loop {
+            let raw = self.rx.recv().map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "local connection closed mid-stream",
+                )
+            })?;
+            let parsed = noc_json::parse(&raw)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let ok = parsed
+                .get("ok")
+                .and_then(noc_json::Value::as_bool)
+                .unwrap_or(false);
+            let done = parsed
+                .get("done")
+                .and_then(noc_json::Value::as_bool)
+                .unwrap_or(false);
+            let streamed = parsed.get("seq").is_some();
+            lines.push(raw);
+            if !ok || done || !streamed {
+                return Ok(lines);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +192,37 @@ mod tests {
             panic!("expected ok, got {third:?}")
         };
         assert!(cached);
+    }
+
+    #[test]
+    fn scenario_batches_stream_over_the_channel() {
+        let server = LocalServer::with_defaults(16, 2);
+        let conn = server.connect();
+        let line = r#"{"id":"b1","kind":"scenario","manifest":{"scenario":1,"topology":{"n":4},"sim":{"warmup":50,"cycles":200},"matrix":{"seed":[1,2,3]}}}"#;
+        let lines = conn.round_trip_batch(line).unwrap();
+        assert_eq!(lines.len(), 4, "3 scenarios + 1 summary: {lines:?}");
+        for (i, raw) in lines[..3].iter().enumerate() {
+            let v = noc_json::parse(raw).unwrap();
+            use noc_json::Value;
+            assert_eq!(v.get("seq").and_then(Value::as_usize), Some(i));
+            assert_eq!(v.get("of").and_then(Value::as_usize), Some(3));
+            assert!(v.get("done").is_none());
+        }
+        let summary = noc_json::parse(&lines[3]).unwrap();
+        use noc_json::Value;
+        assert_eq!(summary.get("done").and_then(Value::as_bool), Some(true));
+        assert_eq!(summary.get("cached").and_then(Value::as_bool), Some(false));
+        // The connection stays usable and a repeat replays the identical
+        // stream from the cache (cached flag on the summary line only).
+        let again = conn.round_trip_batch(line).unwrap();
+        assert_eq!(again[..3], lines[..3], "cached replay must be identical");
+        let summary = noc_json::parse(&again[3]).unwrap();
+        assert_eq!(summary.get("cached").and_then(Value::as_bool), Some(true));
+        // Ordinary kinds still come back as one line.
+        let one = conn
+            .round_trip_batch(r#"{"id":"h","kind":"health"}"#)
+            .unwrap();
+        assert_eq!(one.len(), 1);
     }
 
     #[test]

@@ -17,10 +17,16 @@
 //! {"id":"6","kind":"metrics"}
 //! {"id":"7","kind":"health"}
 //! {"id":"8","kind":"shutdown"}
+//! {"id":"9","kind":"scenario","manifest":{"scenario":1,...},"workers":2}
 //! ```
 //!
 //! Success: `{"id":"1","ok":true,"cached":false,"result":{...}}`.
 //! Failure: `{"id":"1","ok":false,"error":{"code":"overloaded","message":"..."}}`.
+//!
+//! The `scenario` kind is the one *streaming* response: its result is a
+//! batch, written as one line per expanded scenario
+//! (`{"id":"9","ok":true,"seq":0,"of":3,"result":{...}}`) followed by a
+//! final summary line carrying `"done":true` (see [`wire_lines`]).
 
 use noc_json::Value;
 use noc_placement::{EvalMode, InitialStrategy};
@@ -140,6 +146,17 @@ pub struct ThroughputRequest {
     pub workers: usize,
 }
 
+/// Parameters of a `scenario` request — a full manifest carried inline,
+/// expanded and executed as one batch (see `noc_scenario`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRequest {
+    /// The parsed scenario manifest (strictly validated on parse).
+    pub manifest: noc_scenario::Manifest,
+    /// Batch worker threads (`0` = one per core). *Not* part of the cache
+    /// key: the batch is bit-identical for any worker count.
+    pub workers: usize,
+}
+
 /// A decoded request body.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -153,6 +170,9 @@ pub enum Request {
     Simulate(SimulateRequest),
     /// Saturation-throughput sweep on the parallel sweep runner.
     Throughput(ThroughputRequest),
+    /// Scenario-manifest batch: expand and run, streaming one result line
+    /// per expanded scenario.
+    Scenario(Box<ScenarioRequest>),
     /// Metrics snapshot.
     Metrics,
     /// Liveness/readiness probe.
@@ -175,6 +195,7 @@ impl Request {
             Request::Sweep(_) => "sweep",
             Request::Simulate(_) => "simulate",
             Request::Throughput(_) => "throughput",
+            Request::Scenario(_) => "scenario",
             Request::Metrics => "metrics",
             Request::Health => "health",
             Request::Shutdown => "shutdown",
@@ -192,7 +213,16 @@ impl Request {
                 | Request::Sweep(_)
                 | Request::Simulate(_)
                 | Request::Throughput(_)
+                | Request::Scenario(_)
         )
+    }
+
+    /// Whether the response is a multi-line stream rather than the usual
+    /// single line. Streaming kinds are never forwarded to cluster peers:
+    /// the peer forwarder reads exactly one response line per request, so
+    /// a streamed batch is always served where it lands.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self, Request::Scenario(_))
     }
 }
 
@@ -360,6 +390,60 @@ impl Response {
             Ok(Response::Err { id, code, message })
         }
     }
+}
+
+/// Serialises a response into its wire lines (without trailing newlines).
+///
+/// Every response is one line — except a scenario-batch success, whose
+/// result object carries `"scenario_stream": true` with `"items"` and
+/// `"summary"`. That one expands into one line per item,
+/// `{"id","ok":true,"seq":i,"of":N,"result":<item>}`, followed by a final
+/// `{"id","ok":true,"cached":...,"done":true,"result":<summary>}` line.
+/// Because the whole batch is cached as one value, a cache hit replays the
+/// exact same stream with `"cached": true` on the summary line.
+pub fn wire_lines(response: &Response) -> Vec<String> {
+    let Response::Ok { id, cached, result } = response else {
+        return vec![response.to_line()];
+    };
+    let is_stream = result
+        .get("scenario_stream")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let (Some(items), Some(summary)) = (
+        result.get("items").and_then(Value::as_array),
+        result.get("summary"),
+    ) else {
+        return vec![response.to_line()];
+    };
+    if !is_stream {
+        return vec![response.to_line()];
+    }
+    let of = items.len();
+    let mut lines: Vec<String> = items
+        .iter()
+        .enumerate()
+        .map(|(seq, item)| {
+            noc_json::obj! {
+                "id" => Value::Str(id.clone()),
+                "ok" => Value::Bool(true),
+                "seq" => Value::Int(seq as i128),
+                "of" => Value::Int(of as i128),
+                "result" => item.clone(),
+            }
+            .compact()
+        })
+        .collect();
+    lines.push(
+        noc_json::obj! {
+            "id" => Value::Str(id.clone()),
+            "ok" => Value::Bool(true),
+            "cached" => Value::Bool(*cached),
+            "done" => Value::Bool(true),
+            "result" => summary.clone(),
+        }
+        .compact(),
+    );
+    lines
 }
 
 /// Extracts a best-effort id from a line that failed full parsing, so the
@@ -662,6 +746,21 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 workers,
             })
         }
+        "scenario" => {
+            let manifest = v
+                .get("manifest")
+                .ok_or("missing required field \"manifest\"")?;
+            let manifest = noc_scenario::Manifest::from_value(manifest)
+                .map_err(|e| format!("invalid manifest: {e}"))?;
+            // Expansion bounds are the manifest's own; re-check here so an
+            // oversized batch is refused before it reaches a worker.
+            noc_scenario::expand(&manifest).map_err(|e| format!("invalid manifest: {e}"))?;
+            let workers = field_usize(&v, "workers")?.unwrap_or(0);
+            if workers > MAX_CHAINS {
+                return Err(format!("workers must be at most {MAX_CHAINS}"));
+            }
+            Request::Scenario(Box::new(ScenarioRequest { manifest, workers }))
+        }
         "metrics" => Request::Metrics,
         "health" => Request::Health,
         "shutdown" => Request::Shutdown,
@@ -778,6 +877,10 @@ pub fn request_line(env: &Envelope) -> String {
             ));
             fields.push(("workers".to_string(), Value::Int(r.workers as i128)));
         }
+        Request::Scenario(r) => {
+            fields.push(("manifest".to_string(), r.manifest.to_value()));
+            fields.push(("workers".to_string(), Value::Int(r.workers as i128)));
+        }
         Request::Metrics
         | Request::Health
         | Request::Shutdown
@@ -844,6 +947,75 @@ mod tests {
             parse_request(r#"{"kind":"throughput","n":8,"pattern":"ur","start_rate":0.0}"#)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn scenario_parses_and_round_trips() {
+        let env = parse_request(
+            r#"{"id":"s","kind":"scenario","workers":2,
+                "manifest":{"scenario":1,"name":"m","topology":{"n":4},
+                            "matrix":{"seed":[1,2,3]}}}"#,
+        )
+        .unwrap();
+        match &env.request {
+            Request::Scenario(r) => {
+                assert_eq!(r.workers, 2);
+                assert_eq!(r.manifest.name, "m");
+                assert_eq!(r.manifest.topology.n, 4);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        assert!(env.request.is_compute());
+        assert!(env.request.is_streaming());
+        assert_eq!(parse_request(&request_line(&env)).unwrap(), env);
+    }
+
+    #[test]
+    fn scenario_rejects_bad_manifests() {
+        // Missing manifest, bad version, unknown field, oversized workers.
+        assert!(parse_request(r#"{"kind":"scenario"}"#).is_err());
+        assert!(parse_request(r#"{"kind":"scenario","manifest":{"scenario":2}}"#).is_err());
+        assert!(
+            parse_request(r#"{"kind":"scenario","manifest":{"scenario":1,"bogus":1}}"#).is_err()
+        );
+        assert!(
+            parse_request(r#"{"kind":"scenario","workers":65,"manifest":{"scenario":1}}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn wire_lines_expand_scenario_streams_only() {
+        // Ordinary responses stay single-line.
+        let ok = Response::ok("r", false, noc_json::obj! { "x" => Value::Int(1) });
+        assert_eq!(wire_lines(&ok), vec![ok.to_line()]);
+        let err = Response::err("r", ErrorCode::Internal, "boom");
+        assert_eq!(wire_lines(&err), vec![err.to_line()]);
+        // A scenario stream fans out: one line per item plus a summary.
+        let stream = Response::ok(
+            "s",
+            true,
+            noc_json::obj! {
+                "scenario_stream" => Value::Bool(true),
+                "items" => Value::Arr(vec![
+                    noc_json::obj! { "a" => Value::Int(0) },
+                    noc_json::obj! { "a" => Value::Int(1) },
+                ]),
+                "summary" => noc_json::obj! { "scenarios" => Value::Int(2) },
+            },
+        );
+        let lines = wire_lines(&stream);
+        assert_eq!(lines.len(), 3);
+        let first = noc_json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("seq").and_then(Value::as_usize), Some(0));
+        assert_eq!(first.get("of").and_then(Value::as_usize), Some(2));
+        assert!(first.get("done").is_none());
+        let last = noc_json::parse(&lines[2]).unwrap();
+        assert_eq!(last.get("done").and_then(Value::as_bool), Some(true));
+        assert_eq!(last.get("cached").and_then(Value::as_bool), Some(true));
+        assert!(last
+            .get("result")
+            .and_then(|r| r.get("scenarios"))
+            .is_some());
     }
 
     #[test]

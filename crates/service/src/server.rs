@@ -3,7 +3,7 @@
 //!
 //! Each connection gets one handler thread reading request lines and
 //! funnelling them through [`ServiceCore::handle_line`] with a
-//! [`PooledDispatch`]: compute requests are submitted to the bounded
+//! `PooledDispatch`: compute requests are submitted to the bounded
 //! worker pool with a reply channel, and the handler waits with
 //! `recv_timeout` so a missed deadline turns into a `deadline_exceeded`
 //! response even if the worker is still busy (the worker's late result
@@ -293,8 +293,15 @@ fn handle_connection(
         // execute phase runs on a worker thread with its own span).
         let _request_span = noc_trace::span("request");
         let response = core.handle_line(trimmed, &dispatch, forwarder);
-        let mut payload = response.to_line();
-        payload.push('\n');
+        // Almost every response is one line; a scenario batch fans out
+        // into one line per expanded scenario plus a summary line. The
+        // whole fan-out is written as one buffer so the torn-write fault
+        // below exercises mid-stream death for batches too.
+        let mut payload = String::new();
+        for wire_line in protocol::wire_lines(&response) {
+            payload.push_str(&wire_line);
+            payload.push('\n');
+        }
         let sent = if fp::hit("response.write") == Some(fp::Injected::Error) {
             // Injected mid-response socket death: leak a torn prefix so
             // clients must treat a connection as unusable after it.

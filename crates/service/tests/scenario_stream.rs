@@ -1,0 +1,133 @@
+//! End-to-end scenario streaming: a real daemon on an ephemeral port
+//! expands a manifest batch and streams one NDJSON result line per
+//! scenario plus a summary line, byte-identically across repeats, with
+//! the cached replay flagged only on the summary line.
+
+use noc_json::Value;
+use noc_service::{Client, Server, ServerHandle, ServiceConfig};
+use std::thread::JoinHandle;
+
+fn start_daemon() -> (String, ServerHandle, JoinHandle<()>) {
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 64,
+        cache_shards: 4,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, thread)
+}
+
+const LINE: &str = r#"{"id":"sc","kind":"scenario","workers":2,"manifest":{"scenario":1,"name":"trio","topology":{"n":4},"traffic":{"pattern":"ur","rate":0.01},"sim":{"flit":64,"warmup":100,"cycles":300},"phases":[{"name":"steady"},{"name":"burst","rate_scale":2.0}],"matrix":{"seed":[1,2,3]}}}"#;
+
+#[test]
+fn daemon_streams_a_three_scenario_batch() {
+    // The scenario.* counters live on the trace registry, which records
+    // only while tracing is enabled (disabled tracing costs nothing).
+    noc_trace::enable_with_capacity(16_384);
+    let (addr, handle, thread) = start_daemon();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let lines = client.round_trip_stream(LINE).expect("stream");
+    assert_eq!(lines.len(), 4, "3 scenarios + 1 summary: {lines:#?}");
+
+    for (i, raw) in lines[..3].iter().enumerate() {
+        let v = noc_json::parse(raw).expect("item line parses");
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("sc"));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("seq").and_then(Value::as_usize), Some(i));
+        assert_eq!(v.get("of").and_then(Value::as_usize), Some(3));
+        assert!(v.get("done").is_none(), "item lines carry no done flag");
+        let result = v.get("result").expect("item result");
+        assert_eq!(
+            result.get("name").and_then(Value::as_str),
+            Some(format!("trio#{i}").as_str())
+        );
+        let phases = result.get("phases").and_then(Value::as_array).unwrap();
+        assert_eq!(phases.len(), 2, "both phases report per-phase stats");
+        assert!(result.get("fingerprint").and_then(Value::as_str).is_some());
+    }
+
+    let summary = noc_json::parse(&lines[3]).expect("summary line parses");
+    assert_eq!(summary.get("done").and_then(Value::as_bool), Some(true));
+    assert_eq!(summary.get("cached").and_then(Value::as_bool), Some(false));
+    let body = summary.get("result").expect("summary result");
+    assert_eq!(body.get("scenarios").and_then(Value::as_usize), Some(3));
+    assert_eq!(body.get("failed").and_then(Value::as_usize), Some(0));
+
+    // A repeat of the same request replays the identical stream from the
+    // cache: item lines byte-identical, cached flagged on the summary.
+    let again = client.round_trip_stream(LINE).expect("cached stream");
+    assert_eq!(again.len(), 4);
+    assert_eq!(again[..3], lines[..3], "cached replay must be identical");
+    let cached_summary = noc_json::parse(&again[3]).unwrap();
+    assert_eq!(
+        cached_summary.get("cached").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        cached_summary.get("result"),
+        summary.get("result"),
+        "cached summary body must be identical"
+    );
+
+    // The connection stays usable for ordinary single-line kinds, and the
+    // scenario.* counters surfaced on the shared trace registry.
+    let health = client
+        .round_trip_stream(r#"{"id":"h","kind":"health"}"#)
+        .expect("health");
+    assert_eq!(health.len(), 1);
+    let trace = client
+        .request(r#"{"id":"t","kind":"trace"}"#)
+        .expect("trace");
+    let noc_service::Response::Ok { result, .. } = trace else {
+        panic!("trace failed: {trace:?}")
+    };
+    let counters = result
+        .get("registry")
+        .and_then(|r| r.get("counters"))
+        .expect("registry counters");
+    assert_eq!(
+        counters.get("scenario.batch").and_then(Value::as_u64),
+        Some(1),
+        "cached replay must not re-run the batch"
+    );
+    assert_eq!(
+        counters.get("scenario.run").and_then(Value::as_u64),
+        Some(3)
+    );
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn daemon_rejects_bad_manifests_with_bad_request() {
+    let (addr, handle, thread) = start_daemon();
+    let mut client = Client::connect(&addr).expect("connect");
+    for bad in [
+        // Wrong version.
+        r#"{"id":"b1","kind":"scenario","manifest":{"scenario":2,"topology":{"n":4}}}"#,
+        // Unknown field.
+        r#"{"id":"b2","kind":"scenario","manifest":{"scenario":1,"wat":1}}"#,
+        // Missing manifest entirely.
+        r#"{"id":"b3","kind":"scenario"}"#,
+    ] {
+        let lines = client.round_trip_stream(bad).expect("error response");
+        assert_eq!(lines.len(), 1, "errors are single-line");
+        let v = noc_json::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("bad_request")
+        );
+    }
+    handle.shutdown();
+    thread.join().unwrap();
+}

@@ -17,6 +17,8 @@
 //!                          [--kind solve|simulate] [--n 8] [--c 4] [--distinct 8]
 //! express-noc-cli cluster-sim [--nodes 3] [--seed 0] [--requests 12]
 //!                          [--partition-at T] [--heal-at T] [--kill NODE --kill-at T]
+//! express-noc-cli scenario expand|run|describe <manifest.json> [--workers N]
+//!                          [--addr 127.0.0.1:7474]
 //! ```
 
 use express_noc::cluster::{ClusterSim, ScriptAction, TcpForwarder};
@@ -41,9 +43,19 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `request` takes a positional JSON argument before its flags.
+    // `request` takes a positional JSON argument before its flags, and
+    // `scenario` takes a positional action + manifest path.
     if command == "request" {
         return match cmd_request(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if command == "scenario" {
+        return match cmd_scenario(rest) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}\n\n{USAGE}");
@@ -127,6 +139,14 @@ commands:
             deterministic in-process cluster simulation: sharded requests,
             forwarding, replica failover, gossip-driven ring changes; same
             seed and script reproduce the identical event log
+  scenario  expand|run|describe <manifest.json> [--workers N] [--addr HOST:PORT]
+            scenario manifests (docs/SCENARIOS.md): 'describe' summarises the
+            manifest and its expansion, 'expand' prints one NDJSON line per
+            resolved scenario (name, fingerprint, axes), 'run' executes the
+            whole batch and streams one NDJSON result line per scenario plus
+            a summary line — byte-identical for any --workers; with --addr
+            the manifest is sent to a running daemon instead and its streamed
+            response is printed verbatim
 
 any command also accepts --trace-out PATH: enable the in-process noc-trace
 sink for the run and write its event log (SA convergence series, per-link
@@ -473,6 +493,117 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     match express_noc::json::parse(&reply) {
         Ok(v) => println!("{}", v.pretty()),
         Err(_) => println!("{reply}"),
+    }
+    Ok(())
+}
+
+/// `scenario expand|run|describe <manifest.json>` — the manifest DSL
+/// front end (format reference: docs/SCENARIOS.md).
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    use express_noc::json::Value;
+    use express_noc::scenario::{expand, manifest_fingerprint, run_batch, Manifest};
+
+    let [action, path, rest @ ..] = args else {
+        return Err("scenario needs an action and a manifest, e.g. \
+                    scenario run examples/scenarios/ladder.json"
+            .into());
+    };
+    let opts = parse_flags(rest)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let manifest = Manifest::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match action.as_str() {
+        "describe" => {
+            let batch = expand(&manifest).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "manifest:    {} (scenario format v{})",
+                manifest.name, manifest.version
+            );
+            println!("fingerprint: {:016x}", manifest_fingerprint(&manifest));
+            println!(
+                "topology:    {0}x{0} mesh, {1} express link(s) per row{2}",
+                manifest.topology.n,
+                manifest.topology.links.len(),
+                if manifest.placement.is_some() {
+                    " + solver placement"
+                } else {
+                    ""
+                }
+            );
+            println!(
+                "phases:      {}",
+                if manifest.phases.is_empty() {
+                    "1 (implicit steady)".to_string()
+                } else {
+                    format!(
+                        "{} ({})",
+                        manifest.phases.len(),
+                        manifest
+                            .phases
+                            .iter()
+                            .map(|p| p.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+            );
+            for (axis, values) in &manifest.matrix {
+                println!("axis:        {axis} ({} values)", values.len());
+            }
+            println!("scenarios:   {}", batch.len());
+        }
+        "expand" => {
+            for s in expand(&manifest).map_err(|e| format!("{path}: {e}"))? {
+                let line = express_noc::json::obj! {
+                    "index" => Value::Int(s.index as i128),
+                    "name" => Value::Str(s.name.clone()),
+                    "fingerprint" => Value::Str(format!("{:016x}", s.fingerprint)),
+                    "axes" => Value::Obj(
+                        s.axes
+                            .iter()
+                            .map(|(axis, value)| (axis.clone(), value.to_json()))
+                            .collect(),
+                    ),
+                };
+                println!("{}", line.compact());
+            }
+        }
+        "run" => {
+            // With --addr the batch runs on a daemon and its streamed
+            // NDJSON response is printed verbatim; otherwise it runs
+            // in-process through the same `run_batch` the daemon uses.
+            if let Some(addr) = opts.get("addr") {
+                let workers: usize = get_or(&opts, "workers", 0)?;
+                let env = Envelope {
+                    id: "scenario".to_string(),
+                    deadline_ms: protocol::MAX_DEADLINE_MS,
+                    forwarded: false,
+                    request: Request::Scenario(Box::new(protocol::ScenarioRequest {
+                        manifest,
+                        workers,
+                    })),
+                };
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                let lines = client
+                    .round_trip_stream(&protocol::request_line(&env))
+                    .map_err(|e| e.to_string())?;
+                for line in lines {
+                    println!("{line}");
+                }
+            } else {
+                let workers: usize = get_or(&opts, "workers", 0)?;
+                let batch = run_batch(&manifest, workers).map_err(|e| format!("{path}: {e}"))?;
+                for item in &batch.items {
+                    println!("{}", item.compact());
+                }
+                println!("{}", batch.summary.compact());
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown scenario action {other:?} (expand|run|describe)"
+            ))
+        }
     }
     Ok(())
 }

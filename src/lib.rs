@@ -6,6 +6,7 @@ pub use noc_placement as placement;
 pub use noc_power as power;
 pub use noc_rng as rng;
 pub use noc_routing as routing;
+pub use noc_scenario as scenario;
 pub use noc_service as service;
 pub use noc_sim as sim;
 pub use noc_topology as topology;
