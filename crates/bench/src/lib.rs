@@ -42,6 +42,21 @@ pub fn bench_timed<F: FnMut()>(name: &str, mut f: F) -> std::time::Duration {
     per_iter
 }
 
+/// Best-of-`rounds` wall-clock timing: runs `f` `rounds` times and returns
+/// the fastest round. On shared hosts single-shot timings scatter badly
+/// with neighbour load; the minimum is the stable estimator of achievable
+/// throughput and is what speedup ratios should be computed from.
+pub fn bench_best<F: FnMut()>(name: &str, rounds: u32, mut f: F) -> std::time::Duration {
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..rounds.max(1) {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    println!("{name:<48} {best:>12.2?}/iter  (best of {rounds})");
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,10 +4,11 @@
 use noc_model::{LatencyModel, LinkBudget, PacketMix, ZeroLoad};
 use noc_placement::{optimize_network, InitialStrategy, NetworkDesign, SaParams};
 use noc_routing::{DorRouter, HopWeights};
-use noc_sim::{SimConfig, SimScratch, SimStats, Simulator};
+use noc_sim::{BatchSimulator, NetTables, SimConfig, SimScratch, SimStats, Simulator};
 use noc_topology::{hfb_mesh, hfb_row, implied_link_limit, MeshTopology, RowPlacement};
 use noc_traffic::Workload;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::sync::Mutex;
 use std::sync::OnceLock;
 
@@ -194,22 +195,103 @@ pub fn simulate(scheme: &Scheme, budget: &LinkBudget, workload: &Workload, seed:
     Simulator::new(&scheme.topology, workload.clone(), config).run()
 }
 
-/// Runs one latency simulation per `(scheme, workload)` job, fanned flat
-/// across the `noc-par` pool with per-worker simulator scratch reuse.
-/// Results come back in job order and are bit-identical to running
-/// [`simulate`] on each job sequentially. This is the preferred shape for
-/// figure sweeps: a single flat (design point × benchmark) batch keeps
-/// every core busy instead of nesting a parallel benchmark loop inside a
-/// parallel point loop.
+/// Runs one latency simulation per `(scheme, workload)` job. Jobs on the
+/// *same topology* (a figure sweeps many benchmarks per design point) are
+/// packed into [`BatchSimulator`] lockstep lanes sharing one set of
+/// network tables; leftovers and unsupported shapes run scalar. The
+/// resulting units are fanned flat across the `noc-par` pool with
+/// per-worker simulator scratch reuse. Results come back in job order and
+/// are bit-identical to running [`simulate`] on each job sequentially
+/// (the batch engine is replica-exact; the property suite pins it). This
+/// is the preferred shape for figure sweeps: a single flat
+/// (design point × benchmark) batch keeps every core busy instead of
+/// nesting a parallel benchmark loop inside a parallel point loop.
 pub fn simulate_batch(
     budget: &LinkBudget,
     jobs: Vec<(Scheme, Workload)>,
     seed: u64,
 ) -> Vec<SimStats> {
-    noc_par::par_map_with(jobs, 0, SimScratch::new, |scratch, (scheme, workload)| {
+    let n = jobs.len();
+    // Group job indices by topology (tables are per-topology; VC count and
+    // hop weights follow from the scheme's config and must match too).
+    struct Group {
+        tables: Arc<NetTables>,
+        jobs: Vec<(usize, Workload, SimConfig)>,
+    }
+    let mut groups: Vec<(MeshTopology, Group)> = Vec::new();
+    for (idx, (scheme, workload)) in jobs.into_iter().enumerate() {
         let config = sim_config(&scheme, budget, seed);
-        Simulator::new(&scheme.topology, workload, config).run_with_scratch(scratch)
-    })
+        let found = groups.iter_mut().find(|(topo, g)| {
+            *topo == scheme.topology
+                && g.tables.vcs_per_port() == config.vcs_per_port
+                && g.jobs[0].2.weights == config.weights
+        });
+        match found {
+            Some((_, g)) => g.jobs.push((idx, workload, config)),
+            None => {
+                let dor = DorRouter::new(&scheme.topology, config.weights);
+                let tables = Arc::new(NetTables::build(
+                    &scheme.topology,
+                    &dor,
+                    config.vcs_per_port,
+                ));
+                groups.push((
+                    scheme.topology,
+                    Group {
+                        tables,
+                        jobs: vec![(idx, workload, config)],
+                    },
+                ));
+            }
+        }
+    }
+
+    // Chunk each group into lane-sized lockstep units; singleton or
+    // unsupported chunks fall back to the scalar engine.
+    const LANES: usize = 8;
+    type Unit = (Arc<NetTables>, Vec<(usize, Workload, SimConfig)>);
+    let mut units: Vec<Unit> = Vec::new();
+    for (_, group) in groups {
+        let lanes = if BatchSimulator::supported(&group.tables, LANES) {
+            LANES
+        } else {
+            1
+        };
+        let mut jobs = group.jobs.into_iter().peekable();
+        while jobs.peek().is_some() {
+            let chunk: Vec<_> = jobs.by_ref().take(lanes).collect();
+            units.push((Arc::clone(&group.tables), chunk));
+        }
+    }
+
+    let done = noc_par::par_map_with(units, 0, SimScratch::new, |scratch, (tables, unit)| {
+        if unit.len() > 1 {
+            let replicas = unit
+                .iter()
+                .map(|(_, w, c)| (w.clone(), *c))
+                .collect::<Vec<_>>();
+            let stats = BatchSimulator::with_tables(Arc::clone(&tables), replicas).run();
+            unit.iter()
+                .map(|(idx, _, _)| *idx)
+                .zip(stats)
+                .collect::<Vec<_>>()
+        } else {
+            unit.into_iter()
+                .map(|(idx, workload, config)| {
+                    let sim = Simulator::with_tables(Arc::clone(&tables), workload, config);
+                    (idx, sim.run_with_scratch(scratch))
+                })
+                .collect()
+        }
+    });
+
+    let mut out: Vec<Option<SimStats>> = (0..n).map(|_| None).collect();
+    for (idx, stats) in done.into_iter().flatten() {
+        out[idx] = Some(stats);
+    }
+    out.into_iter()
+        .map(|s| s.expect("every job simulated"))
+        .collect()
 }
 
 /// Replicated-row design point helper used by sweep figures: the D&C_SA

@@ -11,10 +11,11 @@ use noc_model::PacketMix;
 use noc_placement::{
     optimize_app_specific, solve_row, AllPairsObjective, InitialStrategy, SaParams,
 };
-use noc_routing::HopWeights;
-use noc_sim::{SimConfig, SimStats, Simulator};
+use noc_routing::{DorRouter, HopWeights};
+use noc_sim::{BatchSimulator, NetTables, SimConfig, SimStats, Simulator};
 use noc_topology::{MeshTopology, RowPlacement};
 use noc_traffic::{SyntheticPattern, TrafficMatrix, Workload};
+use std::sync::Arc;
 
 /// Fault-injection site hit once per phase executed. An armed `Error`
 /// fails that scenario with a structured per-scenario error; an armed
@@ -265,6 +266,75 @@ fn stats_json(phase: &PhaseSpec, rate: f64, stats: &SimStats) -> Value {
     }
 }
 
+/// One phase's simulation inputs, fully resolved ahead of execution. The
+/// scalar path builds and runs these one at a time; the lockstep batch
+/// path plans every phase of every scenario first, then packs
+/// same-topology sims into [`BatchSimulator`] lanes.
+struct PhaseSim {
+    phase: PhaseSpec,
+    topo: MeshTopology,
+    rate: f64,
+    workload: Workload,
+    config: SimConfig,
+}
+
+/// Resolves the per-phase simulation inputs of one scenario (everything
+/// `run_scenario` does before touching the simulator, minus faultpoints).
+fn plan_phases(m: &Manifest, resolved: &ResolvedTopology) -> Vec<PhaseSim> {
+    let phases: Vec<PhaseSpec> = if m.phases.is_empty() {
+        vec![implicit_phase()]
+    } else {
+        m.phases.clone()
+    };
+    phases
+        .into_iter()
+        .enumerate()
+        .map(|(i, phase)| {
+            let topo = apply_link_events(&resolved.topo, &phase.fail_links, &phase.degrade_links);
+            let rate = m.traffic.rate * phase.rate_scale;
+            let workload = Workload::new(phase_matrix(m, &phase), rate, PacketMix::paper());
+            let mut config = SimConfig::latency_run(m.sim.flit, phase_seed(m.seed, i));
+            config.warmup_cycles = m.sim.warmup;
+            config.measure_cycles = phase.cycles.unwrap_or(m.sim.cycles);
+            PhaseSim {
+                phase,
+                topo,
+                rate,
+                workload,
+                config,
+            }
+        })
+        .collect()
+}
+
+/// Cycle-weighted per-scenario aggregates, accumulated phase by phase.
+#[derive(Default)]
+struct PhaseTotals {
+    results: Vec<Value>,
+    weighted_latency: f64,
+    total_cycles: u64,
+    throughput_sum: f64,
+    all_drained: bool,
+}
+
+impl PhaseTotals {
+    fn new() -> Self {
+        PhaseTotals {
+            all_drained: true,
+            ..PhaseTotals::default()
+        }
+    }
+
+    fn push(&mut self, phase: &PhaseSpec, rate: f64, stats: &SimStats) {
+        count("scenario.phase", 1);
+        self.weighted_latency += stats.avg_packet_latency * stats.measure_cycles as f64;
+        self.total_cycles += stats.measure_cycles;
+        self.throughput_sum += stats.accepted_throughput;
+        self.all_drained &= stats.drained;
+        self.results.push(stats_json(phase, rate, stats));
+    }
+}
+
 /// Runs one fully-resolved scenario to completion.
 ///
 /// The result is a single JSON object (one NDJSON line on the wire):
@@ -276,40 +346,33 @@ pub fn run_scenario(scenario: &ResolvedScenario) -> Result<Value, String> {
     count("scenario.run", 1);
     let m = &scenario.manifest;
     let resolved = resolve_topology(m)?;
-    let phases: Vec<PhaseSpec> = if m.phases.is_empty() {
-        vec![implicit_phase()]
-    } else {
-        m.phases.clone()
-    };
-    let mut phase_results = Vec::with_capacity(phases.len());
-    let mut weighted_latency = 0.0f64;
-    let mut total_cycles = 0u64;
-    let mut throughput_sum = 0.0f64;
-    let mut all_drained = true;
-    for (i, phase) in phases.iter().enumerate() {
+    let sims = plan_phases(m, &resolved);
+    let mut totals = PhaseTotals::new();
+    for sim in &sims {
         if faultpoint::hit(SITE_PHASE) == Some(faultpoint::Injected::Error) {
-            return Err(format!("injected fault at phase {:?}", phase.name));
+            return Err(format!("injected fault at phase {:?}", sim.phase.name));
         }
-        for _ in &phase.fail_links {
+        for _ in &sim.phase.fail_links {
             faultpoint::hit(SITE_LINK_FAIL);
         }
-        for _ in &phase.degrade_links {
+        for _ in &sim.phase.degrade_links {
             faultpoint::hit(SITE_LINK_DEGRADE);
         }
-        let topo = apply_link_events(&resolved.topo, &phase.fail_links, &phase.degrade_links);
-        let rate = m.traffic.rate * phase.rate_scale;
-        let workload = Workload::new(phase_matrix(m, phase), rate, PacketMix::paper());
-        let mut config = SimConfig::latency_run(m.sim.flit, phase_seed(m.seed, i));
-        config.warmup_cycles = m.sim.warmup;
-        config.measure_cycles = phase.cycles.unwrap_or(m.sim.cycles);
-        let stats = Simulator::new(&topo, workload, config).run();
-        count("scenario.phase", 1);
-        weighted_latency += stats.avg_packet_latency * stats.measure_cycles as f64;
-        total_cycles += stats.measure_cycles;
-        throughput_sum += stats.accepted_throughput;
-        all_drained &= stats.drained;
-        phase_results.push(stats_json(phase, rate, &stats));
+        let stats = Simulator::new(&sim.topo, sim.workload.clone(), sim.config).run();
+        totals.push(&sim.phase, sim.rate, &stats);
     }
+    Ok(scenario_json(scenario, &resolved, totals))
+}
+
+/// Assembles the per-scenario result object from its resolved topology
+/// and accumulated phase totals (shared by the scalar and lockstep
+/// paths, which must emit identical bytes).
+fn scenario_json(
+    scenario: &ResolvedScenario,
+    resolved: &ResolvedTopology,
+    totals: PhaseTotals,
+) -> Value {
+    let m = &scenario.manifest;
     let mut fields: Vec<(String, Value)> = vec![
         ("name".to_string(), Value::Str(scenario.name.clone())),
         (
@@ -342,17 +405,18 @@ pub fn run_scenario(scenario: &ResolvedScenario) -> Result<Value, String> {
     if let Some(objective) = resolved.objective {
         fields.push(("objective".to_string(), Value::Float(objective)));
     }
-    fields.push(("phases".to_string(), Value::Arr(phase_results)));
+    let phases = totals.results.len();
+    fields.push(("phases".to_string(), Value::Arr(totals.results)));
     fields.push((
         "avg_latency".to_string(),
-        Value::Float(weighted_latency / total_cycles.max(1) as f64),
+        Value::Float(totals.weighted_latency / totals.total_cycles.max(1) as f64),
     ));
     fields.push((
         "accepted_throughput".to_string(),
-        Value::Float(throughput_sum / phases.len() as f64),
+        Value::Float(totals.throughput_sum / phases as f64),
     ));
-    fields.push(("drained".to_string(), Value::Bool(all_drained)));
-    Ok(Value::Obj(fields))
+    fields.push(("drained".to_string(), Value::Bool(totals.all_drained)));
+    Value::Obj(fields)
 }
 
 /// A completed batch: one result per expanded scenario, in expansion
@@ -368,34 +432,69 @@ pub struct BatchResult {
     pub summary: Value,
 }
 
+/// Default lockstep width of the homogeneous-topology fast path.
+const DEFAULT_BATCH_LANES: usize = 8;
+
+/// Expands a manifest and runs every resolved scenario with the default
+/// lockstep width. See [`run_batch_with`].
+pub fn run_batch(manifest: &Manifest, workers: usize) -> Result<BatchResult, ManifestError> {
+    run_batch_with(manifest, workers, 0)
+}
+
 /// Expands a manifest and runs every resolved scenario.
 ///
 /// The batch fans out over `noc_par::par_map_with` with the given worker
-/// count (`0` = one per core). The fan-out is order-preserving and every
-/// scenario is seed-deterministic, so the item list — and therefore the
-/// daemon's NDJSON stream — is **byte-identical across runs and across
-/// worker counts**.
-pub fn run_batch(manifest: &Manifest, workers: usize) -> Result<BatchResult, ManifestError> {
+/// count (`0` = one per core). Plain manifests (no placement solve, no
+/// fault schedule) take the homogeneous-topology fast path: every phase
+/// simulation of every expanded scenario is planned up front, sims on the
+/// same topology are packed `batch_lanes` at a time (`0` = default) into
+/// [`BatchSimulator`] lockstep passes sharing one set of network tables,
+/// and the results are reassembled in expansion order. Either way the
+/// fan-out is order-preserving, every scenario is seed-deterministic, and
+/// the batch engine is replica-exact, so the item list — and therefore
+/// the daemon's NDJSON stream — is **byte-identical across runs, worker
+/// counts, and lane counts**.
+pub fn run_batch_with(
+    manifest: &Manifest,
+    workers: usize,
+    batch_lanes: usize,
+) -> Result<BatchResult, ManifestError> {
     let scenarios = expand::expand(manifest)?;
     count("scenario.batch", 1);
     count("scenario.expanded", scenarios.len() as u64);
     let total = scenarios.len();
-    let items: Vec<Value> = noc_par::par_map_with(
-        scenarios,
-        workers,
-        || (),
-        |(), scenario| match run_scenario(&scenario) {
-            Ok(value) => value,
-            Err(message) => {
-                count("scenario.failed", 1);
-                noc_json::obj! {
-                    "name" => Value::Str(scenario.name.clone()),
-                    "fingerprint" => Value::Str(format!("{:016x}", scenario.fingerprint)),
-                    "error" => Value::Str(message),
+    let lanes = match batch_lanes {
+        0 => DEFAULT_BATCH_LANES,
+        l => l.min(noc_sim::MAX_LANES),
+    };
+    // The fast path skips the faultpoint sites entirely, so it must not
+    // engage while any schedule is armed; placement manifests keep the
+    // scalar path so the (dominant) SA solves stay fanned across workers.
+    let fast = lanes > 1
+        && total > 1
+        && manifest.placement.is_none()
+        && manifest.faults.is_none()
+        && !faultpoint::armed();
+    let items: Vec<Value> = if fast {
+        run_scenarios_lockstep(scenarios, workers, lanes)
+    } else {
+        noc_par::par_map_with(
+            scenarios,
+            workers,
+            || (),
+            |(), scenario| match run_scenario(&scenario) {
+                Ok(value) => value,
+                Err(message) => {
+                    count("scenario.failed", 1);
+                    noc_json::obj! {
+                        "name" => Value::Str(scenario.name.clone()),
+                        "fingerprint" => Value::Str(format!("{:016x}", scenario.fingerprint)),
+                        "error" => Value::Str(message),
+                    }
                 }
-            }
-        },
-    );
+            },
+        )
+    };
     let failed = items.iter().filter(|v| v.get("error").is_some()).count();
     let mean_latency = {
         let oks: Vec<f64> = items
@@ -419,6 +518,163 @@ pub fn run_batch(manifest: &Manifest, workers: usize) -> Result<BatchResult, Man
         "mean_avg_latency" => Value::Float(mean_latency),
     };
     Ok(BatchResult { items, summary })
+}
+
+/// The homogeneous-topology fast path: plans every (scenario, phase)
+/// simulation, groups sims by identical topology, packs each group
+/// `lanes` at a time into [`BatchSimulator`] lockstep passes over shared
+/// [`NetTables`], fans the passes across workers, and reassembles the
+/// per-scenario JSON in expansion order. Counter totals match the scalar
+/// path (`scenario.run` per scenario at plan time, `scenario.phase` per
+/// phase at assembly); per-item bytes match because every lane is
+/// bit-identical to its scalar run.
+fn run_scenarios_lockstep(
+    scenarios: Vec<ResolvedScenario>,
+    workers: usize,
+    lanes: usize,
+) -> Vec<Value> {
+    enum Plan {
+        Run(ResolvedTopology, Vec<PhaseSim>),
+        Fail(Value),
+    }
+    let plans: Vec<(ResolvedScenario, Plan)> = scenarios
+        .into_iter()
+        .map(|scenario| {
+            count("scenario.run", 1);
+            let plan = match resolve_topology(&scenario.manifest) {
+                Ok(resolved) => {
+                    let sims = plan_phases(&scenario.manifest, &resolved);
+                    Plan::Run(resolved, sims)
+                }
+                Err(message) => {
+                    count("scenario.failed", 1);
+                    Plan::Fail(noc_json::obj! {
+                        "name" => Value::Str(scenario.name.clone()),
+                        "fingerprint" => Value::Str(format!("{:016x}", scenario.fingerprint)),
+                        "error" => Value::Str(message),
+                    })
+                }
+            };
+            (scenario, plan)
+        })
+        .collect();
+
+    // Group phase sims by identical topology; build one set of tables per
+    // group, shared read-only across every lane and worker.
+    struct Group {
+        tables: Arc<NetTables>,
+        weights: HopWeights,
+        jobs: Vec<(usize, usize)>,
+    }
+    let mut groups: Vec<(MeshTopology, Group)> = Vec::new();
+    for (sid, (_, plan)) in plans.iter().enumerate() {
+        let Plan::Run(_, sims) = plan else { continue };
+        for (pid, sim) in sims.iter().enumerate() {
+            let found = groups.iter_mut().find(|(topo, g)| {
+                *topo == sim.topo
+                    && g.tables.vcs_per_port() == sim.config.vcs_per_port
+                    && g.weights == sim.config.weights
+            });
+            match found {
+                Some((_, g)) => g.jobs.push((sid, pid)),
+                None => {
+                    let dor = DorRouter::new(&sim.topo, sim.config.weights);
+                    let tables =
+                        Arc::new(NetTables::build(&sim.topo, &dor, sim.config.vcs_per_port));
+                    groups.push((
+                        sim.topo.clone(),
+                        Group {
+                            tables,
+                            weights: sim.config.weights,
+                            jobs: vec![(sid, pid)],
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    // Lane-sized lockstep units; singletons run the scalar engine.
+    type Unit = (Arc<NetTables>, Vec<(usize, usize)>);
+    let mut units: Vec<Unit> = Vec::new();
+    for (_, group) in groups {
+        let width = if BatchSimulator::supported(&group.tables, lanes) {
+            lanes
+        } else {
+            1
+        };
+        for chunk in group.jobs.chunks(width) {
+            units.push((Arc::clone(&group.tables), chunk.to_vec()));
+        }
+    }
+
+    let sim_of = |sid: usize, pid: usize| -> &PhaseSim {
+        match &plans[sid].1 {
+            Plan::Run(_, sims) => &sims[pid],
+            Plan::Fail(_) => unreachable!("failed scenarios contribute no jobs"),
+        }
+    };
+    let done: Vec<Vec<(usize, usize, SimStats)>> = noc_par::par_map_with(
+        units,
+        workers,
+        || (),
+        |(), (tables, unit)| {
+            if unit.len() > 1 {
+                let replicas = unit
+                    .iter()
+                    .map(|&(sid, pid)| {
+                        let sim = sim_of(sid, pid);
+                        (sim.workload.clone(), sim.config)
+                    })
+                    .collect();
+                let stats = BatchSimulator::with_tables(Arc::clone(&tables), replicas).run();
+                unit.iter()
+                    .zip(stats)
+                    .map(|(&(sid, pid), s)| (sid, pid, s))
+                    .collect()
+            } else {
+                unit.into_iter()
+                    .map(|(sid, pid)| {
+                        let sim = sim_of(sid, pid);
+                        let stats = Simulator::with_tables(
+                            Arc::clone(&tables),
+                            sim.workload.clone(),
+                            sim.config,
+                        )
+                        .run();
+                        (sid, pid, stats)
+                    })
+                    .collect()
+            }
+        },
+    );
+
+    // Scatter stats back and assemble each scenario in expansion order.
+    let mut per_scenario: Vec<Vec<Option<SimStats>>> = plans
+        .iter()
+        .map(|(_, plan)| match plan {
+            Plan::Run(_, sims) => vec![None; sims.len()],
+            Plan::Fail(_) => Vec::new(),
+        })
+        .collect();
+    for (sid, pid, stats) in done.into_iter().flatten() {
+        per_scenario[sid][pid] = Some(stats);
+    }
+    plans
+        .into_iter()
+        .zip(per_scenario)
+        .map(|((scenario, plan), stats)| match plan {
+            Plan::Fail(value) => value,
+            Plan::Run(resolved, sims) => {
+                let mut totals = PhaseTotals::new();
+                for (sim, s) in sims.iter().zip(stats) {
+                    let s = s.expect("every phase simulated");
+                    totals.push(&sim.phase, sim.rate, &s);
+                }
+                scenario_json(&scenario, &resolved, totals)
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -455,6 +711,29 @@ mod tests {
             one.summary.get("scenarios").and_then(Value::as_usize),
             Some(2)
         );
+    }
+
+    #[test]
+    fn lockstep_lanes_are_byte_identical_to_scalar() {
+        // 6 scenarios × 2 phases; the second phase fails a link, so the
+        // fast path must group two distinct per-phase topologies.
+        let m = Manifest::parse(
+            r#"{"scenario":1,"name":"lk","topology":{"n":4,"links":[[0,3]]},
+                "traffic":{"rate":0.01},"sim":{"warmup":100,"cycles":300},
+                "phases":[{"name":"a"},
+                          {"name":"b","rate_scale":1.5,"fail_links":[[0,3]]}],
+                "matrix":{"seed":[1,2,3],"rate":[0.01,0.02]}}"#,
+        )
+        .unwrap();
+        let scalar = run_batch_with(&m, 2, 1).unwrap();
+        assert_eq!(scalar.items.len(), 6);
+        for lanes in [4usize, 8] {
+            let fast = run_batch_with(&m, 2, lanes).unwrap();
+            assert_eq!(
+                fast, scalar,
+                "lanes={lanes} lockstep batch must be byte-identical to scalar"
+            );
+        }
     }
 
     #[test]

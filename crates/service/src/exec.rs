@@ -118,8 +118,9 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
                 extra.write_u64(a as u64);
                 extra.write_u64(b as u64);
             }
-            // `workers` is deliberately NOT keyed: the sweep is bit-identical
-            // for any worker count, so any fan-out may serve any hit.
+            // `workers` and `lanes` are deliberately NOT keyed: the sweep
+            // is bit-identical for any worker and lockstep-lane count, so
+            // any fan-out may serve any hit.
             Some(CacheKey {
                 kind: "throughput",
                 n: r.n as u64,
@@ -131,10 +132,10 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
             })
         }
         Request::Scenario(r) => {
-            // `workers` is deliberately NOT keyed: the batch is
-            // bit-identical for any worker count, so any fan-out may serve
-            // any hit. The manifest fingerprint covers every other field,
-            // expansion order included.
+            // `workers` and `lanes` are deliberately NOT keyed: the batch
+            // is byte-identical for any worker and lockstep-lane count, so
+            // any fan-out may serve any hit. The manifest fingerprint
+            // covers every other field, expansion order included.
             Some(CacheKey {
                 kind: "scenario",
                 n: r.manifest.topology.n as u64,
@@ -332,8 +333,9 @@ fn exec_throughput(r: &ThroughputRequest) -> Result<Value, String> {
         PacketMix::paper(),
     );
     let config = SimConfig::throughput_run(r.flit, r.seed);
-    let result =
-        SweepRunner::new(r.workers).saturation_sweep(&topo, &workload, &config, r.start_rate);
+    let result = SweepRunner::new(r.workers)
+        .with_batch_lanes(r.lanes)
+        .saturation_sweep(&topo, &workload, &config, r.start_rate);
     let samples: Vec<Value> = result
         .samples
         .iter()
@@ -353,7 +355,8 @@ fn exec_throughput(r: &ThroughputRequest) -> Result<Value, String> {
 }
 
 fn exec_scenario(r: &ScenarioRequest) -> Result<Value, String> {
-    let batch = noc_scenario::run_batch(&r.manifest, r.workers).map_err(|e| e.to_string())?;
+    let batch =
+        noc_scenario::run_batch_with(&r.manifest, r.workers, r.lanes).map_err(|e| e.to_string())?;
     // The `"scenario_stream"` marker is what `protocol::wire_lines` keys
     // on to fan the one cached value back out into the per-scenario
     // stream; the whole batch is cached as one value so a hit replays an
@@ -540,19 +543,21 @@ mod tests {
             seed: 3,
             links: vec![],
             workers: 1,
+            lanes: 1,
         };
         let wide = ThroughputRequest {
             workers: 4,
+            lanes: 8,
             ..base.clone()
         };
         assert_eq!(
             cache_key(&Request::Throughput(base.clone())),
             cache_key(&Request::Throughput(wide.clone())),
-            "worker count must not change the cache key"
+            "worker/lane counts must not change the cache key"
         );
         let a = execute(&Request::Throughput(base)).unwrap();
         let b = execute(&Request::Throughput(wide)).unwrap();
-        assert_eq!(a, b, "sweep results must not depend on worker count");
+        assert_eq!(a, b, "sweep results must not depend on workers or lanes");
     }
 
     #[test]
@@ -565,26 +570,29 @@ mod tests {
         let base = Request::Scenario(Box::new(ScenarioRequest {
             manifest: manifest.clone(),
             workers: 1,
+            lanes: 1,
         }));
         let wide = Request::Scenario(Box::new(ScenarioRequest {
             manifest: manifest.clone(),
             workers: 8,
+            lanes: 8,
         }));
         assert_eq!(
             cache_key(&base),
             cache_key(&wide),
-            "worker count must not change the cache key"
+            "worker/lane counts must not change the cache key"
         );
         let mut reseeded = manifest;
         reseeded.seed = 7;
         let other = Request::Scenario(Box::new(ScenarioRequest {
             manifest: reseeded,
             workers: 1,
+            lanes: 1,
         }));
         assert_ne!(cache_key(&base), cache_key(&other));
         let a = execute(&base).unwrap();
         let b = execute(&wide).unwrap();
-        assert_eq!(a, b, "batch results must not depend on worker count");
+        assert_eq!(a, b, "batch results must not depend on workers or lanes");
         assert_eq!(
             a.get("scenario_stream").and_then(Value::as_bool),
             Some(true)

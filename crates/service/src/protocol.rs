@@ -144,6 +144,10 @@ pub struct ThroughputRequest {
     /// Sweep worker threads (`0` = one per core). *Not* part of the cache
     /// key: the sweep is bit-identical for any worker count.
     pub workers: usize,
+    /// Lockstep batch lanes per sweep pass (`0` = default, `1` = scalar).
+    /// *Not* part of the cache key: the sweep is bit-identical for any
+    /// lane count.
+    pub lanes: usize,
 }
 
 /// Parameters of a `scenario` request — a full manifest carried inline,
@@ -155,6 +159,10 @@ pub struct ScenarioRequest {
     /// Batch worker threads (`0` = one per core). *Not* part of the cache
     /// key: the batch is bit-identical for any worker count.
     pub workers: usize,
+    /// Lockstep batch lanes for the homogeneous fast path (`0` = default,
+    /// `1` = scalar). *Not* part of the cache key: the batch is
+    /// byte-identical for any lane count.
+    pub lanes: usize,
 }
 
 /// A decoded request body.
@@ -732,6 +740,10 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             if workers > MAX_CHAINS {
                 return Err(format!("workers must be at most {MAX_CHAINS}"));
             }
+            let lanes = field_usize(&v, "lanes")?.unwrap_or(0);
+            if lanes > noc_sim::MAX_LANES {
+                return Err(format!("lanes must be at most {}", noc_sim::MAX_LANES));
+            }
             let pattern = parse_pattern(require(
                 v.get("pattern").and_then(Value::as_str),
                 "pattern",
@@ -744,6 +756,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 seed: field_u64(&v, "seed")?.unwrap_or(42),
                 links: parse_links(&v)?,
                 workers,
+                lanes,
             })
         }
         "scenario" => {
@@ -759,7 +772,15 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             if workers > MAX_CHAINS {
                 return Err(format!("workers must be at most {MAX_CHAINS}"));
             }
-            Request::Scenario(Box::new(ScenarioRequest { manifest, workers }))
+            let lanes = field_usize(&v, "lanes")?.unwrap_or(0);
+            if lanes > noc_sim::MAX_LANES {
+                return Err(format!("lanes must be at most {}", noc_sim::MAX_LANES));
+            }
+            Request::Scenario(Box::new(ScenarioRequest {
+                manifest,
+                workers,
+                lanes,
+            }))
         }
         "metrics" => Request::Metrics,
         "health" => Request::Health,
@@ -876,10 +897,12 @@ pub fn request_line(env: &Envelope) -> String {
                 ),
             ));
             fields.push(("workers".to_string(), Value::Int(r.workers as i128)));
+            fields.push(("lanes".to_string(), Value::Int(r.lanes as i128)));
         }
         Request::Scenario(r) => {
             fields.push(("manifest".to_string(), r.manifest.to_value()));
             fields.push(("workers".to_string(), Value::Int(r.workers as i128)));
+            fields.push(("lanes".to_string(), Value::Int(r.lanes as i128)));
         }
         Request::Metrics
         | Request::Health

@@ -80,6 +80,7 @@ fn every_request_variant_round_trips() {
             seed: 11,
             links: vec![(1, 4)],
             workers: 8,
+            lanes: 4,
         }),
         Request::Metrics,
         Request::Health,

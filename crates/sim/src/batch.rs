@@ -1,0 +1,1285 @@
+//! Many-worlds batching: K replicas of one topology simulated in lockstep.
+//!
+//! A rate ladder, a Monte-Carlo seed batch, or a homogeneous scenario
+//! expansion simulates the *same* network K times with different injection
+//! rates/seeds. [`BatchSimulator`] runs those replicas as K contiguous
+//! *lanes* of one widened struct-of-arrays state: every per-VC/per-port
+//! array of the scalar engine holds K per-replica entries back to back
+//! (`array[g·K + lane]`), so the per-cycle arbitration scans walk all
+//! replicas of a router in one linear pass and the eligibility/request
+//! conditions evaluate branch-free across lanes (bit-parallel `u64` lane
+//! masks; portable, no unstable SIMD).
+//!
+//! Two layout choices keep the lockstep pass memory-lean where the scalar
+//! engine can afford to be lazy:
+//!
+//! - Flits are packed into one `u64` word (`packet | seq/tail | dst`), so a
+//!   buffer push or pop moves two words (flit + eligibility) instead of
+//!   five parallel arrays, and the route/output-VC pair shares one `u32`
+//!   (`vc_rov`) so the hot arbitration predicates test a single load.
+//! - Per-replica side state that the scalar engine keeps per run — activity
+//!   counters, the credit-return wheel, the link-arrival wheel — is
+//!   flattened into shared lane-major arrays. The updates are commutative
+//!   across lanes and each lane's own event order is preserved, so the
+//!   per-lane observable sequence is untouched while K replicas share cache
+//!   lines instead of chasing K separate heaps.
+//!
+//! Replicas stay fully independent: each lane owns its RNG stream, packet
+//! ledger, statistics accumulators, and warmup/measure/drain windows.
+//! Lanes that finish early are *masked out* of the lane word rather than
+//! branching the loop — the shared scans may still read a finished lane's
+//! arrays, but every write is gated on the live mask, so a dead lane is
+//! inert. The per-lane sequence of arbitration decisions, RNG draws, and
+//! event-wheel pushes is exactly the scalar engine's, which makes every
+//! lane's [`SimStats`] **bit-identical** to a scalar
+//! [`Simulator`](crate::Simulator) run of the same (workload, config) —
+//! the property suite and the golden fingerprints pin this replica by
+//! replica, so batching is an invisible performance layer.
+
+use crate::config::SimConfig;
+use crate::flit::{Flit, PacketRecord, PENDING};
+use crate::network::{NetTables, NONE_U32};
+use crate::stats::{ActivityCounters, SimStats};
+use noc_rng::rngs::SmallRng;
+use noc_rng::SeedableRng;
+use noc_routing::DorRouter;
+use noc_topology::MeshTopology;
+use noc_traffic::Workload;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Maximum replicas per lockstep pass: the live/measure masks are single
+/// `u64` lane words.
+pub const MAX_LANES: usize = 64;
+
+/// Packed-flit word layout: `packet` in bits 0..32, `seq` in bits 32..47,
+/// `tail` at bit 47, `dst` in bits 48..64. The sequence field is 15 bits —
+/// one less than [`Flit::seq`] — which holds every packet the flit-width
+/// grid can produce (the scalar engine already truncates at 16 bits).
+const SEQ_SHIFT: u32 = 32;
+const SEQ_BITS: u64 = 0x7FFF << SEQ_SHIFT;
+const TAIL_BIT: u64 = 1 << 47;
+const DST_SHIFT: u32 = 48;
+/// Front-word sentinel for an empty VC: a non-head sequence value, so every
+/// head-gated predicate fails without a separate emptiness test.
+const FRONT_EMPTY: u64 = 1 << SEQ_SHIFT;
+
+/// Packed route/output-VC pair: route in bits 0..16, allocated output VC in
+/// bits 16..32, `0xFFFF` halves meaning "none".
+const ROV_NONE: u32 = 0xFFFF_FFFF;
+const ROV_ROUTE: u32 = 0x0000_FFFF;
+
+#[inline(always)]
+fn pack_flit(f: Flit) -> u64 {
+    f.packet as u64
+        | (((f.seq as u64) & 0x7FFF) << SEQ_SHIFT)
+        | ((f.tail as u64) << 47)
+        | ((f.dst as u64) << DST_SHIFT)
+}
+
+#[inline(always)]
+fn word_is_head(w: u64) -> bool {
+    w & SEQ_BITS == 0
+}
+
+#[inline(always)]
+fn word_is_tail(w: u64) -> bool {
+    w & TAIL_BIT != 0
+}
+
+#[inline(always)]
+fn word_packet(w: u64) -> u32 {
+    w as u32
+}
+
+#[inline(always)]
+fn word_dst(w: u64) -> u16 {
+    (w >> DST_SHIFT) as u16
+}
+
+/// A flit in flight on a link, parked in the shared event wheel until its
+/// arrival cycle.
+#[derive(Debug, Clone, Copy)]
+struct ArrivalEvent {
+    /// Destination flat input port.
+    port: u32,
+    /// Destination VC (the allocated downstream VC).
+    vc: u16,
+    /// Owning replica.
+    lane: u16,
+    /// Packed flit word.
+    word: u64,
+}
+
+/// Per-replica state that never crosses lanes.
+struct Lane {
+    workload: Workload,
+    config: SimConfig,
+    rng: SmallRng,
+    packets: Vec<PacketRecord>,
+    latencies: Vec<u32>,
+    /// End of this lane's measure window (`warmup + measure`).
+    window_end: u64,
+    /// This lane's drain deadline (`window_end + drain_cycles_max`).
+    hard_end: u64,
+    measured_total: u64,
+    completed_measured: u64,
+    latency_sum: u64,
+    head_latency_sum: u64,
+    max_latency: u64,
+    flit_sum: u64,
+    ejected_in_window: u64,
+    /// Number of occupancy samples taken (telemetry only).
+    occ_samples: u64,
+    /// Set when the lane terminates; the run result in lane order.
+    stats: Option<SimStats>,
+}
+
+impl Lane {
+    #[inline]
+    fn in_measure(&self, t: u64) -> bool {
+        t >= self.config.warmup_cycles && t < self.window_end
+    }
+}
+
+/// K lockstep replicas of one topology (see the module docs).
+pub struct BatchSimulator {
+    tables: Arc<NetTables>,
+    k: usize,
+    lanes: Vec<Lane>,
+    /// Bitmask of lanes still running.
+    live: u64,
+    /// Bitmask of live lanes inside their measure window this cycle.
+    measure_mask: u64,
+    cycle: u64,
+    horizon: u64,
+    trace_on: bool,
+    /// Σ over executed cycles of (K − live lanes): lockstep slots spent on
+    /// already-finished replicas.
+    masked_cycles: u64,
+    // ---- lane-major dynamic network state ----
+    // Input VC `g`, lane `l` → `g·K + l`; output VC `(o,v)` → `(o·V+v)·K+l`;
+    // output port `o` → `o·K + l`; router `r` → `r·K + l`.
+    vc_buf: Vec<VecDeque<(u64, u32)>>,
+    /// Flat ring storage for *network* VC queues (bounded by credit flow to
+    /// `depth - 1` entries behind the front flit): slot `gi·D + pos`.
+    /// Injection VCs are unbounded NI queues and stay on [`Self::vc_buf`];
+    /// `ring_depth == 0` disables the ring (pathological depths) and falls
+    /// back to deques everywhere.
+    ring: Vec<(u64, u32)>,
+    ring_head: Vec<u8>,
+    ring_depth: usize,
+    /// Packed front-flit word; empty VCs hold [`FRONT_EMPTY`].
+    front_word: Vec<u64>,
+    vc_len: Vec<u32>,
+    /// Packed (route, output VC) per input VC; see [`ROV_NONE`].
+    vc_rov: Vec<u32>,
+    // ---- per-group lane masks ----
+    // Indexed by flat input VC `g`, bit `l` = lane `l`. Each mirrors one
+    // per-VC predicate so the arbitration scan is a handful of u64 ops per
+    // VC group instead of per-lane loops (which LLVM refuses to vectorize).
+    // They are maintained event-driven at exactly the points the underlying
+    // state changes: RC, VA grant, SA pop, queue push.
+    /// Route half of [`Self::vc_rov`] is still NONE.
+    grp_unrouted: Vec<u64>,
+    /// Output-VC half of [`Self::vc_rov`] is still NONE.
+    grp_noovc: Vec<u64>,
+    /// The VC's front flit exists and is a head.
+    grp_head: Vec<u64>,
+    /// Front flit is link-eligible this cycle (`eg ≤ t`). A VA grant at `t`
+    /// clears the bit and reschedules `t + 1`: heads wait a cycle after
+    /// allocation, so the wait folds into eligibility and no separate
+    /// `va_done` state is needed.
+    grp_e0: Vec<u64>,
+    /// Front flit is link-eligible next cycle (`eg ≤ t + 1`), the VA view.
+    grp_e1: Vec<u64>,
+    /// Per flat output VC: no owning packet (free for VA).
+    ovc_free: Vec<u64>,
+    /// Eligibility schedule: `(g << 6) | lane` entries land in slot
+    /// `c & 3` to set the group bits when cycle `c` comes around — slot
+    /// `c` is applied to [`Self::grp_e1`] at `c - 1` and to
+    /// [`Self::grp_e0`] (then drained) at `c`. Eligibilities are at most
+    /// 2 cycles out, so 4 slots never collide.
+    elig_wheel: [Vec<u32>; 4],
+    ovc_credits: Vec<u32>,
+    out_va_rr: Vec<u32>,
+    out_sa_rr: Vec<u32>,
+    active_inputs: Vec<u32>,
+    /// VA request masks, `(local output port)·K + lane`, rebuilt per router.
+    req: Vec<u64>,
+    /// SA request masks, same layout. Kept separate from `req` because VA
+    /// consumes its masks while SA's are built in the same first pass: a
+    /// same-cycle VA grant never makes a VC switch-ready (heads wait a
+    /// cycle), so the SA-ready set is fully known before VA runs.
+    req_sa: Vec<u64>,
+    /// Per-lane used-input-VC masks for the one-winner-per-input-port rule.
+    used_vcs: Vec<u64>,
+    /// Lanes with a non-empty VA (`wantnz`) / SA (`rdynz`) request word per
+    /// local output port, maintained by the scatter passes. They replace
+    /// per-port lane scans and let the request arrays be cleared
+    /// surgically (only touched words) instead of memset per router.
+    wantnz: Vec<u64>,
+    rdynz: Vec<u64>,
+    /// `pick → (input port, VC)` split, avoiding a hardware divide in the
+    /// winner bodies (`vcs` is runtime-valued).
+    pick_iv: Vec<(u8, u8)>,
+    /// Activity counters, `router·K + lane` (lane-major so the K replicas
+    /// of a busy router share cache lines).
+    activity: Vec<ActivityCounters>,
+    /// Shared credit-return wheel (1-cycle wire delay): entries are
+    /// `flat output VC · K + lane` — credit application is commutative
+    /// across lanes and per-lane push order is preserved.
+    credit_wheel: [Vec<u32>; 2],
+    /// Shared link-arrival wheel; bucket `t % horizon` holds cycle-`t`
+    /// arrivals of every lane (per-lane arrival order is preserved).
+    arrivals: Vec<Vec<ArrivalEvent>>,
+    /// Injection scratch, reused across lanes.
+    pending: Vec<(u32, u32, u32)>,
+    /// Telemetry accumulators, `output·K + lane` / `router·K + lane`
+    /// (empty when tracing is off).
+    link_flits: Vec<u64>,
+    occ_sum: Vec<u64>,
+}
+
+/// Pushes a packed flit word into flat input VC `g` of lane `l` (free
+/// function so the inject/arrival paths can call it under split borrows).
+/// `ring_depth > 0` routes the queue tail to the flat ring (network VCs);
+/// `0` keeps it on the per-VC deque (injection VCs, or ring disabled).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn push_word_at(
+    tables: &NetTables,
+    k: usize,
+    vc_buf: &mut [VecDeque<(u64, u32)>],
+    ring: &mut [(u64, u32)],
+    ring_head: &[u8],
+    ring_depth: usize,
+    front_word: &mut [u64],
+    grp_head: &mut [u64],
+    elig_slot: &mut Vec<u32>,
+    vc_len: &mut [u32],
+    vc_rov: &[u32],
+    active_inputs: &mut [u32],
+    g: usize,
+    l: usize,
+    word: u64,
+    eligible: u32,
+) {
+    let gi = g * k + l;
+    if vc_len[gi] == 0 {
+        if vc_rov[gi] & ROV_ROUTE == ROV_ROUTE {
+            let r = tables.in_port_router[g / tables.vcs] as usize;
+            active_inputs[r * k + l] += 1;
+        }
+        front_word[gi] = word;
+        // The VC was empty, so its head/eligibility bits are clear; the
+        // new front becomes eligible 2 cycles out via the wheel.
+        grp_head[g] |= (word_is_head(word) as u64) << l;
+        elig_slot.push(((g as u32) << 6) | l as u32);
+    } else if ring_depth > 0 {
+        let qlen = vc_len[gi] as usize - 1;
+        let mut pos = ring_head[gi] as usize + qlen;
+        if pos >= ring_depth {
+            pos -= ring_depth;
+        }
+        ring[gi * ring_depth + pos] = (word, eligible);
+    } else {
+        vc_buf[gi].push_back((word, eligible));
+    }
+    vc_len[gi] += 1;
+}
+
+/// Lanes of `live` with any active input VC at router `r` (free function so
+/// stage bodies can call it while holding split borrows of the state
+/// arrays). A lane at zero is provably idle — skipping it cannot change
+/// arbitration because round-robin pointers only advance on assignments.
+#[inline(always)]
+fn router_lanes_of(active_inputs: &[u32], live: u64, r: usize, k: usize) -> u64 {
+    let row = &active_inputs[r * k..r * k + k];
+    let mut b = [0u8; MAX_LANES];
+    for (x, &a) in b[..k].iter_mut().zip(row) {
+        *x = (a > 0) as u8;
+    }
+    pack_mask(&b[..k]) & live
+}
+
+/// Packs a slice of 0/1 bytes into a bitmask (byte `i` → bit `i`).
+///
+/// The lane predicates are computed into byte arrays first because plain
+/// elementwise byte stores autovectorize, while the direct
+/// `mask |= (pred as u64) << lane` or-reduction does not (LLVM emits it
+/// fully scalar). Each aligned 8-byte chunk collapses via the classic
+/// multiply trick: with bytes in {0, 1}, byte sums never carry into the
+/// top byte, so `(chunk · 0x0102_0408_1020_4080) >> 56` yields
+/// `b0 | b1·2 | … | b7·128`.
+#[inline(always)]
+fn pack_mask(bytes: &[u8]) -> u64 {
+    debug_assert!(bytes.len() <= 64);
+    let mut out = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    let mut i = 0;
+    for c in &mut chunks {
+        let chunk = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        out |= (chunk.wrapping_mul(0x0102_0408_1020_4080) >> 56) << i;
+        i += 8;
+    }
+    for &b in chunks.remainder() {
+        out |= ((b & 1) as u64) << i;
+        i += 1;
+    }
+    out
+}
+
+impl BatchSimulator {
+    /// Whether a topology/lane-count pair fits the lockstep fast path: at
+    /// most [`MAX_LANES`] replicas and every router's request mask within
+    /// one 64-bit arbitration word (a mesh router has `5·V` input VCs and
+    /// even heavily express-linked routers stay far below 32 input ports,
+    /// so the bound is generous in practice). Callers fall back to scalar
+    /// runs (bit-identical by construction) when this is false.
+    pub fn supported(tables: &NetTables, lanes: usize) -> bool {
+        (1..=MAX_LANES).contains(&lanes) && tables.max_total_vcs() <= 64
+    }
+
+    /// Builds a lockstep batch over one topology. All replicas must share
+    /// the topology's structural parameters (VC count, hop weights — they
+    /// select the shared route tables); seeds, rates, workloads, flit
+    /// widths, buffer depths, and window lengths vary freely per lane.
+    pub fn new(topology: &MeshTopology, replicas: Vec<(Workload, SimConfig)>) -> Self {
+        assert!(!replicas.is_empty(), "batch needs at least one replica");
+        let first = replicas[0].1;
+        let dor = DorRouter::new(topology, first.weights);
+        let tables = Arc::new(NetTables::build(topology, &dor, first.vcs_per_port));
+        Self::with_tables(tables, replicas)
+    }
+
+    /// Builds a lockstep batch over pre-built shared tables (one
+    /// [`NetTables::build`] per topology, shared read-only across lanes
+    /// and worker threads).
+    pub fn with_tables(tables: Arc<NetTables>, replicas: Vec<(Workload, SimConfig)>) -> Self {
+        let k = replicas.len();
+        assert!(k >= 1, "batch needs at least one replica");
+        assert!(
+            Self::supported(&tables, k),
+            "unsupported batch: {k} lanes, {} request bits",
+            tables.max_total_vcs()
+        );
+        let first = replicas[0].1;
+        for (workload, config) in &replicas {
+            assert_eq!(
+                workload.matrix().side(),
+                tables.side,
+                "workload and topology sizes must match"
+            );
+            assert_eq!(
+                config.vcs_per_port, tables.vcs,
+                "all lanes must share the tables' VC count"
+            );
+            assert_eq!(
+                config.weights, first.weights,
+                "all lanes must share the tables' hop weights"
+            );
+        }
+
+        let routers = tables.routers;
+        let vcs = tables.vcs;
+        let total_in_vcs = tables.total_inputs() * vcs;
+        let total_out_vcs = tables.total_outputs() * vcs;
+        let total_outputs = tables.total_outputs();
+        let horizon = tables.max_span() as u64 + 2;
+        let max_outputs = tables.max_outputs();
+        let trace_on = noc_trace::enabled();
+
+        // Per-lane credits: depth everywhere except ejection (infinite).
+        let mut ovc_credits = vec![0u32; total_out_vcs * k];
+        for (l, (_, config)) in replicas.iter().enumerate() {
+            let depth = config.buffer_flits_per_vc as u32;
+            for ov in 0..total_out_vcs {
+                ovc_credits[ov * k + l] = depth;
+            }
+            for r in 0..routers {
+                let ej = tables.ejection_port(r);
+                for v in 0..vcs {
+                    ovc_credits[(ej * vcs + v) * k + l] = u32::MAX / 2;
+                }
+            }
+        }
+
+        let lanes: Vec<Lane> = replicas
+            .into_iter()
+            .map(|(workload, config)| {
+                let per_cycle = workload.injection_rate() * routers as f64;
+                let window = (config.warmup_cycles + config.measure_cycles) as f64;
+                let expect = (per_cycle * window).ceil() as usize;
+                let measured = (per_cycle * config.measure_cycles as f64).ceil() as usize;
+                let mut packets = Vec::new();
+                let mut latencies = Vec::new();
+                packets.reserve(expect + expect / 8 + 64);
+                latencies.reserve(measured + measured / 8 + 16);
+                let window_end = config.warmup_cycles + config.measure_cycles;
+                Lane {
+                    rng: SmallRng::seed_from_u64(config.seed),
+                    packets,
+                    latencies,
+                    window_end,
+                    hard_end: window_end + config.drain_cycles_max,
+                    measured_total: 0,
+                    completed_measured: 0,
+                    latency_sum: 0,
+                    head_latency_sum: 0,
+                    max_latency: 0,
+                    flit_sum: 0,
+                    ejected_in_window: 0,
+                    occ_samples: 0,
+                    stats: None,
+                    workload,
+                    config,
+                }
+            })
+            .collect();
+
+        let live = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+        let max_depth = lanes
+            .iter()
+            .map(|lane| lane.config.buffer_flits_per_vc)
+            .max()
+            .unwrap_or(0);
+        let ring_depth = if (1..=64).contains(&max_depth) {
+            max_depth
+        } else {
+            0
+        };
+        let pick_iv = (0..tables.max_total_vcs())
+            .map(|p| ((p / tables.vcs) as u8, (p % tables.vcs) as u8))
+            .collect();
+        BatchSimulator {
+            tables,
+            k,
+            lanes,
+            live,
+            measure_mask: 0,
+            cycle: 0,
+            horizon,
+            trace_on,
+            masked_cycles: 0,
+            vc_buf: (0..total_in_vcs * k).map(|_| VecDeque::new()).collect(),
+            ring: if ring_depth > 0 {
+                vec![(0, 0); total_in_vcs * k * ring_depth]
+            } else {
+                Vec::new()
+            },
+            ring_head: if ring_depth > 0 {
+                vec![0; total_in_vcs * k]
+            } else {
+                Vec::new()
+            },
+            ring_depth,
+            front_word: vec![FRONT_EMPTY; total_in_vcs * k],
+            vc_len: vec![0u32; total_in_vcs * k],
+            vc_rov: vec![ROV_NONE; total_in_vcs * k],
+            grp_unrouted: vec![u64::MAX; total_in_vcs],
+            grp_noovc: vec![u64::MAX; total_in_vcs],
+            grp_head: vec![0u64; total_in_vcs],
+            grp_e0: vec![0u64; total_in_vcs],
+            grp_e1: vec![0u64; total_in_vcs],
+            ovc_free: vec![u64::MAX; total_out_vcs],
+            elig_wheel: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            ovc_credits,
+            out_va_rr: vec![0u32; total_outputs * k],
+            out_sa_rr: vec![0u32; total_outputs * k],
+            active_inputs: vec![0u32; routers * k],
+            req: vec![0u64; max_outputs * k],
+            req_sa: vec![0u64; max_outputs * k],
+            used_vcs: vec![0u64; k],
+            wantnz: vec![0u64; max_outputs],
+            rdynz: vec![0u64; max_outputs],
+            pick_iv,
+            activity: vec![ActivityCounters::default(); routers * k],
+            credit_wheel: [Vec::new(), Vec::new()],
+            arrivals: vec![Vec::new(); horizon as usize],
+            pending: Vec::new(),
+            link_flits: if trace_on {
+                vec![0; total_outputs * k]
+            } else {
+                Vec::new()
+            },
+            occ_sum: if trace_on {
+                vec![0; routers * k]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Replica count.
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// Runs every lane to completion and returns per-replica statistics in
+    /// lane order, each bit-identical to the scalar engine.
+    pub fn run(mut self) -> Vec<SimStats> {
+        let k = self.k as u64;
+        let hist = if self.trace_on {
+            noc_trace::sink().map(|sink| {
+                let reg = sink.registry();
+                reg.counter("sim.batch.runs").add(1);
+                reg.counter("sim.batch.lanes").add(k);
+                reg.histogram("sim.batch.lane_occupancy")
+            })
+        } else {
+            None
+        };
+
+        while self.live != 0 {
+            let alive = self.live.count_ones() as u64;
+            self.masked_cycles += k - alive;
+            if let Some(h) = &hist {
+                h.record(alive);
+            }
+            self.step();
+            self.retire_finished();
+        }
+        if self.trace_on {
+            if let Some(sink) = noc_trace::sink() {
+                sink.registry()
+                    .counter("sim.batch.masked_cycles")
+                    .add(self.masked_cycles);
+            }
+            for l in 0..self.k {
+                let stats = self.lanes[l].stats.take().expect("lane finished");
+                self.emit_trace(l, &stats);
+                self.lanes[l].stats = Some(stats);
+            }
+        }
+        self.lanes
+            .into_iter()
+            .map(|lane| lane.stats.expect("lane finished"))
+            .collect()
+    }
+
+    /// One lockstep cycle: the scalar engine's stage order, each stage
+    /// sweeping every live lane.
+    fn step(&mut self) {
+        let t = self.cycle;
+        let mut measure = 0u64;
+        let mut m = self.live;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.lanes[l].in_measure(t) {
+                measure |= 1 << l;
+            }
+        }
+        self.measure_mask = measure;
+
+        self.apply_credits(t);
+        self.process_arrivals(t);
+        self.inject(t);
+        self.apply_eligibility(t);
+        self.arbitrate_dispatch(t);
+        if self.trace_on && (t & 63) == 0 {
+            self.sample_occupancy();
+        }
+        self.cycle = t + 1;
+    }
+
+    /// Finalizes lanes whose run loop would have exited this cycle.
+    fn retire_finished(&mut self) {
+        let mut m = self.live;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let lane = &self.lanes[l];
+            if self.cycle < lane.window_end {
+                continue;
+            }
+            let drained = lane.completed_measured == lane.measured_total;
+            if drained || self.cycle >= lane.hard_end {
+                let stats = self.finalize_lane(l, drained);
+                self.lanes[l].stats = Some(stats);
+                self.live &= !(1u64 << l);
+            }
+        }
+    }
+
+    fn apply_credits(&mut self, t: u64) {
+        let slot = (t & 1) as usize;
+        let BatchSimulator {
+            credit_wheel,
+            ovc_credits,
+            ..
+        } = self;
+        let wheel = &mut credit_wheel[slot];
+        for &idx in wheel.iter() {
+            ovc_credits[idx as usize] += 1;
+        }
+        wheel.clear();
+    }
+
+    /// Applies the eligibility schedule for cycle `t`: slot `t + 1` feeds
+    /// the next-cycle view (`grp_e1`), slot `t` feeds the current-cycle
+    /// view (`grp_e0`) and is drained — each slot is read exactly twice.
+    fn apply_eligibility(&mut self, t: u64) {
+        let s1 = ((t + 1) & 3) as usize;
+        for &e in &self.elig_wheel[s1] {
+            self.grp_e1[(e >> 6) as usize] |= 1u64 << (e & 63);
+        }
+        let s0 = (t & 3) as usize;
+        let mut bucket = std::mem::take(&mut self.elig_wheel[s0]);
+        for &e in &bucket {
+            self.grp_e0[(e >> 6) as usize] |= 1u64 << (e & 63);
+        }
+        bucket.clear();
+        self.elig_wheel[s0] = bucket;
+    }
+
+    fn process_arrivals(&mut self, t: u64) {
+        let k = self.k;
+        let slot = (t % self.horizon) as usize;
+        let BatchSimulator {
+            tables,
+            measure_mask,
+            vc_buf,
+            ring,
+            ring_head,
+            ring_depth,
+            front_word,
+            grp_head,
+            elig_wheel,
+            vc_len,
+            vc_rov,
+            active_inputs,
+            activity,
+            arrivals,
+            ..
+        } = self;
+        let elig_slot = &mut elig_wheel[((t + 2) & 3) as usize];
+        let tables: &NetTables = tables;
+        let vcs = tables.vcs;
+        let measure_mask = *measure_mask;
+        let ring_depth = *ring_depth;
+        let eligible = (t + 2) as u32;
+        let mut bucket = std::mem::take(&mut arrivals[slot]);
+        for ev in bucket.iter() {
+            let g = ev.port as usize * vcs + ev.vc as usize;
+            let l = ev.lane as usize;
+            push_word_at(
+                tables,
+                k,
+                vc_buf,
+                ring,
+                ring_head,
+                ring_depth,
+                front_word,
+                grp_head,
+                elig_slot,
+                vc_len,
+                vc_rov,
+                active_inputs,
+                g,
+                l,
+                ev.word,
+                eligible,
+            );
+            if measure_mask & (1 << l) != 0 {
+                let r = tables.in_port_router[ev.port as usize] as usize;
+                activity[r * k + l].buffer_writes += 1;
+            }
+        }
+        bucket.clear();
+        self.arrivals[slot] = bucket;
+    }
+
+    fn inject(&mut self, t: u64) {
+        let k = self.k;
+        let BatchSimulator {
+            tables,
+            lanes,
+            live,
+            measure_mask,
+            vc_buf,
+            front_word,
+            grp_head,
+            elig_wheel,
+            vc_len,
+            vc_rov,
+            active_inputs,
+            pending,
+            ..
+        } = self;
+        let elig_slot = &mut elig_wheel[((t + 2) & 3) as usize];
+        let tables: &NetTables = tables;
+        let nodes = tables.routers;
+        let vcs = tables.vcs;
+        let eligible = (t + 2) as u32;
+        let mut mask = *live;
+        while mask != 0 {
+            let l = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            pending.clear();
+            let measure = *measure_mask & (1 << l) != 0;
+            let lane = &mut lanes[l];
+            let flit_bits = lane.config.flit_bits;
+            for node in 0..nodes {
+                if let Some(spec) = lane.workload.generate(node, &mut lane.rng) {
+                    pending.push((node as u32, spec.bits, spec.dst as u32));
+                }
+            }
+            for &(node, bits, dst) in pending.iter() {
+                let node = node as usize;
+                let flits = bits.div_ceil(flit_bits).max(1);
+                let packet_id = lane.packets.len() as u32;
+                lane.packets.push(PacketRecord {
+                    src: node as u16,
+                    dst: dst as u16,
+                    flits,
+                    created: t as u32,
+                    head_done: PENDING,
+                    tail_done: PENDING,
+                    measured: measure,
+                });
+                if measure {
+                    lane.measured_total += 1;
+                    lane.flit_sum += flits as u64;
+                }
+                // Enqueue into the least-loaded injection VC (NI queues).
+                let inj = tables.in_port_off[node + 1] as usize - 1;
+                let vc_idx = (0..vcs)
+                    .min_by_key(|&v| vc_len[(inj * vcs + v) * k + l])
+                    .expect("at least one VC");
+                let g = inj * vcs + vc_idx;
+                for seq in 0..flits {
+                    let word = pack_flit(Flit {
+                        packet: packet_id,
+                        seq: seq as u16,
+                        tail: seq + 1 == flits,
+                        dst: dst as u16,
+                    });
+                    // NI queues are unbounded: always the deque path.
+                    push_word_at(
+                        tables,
+                        k,
+                        vc_buf,
+                        &mut [],
+                        &[],
+                        0,
+                        front_word,
+                        grp_head,
+                        elig_slot,
+                        vc_len,
+                        vc_rov,
+                        active_inputs,
+                        g,
+                        l,
+                        word,
+                        eligible,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Dispatches the merged RC/VA/SA pass to a lane-count-specialized
+    /// instantiation: with the lane count a compile-time constant the
+    /// lane-inner predicate loops have fixed trip counts and vectorize at
+    /// full machine width. `KC = 0` is the dynamic fallback.
+    fn arbitrate_dispatch(&mut self, t: u64) {
+        match self.k {
+            8 => self.arbitrate::<8>(t),
+            16 => self.arbitrate::<16>(t),
+            32 => self.arbitrate::<32>(t),
+            64 => self.arbitrate::<64>(t),
+            _ => self.arbitrate::<0>(t),
+        }
+    }
+
+    /// One merged per-router pass: RC + request build, VA, then SA/ST for
+    /// router `r` before moving to `r + 1`. The scalar engine sweeps all
+    /// routers per stage instead, but no same-cycle dataflow crosses
+    /// routers — SA's link arrivals land `span + 1 ≥ 2` cycles out and
+    /// credits apply next cycle — so the per-router order is bit-identical
+    /// while the router's group slab (front words, rov, eligibility) stays
+    /// in L1 across all three phases.
+    fn arbitrate<const KC: usize>(&mut self, t: u64) {
+        let k = if KC == 0 { self.k } else { KC };
+        debug_assert!(KC == 0 || KC == self.k);
+        let BatchSimulator {
+            tables,
+            lanes,
+            live,
+            measure_mask,
+            trace_on,
+            horizon,
+            vc_buf,
+            ring,
+            ring_head,
+            ring_depth,
+            front_word,
+            vc_len,
+            vc_rov,
+            grp_unrouted,
+            grp_noovc,
+            grp_head,
+            grp_e0,
+            grp_e1,
+            ovc_free,
+            elig_wheel,
+            ovc_credits,
+            out_va_rr,
+            out_sa_rr,
+            active_inputs,
+            req,
+            req_sa,
+            used_vcs,
+            wantnz,
+            rdynz,
+            pick_iv,
+            activity,
+            credit_wheel,
+            arrivals,
+            link_flits,
+            ..
+        } = self;
+        let tables: &NetTables = tables;
+        let vcs = tables.vcs;
+        let routers = tables.routers;
+        let live = *live;
+        let measure_mask = *measure_mask;
+        let trace_on = *trace_on;
+        let ring_depth = *ring_depth;
+        let t1 = (t + 1) as u32;
+        let t32 = t as u32;
+        let es1 = ((t + 1) & 3) as usize;
+        let es2 = ((t + 2) & 3) as usize;
+        let credit_slot = ((t + 1) & 1) as usize;
+        let horizon = *horizon as usize;
+        let slot0 = (t % horizon as u64) as usize;
+        let input_mask = if vcs >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << vcs) - 1
+        };
+
+        for r in 0..routers {
+            let rmask = router_lanes_of(active_inputs, live, r, k);
+            if rmask == 0 {
+                continue;
+            }
+            let in_lo = tables.in_port_off[r] as usize;
+            let in_hi = tables.in_port_off[r + 1] as usize;
+            let base = in_lo * vcs;
+            let injection_local = in_hi - in_lo - 1;
+            let out_lo = tables.out_port_off[r] as usize;
+            let out_hi = tables.out_port_off[r + 1] as usize;
+            let ejection = out_hi - 1;
+            let total_vcs = (in_hi - in_lo) * vcs;
+            let gb0 = base * k;
+            let glen = total_vcs * k;
+
+            // --- RC + VA request build ---------------------------------
+            // Pure mask algebra per input VC: every predicate lives as a
+            // pre-maintained per-group lane mask, so the scan is a few u64
+            // ops and only the rarer actions scatter over set bits. A
+            // freshly-routed eligible head always requests (RC never yields
+            // "no route"), so the RC lanes merge straight into `want`.
+            // `req`/`req_sa` words are dirty-tracked by `wantnz`/`rdynz`
+            // and cleared surgically when consumed, never memset.
+            let rovs = &mut vc_rov[gb0..gb0 + glen];
+            let words = &front_word[gb0..gb0 + glen];
+            let route_row = &tables.route[r * routers..(r + 1) * routers];
+            for idx in 0..total_vcs {
+                let g = base + idx;
+                let gb = idx * k;
+                let rg = &mut rovs[gb..gb + k];
+                let wg = &words[gb..gb + k];
+                let un = grp_unrouted[g];
+                let no = grp_noovc[g];
+                let head = grp_head[g];
+                let e1 = grp_e1[g];
+                let e0 = grp_e0[g];
+                // Heads still unrouted this cycle take RC now.
+                let rc = un & head;
+                let need_rc = rc & rmask;
+                // VA request: route known (or freshly routed this cycle —
+                // RC never yields "no route"), no output VC yet, head
+                // flit, eligible next cycle.
+                let want = ((!un & no & head) | rc) & e1;
+                // SA-ready: route + output VC known, eligible now. The
+                // heads-wait-a-cycle-after-VA rule is folded into the
+                // eligibility masks at grant time, and a same-cycle VA
+                // grant can't make a head ready, so the set is complete
+                // before VA runs.
+                let rdy = !un & !no & e0;
+                grp_unrouted[g] = un & !need_rc;
+                let mut m = need_rc;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let route = route_row[word_dst(wg[l]) as usize];
+                    rg[l] = (rg[l] & !ROV_ROUTE) | route as u32;
+                }
+                let mut m = want & rmask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let route = (rg[l] & ROV_ROUTE) as usize;
+                    req[route * k + l] |= 1u64 << idx;
+                    wantnz[route] |= 1u64 << l;
+                }
+                let mut m = rdy & rmask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let route = (rg[l] & ROV_ROUTE) as usize;
+                    req_sa[route * k + l] |= 1u64 << idx;
+                    rdynz[route] |= 1u64 << l;
+                }
+            }
+
+            // --- VA ----------------------------------------------------
+            // Free output VCs go to the first requesting input VC at or
+            // after each lane's round-robin pointer (a wrapped
+            // first-set-bit). The ovc-outer order is per-lane identical to
+            // the scalar engine's ovc-inner loop — lanes are independent and
+            // each lane still sees output VCs in ascending order — but lets
+            // the free-lane mask skip (port, lane) pairs with nothing free
+            // or nothing requested.
+            for o in out_lo..out_hi {
+                let lo_i = o - out_lo;
+                let ro = lo_i * k;
+                // Lanes whose request word is non-empty (scatter pass
+                // tracked them; only `rmask` lanes ever set bits).
+                let mut reqnz = std::mem::take(&mut wantnz[lo_i]);
+                if reqnz == 0 {
+                    continue;
+                }
+                let rq = &mut req[ro..ro + k];
+                for ovc in 0..vcs {
+                    let fo = o * vcs + ovc;
+                    let mut m = ovc_free[fo] & reqnz;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let mw = rq[l];
+                        let start = out_va_rr[o * k + l] as usize;
+                        let at_or_after = mw & (u64::MAX << start);
+                        let pick = if at_or_after != 0 {
+                            at_or_after.trailing_zeros()
+                        } else {
+                            mw.trailing_zeros()
+                        } as usize;
+                        let next_word = mw & !(1u64 << pick);
+                        rq[l] = next_word;
+                        if next_word == 0 {
+                            reqnz &= !(1u64 << l);
+                        }
+                        let lb = 1u64 << l;
+                        ovc_free[fo] &= !lb;
+                        let g = base + pick;
+                        let gi = pick * k + l;
+                        rovs[gi] = (rovs[gi] & ROV_ROUTE) | ((ovc as u32) << 16);
+                        grp_noovc[g] &= !lb;
+                        // Heads wait a cycle after allocation: drop this
+                        // cycle's eligibility and reschedule for `t + 1`
+                        // (the next-cycle view is unaffected).
+                        if grp_e0[g] & lb != 0 {
+                            grp_e0[g] &= !lb;
+                            elig_wheel[es1].push(((g as u32) << 6) | l as u32);
+                        }
+                        let next = pick + 1;
+                        out_va_rr[o * k + l] = if next == total_vcs { 0 } else { next } as u32;
+                        if measure_mask & (1 << l) != 0 {
+                            activity[r * k + l].vc_allocations += 1;
+                        }
+                    }
+                    if reqnz == 0 {
+                        break;
+                    }
+                }
+                // Lanes still in `reqnz` hold ungranted request bits;
+                // clear them so the array stays zero without a memset.
+                while reqnz != 0 {
+                    let l = reqnz.trailing_zeros() as usize;
+                    reqnz &= reqnz - 1;
+                    rq[l] = 0;
+                }
+            }
+
+            // --- SA/ST -------------------------------------------------
+            // The switch-ready masks were built in the first pass (see
+            // `req_sa`); the pick loop resolves credits and the
+            // one-winner-per-input rule per lane.
+
+            // Input VCs of already-used input ports, as per-lane VC masks.
+            let mut lm = rmask;
+            while lm != 0 {
+                let l = lm.trailing_zeros() as usize;
+                lm &= lm - 1;
+                used_vcs[l] = 0;
+            }
+
+            for o in out_lo..out_hi {
+                let lo_i = o - out_lo;
+                let ro = lo_i * k;
+                // Lanes with any SA request for this output, from the
+                // scatter pass; consumed (and the words zeroed) here.
+                let mut lm = std::mem::take(&mut rdynz[lo_i]);
+                while lm != 0 {
+                    let l = lm.trailing_zeros() as usize;
+                    lm &= lm - 1;
+                    let mut m = std::mem::take(&mut req_sa[ro + l]) & !used_vcs[l];
+                    let start = out_sa_rr[o * k + l] as usize;
+                    let winner = loop {
+                        if m == 0 {
+                            break None;
+                        }
+                        let at_or_after = m & (u64::MAX << start);
+                        let pick = if at_or_after != 0 {
+                            at_or_after.trailing_zeros()
+                        } else {
+                            m.trailing_zeros()
+                        } as usize;
+                        let ovc = (rovs[pick * k + l] >> 16) as usize;
+                        if ovc_credits[(o * vcs + ovc) * k + l] == 0 {
+                            m &= !(1u64 << pick);
+                            continue;
+                        }
+                        break Some((pick, ovc));
+                    };
+                    let Some((pick, ovc)) = winner else {
+                        continue;
+                    };
+                    let (i8, v8) = pick_iv[pick];
+                    let (i, v) = (i8 as usize, v8 as usize);
+                    let gi = (base + pick) * k + l;
+                    let gl = pick * k + l;
+                    let next = pick + 1;
+                    out_sa_rr[o * k + l] = if next == total_vcs { 0 } else { next } as u32;
+                    used_vcs[l] |= input_mask << (i * vcs);
+                    let word = front_word[gi];
+                    let g = base + pick;
+                    let lb = 1u64 << l;
+                    vc_len[gi] -= 1;
+                    if vc_len[gi] > 0 {
+                        // Promote the next queued flit to the front arrays.
+                        let (w, e) = if i == injection_local || ring_depth == 0 {
+                            vc_buf[gi].pop_front().expect("queue non-empty")
+                        } else {
+                            let h = ring_head[gi] as usize;
+                            let next = h + 1;
+                            ring_head[gi] = if next == ring_depth { 0 } else { next } as u8;
+                            ring[gi * ring_depth + h]
+                        };
+                        front_word[gi] = w;
+                        grp_head[g] = (grp_head[g] & !lb) | if word_is_head(w) { lb } else { 0 };
+                        // Re-derive the front's eligibility bits: queued
+                        // flits became eligible at most 2 cycles out from
+                        // their arrival, so `e ∈ {..t, t+1, t+2}`.
+                        if e <= t32 {
+                            grp_e0[g] |= lb;
+                            grp_e1[g] |= lb;
+                        } else {
+                            debug_assert!(e <= t32 + 2);
+                            grp_e0[g] &= !lb;
+                            if e == t1 {
+                                grp_e1[g] |= lb;
+                                elig_wheel[es1].push(((g as u32) << 6) | l as u32);
+                            } else {
+                                grp_e1[g] &= !lb;
+                                elig_wheel[es2].push(((g as u32) << 6) | l as u32);
+                            }
+                        }
+                    } else {
+                        front_word[gi] = FRONT_EMPTY;
+                        grp_head[g] &= !lb;
+                        grp_e0[g] &= !lb;
+                        grp_e1[g] &= !lb;
+                    }
+                    let tail = word_is_tail(word);
+                    let measure = measure_mask & (1 << l) != 0;
+
+                    if measure {
+                        let counters = &mut activity[r * k + l];
+                        counters.crossbar_traversals += 1;
+                        if i != injection_local {
+                            counters.buffer_reads += 1;
+                        }
+                    }
+
+                    if o == ejection {
+                        // Flit leaves the network; completion at end of cycle.
+                        let lane = &mut lanes[l];
+                        let record = &mut lane.packets[word_packet(word) as usize];
+                        if word_is_head(word) {
+                            record.head_done = (t + 1) as u32;
+                        }
+                        if tail {
+                            record.tail_done = (t + 1) as u32;
+                            if measure {
+                                lane.ejected_in_window += 1;
+                            }
+                            if record.measured {
+                                lane.completed_measured += 1;
+                                let latency = (t + 1) as u32 - record.created;
+                                lane.latency_sum += latency as u64;
+                                lane.max_latency = lane.max_latency.max(latency as u64);
+                                lane.latencies.push(latency);
+                                lane.head_latency_sum += (record.head_done - record.created) as u64;
+                            }
+                        }
+                    } else {
+                        ovc_credits[(o * vcs + ovc) * k + l] -= 1;
+                        let span = tables.out_span[o] as usize;
+                        // `1 + span < horizon`: one conditional wrap suffices.
+                        let mut slot = slot0 + 1 + span;
+                        if slot >= horizon {
+                            slot -= horizon;
+                        }
+                        arrivals[slot].push(ArrivalEvent {
+                            port: tables.out_dst_port[o],
+                            vc: ovc as u16,
+                            lane: l as u16,
+                            word,
+                        });
+                        if measure {
+                            activity[r * k + l].link_flit_segments += span as u64;
+                            if trace_on {
+                                link_flits[o * k + l] += 1;
+                            }
+                        }
+                    }
+
+                    if tail {
+                        rovs[gl] = ROV_NONE;
+                        grp_unrouted[g] |= lb;
+                        grp_noovc[g] |= lb;
+                        ovc_free[o * vcs + ovc] |= lb;
+                    }
+                    if vc_len[gi] == 0 && rovs[gl] & ROV_ROUTE == ROV_ROUTE {
+                        active_inputs[r * k + l] -= 1;
+                    }
+
+                    // Return the freed buffer slot upstream (1-cycle wire).
+                    let cb = tables.in_credit_base[in_lo + i];
+                    if cb != NONE_U32 {
+                        credit_wheel[credit_slot].push((cb + v as u32) * k as u32 + l as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Telemetry only: per-lane buffered-flit occupancy, sampled every 64
+    /// measure-window cycles when tracing is on (the scalar cadence).
+    fn sample_occupancy(&mut self) {
+        let k = self.k;
+        let vcs = self.tables.vcs;
+        let mut mask = self.measure_mask;
+        while mask != 0 {
+            let l = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.lanes[l].occ_samples += 1;
+            for r in 0..self.tables.routers {
+                let lo = self.tables.in_port_off[r] as usize * vcs;
+                let hi = self.tables.in_port_off[r + 1] as usize * vcs;
+                let mut buffered = 0u64;
+                for g in lo..hi {
+                    buffered += self.vc_len[g * k + l] as u64;
+                }
+                self.occ_sum[r * k + l] += buffered;
+            }
+        }
+    }
+
+    fn finalize_lane(&mut self, l: usize, drained: bool) -> SimStats {
+        let cycle = self.cycle;
+        let k = self.k;
+        let nodes = self.tables.routers;
+        let activity = (0..nodes).map(|r| self.activity[r * k + l]).collect();
+        let lane = &mut self.lanes[l];
+        let completed = lane.completed_measured;
+        let denom = completed.max(1) as f64;
+        lane.latencies.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            if lane.latencies.is_empty() {
+                0.0
+            } else {
+                let idx = ((lane.latencies.len() - 1) as f64 * q).round() as usize;
+                lane.latencies[idx] as f64
+            }
+        };
+        let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+        SimStats {
+            cycles: cycle,
+            measure_cycles: lane.config.measure_cycles,
+            nodes,
+            measured_packets: lane.measured_total,
+            completed_packets: completed,
+            avg_packet_latency: lane.latency_sum as f64 / denom,
+            avg_head_latency: lane.head_latency_sum as f64 / denom,
+            max_packet_latency: lane.max_latency,
+            p50_latency: p50,
+            p95_latency: p95,
+            p99_latency: p99,
+            accepted_throughput: lane.ejected_in_window as f64
+                / (lane.config.measure_cycles.max(1) as f64 * nodes as f64),
+            offered_rate: lane.workload.injection_rate(),
+            avg_flits_per_packet: lane.flit_sum as f64 / lane.measured_total.max(1) as f64,
+            activity,
+            drained,
+        }
+    }
+
+    /// Telemetry only: the scalar engine's `sim.link` / `sim.router`
+    /// series for one lane, emitted after every lane has finished (lane
+    /// order matches K sequential scalar runs).
+    fn emit_trace(&self, l: usize, stats: &SimStats) {
+        use noc_trace::FieldValue;
+        let k = self.k;
+        let lane = &self.lanes[l];
+        let tables = &self.tables;
+        let measure = lane.config.measure_cycles.max(1) as f64;
+        for r in 0..tables.routers_len() {
+            let ejection = tables.ejection_port(r);
+            for o in tables.output_ports(r) {
+                if o == ejection || self.link_flits[o * k + l] == 0 {
+                    continue;
+                }
+                let flits = self.link_flits[o * k + l];
+                noc_trace::emit(
+                    "series",
+                    "sim.link",
+                    vec![
+                        ("src", FieldValue::U64(r as u64)),
+                        ("dst", FieldValue::U64(tables.out_to_router(o) as u64)),
+                        ("span", FieldValue::U64(tables.out_span(o) as u64)),
+                        ("flits", FieldValue::U64(flits)),
+                        ("util", FieldValue::F64(flits as f64 / measure)),
+                    ],
+                );
+            }
+            let counters = &stats.activity[r];
+            let avg_occupancy = if lane.occ_samples == 0 {
+                0.0
+            } else {
+                self.occ_sum[r * k + l] as f64 / lane.occ_samples as f64
+            };
+            noc_trace::emit(
+                "series",
+                "sim.router",
+                vec![
+                    ("router", FieldValue::U64(r as u64)),
+                    (
+                        "crossbar_util",
+                        FieldValue::F64(counters.crossbar_traversals as f64 / measure),
+                    ),
+                    ("buffer_writes", FieldValue::U64(counters.buffer_writes)),
+                    ("buffer_reads", FieldValue::U64(counters.buffer_reads)),
+                    ("avg_occupancy", FieldValue::F64(avg_occupancy)),
+                    ("occ_samples", FieldValue::U64(lane.occ_samples)),
+                ],
+            );
+        }
+    }
+}

@@ -18,13 +18,14 @@
 
 use crate::config::SimConfig;
 use crate::flit::{Flit, PacketRecord};
-use crate::network::{Network, NONE_U16, NONE_U32};
+use crate::network::{NetTables, Network, NONE_U16, NONE_U32};
 use crate::stats::{ActivityCounters, SimStats};
 use noc_rng::rngs::SmallRng;
 use noc_rng::SeedableRng;
 use noc_routing::DorRouter;
 use noc_topology::MeshTopology;
 use noc_traffic::{Trace, Workload};
+use std::sync::Arc;
 
 /// Where injected packets come from: a stochastic workload or a recorded
 /// trace replayed cycle-exactly.
@@ -135,6 +136,20 @@ impl Simulator {
         Self::with_source(topology, dor, Source::Workload(workload), config)
     }
 
+    /// Builds a simulator over pre-built shared network tables (see
+    /// [`NetTables`]): the routing solve and port wiring are reused
+    /// read-only, so a sweep or batch builds them once per topology.
+    /// Statistics are bit-identical to [`Simulator::new`].
+    pub fn with_tables(tables: Arc<NetTables>, workload: Workload, config: SimConfig) -> Self {
+        assert_eq!(
+            workload.matrix().side(),
+            tables.side,
+            "workload and topology sizes must match"
+        );
+        let network = Network::from_tables(tables, &config);
+        Self::from_network(network, Source::Workload(workload), config)
+    }
+
     /// Builds a simulator that replays a recorded [`Trace`] cycle-exactly
     /// (the packet stream is deterministic; the RNG only breaks arbitration
     /// ties, of which the engine has none — runs are fully reproducible).
@@ -155,6 +170,10 @@ impl Simulator {
         config: SimConfig,
     ) -> Self {
         let network = Network::build(topology, dor, &config);
+        Self::from_network(network, source, config)
+    }
+
+    fn from_network(network: Network, source: Source, config: SimConfig) -> Self {
         let routers = network.routers_len();
         // Arrivals land `1..=1 + max_span` cycles out, so `max_span + 2`
         // buckets keep every pending event clear of the bucket being
@@ -175,7 +194,7 @@ impl Simulator {
             Source::Trace { trace, .. } => (trace.events().len(), trace.events().len()),
         };
         let trace_on = noc_trace::enabled();
-        let total_outputs = network.out_port_off[routers] as usize;
+        let total_outputs = network.tables.out_port_off[routers] as usize;
         Simulator {
             network,
             config,
@@ -285,10 +304,10 @@ impl Simulator {
     fn sample_occupancy(&mut self) {
         self.occ_samples += 1;
         let net = &self.network;
-        let vcs = net.vcs;
-        for r in 0..net.routers {
-            let lo = net.in_port_off[r] as usize * vcs;
-            let hi = net.in_port_off[r + 1] as usize * vcs;
+        let vcs = net.tables.vcs;
+        for r in 0..net.tables.routers {
+            let lo = net.tables.in_port_off[r] as usize * vcs;
+            let hi = net.tables.in_port_off[r + 1] as usize * vcs;
             let mut buffered = 0u64;
             for g in lo..hi {
                 buffered += net.vc_len[g] as u64;
@@ -319,13 +338,13 @@ impl Simulator {
             arrivals,
             ..
         } = self;
-        let vcs = net.vcs;
+        let vcs = net.tables.vcs;
         let bucket = &mut arrivals[slot];
         for ev in bucket.iter() {
             let g = ev.port as usize * vcs + ev.vc as usize;
             net.push_flit(g, ev.flit, t + 2);
             if measure {
-                activity[net.in_port_router[ev.port as usize] as usize].buffer_writes += 1;
+                activity[net.tables.in_port_router[ev.port as usize] as usize].buffer_writes += 1;
             }
         }
         bucket.clear();
@@ -362,18 +381,18 @@ impl Simulator {
             flit_sum,
             ..
         } = self;
-        let vcs = net.vcs;
+        let vcs = net.tables.vcs;
         for &(node, bits, dst) in pending.iter() {
             let node = node as usize;
             let flits = bits.div_ceil(flit_bits).max(1);
             let packet_id = packets.len() as u32;
             packets.push(PacketRecord {
-                src: node,
-                dst: dst as usize,
+                src: node as u16,
+                dst: dst as u16,
                 flits,
-                created: t,
-                head_done: None,
-                tail_done: None,
+                created: t as u32,
+                head_done: crate::flit::PENDING,
+                tail_done: crate::flit::PENDING,
                 measured: measure,
             });
             if measure {
@@ -381,7 +400,7 @@ impl Simulator {
                 *flit_sum += flits as u64;
             }
             // Enqueue into the least-loaded injection VC (the NI's queues).
-            let inj = net.in_port_off[node + 1] as usize - 1;
+            let inj = net.tables.in_port_off[node + 1] as usize - 1;
             let vc_idx = (0..vcs)
                 .min_by_key(|&v| net.vc_len[inj * vcs + v])
                 .expect("at least one VC");
@@ -409,8 +428,8 @@ impl Simulator {
             req,
             ..
         } = self;
-        let vcs = net.vcs;
-        let routers = net.routers;
+        let vcs = net.tables.vcs;
+        let routers = net.tables.routers;
         // `r` indexes several parallel SoA arrays, not just `activity` — a
         // range loop is the honest shape here.
         #[allow(clippy::needless_range_loop)]
@@ -418,12 +437,12 @@ impl Simulator {
             if net.active_inputs[r] == 0 {
                 continue;
             }
-            let in_lo = net.in_port_off[r] as usize;
-            let in_hi = net.in_port_off[r + 1] as usize;
+            let in_lo = net.tables.in_port_off[r] as usize;
+            let in_hi = net.tables.in_port_off[r + 1] as usize;
             let base = in_lo * vcs;
             let total_vcs = (in_hi - in_lo) * vcs;
-            let out_lo = net.out_port_off[r] as usize;
-            let out_hi = net.out_port_off[r + 1] as usize;
+            let out_lo = net.tables.out_port_off[r] as usize;
+            let out_hi = net.tables.out_port_off[r + 1] as usize;
 
             if total_vcs <= 128 {
                 // Fused RC + request-mask build: one pass over the input VCs
@@ -440,7 +459,7 @@ impl Simulator {
                         if !head {
                             continue;
                         }
-                        route = net.route[r * routers + net.front_flit[g].dst as usize];
+                        route = net.tables.route[r * routers + net.front_flit[g].dst as usize];
                         net.vc_route[g] = route;
                     }
                     if net.vc_out_vc[g] == NONE_U16 && head && t + 1 >= net.front_eligible[g] {
@@ -488,7 +507,8 @@ impl Simulator {
             // (empty VCs hold a non-head sentinel).
             for g in base..in_hi * vcs {
                 if net.vc_route[g] == NONE_U16 && net.front_flit[g].is_head() {
-                    net.vc_route[g] = net.route[r * routers + net.front_flit[g].dst as usize];
+                    net.vc_route[g] =
+                        net.tables.route[r * routers + net.front_flit[g].dst as usize];
                 }
             }
             // VA: hand free output VCs to requesting input VCs, round-robin.
@@ -553,8 +573,8 @@ impl Simulator {
             link_flits,
             ..
         } = self;
-        let vcs = net.vcs;
-        let routers = net.routers;
+        let vcs = net.tables.vcs;
+        let routers = net.tables.routers;
         let credit_slot = ((t + 1) & 1) as usize;
         let horizon = horizon as usize;
         let slot0 = (t % horizon as u64) as usize;
@@ -565,12 +585,12 @@ impl Simulator {
             if net.active_inputs[r] == 0 {
                 continue;
             }
-            let in_lo = net.in_port_off[r] as usize;
-            let in_hi = net.in_port_off[r + 1] as usize;
+            let in_lo = net.tables.in_port_off[r] as usize;
+            let in_hi = net.tables.in_port_off[r + 1] as usize;
             let base = in_lo * vcs;
             let injection_local = in_hi - in_lo - 1;
-            let out_lo = net.out_port_off[r] as usize;
-            let out_hi = net.out_port_off[r + 1] as usize;
+            let out_lo = net.tables.out_port_off[r] as usize;
+            let out_hi = net.tables.out_port_off[r + 1] as usize;
             let ejection = out_hi - 1;
             let total_vcs = (in_hi - in_lo) * vcs;
             let mut used_inputs: u64 = 0;
@@ -701,33 +721,32 @@ impl Simulator {
                     // Flit leaves the network; completion is at end of cycle.
                     let record = &mut packets[flit.packet as usize];
                     if flit.is_head() {
-                        record.head_done = Some(t + 1);
+                        record.head_done = (t + 1) as u32;
                     }
                     if flit.tail {
-                        record.tail_done = Some(t + 1);
+                        record.tail_done = (t + 1) as u32;
                         if t >= window_start && t < window_end {
                             *ejected_in_window += 1;
                         }
                         if record.measured {
                             *completed_measured += 1;
-                            let latency = t + 1 - record.created;
-                            *latency_sum += latency;
-                            *max_latency = (*max_latency).max(latency);
-                            latencies.push(latency.min(u32::MAX as u64) as u32);
-                            *head_latency_sum +=
-                                record.head_done.expect("head before tail") - record.created;
+                            let latency = (t + 1) as u32 - record.created;
+                            *latency_sum += latency as u64;
+                            *max_latency = (*max_latency).max(latency as u64);
+                            latencies.push(latency);
+                            *head_latency_sum += (record.head_done - record.created) as u64;
                         }
                     }
                 } else {
                     net.ovc_credits[o * vcs + ovc] -= 1;
-                    let span = net.out_span[o] as usize;
+                    let span = net.tables.out_span[o] as usize;
                     // `1 + span < horizon`, so one conditional wrap suffices.
                     let mut slot = slot0 + 1 + span;
                     if slot >= horizon {
                         slot -= horizon;
                     }
                     arrivals[slot].push(ArrivalEvent {
-                        port: net.out_dst_port[o],
+                        port: net.tables.out_dst_port[o],
                         vc: ovc as u16,
                         flit,
                     });
@@ -750,7 +769,7 @@ impl Simulator {
                 }
 
                 // Return the freed buffer slot upstream (1-cycle credit wire).
-                let base = net.in_credit_base[in_lo + i];
+                let base = net.tables.in_credit_base[in_lo + i];
                 if base != NONE_U32 {
                     credit_wheel[credit_slot].push(base + v as u32);
                 }

@@ -21,22 +21,32 @@ impl Flit {
     }
 }
 
+/// Sentinel for "not yet happened" in [`PacketRecord`] completion cycles.
+pub const PENDING: u32 = u32::MAX;
+
 /// Lifetime record of one packet.
+///
+/// The ledger is the simulator's largest allocation (one record per
+/// injected packet), and the ejection path touches records at effectively
+/// random offsets, so the record is packed to 24 bytes: cycle counts are
+/// `u32` (a single run is bounded far below 2^32 cycles) with [`PENDING`]
+/// standing in for "not yet", and router ids are `u16` (flat ids already
+/// fit [`Flit::dst`]).
 #[derive(Debug, Clone)]
 pub struct PacketRecord {
     /// Source router (flat id).
-    pub src: usize,
+    pub src: u16,
     /// Destination router (flat id).
-    pub dst: usize,
+    pub dst: u16,
     /// Number of flits (`ceil(bits / flit_bits)`).
     pub flits: u32,
     /// Cycle the packet was created and enqueued at the source NI.
-    pub created: u64,
+    pub created: u32,
     /// Completion cycle of the head flit's ejection (exclusive: the cycle
-    /// *after* its ejection ST), if ejected.
-    pub head_done: Option<u64>,
-    /// Completion cycle of the tail flit's ejection, if ejected.
-    pub tail_done: Option<u64>,
+    /// *after* its ejection ST), or [`PENDING`].
+    pub head_done: u32,
+    /// Completion cycle of the tail flit's ejection, or [`PENDING`].
+    pub tail_done: u32,
     /// Whether the packet was created inside the measurement window.
     pub measured: bool,
 }
@@ -44,12 +54,12 @@ pub struct PacketRecord {
 impl PacketRecord {
     /// Head latency in cycles, if the head flit has arrived.
     pub fn head_latency(&self) -> Option<u64> {
-        self.head_done.map(|t| t - self.created)
+        (self.head_done != PENDING).then(|| (self.head_done - self.created) as u64)
     }
 
     /// Full packet latency in cycles (creation to tail delivery).
     pub fn packet_latency(&self) -> Option<u64> {
-        self.tail_done.map(|t| t - self.created)
+        (self.tail_done != PENDING).then(|| (self.tail_done - self.created) as u64)
     }
 }
 
@@ -83,14 +93,15 @@ mod tests {
             dst: 9,
             flits: 2,
             created: 100,
-            head_done: None,
-            tail_done: None,
+            head_done: PENDING,
+            tail_done: PENDING,
             measured: true,
         };
         assert_eq!(rec.head_latency(), None);
-        rec.head_done = Some(110);
-        rec.tail_done = Some(111);
+        rec.head_done = 110;
+        rec.tail_done = 111;
         assert_eq!(rec.head_latency(), Some(10));
         assert_eq!(rec.packet_latency(), Some(11));
+        assert_eq!(std::mem::size_of::<PacketRecord>(), 24);
     }
 }

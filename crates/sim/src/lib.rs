@@ -31,6 +31,7 @@
 //! Activity counters (buffer writes/reads, crossbar traversals, link
 //! flit-segments) feed the `noc-power` DSENT-substitute model.
 
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod flit;
@@ -38,7 +39,9 @@ pub mod network;
 pub mod stats;
 pub mod throughput;
 
+pub use batch::{BatchSimulator, MAX_LANES};
 pub use config::SimConfig;
 pub use engine::{SimScratch, Simulator};
+pub use network::NetTables;
 pub use stats::{ActivityCounters, SimStats};
 pub use throughput::{saturation_sweep, SweepRunner, SweepSample, ThroughputResult};

@@ -13,12 +13,19 @@
 //! previous nested representation used (links in `topology.links()` order,
 //! the `a→b` direction before `b→a`), which keeps round-robin arbitration —
 //! and therefore every simulation statistic — bit-identical.
+//!
+//! The static structure (port offsets, wiring, spans, compiled route table)
+//! is split into [`NetTables`] and shared behind an `Arc`: a rate ladder,
+//! a Monte-Carlo seed batch, or a lockstep [`crate::BatchSimulator`] run
+//! builds the tables once per topology and every replica — across worker
+//! threads and batch lanes alike — reads them without copying.
 
 use crate::config::SimConfig;
 use crate::flit::Flit;
 use noc_routing::DorRouter;
 use noc_topology::MeshTopology;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Sentinel for "no port/VC" in `u16` fields.
 pub const NONE_U16: u16 = u16::MAX;
@@ -35,16 +42,18 @@ pub struct BufferedFlit {
     pub eligible: u64,
 }
 
-/// The complete static + dynamic network state in flat arrays.
-#[derive(Debug, Clone)]
-pub struct Network {
+/// The immutable, per-topology part of the network: port offsets, link
+/// wiring, spans, and the compiled DOR route table. Built once per
+/// topology and shared read-only (behind an `Arc`) by every simulation
+/// replica — scalar sweep workers and lockstep batch lanes alike.
+#[derive(Debug)]
+pub struct NetTables {
     /// Mesh side length.
     pub side: usize,
     /// Number of routers.
     pub(crate) routers: usize,
     /// Virtual channels per port.
     pub(crate) vcs: usize,
-    // ---- static structure ----
     /// Input-port range per router (`routers + 1` entries; injection last).
     pub(crate) in_port_off: Vec<u32>,
     /// Output-port range per router (`routers + 1` entries; ejection last).
@@ -65,47 +74,9 @@ pub struct Network {
     /// at router `r` toward destination `d` at `r·routers + d` (self maps
     /// to the ejection port).
     pub(crate) route: Vec<u16>,
-    // ---- dynamic state ----
-    /// Per input VC: the buffered flits *behind* the front one (depth is
-    /// enforced upstream via credits; injection VCs are unbounded NI source
-    /// queues). The front flit itself is mirrored into the flat
-    /// `front_flit`/`front_eligible` arrays so the per-cycle stages read
-    /// contiguous memory instead of chasing per-deque heap pointers.
-    pub(crate) vc_buf: Vec<VecDeque<BufferedFlit>>,
-    /// Per input VC: the front (oldest) flit. When the VC is empty this is
-    /// a sentinel with a non-zero `seq`, so `is_head()` is false without a
-    /// separate length check.
-    pub(crate) front_flit: Vec<Flit>,
-    /// Per input VC: the front flit's earliest SA cycle; `u64::MAX` when
-    /// the VC is empty, so every eligibility comparison fails naturally.
-    pub(crate) front_eligible: Vec<u64>,
-    /// Per input VC: buffered flit count (front + queued).
-    pub(crate) vc_len: Vec<u32>,
-    /// Per input VC: local output port of the owning packet ([`NONE_U16`]
-    /// until RC).
-    pub(crate) vc_route: Vec<u16>,
-    /// Per input VC: allocated downstream VC ([`NONE_U16`] until VA).
-    pub(crate) vc_out_vc: Vec<u16>,
-    /// Per input VC: cycle VA succeeded (`u64::MAX` = not yet), gating SA
-    /// to the following cycle.
-    pub(crate) vc_va_done: Vec<u64>,
-    /// Per output VC: global input-VC index of the packet owning the
-    /// downstream VC ([`NONE_U32`] = free).
-    pub(crate) ovc_owner: Vec<u32>,
-    /// Per output VC: credits (free downstream buffer slots).
-    pub(crate) ovc_credits: Vec<u32>,
-    /// Per output port: round-robin pointer for VC allocation.
-    pub(crate) out_va_rr: Vec<u32>,
-    /// Per output port: round-robin pointer for switch allocation.
-    pub(crate) out_sa_rr: Vec<u32>,
-    /// Per router: input VCs that are non-empty or hold route state. A
-    /// router at 0 is provably idle and RC/VA/SA skip it entirely — the
-    /// skip cannot change arbitration because round-robin pointers only
-    /// advance on assignments, which require an active input VC.
-    pub(crate) active_inputs: Vec<u32>,
 }
 
-impl Network {
+impl NetTables {
     /// Number of routers.
     pub fn routers_len(&self) -> usize {
         self.routers
@@ -141,19 +112,9 @@ impl Network {
         self.out_port_off[r + 1] as usize - 1
     }
 
-    /// Owning router of a flat input port.
-    pub fn port_router(&self, port: usize) -> usize {
-        self.in_port_router[port] as usize
-    }
-
     /// Destination router of a flat output port ([`NONE_U32`] for ejection).
     pub fn out_to_router(&self, port: usize) -> u32 {
         self.out_dst_router[port]
-    }
-
-    /// Destination flat input port of a flat output port.
-    pub fn out_dst_port(&self, port: usize) -> u32 {
-        self.out_dst_port[port]
     }
 
     /// Link span of a flat output port.
@@ -161,80 +122,40 @@ impl Network {
         self.out_span[port]
     }
 
-    /// Upstream flat output-VC base of a flat input port.
-    pub fn credit_base(&self, port: usize) -> u32 {
-        self.in_credit_base[port]
+    /// Total input ports across all routers.
+    pub fn total_inputs(&self) -> usize {
+        self.in_port_off[self.routers] as usize
     }
 
-    /// Credits of a flat output VC.
-    pub fn credits(&self, ovc: usize) -> u32 {
-        self.ovc_credits[ovc]
+    /// Total output ports across all routers.
+    pub fn total_outputs(&self) -> usize {
+        self.out_port_off[self.routers] as usize
     }
 
-    /// Local output port toward `dst` at router `r`.
-    pub fn route_port(&self, r: usize, dst: usize) -> u16 {
-        self.route[r * self.routers + dst]
+    /// Largest per-router output-port count.
+    pub fn max_outputs(&self) -> usize {
+        (0..self.routers)
+            .map(|r| self.output_ports(r).len())
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Buffered-flit count of the global input VC `g`.
-    pub fn buffer_len(&self, g: usize) -> usize {
-        self.vc_len[g] as usize
+    /// Largest per-router input-VC count — the request-mask width the
+    /// arbitration fast paths need (`<= 64` for the batch engine's `u64`
+    /// request words; the scalar engine's `u128` masks go twice as far).
+    pub fn max_total_vcs(&self) -> usize {
+        (0..self.routers)
+            .map(|r| self.input_ports(r).len() * self.vcs)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Applies one returned credit to a flat output VC.
-    #[inline]
-    pub fn apply_credit(&mut self, ovc: usize) {
-        self.ovc_credits[ovc] += 1;
-    }
-
-    /// Pushes a flit into global input VC `g`, maintaining the front-flit
-    /// mirror and the router's active count.
-    #[inline]
-    pub fn push_flit(&mut self, g: usize, flit: Flit, eligible: u64) {
-        if self.vc_len[g] == 0 {
-            if self.vc_route[g] == NONE_U16 {
-                self.active_inputs[self.in_port_router[g / self.vcs] as usize] += 1;
-            }
-            self.front_flit[g] = flit;
-            self.front_eligible[g] = eligible;
-        } else {
-            self.vc_buf[g].push_back(BufferedFlit { flit, eligible });
-        }
-        self.vc_len[g] += 1;
-    }
-
-    /// Pops the front flit of global input VC `g`, refilling the mirror
-    /// from the queue. The VC must be non-empty.
-    #[inline]
-    pub(crate) fn pop_front(&mut self, g: usize) -> Flit {
-        let flit = self.front_flit[g];
-        self.vc_len[g] -= 1;
-        match self.vc_buf[g].pop_front() {
-            Some(next) => {
-                self.front_flit[g] = next.flit;
-                self.front_eligible[g] = next.eligible;
-            }
-            None => {
-                self.front_flit[g].seq = 1;
-                self.front_eligible[g] = u64::MAX;
-            }
-        }
-        flit
-    }
-
-    /// Number of active input VCs at router `r` (see `active_inputs`).
-    pub fn active_inputs(&self, r: usize) -> u32 {
-        self.active_inputs[r]
-    }
-
-    /// Builds the network for a topology: instantiates two directed port
-    /// pairs per physical link, sizes VCs/credits from the config, and
-    /// compiles per-router output-port tables from the DOR solve.
-    pub fn build(topology: &MeshTopology, dor: &DorRouter, config: &SimConfig) -> Self {
+    /// Builds the static tables for a topology: instantiates two directed
+    /// port pairs per physical link and compiles per-router output-port
+    /// tables from the DOR solve.
+    pub fn build(topology: &MeshTopology, dor: &DorRouter, vcs: usize) -> Self {
         let n = topology.side();
         let routers = topology.routers();
-        let vcs = config.vcs_per_port;
-        let depth = config.buffer_flits_per_vc as u32;
 
         // Per-router port lists in the legacy construction order: links in
         // `topology.links()` order, the a→b direction before b→a, then the
@@ -342,17 +263,7 @@ impl Network {
             }
         }
 
-        // Dynamic state: credits are the buffer depth everywhere except
-        // ejection ports, whose single consumer is effectively infinite.
-        let mut ovc_credits = vec![depth; total_out * vcs];
-        for r in 0..routers {
-            let ej = out_port_off[r + 1] as usize - 1;
-            for v in 0..vcs {
-                ovc_credits[ej * vcs + v] = u32::MAX / 2;
-            }
-        }
-
-        Network {
+        NetTables {
             side: n,
             routers,
             vcs,
@@ -364,6 +275,211 @@ impl Network {
             out_dst_router,
             out_span,
             route,
+        }
+    }
+}
+
+/// The complete network state: shared static tables plus the per-replica
+/// dynamic arrays.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Static structure shared across replicas of the same topology.
+    pub(crate) tables: Arc<NetTables>,
+    // ---- dynamic state ----
+    /// Per input VC: the buffered flits *behind* the front one (depth is
+    /// enforced upstream via credits; injection VCs are unbounded NI source
+    /// queues). The front flit itself is mirrored into the flat
+    /// `front_flit`/`front_eligible` arrays so the per-cycle stages read
+    /// contiguous memory instead of chasing per-deque heap pointers.
+    pub(crate) vc_buf: Vec<VecDeque<BufferedFlit>>,
+    /// Per input VC: the front (oldest) flit. When the VC is empty this is
+    /// a sentinel with a non-zero `seq`, so `is_head()` is false without a
+    /// separate length check.
+    pub(crate) front_flit: Vec<Flit>,
+    /// Per input VC: the front flit's earliest SA cycle; `u64::MAX` when
+    /// the VC is empty, so every eligibility comparison fails naturally.
+    pub(crate) front_eligible: Vec<u64>,
+    /// Per input VC: buffered flit count (front + queued).
+    pub(crate) vc_len: Vec<u32>,
+    /// Per input VC: local output port of the owning packet ([`NONE_U16`]
+    /// until RC).
+    pub(crate) vc_route: Vec<u16>,
+    /// Per input VC: allocated downstream VC ([`NONE_U16`] until VA).
+    pub(crate) vc_out_vc: Vec<u16>,
+    /// Per input VC: cycle VA succeeded (`u64::MAX` = not yet), gating SA
+    /// to the following cycle.
+    pub(crate) vc_va_done: Vec<u64>,
+    /// Per output VC: global input-VC index of the packet owning the
+    /// downstream VC ([`NONE_U32`] = free).
+    pub(crate) ovc_owner: Vec<u32>,
+    /// Per output VC: credits (free downstream buffer slots).
+    pub(crate) ovc_credits: Vec<u32>,
+    /// Per output port: round-robin pointer for VC allocation.
+    pub(crate) out_va_rr: Vec<u32>,
+    /// Per output port: round-robin pointer for switch allocation.
+    pub(crate) out_sa_rr: Vec<u32>,
+    /// Per router: input VCs that are non-empty or hold route state. A
+    /// router at 0 is provably idle and RC/VA/SA skip it entirely — the
+    /// skip cannot change arbitration because round-robin pointers only
+    /// advance on assignments, which require an active input VC.
+    pub(crate) active_inputs: Vec<u32>,
+}
+
+impl Network {
+    /// Number of routers.
+    pub fn routers_len(&self) -> usize {
+        self.tables.routers
+    }
+
+    /// Virtual channels per port.
+    pub fn vcs_per_port(&self) -> usize {
+        self.tables.vcs
+    }
+
+    /// Longest link span of any output port (0 on an empty network).
+    pub fn max_span(&self) -> usize {
+        self.tables.max_span()
+    }
+
+    /// Input ports of router `r` as a flat range (injection port last).
+    pub fn input_ports(&self, r: usize) -> std::ops::Range<usize> {
+        self.tables.input_ports(r)
+    }
+
+    /// Output ports of router `r` as a flat range (ejection port last).
+    pub fn output_ports(&self, r: usize) -> std::ops::Range<usize> {
+        self.tables.output_ports(r)
+    }
+
+    /// Flat index of router `r`'s injection input port.
+    pub fn injection_port(&self, r: usize) -> usize {
+        self.tables.injection_port(r)
+    }
+
+    /// Flat index of router `r`'s ejection output port.
+    pub fn ejection_port(&self, r: usize) -> usize {
+        self.tables.ejection_port(r)
+    }
+
+    /// Owning router of a flat input port.
+    pub fn port_router(&self, port: usize) -> usize {
+        self.tables.in_port_router[port] as usize
+    }
+
+    /// Destination router of a flat output port ([`NONE_U32`] for ejection).
+    pub fn out_to_router(&self, port: usize) -> u32 {
+        self.tables.out_dst_router[port]
+    }
+
+    /// Destination flat input port of a flat output port.
+    pub fn out_dst_port(&self, port: usize) -> u32 {
+        self.tables.out_dst_port[port]
+    }
+
+    /// Link span of a flat output port.
+    pub fn out_span(&self, port: usize) -> u32 {
+        self.tables.out_span[port]
+    }
+
+    /// Upstream flat output-VC base of a flat input port.
+    pub fn credit_base(&self, port: usize) -> u32 {
+        self.tables.in_credit_base[port]
+    }
+
+    /// Credits of a flat output VC.
+    pub fn credits(&self, ovc: usize) -> u32 {
+        self.ovc_credits[ovc]
+    }
+
+    /// Local output port toward `dst` at router `r`.
+    pub fn route_port(&self, r: usize, dst: usize) -> u16 {
+        self.tables.route[r * self.tables.routers + dst]
+    }
+
+    /// Buffered-flit count of the global input VC `g`.
+    pub fn buffer_len(&self, g: usize) -> usize {
+        self.vc_len[g] as usize
+    }
+
+    /// Applies one returned credit to a flat output VC.
+    #[inline]
+    pub fn apply_credit(&mut self, ovc: usize) {
+        self.ovc_credits[ovc] += 1;
+    }
+
+    /// Pushes a flit into global input VC `g`, maintaining the front-flit
+    /// mirror and the router's active count.
+    #[inline]
+    pub fn push_flit(&mut self, g: usize, flit: Flit, eligible: u64) {
+        if self.vc_len[g] == 0 {
+            if self.vc_route[g] == NONE_U16 {
+                self.active_inputs[self.tables.in_port_router[g / self.tables.vcs] as usize] += 1;
+            }
+            self.front_flit[g] = flit;
+            self.front_eligible[g] = eligible;
+        } else {
+            self.vc_buf[g].push_back(BufferedFlit { flit, eligible });
+        }
+        self.vc_len[g] += 1;
+    }
+
+    /// Pops the front flit of global input VC `g`, refilling the mirror
+    /// from the queue. The VC must be non-empty.
+    #[inline]
+    pub(crate) fn pop_front(&mut self, g: usize) -> Flit {
+        let flit = self.front_flit[g];
+        self.vc_len[g] -= 1;
+        match self.vc_buf[g].pop_front() {
+            Some(next) => {
+                self.front_flit[g] = next.flit;
+                self.front_eligible[g] = next.eligible;
+            }
+            None => {
+                self.front_flit[g].seq = 1;
+                self.front_eligible[g] = u64::MAX;
+            }
+        }
+        flit
+    }
+
+    /// Number of active input VCs at router `r` (see `active_inputs`).
+    pub fn active_inputs(&self, r: usize) -> u32 {
+        self.active_inputs[r]
+    }
+
+    /// Builds the network for a topology: instantiates two directed port
+    /// pairs per physical link, sizes VCs/credits from the config, and
+    /// compiles per-router output-port tables from the DOR solve.
+    pub fn build(topology: &MeshTopology, dor: &DorRouter, config: &SimConfig) -> Self {
+        let tables = Arc::new(NetTables::build(topology, dor, config.vcs_per_port));
+        Self::from_tables(tables, config)
+    }
+
+    /// Builds fresh dynamic state over shared static tables. The result is
+    /// indistinguishable from [`Network::build`] on the same topology.
+    pub fn from_tables(tables: Arc<NetTables>, config: &SimConfig) -> Self {
+        assert_eq!(
+            tables.vcs, config.vcs_per_port,
+            "tables were built for a different VC count"
+        );
+        let routers = tables.routers;
+        let vcs = tables.vcs;
+        let depth = config.buffer_flits_per_vc as u32;
+        let total_in = tables.total_inputs();
+        let total_out = tables.total_outputs();
+
+        // Credits are the buffer depth everywhere except ejection ports,
+        // whose single consumer is effectively infinite.
+        let mut ovc_credits = vec![depth; total_out * vcs];
+        for r in 0..routers {
+            let ej = tables.ejection_port(r);
+            for v in 0..vcs {
+                ovc_credits[ej * vcs + v] = u32::MAX / 2;
+            }
+        }
+
+        Network {
+            tables,
             vc_buf: (0..total_in * vcs).map(|_| VecDeque::new()).collect(),
             front_flit: vec![
                 Flit {
@@ -491,6 +607,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shared_tables_match_fresh_build() {
+        // `from_tables` over a shared Arc must equal a fresh `build`.
+        let topo = MeshTopology::mesh(4);
+        let dor = DorRouter::new(&topo, HopWeights::PAPER);
+        let config = SimConfig::latency_run(256, 0);
+        let tables = Arc::new(NetTables::build(&topo, &dor, config.vcs_per_port));
+        let shared = Network::from_tables(tables.clone(), &config);
+        let fresh = Network::build(&topo, &dor, &config);
+        assert_eq!(shared.tables.route, fresh.tables.route);
+        assert_eq!(shared.ovc_credits, fresh.ovc_credits);
+        assert_eq!(shared.tables.in_port_off, fresh.tables.in_port_off);
+        assert_eq!(tables.max_total_vcs(), 5 * 2);
     }
 
     #[test]

@@ -6,12 +6,15 @@
 //! plateaus (and latencies diverge). We report the plateau — the classic
 //! saturation throughput in packets per node per cycle.
 
+use crate::batch::{BatchSimulator, MAX_LANES};
 use crate::config::SimConfig;
 use crate::engine::{SimScratch, Simulator};
+use crate::network::NetTables;
 use crate::stats::SimStats;
 use noc_routing::DorRouter;
 use noc_topology::MeshTopology;
 use noc_traffic::Workload;
+use std::sync::Arc;
 
 /// One sample of the sweep.
 #[derive(Debug, Clone, Copy)]
@@ -73,34 +76,65 @@ fn sample_of(stats: &SimStats) -> SweepSample {
     }
 }
 
+/// Default lockstep width: enough lanes to cover a full rate ladder in
+/// one or two batch passes while staying well inside [`MAX_LANES`].
+const DEFAULT_BATCH_LANES: usize = 8;
+
+/// Below this many parallel items the thread fan-out costs more than it
+/// buys (BENCH_sim.json: flat `noc_par` scaling on a 1-core host), so the
+/// runner degrades to in-place sequential execution. Results are
+/// byte-identical either way — worker assignment never changes inputs.
+const SMALL_FANOUT_THRESHOLD: usize = 3;
+
 /// Fans independent (load-point, seed) simulations across `noc-par`
-/// workers. Results are returned in input order and are **bit-identical**
-/// for any worker count, including the sequential reference: each
-/// simulation is internally deterministic, the routing solve is shared,
-/// and worker assignment only changes *which thread* runs a point, never
-/// its inputs. Adaptive sweeps speculate: the whole rate ladder is
-/// simulated in worker-sized waves and the sequential stopping rule is
-/// applied afterwards, discarding any points the sequential walk would not
-/// have reached.
+/// workers, packing rate points into [`BatchSimulator`] lockstep lanes
+/// (`batch_lanes` per pass). Results are returned in input order and are
+/// **bit-identical** for any worker count *and* any lane count, including
+/// the sequential scalar reference: each simulation is internally
+/// deterministic, the routing/structure tables are shared read-only, the
+/// batch engine is replica-exact, and worker assignment only changes
+/// *which thread* runs a point, never its inputs. Adaptive sweeps
+/// speculate: the whole rate ladder is simulated in wave-sized chunks and
+/// the sequential stopping rule is applied afterwards, discarding any
+/// points the sequential walk would not have reached.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
     workers: usize,
+    batch_lanes: usize,
 }
 
 impl SweepRunner {
-    /// A runner with an explicit worker count (`0` = one per core).
+    /// A runner with an explicit worker count (`0` = one per core) and the
+    /// default lockstep width.
     pub fn new(workers: usize) -> Self {
         let workers = if workers == 0 {
             noc_par::default_workers()
         } else {
             workers
         };
-        SweepRunner { workers }
+        SweepRunner {
+            workers,
+            batch_lanes: DEFAULT_BATCH_LANES,
+        }
     }
 
-    /// The single-threaded reference runner.
+    /// The single-threaded, single-lane scalar reference runner.
     pub fn sequential() -> Self {
-        SweepRunner { workers: 1 }
+        SweepRunner {
+            workers: 1,
+            batch_lanes: 1,
+        }
+    }
+
+    /// Sets the lockstep width: how many load points one
+    /// [`BatchSimulator`] pass carries. `0` restores the default; `1`
+    /// forces the scalar engine; values above [`MAX_LANES`] are clamped.
+    pub fn with_batch_lanes(mut self, lanes: usize) -> Self {
+        self.batch_lanes = match lanes {
+            0 => DEFAULT_BATCH_LANES,
+            l => l.min(MAX_LANES),
+        };
+        self
     }
 
     /// Worker threads this runner fans out across.
@@ -108,8 +142,24 @@ impl SweepRunner {
         self.workers
     }
 
+    /// Lockstep lanes per batch pass.
+    pub fn batch_lanes(&self) -> usize {
+        self.batch_lanes
+    }
+
+    /// The small-batch heuristic: sequential below the fan-out threshold,
+    /// never more workers than items.
+    fn effective_workers(&self, items: usize) -> usize {
+        if items < SMALL_FANOUT_THRESHOLD {
+            1
+        } else {
+            self.workers.min(items)
+        }
+    }
+
     /// Simulates one workload per rate in `rates` (sharing one routing
-    /// solve) and returns the full statistics in input order.
+    /// solve and one set of network tables) and returns the full
+    /// statistics in input order.
     pub fn run_rates(
         &self,
         topology: &MeshTopology,
@@ -118,26 +168,46 @@ impl SweepRunner {
         rates: &[f64],
     ) -> Vec<SimStats> {
         let dor = DorRouter::new(topology, config.weights);
-        self.run_rates_with(topology, &dor, workload, config, rates)
+        let tables = Arc::new(NetTables::build(topology, &dor, config.vcs_per_port));
+        self.run_rates_tables(&tables, workload, config, rates)
     }
 
-    fn run_rates_with(
+    fn run_rates_tables(
         &self,
-        topology: &MeshTopology,
-        dor: &DorRouter,
+        tables: &Arc<NetTables>,
         workload: &Workload,
         config: &SimConfig,
         rates: &[f64],
     ) -> Vec<SimStats> {
-        noc_par::par_map_with(
-            rates.to_vec(),
-            self.workers,
-            SimScratch::new,
-            |scratch, rate| {
-                Simulator::with_router(topology, dor, workload.at_rate(rate), *config)
-                    .run_with_scratch(scratch)
-            },
-        )
+        let lanes = self.batch_lanes.min(rates.len().max(1));
+        if lanes > 1 && BatchSimulator::supported(tables, lanes) {
+            // Lockstep path: pack lane-sized groups of load points into one
+            // batch pass each and fan the groups across workers.
+            let groups: Vec<Vec<f64>> = rates.chunks(lanes).map(<[f64]>::to_vec).collect();
+            let stats = noc_par::par_map_with(
+                groups,
+                self.effective_workers(rates.len().div_ceil(lanes)),
+                || (),
+                |(), group| {
+                    let replicas = group
+                        .iter()
+                        .map(|&rate| (workload.at_rate(rate), *config))
+                        .collect();
+                    BatchSimulator::with_tables(Arc::clone(tables), replicas).run()
+                },
+            );
+            stats.into_iter().flatten().collect()
+        } else {
+            noc_par::par_map_with(
+                rates.to_vec(),
+                self.effective_workers(rates.len()),
+                SimScratch::new,
+                |scratch, rate| {
+                    Simulator::with_tables(Arc::clone(tables), workload.at_rate(rate), *config)
+                        .run_with_scratch(scratch)
+                },
+            )
+        }
     }
 
     /// Sweeps offered load geometrically from `start_rate` until the
@@ -155,16 +225,19 @@ impl SweepRunner {
     ) -> ThroughputResult {
         assert!(start_rate > 0.0 && start_rate <= 1.0);
         let dor = DorRouter::new(topology, config.weights);
+        let tables = Arc::new(NetTables::build(topology, &dor, config.vcs_per_port));
         let ladder = rate_ladder(start_rate);
 
-        // Simulate the ladder in worker-sized waves, applying the stopping
-        // rule after each wave: every sample up to and including the first
-        // saturated point is exactly what the sequential walk produces;
-        // later points in the same wave are discarded speculation.
+        // Simulate the ladder in waves of (workers × lanes) points,
+        // applying the stopping rule after each wave: every sample up to
+        // and including the first saturated point is exactly what the
+        // sequential walk produces; later points in the same wave are
+        // discarded speculation.
+        let wave_len = self.workers.max(1) * self.batch_lanes.max(1);
         let mut samples: Vec<SweepSample> = Vec::new();
         let mut stop = ladder.len() - 1;
-        'waves: for wave in ladder.chunks(self.workers.max(1)) {
-            let stats = self.run_rates_with(topology, &dor, workload, config, wave);
+        'waves: for wave in ladder.chunks(wave_len) {
+            let stats = self.run_rates_tables(&tables, workload, config, wave);
             for (k, s) in stats.iter().enumerate() {
                 let sample = sample_of(s);
                 let rate = wave[k];
@@ -182,7 +255,7 @@ impl SweepRunner {
         if samples.len() >= 2 {
             let mid = (ladder[stop - 1] + ladder[stop]) / 2.0;
             let stats =
-                Simulator::with_router(topology, &dor, workload.at_rate(mid), *config).run();
+                Simulator::with_tables(Arc::clone(&tables), workload.at_rate(mid), *config).run();
             samples.push(sample_of(&stats));
             samples.sort_by(|a, b| a.offered.total_cmp(&b.offered));
         }
@@ -253,6 +326,32 @@ mod tests {
                 "{workers}-worker sweep must be bit-identical to the sequential reference"
             );
             assert_eq!(result.saturation.to_bits(), reference.saturation.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_runner_is_deterministic_across_lane_counts() {
+        let topo = MeshTopology::mesh(4);
+        let mut config = SimConfig::throughput_run(256, 11);
+        config.warmup_cycles = 500;
+        config.measure_cycles = 1_500;
+        let workload = ur_workload(4);
+        let rates = [0.02, 0.05, 0.09, 0.14, 0.2, 0.3, 0.45];
+
+        let fp =
+            |stats: &[SimStats]| -> Vec<u64> { stats.iter().map(SimStats::fingerprint).collect() };
+        // Scalar single-worker reference (the small-batch fallback path).
+        let reference = SweepRunner::sequential().run_rates(&topo, &workload, &config, &rates);
+        for lanes in [1usize, 4, 8] {
+            for workers in [1usize, 2] {
+                let runner = SweepRunner::new(workers).with_batch_lanes(lanes);
+                let result = runner.run_rates(&topo, &workload, &config, &rates);
+                assert_eq!(
+                    fp(&result),
+                    fp(&reference),
+                    "lanes={lanes} workers={workers} must be bit-identical to scalar"
+                );
+            }
         }
     }
 

@@ -8,14 +8,20 @@
 
 use crate::patterns::SyntheticPattern;
 use noc_rng::Rng;
+use std::sync::Arc;
 
 /// A per-source destination distribution over an `n × n` mesh.
+///
+/// The rate table is immutable once normalised and shared behind an `Arc`,
+/// so cloning a matrix (one clone per replica in a rate ladder or a
+/// lockstep batch) is a refcount bump — K replicas sample from one copy of
+/// the row data instead of dragging K copies through the cache.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrafficMatrix {
     n: usize,
     /// Row-major `N × N`: `rates[src * N + dst]`, each row summing to 1
     /// (or to 0 for sources that never inject).
-    rates: Vec<f64>,
+    rates: Arc<[f64]>,
 }
 
 impl TrafficMatrix {
@@ -39,7 +45,10 @@ impl TrafficMatrix {
                 row.iter_mut().for_each(|r| *r /= sum);
             }
         }
-        TrafficMatrix { n, rates }
+        TrafficMatrix {
+            n,
+            rates: rates.into(),
+        }
     }
 
     /// The matrix realising a synthetic pattern on an `n × n` mesh.
@@ -121,7 +130,7 @@ impl TrafficMatrix {
         for (m, w) in components {
             assert_eq!(m.n, n, "mixture components must share the mesh size");
             assert!(*w >= 0.0);
-            for (acc, r) in rates.iter_mut().zip(&m.rates) {
+            for (acc, r) in rates.iter_mut().zip(m.rates.iter()) {
                 *acc += w * r;
             }
         }

@@ -18,7 +18,7 @@
 //! express-noc-cli cluster-sim [--nodes 3] [--seed 0] [--requests 12]
 //!                          [--partition-at T] [--heal-at T] [--kill NODE --kill-at T]
 //! express-noc-cli scenario expand|run|describe <manifest.json> [--workers N]
-//!                          [--addr 127.0.0.1:7474]
+//!                          [--batch-lanes K] [--addr 127.0.0.1:7474]
 //! ```
 
 use express_noc::cluster::{ClusterSim, ScriptAction, TcpForwarder};
@@ -139,14 +139,16 @@ commands:
             deterministic in-process cluster simulation: sharded requests,
             forwarding, replica failover, gossip-driven ring changes; same
             seed and script reproduce the identical event log
-  scenario  expand|run|describe <manifest.json> [--workers N] [--addr HOST:PORT]
+  scenario  expand|run|describe <manifest.json> [--workers N] [--batch-lanes K]
+            [--addr HOST:PORT]
             scenario manifests (docs/SCENARIOS.md): 'describe' summarises the
             manifest and its expansion, 'expand' prints one NDJSON line per
             resolved scenario (name, fingerprint, axes), 'run' executes the
             whole batch and streams one NDJSON result line per scenario plus
-            a summary line — byte-identical for any --workers; with --addr
-            the manifest is sent to a running daemon instead and its streamed
-            response is printed verbatim
+            a summary line — byte-identical for any --workers and any
+            --batch-lanes (lockstep replica lanes; 0 = default, 1 = scalar);
+            with --addr the manifest is sent to a running daemon instead and
+            its streamed response is printed verbatim
 
 any command also accepts --trace-out PATH: enable the in-process noc-trace
 sink for the run and write its event log (SA convergence series, per-link
@@ -501,7 +503,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
 /// front end (format reference: docs/SCENARIOS.md).
 fn cmd_scenario(args: &[String]) -> Result<(), String> {
     use express_noc::json::Value;
-    use express_noc::scenario::{expand, manifest_fingerprint, run_batch, Manifest};
+    use express_noc::scenario::{expand, manifest_fingerprint, run_batch_with, Manifest};
 
     let [action, path, rest @ ..] = args else {
         return Err("scenario needs an action and a manifest, e.g. \
@@ -573,6 +575,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
             // in-process through the same `run_batch` the daemon uses.
             if let Some(addr) = opts.get("addr") {
                 let workers: usize = get_or(&opts, "workers", 0)?;
+                let lanes: usize = get_or(&opts, "batch-lanes", 0)?;
                 let env = Envelope {
                     id: "scenario".to_string(),
                     deadline_ms: protocol::MAX_DEADLINE_MS,
@@ -580,6 +583,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                     request: Request::Scenario(Box::new(protocol::ScenarioRequest {
                         manifest,
                         workers,
+                        lanes,
                     })),
                 };
                 let mut client =
@@ -592,7 +596,9 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                 }
             } else {
                 let workers: usize = get_or(&opts, "workers", 0)?;
-                let batch = run_batch(&manifest, workers).map_err(|e| format!("{path}: {e}"))?;
+                let lanes: usize = get_or(&opts, "batch-lanes", 0)?;
+                let batch = run_batch_with(&manifest, workers, lanes)
+                    .map_err(|e| format!("{path}: {e}"))?;
                 for item in &batch.items {
                     println!("{}", item.compact());
                 }
