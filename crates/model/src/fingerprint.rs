@@ -1,0 +1,120 @@
+//! Stable FNV-1a fingerprints for deterministic results and cache keys.
+//!
+//! Every solver, simulator, and scheduler in the workspace is
+//! deterministic given its inputs, so results can be cached and shard-
+//! placed by a digest of everything they depend on. This module is the
+//! single implementation those digests share — placement SA params, sim
+//! configs and stats, scenario manifests, cluster ring points, and the
+//! service cache all hash through it, which is what makes "equal digest ⇒
+//! bit-identical result" a workspace-wide contract instead of a per-crate
+//! convention.
+//!
+//! Fingerprints are FNV-1a over an optional domain tag plus little-endian
+//! field encodings. FNV-1a is not cryptographic — that is fine here: a
+//! collision costs a stale-looking cache entry only if an adversary
+//! crafts inputs, and the service is a trusted-network tool, not an open
+//! endpoint.
+//!
+//! Digest stability is load-bearing (golden sim fingerprints, committed
+//! cache keys, cluster shard ownership); `tests/fingerprint_stability.rs`
+//! at the workspace root pins the exact values.
+
+/// Incremental FNV-1a hasher, optionally started with a domain tag.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// Starts an untagged hash at the bare FNV-1a offset basis. Used where
+    /// a digest predates domain tagging and its value must stay put (e.g.
+    /// `SimStats::fingerprint`); prefer [`Fnv1a::with_tag`] for new
+    /// digests.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Starts a hash with a domain tag so different types with identical
+    /// field encodings cannot collide.
+    pub fn with_tag(tag: &str) -> Self {
+        let mut h = Fnv1a::new();
+        h.write_bytes(tag.as_bytes());
+        h
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u32` in little-endian encoding.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` in little-endian encoding.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` via its exact bit pattern, so NaN payloads and
+    /// signed zeros are distinguished the same way on every platform.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_separate_domains() {
+        let mut a = Fnv1a::with_tag("alpha");
+        let mut b = Fnv1a::with_tag("beta");
+        a.write_u64(7);
+        b.write_u64(7);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Fnv1a::with_tag("t");
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = Fnv1a::with_tag("t");
+        b.write_u32(1);
+        b.write_u32(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv1a::with_tag("t");
+        c.write_u32(2);
+        c.write_u32(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn empty_tag_equals_untagged() {
+        assert_eq!(Fnv1a::new().finish(), Fnv1a::with_tag("").finish());
+    }
+
+    #[test]
+    fn f64_uses_bit_pattern() {
+        let mut a = Fnv1a::new();
+        a.write_f64(0.0);
+        let mut b = Fnv1a::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod bandwidth;
 pub mod contention;
+pub mod fingerprint;
 pub mod latency;
 pub mod packets;
 

@@ -1,0 +1,313 @@
+//! Nondominated archive with epsilon-dominance boxes.
+//!
+//! The archive keeps the running Pareto set over (latency, power, links).
+//! Objective values are mapped onto an epsilon grid — `⌊latency/ε_l⌋`,
+//! `⌊power/ε_p⌋`, links exactly — and dominance is decided on grid
+//! coordinates, which bounds the archive size by the grid resolution
+//! instead of the candidate count. Within one grid box at most one point
+//! survives: the lexicographically smallest `(latency, power, links)`
+//! tuple, first-come on exact ties. Candidates arrive in a fixed order
+//! (the scalarization schedule is deterministic), so the archive contents
+//! *and* their insertion order are byte-stable across runs and worker
+//! counts.
+//!
+//! Raw (non-epsilon) dominance is preserved where it matters: a candidate
+//! that raw-dominates an archived point necessarily lands in the same box
+//! with a lexicographically smaller tuple, or in a dominating box — either
+//! way the dominated point is replaced, so no returned point is ever
+//! raw-dominated by any evaluated candidate (property-tested).
+
+use noc_model::fingerprint::Fnv1a;
+use noc_topology::RowPlacement;
+
+/// One nondominated design point.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// Total average packet latency `L_D + L_S` (cycles).
+    pub latency: f64,
+    /// Head-latency component (cycles).
+    pub avg_head: f64,
+    /// Network-total static power (mW) of the replicated `n × n` design.
+    pub power_mw: f64,
+    /// Express links spent per row.
+    pub links: usize,
+    /// Link limit `C` the design was solved under.
+    pub c_limit: usize,
+    /// Flit width `b(C)` in bits.
+    pub flit_bits: u32,
+    /// Weight-lattice index of the scalarization that produced the point
+    /// (`usize::MAX` for the injected mesh baseline).
+    pub w_index: usize,
+    /// The row placement itself.
+    pub placement: RowPlacement,
+}
+
+impl ParetoPoint {
+    fn box_coords(&self, eps_latency: f64, eps_power: f64) -> (i64, i64, i64) {
+        (
+            (self.latency / eps_latency).floor() as i64,
+            (self.power_mw / eps_power).floor() as i64,
+            self.links as i64,
+        )
+    }
+
+    /// Lexicographic rank used inside one epsilon box (total order; ties
+    /// resolve to the incumbent).
+    fn rank(&self) -> (f64, f64, usize) {
+        (self.latency, self.power_mw, self.links)
+    }
+}
+
+fn lex_less(a: (f64, f64, usize), b: (f64, f64, usize)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => match a.1.total_cmp(&b.1) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.2 < b.2,
+        },
+    }
+}
+
+fn box_dominates(a: (i64, i64, i64), b: (i64, i64, i64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
+}
+
+/// What [`ParetoArchive::insert`] did with a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The candidate entered the archive (possibly evicting dominated
+    /// points — the count of evictions is carried).
+    Added(usize),
+    /// The candidate was dominated (or out-ranked within its box) and
+    /// discarded.
+    Dominated,
+}
+
+/// Bounded nondominated archive; see the module docs for the semantics.
+#[derive(Debug, Clone)]
+pub struct ParetoArchive {
+    eps_latency: f64,
+    eps_power: f64,
+    points: Vec<ParetoPoint>,
+    dominated: u64,
+}
+
+impl ParetoArchive {
+    /// Creates an empty archive with the given epsilon box sizes (must be
+    /// positive and finite).
+    pub fn new(eps_latency: f64, eps_power: f64) -> Self {
+        assert!(
+            eps_latency > 0.0 && eps_latency.is_finite(),
+            "eps_latency must be positive"
+        );
+        assert!(
+            eps_power > 0.0 && eps_power.is_finite(),
+            "eps_power must be positive"
+        );
+        ParetoArchive {
+            eps_latency,
+            eps_power,
+            points: Vec::new(),
+            dominated: 0,
+        }
+    }
+
+    /// Offers a candidate; returns what happened to it.
+    pub fn insert(&mut self, candidate: ParetoPoint) -> InsertOutcome {
+        let cbox = candidate.box_coords(self.eps_latency, self.eps_power);
+        for p in &self.points {
+            let pbox = p.box_coords(self.eps_latency, self.eps_power);
+            if box_dominates(pbox, cbox) {
+                self.dominated += 1;
+                return InsertOutcome::Dominated;
+            }
+            if pbox == cbox && !lex_less(candidate.rank(), p.rank()) {
+                // Same box, incumbent ranks at least as well: first come,
+                // first served on exact ties.
+                self.dominated += 1;
+                return InsertOutcome::Dominated;
+            }
+        }
+        let before = self.points.len();
+        // Evict everything the candidate's box dominates, plus the one
+        // out-ranked same-box incumbent if any; `retain` preserves the
+        // insertion order of survivors.
+        self.points.retain(|p| {
+            let pbox = p.box_coords(self.eps_latency, self.eps_power);
+            !(box_dominates(cbox, pbox) || pbox == cbox)
+        });
+        let evicted = before - self.points.len();
+        self.dominated += evicted as u64;
+        self.points.push(candidate);
+        InsertOutcome::Added(evicted)
+    }
+
+    /// Archive contents in insertion order.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of archived points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Candidates discarded or evicted as dominated so far.
+    pub fn dominated(&self) -> u64 {
+        self.dominated
+    }
+
+    /// Consumes the archive, returning the points in insertion order.
+    pub fn into_points(self) -> Vec<ParetoPoint> {
+        self.points
+    }
+
+    /// FNV-1a fingerprint of the frontier: every objective value bit-exact,
+    /// every placement link, in archive order. Equal fingerprints mean
+    /// byte-identical frontiers — the key the service caches under.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::with_tag("frontier-v1");
+        h.write_f64(self.eps_latency);
+        h.write_f64(self.eps_power);
+        h.write_u64(self.points.len() as u64);
+        for p in &self.points {
+            h.write_f64(p.latency);
+            h.write_f64(p.avg_head);
+            h.write_f64(p.power_mw);
+            h.write_u64(p.links as u64);
+            h.write_u64(p.c_limit as u64);
+            h.write_u32(p.flit_bits);
+            h.write_u64(p.placement.len() as u64);
+            for link in p.placement.express_links() {
+                h.write_u64(link.a as u64);
+                h.write_u64(link.b as u64);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Raw (non-epsilon) Pareto dominance on `(latency, power, links)`:
+/// `a` dominates `b` when it is no worse on every axis and strictly
+/// better on at least one.
+pub fn dominates_raw(a: &ParetoPoint, b: &ParetoPoint) -> bool {
+    a.latency <= b.latency
+        && a.power_mw <= b.power_mw
+        && a.links <= b.links
+        && (a.latency < b.latency || a.power_mw < b.power_mw || a.links < b.links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(latency: f64, power_mw: f64, links: usize) -> ParetoPoint {
+        ParetoPoint {
+            latency,
+            avg_head: latency,
+            power_mw,
+            links,
+            c_limit: 1,
+            flit_bits: 256,
+            w_index: 0,
+            placement: RowPlacement::new(4),
+        }
+    }
+
+    #[test]
+    fn dominated_candidates_are_rejected() {
+        let mut a = ParetoArchive::new(0.01, 0.01);
+        assert_eq!(a.insert(point(10.0, 5.0, 2)), InsertOutcome::Added(0));
+        assert_eq!(a.insert(point(11.0, 6.0, 2)), InsertOutcome::Dominated);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.dominated(), 1);
+    }
+
+    #[test]
+    fn dominating_candidates_evict() {
+        let mut a = ParetoArchive::new(0.01, 0.01);
+        a.insert(point(10.0, 5.0, 2));
+        a.insert(point(12.0, 4.0, 2));
+        assert_eq!(a.insert(point(9.0, 3.0, 1)), InsertOutcome::Added(2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut a = ParetoArchive::new(0.01, 0.01);
+        a.insert(point(10.0, 5.0, 2));
+        a.insert(point(12.0, 4.0, 2));
+        a.insert(point(15.0, 3.0, 0));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.dominated(), 0);
+    }
+
+    #[test]
+    fn same_box_keeps_lexicographic_winner() {
+        // Coarse boxes: both land in the same box, second is lex-better.
+        let mut a = ParetoArchive::new(10.0, 10.0);
+        a.insert(point(12.0, 5.0, 2));
+        assert_eq!(a.insert(point(11.0, 6.0, 2)), InsertOutcome::Added(1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.points()[0].latency, 11.0);
+        // Exact tie: first come, first served.
+        assert_eq!(a.insert(point(11.0, 6.0, 2)), InsertOutcome::Dominated);
+    }
+
+    #[test]
+    fn no_archived_point_is_raw_dominated_by_any_candidate() {
+        // Deterministic pseudo-random candidate stream; after all insertions
+        // no surviving point may be raw-dominated by any candidate.
+        let mut a = ParetoArchive::new(0.5, 0.5);
+        let mut candidates = Vec::new();
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..300 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let lat = 5.0 + (x >> 48) as f64 / 4096.0;
+            let pow = 3.0 + ((x >> 32) & 0xFFFF) as f64 / 4096.0;
+            let links = ((x >> 16) & 7) as usize;
+            candidates.push(point(lat, pow, links));
+        }
+        for c in &candidates {
+            a.insert(c.clone());
+        }
+        for p in a.points() {
+            for c in &candidates {
+                assert!(
+                    !dominates_raw(c, p),
+                    "archived ({}, {}, {}) dominated by candidate ({}, {}, {})",
+                    p.latency,
+                    p.power_mw,
+                    p.links,
+                    c.latency,
+                    c.power_mw,
+                    c.links
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_value_sensitive() {
+        let mut a = ParetoArchive::new(0.01, 0.01);
+        a.insert(point(10.0, 5.0, 2));
+        a.insert(point(12.0, 4.0, 2));
+        let mut b = ParetoArchive::new(0.01, 0.01);
+        b.insert(point(12.0, 4.0, 2));
+        b.insert(point(10.0, 5.0, 2));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = ParetoArchive::new(0.01, 0.01);
+        c.insert(point(10.0, 5.0, 2));
+        c.insert(point(12.0, 4.0, 2));
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -1,0 +1,350 @@
+//! The frontier scheduler: a deterministic weight lattice × link-budget
+//! fan-out over order-preserving workers, folded into the archive.
+
+use crate::archive::{ParetoArchive, ParetoPoint};
+use crate::power_proxy::StaticPowerModel;
+use crate::scalarize::ScalarizedObjective;
+use noc_model::fingerprint::Fnv1a;
+use noc_model::{LinkBudget, PacketMix};
+use noc_placement::{evaluate_design, solve_row, AllPairsObjective, InitialStrategy, SaParams};
+use noc_power::PowerConfig;
+use noc_routing::HopWeights;
+use noc_topology::RowPlacement;
+
+/// Everything a frontier computation depends on. Two equal configs produce
+/// byte-identical results regardless of worker count.
+#[derive(Debug, Clone)]
+pub struct FrontierConfig {
+    /// Network side length `n` (rows of `n` routers, replicated).
+    pub n: usize,
+    /// Flit width of the baseline mesh at `C = 1` (the bisection budget).
+    pub base_flit_bits: u32,
+    /// Number of points on the weight lattice. Index 0 is the pure-latency
+    /// extreme `(1, 0)`, index `weight_steps − 1` the pure-power extreme
+    /// `(0, 1)`; intermediate indices interpolate linearly.
+    pub weight_steps: usize,
+    /// Hop cost parameters of the latency objective.
+    pub hop_weights: HopWeights,
+    /// Packet population pricing the serialization component.
+    pub mix: PacketMix,
+    /// Technology coefficients of the static-power model.
+    pub power: PowerConfig,
+    /// Equalised per-router buffer budget in bits (§4.6).
+    pub buffer_bits_per_router: u64,
+    /// Annealing schedule for every scalarization.
+    pub sa: SaParams,
+    /// Frontier seed; every scalarization derives its own seed from it.
+    pub seed: u64,
+    /// Epsilon-box size on the latency axis (cycles).
+    pub eps_latency: f64,
+    /// Epsilon-box size on the power axis (mW).
+    pub eps_power_mw: f64,
+    /// Worker threads for the scalarization fan-out (0 = one per core).
+    /// Results do not depend on this.
+    pub workers: usize,
+}
+
+impl FrontierConfig {
+    /// The paper's evaluation setup for an `n × n` network: 256-bit base
+    /// flits, a 5-point weight lattice, DSENT 32 nm power coefficients,
+    /// and fine epsilon boxes (0.01 cycles × 0.1 mW).
+    pub fn paper(n: usize, seed: u64) -> Self {
+        FrontierConfig {
+            n,
+            base_flit_bits: 256,
+            weight_steps: 5,
+            hop_weights: HopWeights::PAPER,
+            mix: PacketMix::paper(),
+            power: PowerConfig::dsent_32nm(),
+            buffer_bits_per_router: 10_240,
+            sa: SaParams::paper(),
+            seed,
+            eps_latency: 0.01,
+            eps_power_mw: 0.1,
+            workers: 0,
+        }
+    }
+
+    /// The bandwidth budget the config spans.
+    pub fn budget(&self) -> LinkBudget {
+        LinkBudget {
+            n: self.n,
+            base_flit_bits: self.base_flit_bits,
+        }
+    }
+
+    /// Stable fingerprint of every field the result depends on (`workers`
+    /// excluded — it cannot change the result).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::with_tag("frontier-config");
+        h.write_u64(self.n as u64);
+        h.write_u32(self.base_flit_bits);
+        h.write_u64(self.weight_steps as u64);
+        h.write_u32(self.hop_weights.router_cycles);
+        h.write_u32(self.hop_weights.unit_link_cycles);
+        for class in self.mix.classes() {
+            h.write_u32(class.bits);
+            h.write_f64(class.fraction);
+        }
+        h.write_f64(self.power.freq_ghz);
+        h.write_f64(self.power.p_buffer_static_uw_per_bit);
+        h.write_f64(self.power.p_xbar_static_uw_per_bit_port2);
+        h.write_f64(self.power.p_other_static_mw_per_port);
+        h.write_f64(self.power.p_other_static_mw_per_router);
+        h.write_u64(self.buffer_bits_per_router);
+        h.write_u64(self.sa.fingerprint());
+        h.write_u64(self.seed);
+        h.write_f64(self.eps_latency);
+        h.write_f64(self.eps_power_mw);
+        h.finish()
+    }
+}
+
+/// The computed frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierResult {
+    /// Nondominated points in archive insertion order.
+    pub points: Vec<ParetoPoint>,
+    /// Candidates rejected or evicted as dominated.
+    pub dominated: u64,
+    /// Scalarized SA solves performed (the mesh baseline not included).
+    pub scalarizations: usize,
+    /// Total objective evaluations across all scalarizations and chains.
+    pub evaluations: usize,
+    /// FNV-1a fingerprint of the frontier (see
+    /// [`ParetoArchive::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+/// Seed of the scalarization at weight-lattice index `w_index`. Index 0
+/// uses the frontier seed unchanged, so the pure-latency scalarization at
+/// link limit `C` (which then derives `seed + C`, the same per-`C` salt as
+/// [`optimize_network`](noc_placement::optimize_network)) reproduces the
+/// single-objective sweep bit-for-bit. The multiplier differs from
+/// [`chain_seed`](noc_placement::chain_seed)'s so weight-lattice streams
+/// do not systematically collide with chain streams.
+pub fn frontier_seed(seed: u64, w_index: usize) -> u64 {
+    seed ^ (w_index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// One scalarization's outcome: the solved placement priced on all axes.
+#[derive(Debug, Clone)]
+pub struct ScalarCandidate {
+    /// Weight-lattice index.
+    pub w_index: usize,
+    /// The `(w_latency, w_power)` pair solved under.
+    pub weights: (f64, f64),
+    /// Link limit `C`.
+    pub c_limit: usize,
+    /// Flit width `b(C)`.
+    pub flit_bits: u32,
+    /// Best scalarized objective value found.
+    pub scalar_objective: f64,
+    /// Objective evaluations spent (all chains).
+    pub evaluations: usize,
+    /// The design point, priced on the frontier axes.
+    pub point: ParetoPoint,
+}
+
+/// Weight pair at lattice index `w_index` of a `weight_steps`-point
+/// lattice.
+fn lattice_weights(weight_steps: usize, w_index: usize) -> (f64, f64) {
+    let t = if weight_steps <= 1 {
+        0.0
+    } else {
+        w_index as f64 / (weight_steps - 1) as f64
+    };
+    (1.0 - t, t)
+}
+
+/// Prices a solved row placement on the frontier axes.
+fn price(
+    cfg: &FrontierConfig,
+    c_limit: usize,
+    flit_bits: u32,
+    w_index: usize,
+    placement: RowPlacement,
+) -> ParetoPoint {
+    let model = StaticPowerModel::new(cfg.n, flit_bits, cfg.buffer_bits_per_router, &cfg.power);
+    let power_mw = model.network_total_mw(model.eval_row(&placement));
+    let links = placement.express_count();
+    let latency_obj = AllPairsObjective::with_weights(cfg.hop_weights);
+    let row_objective = noc_placement::Objective::eval(&latency_obj, &placement);
+    let design = evaluate_design(
+        cfg.n,
+        c_limit,
+        flit_bits,
+        placement,
+        row_objective,
+        &cfg.mix,
+        cfg.hop_weights,
+    );
+    ParetoPoint {
+        latency: design.avg_latency,
+        avg_head: design.avg_head,
+        power_mw,
+        links,
+        c_limit,
+        flit_bits,
+        w_index,
+        placement: design.placement,
+    }
+}
+
+/// Runs the single scalarization `(w_index, c_limit)` of a frontier
+/// config: a multi-chain SA solve of the weighted objective, seeded
+/// deterministically from the frontier seed.
+pub fn scalarized_solve(cfg: &FrontierConfig, w_index: usize, c_limit: usize) -> ScalarCandidate {
+    let flit_bits = cfg
+        .budget()
+        .flit_bits(c_limit)
+        .expect("inadmissible link limit");
+    let (w_latency, w_power) = lattice_weights(cfg.weight_steps, w_index);
+    let objective = ScalarizedObjective::new(
+        AllPairsObjective::with_weights(cfg.hop_weights),
+        StaticPowerModel::new(cfg.n, flit_bits, cfg.buffer_bits_per_router, &cfg.power),
+        w_latency,
+        w_power,
+    );
+    let job_seed = frontier_seed(cfg.seed, w_index).wrapping_add(c_limit as u64);
+    let outcome = solve_row(
+        cfg.n,
+        c_limit,
+        &objective,
+        InitialStrategy::DivideAndConquer,
+        &cfg.sa,
+        job_seed,
+    );
+    ScalarCandidate {
+        w_index,
+        weights: (w_latency, w_power),
+        c_limit,
+        flit_bits,
+        scalar_objective: outcome.best_objective,
+        evaluations: outcome.evaluations,
+        point: price(cfg, c_limit, flit_bits, w_index, outcome.best),
+    }
+}
+
+fn count(name: &str, n: u64) {
+    if let Some(sink) = noc_trace::sink() {
+        sink.registry().counter(name).add(n);
+    }
+}
+
+/// Computes the latency × power × link-budget Pareto frontier.
+///
+/// Scalarizations fan out over `(weight index, link limit)` pairs on
+/// order-preserving workers; candidates (the mesh baseline first, then
+/// every scalarization in lattice-major order) fold into the archive
+/// sequentially, so the result is byte-identical across runs and worker
+/// counts. Emits `pareto.{points,dominated,scalarizations}` trace
+/// counters when a trace sink is installed.
+pub fn compute_frontier(cfg: &FrontierConfig) -> FrontierResult {
+    assert!(cfg.n >= 2, "frontier needs at least a 2-router row");
+    let limits = cfg.budget().link_limits();
+    let weight_steps = cfg.weight_steps.max(1);
+    let jobs: Vec<(usize, usize)> = (0..weight_steps)
+        .flat_map(|w| limits.iter().map(move |&c| (w, c)))
+        .collect();
+    let scalarizations = jobs.len();
+
+    let candidates: Vec<ScalarCandidate> = noc_par::par_map_with(
+        jobs,
+        cfg.workers,
+        || (),
+        |(), (w_index, c_limit)| scalarized_solve(cfg, w_index, c_limit),
+    );
+    let evaluations: usize = candidates.iter().map(|c| c.evaluations).sum();
+
+    let mut archive = ParetoArchive::new(cfg.eps_latency, cfg.eps_power_mw);
+    // The plain mesh anchors the frontier: zero express links at full flit
+    // width, no solve needed.
+    archive.insert(price(
+        cfg,
+        1,
+        cfg.base_flit_bits,
+        usize::MAX,
+        RowPlacement::new(cfg.n),
+    ));
+    for candidate in candidates {
+        archive.insert(candidate.point);
+    }
+
+    let fingerprint = archive.fingerprint();
+    let dominated = archive.dominated();
+    count("pareto.points", archive.len() as u64);
+    count("pareto.dominated", dominated);
+    count("pareto.scalarizations", scalarizations as u64);
+    FrontierResult {
+        points: archive.into_points(),
+        dominated,
+        scalarizations,
+        evaluations,
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n: usize, seed: u64) -> FrontierConfig {
+        let mut cfg = FrontierConfig::paper(n, seed);
+        cfg.sa = SaParams::paper().with_moves(400);
+        cfg.weight_steps = 3;
+        cfg
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_sane() {
+        let result = compute_frontier(&quick(8, 7));
+        assert!(!result.points.is_empty());
+        assert_eq!(result.scalarizations, 3 * 5); // C in {1,2,4,8,16}
+        for p in &result.points {
+            assert!(p.latency > 0.0 && p.power_mw > 0.0);
+            assert!(p.placement.is_within_limit(p.c_limit));
+            assert_eq!(p.links, p.placement.express_count());
+        }
+    }
+
+    #[test]
+    fn frontier_spans_the_tradeoff() {
+        // The mesh anchor (0 links) and at least one express design must
+        // both survive: the axes genuinely trade off.
+        let result = compute_frontier(&quick(8, 7));
+        assert!(result.points.iter().any(|p| p.links == 0));
+        assert!(result.points.iter().any(|p| p.links > 0));
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_workers() {
+        let base = compute_frontier(&quick(6, 11));
+        for workers in [1, 2, 8] {
+            let mut cfg = quick(6, 11);
+            cfg.workers = workers;
+            let other = compute_frontier(&cfg);
+            assert_eq!(base.fingerprint, other.fingerprint, "workers {workers}");
+            assert_eq!(base.points.len(), other.points.len());
+            for (a, b) in base.points.iter().zip(&other.points) {
+                assert_eq!(a.latency.to_bits(), b.latency.to_bits());
+                assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits());
+                assert_eq!(a.links, b.links);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_frontier_fingerprint_domain() {
+        // Different seeds may legitimately find different placements; the
+        // config fingerprint must always separate them.
+        assert_ne!(quick(8, 1).fingerprint(), quick(8, 2).fingerprint());
+        assert_eq!(quick(8, 1).fingerprint(), quick(8, 1).fingerprint());
+    }
+
+    #[test]
+    fn frontier_seed_anchors_index_zero() {
+        assert_eq!(frontier_seed(42, 0), 42);
+        assert_ne!(frontier_seed(42, 1), frontier_seed(42, 2));
+    }
+}

@@ -1,83 +1,8 @@
 //! Stable fingerprints for cacheable solver inputs.
 //!
-//! The service layer caches solver results keyed by everything the result
-//! depends on: problem dimensions, the objective, the annealing schedule,
-//! and the seed. Since `solve_row` is fully deterministic given those
-//! inputs, two requests with equal fingerprints are guaranteed to produce
-//! bit-identical results, making fingerprint-keyed caching sound.
-//!
-//! Fingerprints use FNV-1a over a domain tag plus the little-endian field
-//! encodings. FNV-1a is not cryptographic — that is fine here: a collision
-//! costs a stale-looking cache entry only if an adversary crafts inputs,
-//! and the service is a trusted-network tool, not an open endpoint.
+//! The implementation lives in [`noc_model::fingerprint`] — one FNV-1a
+//! helper shared by placement, sim, scenario, cluster, and the service
+//! cache. This module re-exports it under the historical path so existing
+//! `noc_placement::fingerprint::Fnv1a` imports keep working.
 
-/// Incremental FNV-1a hasher with a domain-separation tag.
-#[derive(Debug, Clone)]
-pub struct Fnv1a {
-    state: u64,
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-impl Fnv1a {
-    /// Starts a hash with a domain tag so different types with identical
-    /// field encodings cannot collide.
-    pub fn with_tag(tag: &str) -> Self {
-        let mut h = Fnv1a { state: FNV_OFFSET };
-        h.write_bytes(tag.as_bytes());
-        h
-    }
-
-    /// Feeds raw bytes.
-    pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= b as u64;
-            self.state = self.state.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// Feeds a `u32` in little-endian encoding.
-    pub fn write_u32(&mut self, v: u32) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    /// Feeds a `u64` in little-endian encoding.
-    pub fn write_u64(&mut self, v: u64) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    /// The 64-bit digest.
-    pub fn finish(&self) -> u64 {
-        self.state
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn tags_separate_domains() {
-        let mut a = Fnv1a::with_tag("alpha");
-        let mut b = Fnv1a::with_tag("beta");
-        a.write_u64(7);
-        b.write_u64(7);
-        assert_ne!(a.finish(), b.finish());
-    }
-
-    #[test]
-    fn deterministic_and_order_sensitive() {
-        let mut a = Fnv1a::with_tag("t");
-        a.write_u32(1);
-        a.write_u32(2);
-        let mut b = Fnv1a::with_tag("t");
-        b.write_u32(1);
-        b.write_u32(2);
-        assert_eq!(a.finish(), b.finish());
-        let mut c = Fnv1a::with_tag("t");
-        c.write_u32(2);
-        c.write_u32(1);
-        assert_ne!(a.finish(), c.finish());
-    }
-}
+pub use noc_model::fingerprint::Fnv1a;

@@ -21,6 +21,8 @@
 //! `noc-sim`. [`area`] provides the §4.5.2 routing-table area-overhead
 //! estimate (< 0.5 % of router area).
 
+#![warn(missing_docs)]
+
 pub mod area;
 pub mod model;
 

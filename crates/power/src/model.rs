@@ -113,6 +113,41 @@ pub struct NetworkPower {
 /// * `buffer_bits_per_router` — the (equalised) total buffer budget per
 ///   router; the paper fixes this across schemes so buffer leakage cannot
 ///   favour any of them (§4.6).
+///
+/// # Example
+///
+/// An idle 4×4 mesh (all activity counters zero) still leaks: the static
+/// breakdown is nonzero while every dynamic component is exactly zero.
+///
+/// ```
+/// use noc_power::{network_power, PowerConfig};
+/// use noc_sim::{ActivityCounters, SimStats};
+/// use noc_topology::MeshTopology;
+///
+/// let topo = MeshTopology::mesh(4);
+/// let stats = SimStats {
+///     cycles: 10_000,
+///     measure_cycles: 10_000,
+///     nodes: 16,
+///     measured_packets: 0,
+///     completed_packets: 0,
+///     avg_packet_latency: 0.0,
+///     avg_head_latency: 0.0,
+///     max_packet_latency: 0,
+///     p50_latency: 0.0,
+///     p95_latency: 0.0,
+///     p99_latency: 0.0,
+///     accepted_throughput: 0.0,
+///     offered_rate: 0.0,
+///     avg_flits_per_packet: 0.0,
+///     activity: vec![ActivityCounters::default(); 16],
+///     drained: true,
+/// };
+/// let p = network_power(&topo, 256, 10_240, &stats, &PowerConfig::dsent_32nm());
+/// assert_eq!(p.routers.len(), 16);
+/// assert!(p.total.static_total() > 0.0);
+/// assert_eq!(p.total.dynamic_total(), 0.0);
+/// ```
 pub fn network_power(
     topology: &MeshTopology,
     flit_bits: u32,

@@ -10,8 +10,8 @@
 use crate::cache::CacheKey;
 use crate::metrics::trace_inc;
 use crate::protocol::{
-    pattern_name, strategy_name, OptimalRequest, Request, ScenarioRequest, SimulateRequest,
-    SolveRequest, SweepRequest, ThroughputRequest,
+    pattern_name, strategy_name, FrontierRequest, OptimalRequest, Request, ScenarioRequest,
+    SimulateRequest, SolveRequest, SweepRequest, ThroughputRequest,
 };
 use noc_json::Value;
 use noc_model::{LinkBudget, PacketMix};
@@ -146,12 +146,42 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
                 extra: r.manifest.expansion_count() as u64,
             })
         }
+        Request::Frontier(r) => {
+            // `workers` is deliberately NOT keyed (the config fingerprint
+            // excludes it): the frontier is byte-identical for any worker
+            // count, so any fan-out may serve any hit. The `frontier-v1`
+            // tag versions the key so a future wire-format change cannot
+            // replay stale frontiers.
+            let cfg = frontier_config(r);
+            let mut extra = Fnv1a::with_tag("frontier-v1");
+            extra.write_u64(cfg.fingerprint());
+            Some(CacheKey {
+                kind: "frontier",
+                n: r.n as u64,
+                c: 0,
+                objective_fp: AllPairsObjective::paper().fingerprint(),
+                params_fp: cfg.fingerprint(),
+                seed: r.seed,
+                extra: extra.finish(),
+            })
+        }
         Request::Metrics
         | Request::Health
         | Request::Shutdown
         | Request::Trace
         | Request::Prometheus => None,
     }
+}
+
+/// The frontier configuration a request denotes: the paper's evaluation
+/// setup with the request's size, budget, lattice, move budget, and seed.
+fn frontier_config(r: &FrontierRequest) -> noc_pareto::FrontierConfig {
+    let mut cfg = noc_pareto::FrontierConfig::paper(r.n, r.seed);
+    cfg.base_flit_bits = r.base_flit;
+    cfg.weight_steps = r.weight_steps;
+    cfg.sa = SaParams::paper().with_moves(r.moves);
+    cfg.workers = r.workers;
+    cfg
 }
 
 /// Result of executing a compute request.
@@ -368,6 +398,49 @@ fn exec_scenario(r: &ScenarioRequest) -> Result<Value, String> {
     })
 }
 
+fn exec_frontier(r: &FrontierRequest) -> Result<Value, String> {
+    let cfg = frontier_config(r);
+    let result = noc_pareto::compute_frontier(&cfg);
+    let items: Vec<Value> = result
+        .points
+        .iter()
+        .map(|p| {
+            noc_json::obj! {
+                "latency" => Value::Float(p.latency),
+                "avg_head" => Value::Float(p.avg_head),
+                "power_mw" => Value::Float(p.power_mw),
+                "links" => Value::Int(p.links as i128),
+                "c" => Value::Int(p.c_limit as i128),
+                "flit_bits" => Value::Int(p.flit_bits as i128),
+                // Weight-lattice index, or -1 for the injected mesh anchor.
+                "w" => if p.w_index == usize::MAX {
+                    Value::Int(-1)
+                } else {
+                    Value::Int(p.w_index as i128)
+                },
+                "placement" => links_json(&p.placement),
+            }
+        })
+        .collect();
+    // The `"frontier_stream"` marker is what `protocol::wire_lines` keys
+    // on to fan the one cached value back out into the per-point stream;
+    // the whole frontier is cached as one value so a hit replays an
+    // identical stream.
+    Ok(noc_json::obj! {
+        "frontier_stream" => Value::Bool(true),
+        "items" => Value::Arr(items),
+        "summary" => noc_json::obj! {
+            "n" => Value::Int(r.n as i128),
+            "weight_steps" => Value::Int(r.weight_steps as i128),
+            "points" => Value::Int(result.points.len() as i128),
+            "dominated" => Value::Int(result.dominated as i128),
+            "scalarizations" => Value::Int(result.scalarizations as i128),
+            "evaluations" => Value::Int(result.evaluations as i128),
+            "fingerprint" => Value::Str(format!("{:016x}", result.fingerprint)),
+        },
+    })
+}
+
 /// Runs a compute request to completion, enforcing `deadline` where the
 /// request kind supports it. Inline kinds (`metrics`, `health`,
 /// `shutdown`) are answered by the server, not here.
@@ -402,6 +475,7 @@ pub fn execute_within(
         Request::Simulate(r) => plain(exec_simulate(r)),
         Request::Throughput(r) => plain(exec_throughput(r)),
         Request::Scenario(r) => plain(exec_scenario(r)),
+        Request::Frontier(r) => plain(exec_frontier(r)),
         Request::Metrics
         | Request::Health
         | Request::Shutdown
@@ -601,6 +675,53 @@ mod tests {
             a.get("items").and_then(Value::as_array).map(|i| i.len()),
             Some(2)
         );
+    }
+
+    #[test]
+    fn frontier_key_ignores_workers_and_result_does_too() {
+        let base = FrontierRequest {
+            n: 6,
+            base_flit: 256,
+            weight_steps: 3,
+            moves: 200,
+            seed: 11,
+            workers: 1,
+        };
+        let wide = FrontierRequest {
+            workers: 8,
+            ..base.clone()
+        };
+        assert_eq!(
+            cache_key(&Request::Frontier(base.clone())),
+            cache_key(&Request::Frontier(wide.clone())),
+            "worker count must not change the cache key"
+        );
+        let reseeded = FrontierRequest {
+            seed: 12,
+            ..base.clone()
+        };
+        assert_ne!(
+            cache_key(&Request::Frontier(base.clone())),
+            cache_key(&Request::Frontier(reseeded))
+        );
+        let a = execute(&Request::Frontier(base)).unwrap();
+        let b = execute(&Request::Frontier(wide)).unwrap();
+        assert_eq!(a, b, "frontier results must not depend on workers");
+        assert_eq!(
+            a.get("frontier_stream").and_then(Value::as_bool),
+            Some(true)
+        );
+        let items = a.get("items").and_then(Value::as_array).unwrap();
+        assert!(!items.is_empty());
+        // The streamed point set is exactly what a cached replay fans back
+        // out: the wire framing draws from the same items array.
+        let response = crate::protocol::Response::ok("f", true, a.clone());
+        let lines = crate::protocol::wire_lines(&response);
+        assert_eq!(lines.len(), items.len() + 1);
+        for (line, item) in lines.iter().zip(items) {
+            let v = noc_json::parse(line).unwrap();
+            assert_eq!(v.get("result"), Some(item));
+        }
     }
 
     #[test]

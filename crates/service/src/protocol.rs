@@ -18,13 +18,16 @@
 //! {"id":"7","kind":"health"}
 //! {"id":"8","kind":"shutdown"}
 //! {"id":"9","kind":"scenario","manifest":{"scenario":1,...},"workers":2}
+//! {"id":"10","kind":"frontier","n":8,"base_flit":256,"weight_steps":5,
+//!  "moves":10000,"seed":42,"workers":0}
 //! ```
 //!
 //! Success: `{"id":"1","ok":true,"cached":false,"result":{...}}`.
 //! Failure: `{"id":"1","ok":false,"error":{"code":"overloaded","message":"..."}}`.
 //!
-//! The `scenario` kind is the one *streaming* response: its result is a
-//! batch, written as one line per expanded scenario
+//! The `scenario` and `frontier` kinds are the *streaming* responses:
+//! their result is a batch, written as one line per expanded scenario (or
+//! per Pareto point)
 //! (`{"id":"9","ok":true,"seq":0,"of":3,"result":{...}}`) followed by a
 //! final summary line carrying `"done":true` (see [`wire_lines`]).
 
@@ -54,6 +57,9 @@ pub const MAX_MOVES: usize = 2_000_000;
 pub const MAX_CHAINS: usize = 64;
 /// Upper bound on simulated measurement cycles per request.
 pub const MAX_CYCLES: u64 = 2_000_000;
+/// Upper bound on weight-lattice points per `frontier` request: together
+/// with the move cap this bounds one request's total SA work.
+pub const MAX_WEIGHT_STEPS: usize = 33;
 /// Default and maximum per-request deadlines.
 pub const DEFAULT_DEADLINE_MS: u64 = 30_000;
 /// Hard cap on client-requested deadlines.
@@ -165,6 +171,26 @@ pub struct ScenarioRequest {
     pub lanes: usize,
 }
 
+/// Parameters of a `frontier` request — the latency × power × link-budget
+/// Pareto sweep (see `noc_pareto`). Deterministic given everything but
+/// `workers`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRequest {
+    /// Network side length `n`.
+    pub n: usize,
+    /// Baseline flit width at `C = 1` in bits (the bisection budget).
+    pub base_flit: u32,
+    /// Points on the `(w_latency, w_power)` weight lattice.
+    pub weight_steps: usize,
+    /// SA move budget per scalarization chain.
+    pub moves: usize,
+    /// Frontier seed; every scalarization derives its own seed from it.
+    pub seed: u64,
+    /// Scalarization worker threads (`0` = one per core). *Not* part of
+    /// the cache key: the frontier is byte-identical for any worker count.
+    pub workers: usize,
+}
+
 /// A decoded request body.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -181,6 +207,9 @@ pub enum Request {
     /// Scenario-manifest batch: expand and run, streaming one result line
     /// per expanded scenario.
     Scenario(Box<ScenarioRequest>),
+    /// Pareto-frontier sweep: solve every (weight, link-limit)
+    /// scalarization, streaming one result line per nondominated point.
+    Frontier(FrontierRequest),
     /// Metrics snapshot.
     Metrics,
     /// Liveness/readiness probe.
@@ -204,6 +233,7 @@ impl Request {
             Request::Simulate(_) => "simulate",
             Request::Throughput(_) => "throughput",
             Request::Scenario(_) => "scenario",
+            Request::Frontier(_) => "frontier",
             Request::Metrics => "metrics",
             Request::Health => "health",
             Request::Shutdown => "shutdown",
@@ -222,6 +252,7 @@ impl Request {
                 | Request::Simulate(_)
                 | Request::Throughput(_)
                 | Request::Scenario(_)
+                | Request::Frontier(_)
         )
     }
 
@@ -230,7 +261,7 @@ impl Request {
     /// the peer forwarder reads exactly one response line per request, so
     /// a streamed batch is always served where it lands.
     pub fn is_streaming(&self) -> bool {
-        matches!(self, Request::Scenario(_))
+        matches!(self, Request::Scenario(_) | Request::Frontier(_))
     }
 }
 
@@ -402,21 +433,23 @@ impl Response {
 
 /// Serialises a response into its wire lines (without trailing newlines).
 ///
-/// Every response is one line — except a scenario-batch success, whose
-/// result object carries `"scenario_stream": true` with `"items"` and
-/// `"summary"`. That one expands into one line per item,
+/// Every response is one line — except a streaming success (a scenario
+/// batch or a Pareto frontier), whose result object carries
+/// `"scenario_stream": true` (resp. `"frontier_stream": true`) with
+/// `"items"` and `"summary"`. That one expands into one line per item,
 /// `{"id","ok":true,"seq":i,"of":N,"result":<item>}`, followed by a final
 /// `{"id","ok":true,"cached":...,"done":true,"result":<summary>}` line.
 /// Because the whole batch is cached as one value, a cache hit replays the
-/// exact same stream with `"cached": true` on the summary line.
+/// exact same stream with `"cached": true` on the summary line. Frontier
+/// streams bump the `pareto.stream_lines` trace counter by the number of
+/// lines written (cache replays included).
 pub fn wire_lines(response: &Response) -> Vec<String> {
     let Response::Ok { id, cached, result } = response else {
         return vec![response.to_line()];
     };
-    let is_stream = result
-        .get("scenario_stream")
-        .and_then(Value::as_bool)
-        .unwrap_or(false);
+    let marker = |key: &str| result.get(key).and_then(Value::as_bool).unwrap_or(false);
+    let is_frontier = marker("frontier_stream");
+    let is_stream = marker("scenario_stream") || is_frontier;
     let (Some(items), Some(summary)) = (
         result.get("items").and_then(Value::as_array),
         result.get("summary"),
@@ -451,6 +484,13 @@ pub fn wire_lines(response: &Response) -> Vec<String> {
         }
         .compact(),
     );
+    if is_frontier {
+        if let Some(sink) = noc_trace::sink() {
+            sink.registry()
+                .counter("pareto.stream_lines")
+                .add(lines.len() as u64);
+        }
+    }
     lines
 }
 
@@ -782,6 +822,33 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 lanes,
             }))
         }
+        "frontier" => {
+            let n = bounded_n(require(field_usize(&v, "n")?, "n")?)?;
+            let base_flit = field_u64(&v, "base_flit")?.unwrap_or(256);
+            if base_flit == 0 || base_flit > 4_096 {
+                return Err("base_flit must be in 1..=4096".into());
+            }
+            let weight_steps = field_usize(&v, "weight_steps")?.unwrap_or(5);
+            if !(1..=MAX_WEIGHT_STEPS).contains(&weight_steps) {
+                return Err(format!("weight_steps must be in 1..={MAX_WEIGHT_STEPS}"));
+            }
+            let moves = field_usize(&v, "moves")?.unwrap_or(10_000);
+            if moves > MAX_MOVES {
+                return Err(format!("moves must be at most {MAX_MOVES}"));
+            }
+            let workers = field_usize(&v, "workers")?.unwrap_or(0);
+            if workers > MAX_CHAINS {
+                return Err(format!("workers must be at most {MAX_CHAINS}"));
+            }
+            Request::Frontier(FrontierRequest {
+                n,
+                base_flit: base_flit as u32,
+                weight_steps,
+                moves,
+                seed: field_u64(&v, "seed")?.unwrap_or(42),
+                workers,
+            })
+        }
         "metrics" => Request::Metrics,
         "health" => Request::Health,
         "shutdown" => Request::Shutdown,
@@ -904,6 +971,17 @@ pub fn request_line(env: &Envelope) -> String {
             fields.push(("workers".to_string(), Value::Int(r.workers as i128)));
             fields.push(("lanes".to_string(), Value::Int(r.lanes as i128)));
         }
+        Request::Frontier(r) => {
+            fields.push(("n".to_string(), Value::Int(r.n as i128)));
+            fields.push(("base_flit".to_string(), Value::Int(r.base_flit as i128)));
+            fields.push((
+                "weight_steps".to_string(),
+                Value::Int(r.weight_steps as i128),
+            ));
+            fields.push(("moves".to_string(), Value::Int(r.moves as i128)));
+            fields.push(("seed".to_string(), Value::Int(r.seed as i128)));
+            fields.push(("workers".to_string(), Value::Int(r.workers as i128)));
+        }
         Request::Metrics
         | Request::Health
         | Request::Shutdown
@@ -1004,6 +1082,51 @@ mod tests {
         assert!(
             parse_request(r#"{"kind":"scenario","workers":65,"manifest":{"scenario":1}}"#).is_err()
         );
+    }
+
+    #[test]
+    fn frontier_parses_and_round_trips() {
+        let env = parse_request(
+            r#"{"id":"f","kind":"frontier","n":8,"weight_steps":3,"moves":500,"seed":7}"#,
+        )
+        .unwrap();
+        match &env.request {
+            Request::Frontier(r) => {
+                assert_eq!((r.n, r.base_flit, r.weight_steps), (8, 256, 3));
+                assert_eq!((r.moves, r.seed, r.workers), (500, 7, 0));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        assert!(env.request.is_compute());
+        assert!(env.request.is_streaming());
+        assert_eq!(parse_request(&request_line(&env)).unwrap(), env);
+        assert!(parse_request(r#"{"kind":"frontier","n":8,"weight_steps":0}"#).is_err());
+        assert!(parse_request(r#"{"kind":"frontier","n":8,"weight_steps":34}"#).is_err());
+        assert!(parse_request(r#"{"kind":"frontier","n":8,"base_flit":0}"#).is_err());
+        assert!(parse_request(r#"{"kind":"frontier","n":1}"#).is_err());
+        assert!(parse_request(r#"{"kind":"frontier","n":8,"workers":65}"#).is_err());
+    }
+
+    #[test]
+    fn wire_lines_expand_frontier_streams() {
+        let stream = Response::ok(
+            "f",
+            false,
+            noc_json::obj! {
+                "frontier_stream" => Value::Bool(true),
+                "items" => Value::Arr(vec![
+                    noc_json::obj! { "latency" => Value::Float(20.0) },
+                ]),
+                "summary" => noc_json::obj! { "points" => Value::Int(1) },
+            },
+        );
+        let lines = wire_lines(&stream);
+        assert_eq!(lines.len(), 2);
+        let first = noc_json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("seq").and_then(Value::as_usize), Some(0));
+        assert_eq!(first.get("of").and_then(Value::as_usize), Some(1));
+        let last = noc_json::parse(&lines[1]).unwrap();
+        assert_eq!(last.get("done").and_then(Value::as_bool), Some(true));
     }
 
     #[test]

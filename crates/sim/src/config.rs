@@ -67,26 +67,17 @@ impl SimConfig {
     /// fingerprints (plus equal topology/workload keys) imply bit-identical
     /// statistics — the contract the service result cache relies on.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut state = OFFSET;
-        let mut write = |bytes: &[u8]| {
-            for &b in bytes {
-                state ^= b as u64;
-                state = state.wrapping_mul(PRIME);
-            }
-        };
-        write(b"sim-config");
-        write(&self.flit_bits.to_le_bytes());
-        write(&(self.vcs_per_port as u64).to_le_bytes());
-        write(&(self.buffer_flits_per_vc as u64).to_le_bytes());
-        write(&self.weights.router_cycles.to_le_bytes());
-        write(&self.weights.unit_link_cycles.to_le_bytes());
-        write(&self.warmup_cycles.to_le_bytes());
-        write(&self.measure_cycles.to_le_bytes());
-        write(&self.drain_cycles_max.to_le_bytes());
-        write(&self.seed.to_le_bytes());
-        state
+        let mut h = noc_model::fingerprint::Fnv1a::with_tag("sim-config");
+        h.write_u32(self.flit_bits);
+        h.write_u64(self.vcs_per_port as u64);
+        h.write_u64(self.buffer_flits_per_vc as u64);
+        h.write_bytes(&self.weights.router_cycles.to_le_bytes());
+        h.write_bytes(&self.weights.unit_link_cycles.to_le_bytes());
+        h.write_u64(self.warmup_cycles);
+        h.write_u64(self.measure_cycles);
+        h.write_u64(self.drain_cycles_max);
+        h.write_u64(self.seed);
+        h.finish()
     }
 }
 

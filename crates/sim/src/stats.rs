@@ -73,38 +73,32 @@ impl SimStats {
     /// bit-identical statistics — the contract the golden regression tests
     /// and the sweep determinism tests pin the engine against.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut state = OFFSET;
-        let mut write = |x: u64| {
-            for b in x.to_le_bytes() {
-                state ^= b as u64;
-                state = state.wrapping_mul(PRIME);
-            }
-        };
-        write(self.cycles);
-        write(self.measure_cycles);
-        write(self.nodes as u64);
-        write(self.measured_packets);
-        write(self.completed_packets);
-        write(self.avg_packet_latency.to_bits());
-        write(self.avg_head_latency.to_bits());
-        write(self.max_packet_latency);
-        write(self.p50_latency.to_bits());
-        write(self.p95_latency.to_bits());
-        write(self.p99_latency.to_bits());
-        write(self.accepted_throughput.to_bits());
-        write(self.offered_rate.to_bits());
-        write(self.avg_flits_per_packet.to_bits());
+        // Untagged: this digest predates domain tagging and its historical
+        // values are pinned by the golden regression tests.
+        let mut h = noc_model::fingerprint::Fnv1a::new();
+        h.write_u64(self.cycles);
+        h.write_u64(self.measure_cycles);
+        h.write_u64(self.nodes as u64);
+        h.write_u64(self.measured_packets);
+        h.write_u64(self.completed_packets);
+        h.write_f64(self.avg_packet_latency);
+        h.write_f64(self.avg_head_latency);
+        h.write_u64(self.max_packet_latency);
+        h.write_f64(self.p50_latency);
+        h.write_f64(self.p95_latency);
+        h.write_f64(self.p99_latency);
+        h.write_f64(self.accepted_throughput);
+        h.write_f64(self.offered_rate);
+        h.write_f64(self.avg_flits_per_packet);
         for a in &self.activity {
-            write(a.buffer_writes);
-            write(a.buffer_reads);
-            write(a.crossbar_traversals);
-            write(a.link_flit_segments);
-            write(a.vc_allocations);
+            h.write_u64(a.buffer_writes);
+            h.write_u64(a.buffer_reads);
+            h.write_u64(a.crossbar_traversals);
+            h.write_u64(a.link_flit_segments);
+            h.write_u64(a.vc_allocations);
         }
-        write(self.drained as u64);
-        state
+        h.write_u64(self.drained as u64);
+        h.finish()
     }
 
     /// Total activity across all routers.

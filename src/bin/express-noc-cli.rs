@@ -19,6 +19,8 @@
 //!                          [--partition-at T] [--heal-at T] [--kill NODE --kill-at T]
 //! express-noc-cli scenario expand|run|describe <manifest.json> [--workers N]
 //!                          [--batch-lanes K] [--addr 127.0.0.1:7474]
+//! express-noc-cli frontier --n 8 [--base-flit 256] [--weight-steps 5] [--moves M]
+//!                          [--seed S] [--workers N] [--addr 127.0.0.1:7474]
 //! ```
 
 use express_noc::cluster::{ClusterSim, ScriptAction, TcpForwarder};
@@ -85,6 +87,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
         "cluster-sim" => cmd_cluster_sim(&opts),
+        "frontier" => cmd_frontier(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -149,6 +152,14 @@ commands:
             --batch-lanes (lockstep replica lanes; 0 = default, 1 = scalar);
             with --addr the manifest is sent to a running daemon instead and
             its streamed response is printed verbatim
+  frontier  --n <N> [--base-flit BITS] [--weight-steps K] [--moves M] [--seed S]
+            [--workers W] [--addr HOST:PORT]
+            latency x power x link-budget Pareto frontier (docs/FRONTIER.md):
+            solve K weighted scalarizations per admissible link limit C and
+            print one NDJSON line per nondominated point plus a summary line
+            carrying the frontier fingerprint; byte-identical for any
+            --workers, and with --addr the request runs on a daemon whose
+            streamed payloads print as the same bytes as the local path
 
 any command also accepts --trace-out PATH: enable the in-process noc-trace
 sink for the run and write its event log (SA convergence series, per-link
@@ -610,6 +621,59 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                 "unknown scenario action {other:?} (expand|run|describe)"
             ))
         }
+    }
+    Ok(())
+}
+
+/// `frontier` — the multi-objective Pareto sweep (docs/FRONTIER.md).
+///
+/// Both paths print identical bytes: locally the items and summary of
+/// `service::exec` output directly; against a daemon, the `result`
+/// payload of each streamed line (which wraps exactly those objects).
+fn cmd_frontier(opts: &Flags) -> Result<(), String> {
+    use express_noc::json::Value;
+    let _span = express_noc::trace::span("cli.frontier");
+    let n: usize = get(opts, "n")?;
+    let request = Request::Frontier(protocol::FrontierRequest {
+        n,
+        base_flit: get_or(opts, "base-flit", 256)?,
+        weight_steps: get_or(opts, "weight-steps", 5)?,
+        moves: get_or(opts, "moves", 10_000)?,
+        seed: get_or(opts, "seed", 42)?,
+        workers: get_or(opts, "workers", 0)?,
+    });
+    if let Some(addr) = opts.get("addr") {
+        let env = Envelope {
+            id: "frontier".to_string(),
+            deadline_ms: protocol::MAX_DEADLINE_MS,
+            forwarded: false,
+            request,
+        };
+        let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let lines = client
+            .round_trip_stream(&protocol::request_line(&env))
+            .map_err(|e| e.to_string())?;
+        for line in &lines {
+            let v = express_noc::json::parse(line).map_err(|e| format!("bad response: {e}"))?;
+            if v.get("ok").and_then(Value::as_bool) != Some(true) {
+                return Err(format!("daemon error: {line}"));
+            }
+            let result = v.get("result").ok_or("response line missing result")?;
+            println!("{}", result.compact());
+        }
+    } else {
+        let value = express_noc::service::exec::execute(&request).map_err(|e| e.to_string())?;
+        let items = value
+            .get("items")
+            .and_then(Value::as_array)
+            .ok_or("frontier result missing items")?;
+        for item in items {
+            println!("{}", item.compact());
+        }
+        let summary = value
+            .get("summary")
+            .ok_or("frontier result missing summary")?;
+        println!("{}", summary.compact());
     }
     Ok(())
 }

@@ -2,6 +2,7 @@
 pub use noc_cluster as cluster;
 pub use noc_json as json;
 pub use noc_model as model;
+pub use noc_pareto as pareto;
 pub use noc_placement as placement;
 pub use noc_power as power;
 pub use noc_rng as rng;

@@ -1,0 +1,137 @@
+//! Executable guarantees for the `frontier` product surface: the CLI
+//! stream is byte-identical across repeated runs and worker counts, the
+//! daemon path streams the same payload bytes as the local path, a cache
+//! hit replays the identical point stream, and the `pareto.*` trace
+//! counters surface in the prometheus body.
+
+use express_noc::json::Value;
+use express_noc::service::{Client, Server, ServiceConfig};
+use std::process::Command;
+
+fn run_cli(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_express-noc-cli"))
+        .args(args)
+        .output()
+        .expect("spawn express-noc-cli");
+    assert!(
+        out.status.success(),
+        "cli {args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("cli output is utf-8")
+}
+
+const ARGS: &[&str] = &[
+    "frontier",
+    "--n",
+    "6",
+    "--weight-steps",
+    "3",
+    "--moves",
+    "200",
+    "--seed",
+    "11",
+];
+
+#[test]
+fn cli_frontier_is_byte_identical_across_runs_and_workers() {
+    let reference = run_cli(ARGS);
+    assert!(
+        reference.lines().count() >= 2,
+        "at least one point plus a summary"
+    );
+    assert_eq!(run_cli(ARGS), reference, "repeated runs must be identical");
+    for workers in ["2", "8"] {
+        let mut args = ARGS.to_vec();
+        args.extend(["--workers", workers]);
+        assert_eq!(
+            run_cli(&args),
+            reference,
+            "worker count {workers} must not change the stream"
+        );
+    }
+    // Every line but the last is a point; the last is the summary with
+    // the frontier fingerprint.
+    let lines: Vec<&str> = reference.lines().collect();
+    for line in &lines[..lines.len() - 1] {
+        let v = express_noc::json::parse(line).expect("point line parses");
+        assert!(v.get("latency").and_then(Value::as_f64).is_some());
+        assert!(v.get("power_mw").and_then(Value::as_f64).is_some());
+    }
+    let summary = express_noc::json::parse(lines[lines.len() - 1]).unwrap();
+    assert_eq!(
+        summary.get("points").and_then(Value::as_usize),
+        Some(lines.len() - 1)
+    );
+    assert!(summary.get("fingerprint").and_then(Value::as_str).is_some());
+}
+
+#[test]
+fn daemon_streams_match_the_cli_and_replay_from_cache() {
+    express_noc::trace::enable();
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 16,
+        cache_shards: 2,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    let line = r#"{"id":"f","kind":"frontier","n":6,"weight_steps":3,"moves":200,"seed":11,"deadline_ms":600000}"#;
+    let mut client = Client::connect(&addr).expect("connect");
+    let streamed = client.round_trip_stream(line).expect("stream");
+    let total = streamed.len() - 1;
+
+    // The daemon's payloads are byte-identical to the CLI's local run —
+    // same engine, same order, same serialization.
+    let cli = run_cli(ARGS);
+    let cli_lines: Vec<&str> = cli.lines().collect();
+    assert_eq!(cli_lines.len(), total + 1);
+    for (i, raw) in streamed[..total].iter().enumerate() {
+        let v = express_noc::json::parse(raw).expect("item line parses");
+        assert_eq!(v.get("seq").and_then(Value::as_usize), Some(i));
+        assert_eq!(v.get("of").and_then(Value::as_usize), Some(total));
+        assert_eq!(
+            v.get("result").expect("item result").compact(),
+            cli_lines[i],
+            "point #{i}: daemon and CLI results differ"
+        );
+    }
+    let summary = express_noc::json::parse(&streamed[total]).unwrap();
+    assert_eq!(summary.get("done").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        summary.get("result").expect("summary").compact(),
+        cli_lines[total]
+    );
+
+    // A repeat serves the whole frontier from the cache and replays the
+    // identical point stream.
+    let again = client.round_trip_stream(line).expect("cached stream");
+    assert_eq!(again[..total], streamed[..total]);
+    let cached = express_noc::json::parse(&again[total]).unwrap();
+    assert_eq!(cached.get("cached").and_then(Value::as_bool), Some(true));
+
+    // The pareto counters flow into the prometheus body.
+    let prom = client
+        .round_trip(r#"{"id":"p","kind":"prometheus"}"#)
+        .expect("prometheus");
+    for counter in [
+        "pareto.points",
+        "pareto.dominated",
+        "pareto.scalarizations",
+        "pareto.stream_lines",
+    ] {
+        assert!(
+            prom.contains(counter),
+            "prometheus body lost the {counter} counter"
+        );
+    }
+
+    handle.shutdown();
+    thread.join().unwrap();
+}

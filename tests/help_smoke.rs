@@ -20,6 +20,7 @@ const COMMANDS: &[&str] = &[
     "loadgen",
     "cluster-sim",
     "scenario",
+    "frontier",
 ];
 
 fn help_text() -> String {

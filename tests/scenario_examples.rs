@@ -117,6 +117,40 @@ fn ladder_is_a_100_plus_batch_byte_identical_across_workers() {
             "worker count {workers} must not change the stream"
         );
     }
+    // Lane packing of the lockstep fast path is an execution detail only:
+    // `--batch-lanes 1` forces the scalar path, other values repack the
+    // lockstep passes, and every per-scenario fingerprint (and the rest of
+    // each item, byte for byte) must be unchanged — the ordering note in
+    // docs/SCENARIOS.md.
+    let fingerprints: Vec<String> = reference
+        .lines()
+        .filter_map(|l| {
+            noc_json::parse(l)
+                .ok()?
+                .get("fingerprint")
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+        })
+        .collect();
+    assert!(fingerprints.len() >= 100, "every ladder item carries one");
+    for lanes in ["1", "4", "32"] {
+        let run = run_cli(&["scenario", "run", ladder, "--batch-lanes", lanes]);
+        assert_eq!(
+            run, reference,
+            "lane count {lanes} must not change the stream"
+        );
+        let lane_fps: Vec<String> = run
+            .lines()
+            .filter_map(|l| {
+                noc_json::parse(l)
+                    .ok()?
+                    .get("fingerprint")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+            })
+            .collect();
+        assert_eq!(lane_fps, fingerprints, "lane count {lanes} fingerprints");
+    }
     // Expansion output is deterministic too.
     let expanded = run_cli(&["scenario", "expand", ladder]);
     assert_eq!(expanded.lines().count(), expand(&manifest).unwrap().len());
