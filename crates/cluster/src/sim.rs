@@ -126,6 +126,17 @@ pub enum ScriptAction {
     Kill(usize),
     /// Revive a killed node with its state (cache, ring view) intact.
     Revive(usize),
+    /// Migrate every in-flight solve execution from one node to another:
+    /// the job is checkpointed (`noc-snapshot` bytes), handed over, and
+    /// resumed on the target — with a final response byte-identical to an
+    /// unmigrated run. Non-solve executions are not resumable and stay
+    /// where they are.
+    Migrate {
+        /// Node whose in-flight solves are suspended.
+        from: usize,
+        /// Node that resumes them.
+        to: usize,
+    },
 }
 
 /// Monotonic counters of cluster-level events, also mirrored onto the
@@ -143,6 +154,9 @@ pub struct ClusterCounters {
     pub ring_change: u64,
     /// Messages dropped in flight (links, partitions, dead nodes).
     pub dropped: u64,
+    /// In-flight executions moved between nodes by a scripted
+    /// [`ScriptAction::Migrate`] (checkpoint, hand over, resume).
+    pub migrated: u64,
 }
 
 fn trace_inc(name: &str) {
@@ -246,6 +260,9 @@ struct PendingExec {
     /// `Some((origin, rid))` when the result must be sent back as a
     /// forward reply; `None` when it answers a client at `node`.
     reply_to: Option<usize>,
+    /// Checkpoint bytes carried by a migrated execution: the partially
+    /// run annealing job, to be resumed instead of started fresh.
+    snapshot: Option<Vec<u8>>,
 }
 
 /// The deterministic cluster: build, script, run, compare reports.
@@ -373,16 +390,38 @@ impl ClusterSim {
             }
             // Phase 2: this tick's finished executions as one pure
             // parallel batch; effects applied in schedule order below.
+            // Executions migrated away in phase 1 of this tick are gone
+            // from the map — their stale completions are skipped here.
+            exec_done.retain(|id| self.pending_execs.contains_key(id));
             if !exec_done.is_empty() {
-                let requests: Vec<Request> = exec_done
+                let inputs: Vec<(Request, Option<Vec<u8>>)> = exec_done
                     .iter()
-                    .map(|id| self.pending_execs[id].envelope.request.clone())
+                    .map(|id| {
+                        let pe = &self.pending_execs[id];
+                        (pe.envelope.request.clone(), pe.snapshot.clone())
+                    })
                     .collect();
                 let outcomes = par_map_with(
-                    requests,
+                    inputs,
                     self.config.workers,
                     || (),
-                    |_, req| exec::execute_within(&req, None),
+                    |_, (req, snapshot)| match snapshot {
+                        // A migrated execution resumes its checkpointed
+                        // job instead of starting over; the outcome is
+                        // bit-identical either way.
+                        Some(bytes) => {
+                            let Request::Solve(r) = &req else {
+                                unreachable!("only solve executions are migrated");
+                            };
+                            exec::resume_solve(r, &bytes)
+                                .map(|value| noc_service::ExecOutput {
+                                    value,
+                                    degraded: false,
+                                })
+                                .map_err(noc_service::ExecError::Failed)
+                        }
+                        None => exec::execute_within(&req, None),
+                    },
                 );
                 for (exec_id, outcome) in exec_done.into_iter().zip(outcomes) {
                     let pe = self.pending_execs.remove(&exec_id).expect("pending exec");
@@ -471,6 +510,59 @@ impl ClusterSim {
                     self.log(tick, format!("revive node={node}"));
                 }
             }
+            ScriptAction::Migrate { from, to } => self.migrate(tick, from, to),
+        }
+    }
+
+    /// Suspends every in-flight solve on `from` at its first checkpoint
+    /// boundary, hands the snapshot to `to`, and schedules the resumed
+    /// completion there. The already-scheduled completion on `from` goes
+    /// stale (its exec id leaves the map) and is skipped.
+    fn migrate(&mut self, tick: u64, from: usize, to: usize) {
+        if from >= self.alive.len() || to >= self.alive.len() || !self.alive[to] || from == to {
+            self.log(tick, format!("migrate {from}->{to} refused"));
+            return;
+        }
+        // HashMap order is arbitrary; sort so two runs migrate in the
+        // same order and stay byte-identical.
+        let mut ids: Vec<u64> = self
+            .pending_execs
+            .iter()
+            .filter(|(_, pe)| pe.node == from)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (rid, request) = {
+                let pe = &self.pending_execs[&id];
+                (pe.rid, pe.envelope.request.clone())
+            };
+            let Request::Solve(r) = &request else {
+                self.log(tick, format!("migrate rid={rid} skipped (not resumable)"));
+                continue;
+            };
+            // Materialise the progress made so far: one cooling stage. A
+            // job that finishes within it has nothing left to migrate.
+            let Some(bytes) = exec::suspend_solve(r, 1) else {
+                self.log(tick, format!("migrate rid={rid} skipped (finished)"));
+                continue;
+            };
+            let mut pe = self.pending_execs.remove(&id).expect("listed");
+            self.counters.migrated += 1;
+            trace_inc("cluster.migrated");
+            self.log(
+                tick,
+                format!("migrate rid={rid} {from}->{to} ({} bytes)", bytes.len()),
+            );
+            pe.node = to;
+            pe.snapshot = Some(bytes);
+            let exec_id = self.next_exec_id;
+            self.next_exec_id += 1;
+            self.pending_execs.insert(exec_id, pe);
+            self.schedule(
+                tick + self.config.exec_ticks.max(1),
+                EventKind::ExecDone { exec_id },
+            );
         }
     }
 
@@ -636,6 +728,7 @@ impl ClusterSim {
                 rid,
                 envelope,
                 reply_to,
+                snapshot: None,
             },
         );
         self.schedule(
@@ -757,6 +850,86 @@ mod tests {
             a.events, c.events,
             "different seeds should differ somewhere (latency draws)"
         );
+    }
+
+    #[test]
+    fn scripted_migration_answers_byte_identically() {
+        // A solve big enough to span several cooling stages, so the
+        // migration happens mid-job with real progress in the snapshot.
+        let line = r#"{"id":"m0","kind":"solve","n":6,"c":3,"moves":2500,"seed":5}"#;
+        let config = || SimConfig {
+            nodes: 3,
+            exec_ticks: 6,
+            ..SimConfig::default()
+        };
+
+        // Reference run: no migration.
+        let mut reference = ClusterSim::new(config());
+        let rid = reference.client_request(2, 0, line);
+        let reference = reference.run();
+        assert_eq!(reference.responses.len(), 1);
+        let (_, ref_node, ref_line) = &reference.responses[0];
+        // Find where (and when) the execution ran so the migration can be
+        // scripted mid-flight.
+        let exec_event = reference
+            .events
+            .iter()
+            .find(|e| e.contains(&format!("exec rid={rid}")))
+            .expect("exec event");
+        let exec_tick: u64 = exec_event[2..6].parse().unwrap();
+        let exec_node: usize = exec_event
+            .rsplit("node=")
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+
+        // Migrated run: same request, but the execution is checkpointed
+        // and handed to the next node two ticks in.
+        let target = (exec_node + 1) % 3;
+        let mut sim = ClusterSim::new(config());
+        let rid2 = sim.client_request(2, 0, line);
+        sim.script(
+            exec_tick + 2,
+            ScriptAction::Migrate {
+                from: exec_node,
+                to: target,
+            },
+        );
+        let report = sim.run();
+        assert_eq!(report.counters.migrated, 1, "events: {:#?}", report.events);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.contains(&format!("migrate rid={rid2} {exec_node}->{target}"))));
+        assert_eq!(report.responses.len(), 1);
+        let (_, node, line_out) = &report.responses[0];
+        assert_eq!(
+            line_out, ref_line,
+            "migrated response must be byte-identical to the unmigrated one"
+        );
+        // The reply path differs only if the execution was forwarded; the
+        // client-facing response line must not.
+        let _ = (ref_node, node);
+
+        // Migrating to a dead node is refused and changes nothing.
+        let mut refused = ClusterSim::new(config());
+        refused.client_request(2, 0, line);
+        refused.script(1, ScriptAction::Kill(target));
+        refused.script(
+            exec_tick + 2,
+            ScriptAction::Migrate {
+                from: exec_node,
+                to: target,
+            },
+        );
+        let refused = refused.run();
+        assert_eq!(refused.counters.migrated, 0);
+        assert!(refused
+            .events
+            .iter()
+            .any(|e| e.contains("migrate") && e.contains("refused")));
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod incremental;
 pub mod naive;
 pub mod objective;
 pub mod optimizer;
+pub mod resume;
 pub mod sa;
 
 pub use bb::{exhaustive_optimal, BbOutcome};
@@ -60,4 +61,5 @@ pub use optimizer::{
     evaluate_design, optimize_app_specific, optimize_network, solve_row, InitialStrategy,
     NetworkDesign, SweepPoint,
 };
+pub use resume::{SaChainState, SolveJob};
 pub use sa::{anneal, chain_seed, EvalMode, SaOutcome, SaParams, TracePoint};

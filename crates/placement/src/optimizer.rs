@@ -111,7 +111,7 @@ pub fn solve_row<O: DivisibleObjective>(
 /// minimal objective), summing evaluation and acceptance counters across
 /// all chains. The winner's convergence trace is kept as-is, with its own
 /// chain-local evaluation axis.
-fn best_of_chains(outcomes: Vec<SaOutcome>) -> SaOutcome {
+pub(crate) fn best_of_chains(outcomes: Vec<SaOutcome>) -> SaOutcome {
     let evaluations = outcomes.iter().map(|o| o.evaluations).sum();
     let accepted_moves = outcomes.iter().map(|o| o.accepted_moves).sum();
     let mut it = outcomes.into_iter();

@@ -20,10 +20,9 @@
 //!   Chain fan-out lives in [`solve_row`](crate::optimizer::solve_row);
 //!   [`anneal`] itself is always one chain.
 
-use crate::incremental::MoveEvaluator;
 use crate::objective::Objective;
 use noc_rng::rngs::SmallRng;
-use noc_rng::{Rng, SeedableRng};
+use noc_rng::Rng;
 use noc_topology::{ConnectionMatrix, RowPlacement};
 
 /// How the annealer computes candidate objectives.
@@ -175,7 +174,8 @@ pub struct SaOutcome {
 /// share a comparable runtime axis (Fig. 7).
 ///
 /// Under [`EvalMode::Incremental`] (the default) the per-move objective
-/// comes from the objective's [`MoveEvaluator`], which updates only the
+/// comes from the objective's [`MoveEvaluator`](crate::incremental::MoveEvaluator),
+/// which updates only the
 /// distance rows a bit flip can change; with `debug_assertions` every move
 /// cross-checks that value bit-for-bit against a full re-evaluation. The
 /// accept/reject sequence, RNG stream, counters, and outcome are identical
@@ -206,154 +206,14 @@ pub fn anneal<O: Objective + ?Sized>(
     seed: u64,
     initial_cost: usize,
 ) -> SaOutcome {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut matrix = ConnectionMatrix::encode(initial, c_limit)
-        .expect("initial placement must satisfy the link limit");
-
-    let mut current_obj = objective.eval(initial);
-    let mut evaluations = initial_cost + 1;
-
-    let mut best = initial.clone();
-    let mut best_obj = current_obj;
-    let mut accepted_moves = 0;
-    let mut trace = vec![TracePoint {
-        evaluations,
-        best_objective: best_obj,
-    }];
-
-    // Degenerate search space: C = 1 or n = 2 admits no express links.
-    if matrix.bit_count() == 0 {
-        return SaOutcome {
-            best,
-            best_objective: best_obj,
-            evaluations,
-            accepted_moves,
-            trace,
-        };
-    }
-
-    // The incremental evaluator mirrors `matrix` flip-for-flip; a flip is
-    // its own inverse, so rejected moves are undone by re-flipping.
-    let mut inc: Option<Box<dyn MoveEvaluator>> = match params.evaluator {
-        EvalMode::Incremental => objective.incremental_evaluator(&matrix),
-        EvalMode::Full => None,
-    };
-    if let Some(ev) = &inc {
-        debug_assert_eq!(
-            ev.objective().to_bits(),
-            current_obj.to_bits(),
-            "incremental evaluator disagrees with the full evaluator on the initial placement"
-        );
-    }
-
-    // Telemetry is sampled once up front: the enabled flag is a relaxed
-    // atomic load, and hoisting it keeps the move loop free of even that
-    // when tracing is off. None of the emission below touches the RNG
-    // stream or the accept/reject sequence.
-    let tracing = noc_trace::enabled();
-    let move_hist = if tracing {
-        noc_trace::sink().map(|sink| {
-            sink.registry().histogram(match inc {
-                Some(_) => "sa.move.incremental",
-                None => "sa.move.full",
-            })
-        })
-    } else {
-        None
-    };
-    let mut epoch = 0u64;
-    let mut stage_accepted = 0usize;
-    let mut stage_moves = 0usize;
-
-    let mut temperature = params.initial_temperature;
-    for mv in 0..params.total_moves {
-        if mv > 0 && mv % params.moves_per_stage == 0 {
-            if tracing {
-                emit_epoch(
-                    seed,
-                    epoch,
-                    temperature,
-                    stage_accepted,
-                    stage_moves,
-                    current_obj,
-                    best_obj,
-                    evaluations,
-                );
-                epoch += 1;
-                stage_accepted = 0;
-                stage_moves = 0;
-            }
-            temperature /= params.cooldown_scale;
-        }
-        let bit = rng.gen_range(0..matrix.bit_count());
-        matrix.flip_flat(bit);
-        let move_start = move_hist.as_ref().map(|_| std::time::Instant::now());
-        let candidate_obj = match &mut inc {
-            Some(ev) => {
-                let fast = ev.flip(bit);
-                debug_assert_eq!(
-                    fast.to_bits(),
-                    objective.eval(&matrix.decode()).to_bits(),
-                    "incremental evaluator diverged from the full evaluator at move {mv}"
-                );
-                fast
-            }
-            None => objective.eval(&matrix.decode()),
-        };
-        if let (Some(hist), Some(start)) = (&move_hist, move_start) {
-            hist.record(start.elapsed().as_nanos() as u64);
-        }
-        evaluations += 1;
-        stage_moves += 1;
-
-        let delta = candidate_obj - current_obj;
-        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
-        if accept {
-            current_obj = candidate_obj;
-            accepted_moves += 1;
-            stage_accepted += 1;
-            if current_obj < best_obj {
-                best = matrix.decode();
-                best_obj = current_obj;
-                trace.push(TracePoint {
-                    evaluations,
-                    best_objective: best_obj,
-                });
-            }
-        } else {
-            // Undo the flip: the matrix (and evaluator) mirror the
-            // current placement.
-            matrix.flip_flat(bit);
-            if let Some(ev) = &mut inc {
-                ev.flip(bit);
-            }
-        }
-    }
-
-    if tracing && stage_moves > 0 {
-        emit_epoch(
-            seed,
-            epoch,
-            temperature,
-            stage_accepted,
-            stage_moves,
-            current_obj,
-            best_obj,
-            evaluations,
-        );
-    }
-
-    trace.push(TracePoint {
-        evaluations,
-        best_objective: best_obj,
-    });
-    SaOutcome {
-        best,
-        best_objective: best_obj,
-        evaluations,
-        accepted_moves,
-        trace,
-    }
+    // The annealing loop itself lives in `SaChainState` (crate::resume) so
+    // the one-shot and checkpoint/resume paths are the same code and
+    // cannot drift apart; running the whole budget in one call is
+    // bit-identical to the historical inline loop.
+    let mut chain =
+        crate::resume::SaChainState::new(c_limit, initial, objective, params, seed, initial_cost);
+    chain.run_moves(objective, usize::MAX);
+    chain.into_outcome()
 }
 
 /// Emits one `sa.epoch` convergence point: the schedule state at the end
@@ -361,7 +221,7 @@ pub fn anneal<O: Objective + ?Sized>(
 /// is published separately as `sa.chain` by
 /// [`solve_row`](crate::optimizer::solve_row)).
 #[allow(clippy::too_many_arguments)]
-fn emit_epoch(
+pub(crate) fn emit_epoch(
     seed: u64,
     epoch: u64,
     temperature: f64,
@@ -408,6 +268,7 @@ pub fn random_placement(n: usize, c_limit: usize, rng: &mut SmallRng) -> RowPlac
 mod tests {
     use super::*;
     use crate::objective::AllPairsObjective;
+    use noc_rng::SeedableRng;
 
     #[test]
     fn sa_never_returns_worse_than_initial() {

@@ -158,6 +158,22 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Returns the raw xoshiro256++ state words, for snapshot
+        /// serialization. [`SmallRng::from_state`] reconstructs a
+        /// generator that continues the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words previously captured with
+        /// [`SmallRng::state`]. The restored generator produces the same
+        /// stream the original would have from that point on.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -188,6 +204,18 @@ mod tests {
         }
         let mut c = SmallRng::seed_from_u64(43);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

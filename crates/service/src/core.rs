@@ -71,7 +71,7 @@ impl Dispatch for InlineDispatch {
         let outcome = {
             let _execute_span =
                 noc_trace::span_labeled("request.execute", || envelope.request.kind().to_string());
-            exec::execute_within(&envelope.request, deadline)
+            exec::execute_with_store(&envelope.request, deadline, Some(core.cache().as_ref()))
         };
         core.complete(&envelope.id, &envelope.request, accepted_at, outcome)
     }

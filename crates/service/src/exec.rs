@@ -57,6 +57,10 @@ pub fn cache_key(request: &Request) -> Option<CacheKey> {
             evaluator: _,
             seed,
             weights,
+            // Deliberately NOT keyed: checkpointing changes how the result
+            // is produced, never the result itself, so a checkpointed solve
+            // may serve a hit for an uncheckpointed one and vice versa.
+            checkpoint: _,
         }) => Some(CacheKey {
             kind: "solve",
             n: *n as u64,
@@ -184,6 +188,283 @@ fn frontier_config(r: &FrontierRequest) -> noc_pareto::FrontierConfig {
     cfg
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint/resume: versioned snapshots of in-progress work.
+// ---------------------------------------------------------------------------
+
+/// Snapshot-store key of a checkpointable request: the result cache key
+/// with the kind rewritten into the versioned `snap-v1` namespace, so
+/// in-progress snapshots can never collide with finished results and a
+/// future snapshot wire-format bump retires stale entries wholesale (a
+/// `snap-v2` writer simply never looks `snap-v1` keys up again).
+pub fn snapshot_key(request: &Request) -> Option<CacheKey> {
+    let kind = match request {
+        Request::Solve(_) => "snap-v1-solve",
+        Request::Simulate(_) => "snap-v1-sim",
+        _ => return None,
+    };
+    cache_key(request).map(|key| CacheKey { kind, ..key })
+}
+
+/// Lowercase-hex encoding of snapshot bytes: cache values are
+/// [`noc_json::Value`]s, and hex keeps the stored form printable,
+/// digest-checkable, and trivially round-trippable.
+fn snapshot_to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+fn snapshot_from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some(((hi << 4) | lo) as u8)
+        })
+        .collect()
+}
+
+/// Loads snapshot bytes from the store, or `None` on a miss. A present
+/// but undecodable entry counts as `snapshot.corrupt_dropped` — the
+/// caller falls back to a fresh start, never to an error.
+fn load_snapshot(store: &crate::cache::ShardedLru, key: &CacheKey) -> Option<Vec<u8>> {
+    let value = store.get(key)?;
+    match value.as_str().and_then(snapshot_from_hex) {
+        Some(bytes) => Some(bytes),
+        None => {
+            trace_inc("snapshot.corrupt_dropped");
+            None
+        }
+    }
+}
+
+/// Stores snapshot bytes under `key`, bumps `snapshot.saved`, and runs
+/// the `exec.checkpoint` fault point (the chaos hook for killing a
+/// worker *after* a checkpoint is durable: the save happens first, so an
+/// injected panic here leaves a resumable snapshot behind).
+fn save_snapshot(
+    store: &crate::cache::ShardedLru,
+    key: &CacheKey,
+    bytes: &[u8],
+) -> Result<(), ExecError> {
+    store.put(key.clone(), Value::Str(snapshot_to_hex(bytes)));
+    trace_inc("snapshot.saved");
+    if crate::fp::hit("exec.checkpoint") == Some(crate::fp::Injected::Error) {
+        return Err(ExecError::Failed("injected checkpoint failure".into()));
+    }
+    Ok(())
+}
+
+fn solve_params(r: &SolveRequest) -> SaParams {
+    SaParams::paper()
+        .with_moves(r.moves)
+        .with_chains(r.chains)
+        .with_evaluator(r.evaluator)
+}
+
+/// Builds the resumable annealing job a solve request denotes — the same
+/// chains, seeds, and schedule `solve_row` would run, so finishing the
+/// job yields a bit-identical outcome.
+pub fn solve_job(r: &SolveRequest) -> noc_placement::SolveJob {
+    let objective = AllPairsObjective::with_weights(r.weights);
+    noc_placement::SolveJob::new(
+        r.n,
+        r.c,
+        &objective,
+        r.strategy,
+        &solve_params(r),
+        r.seed,
+        objective.fingerprint(),
+    )
+}
+
+/// Whether a restored job matches the request it is about to serve.
+/// Everything that shapes the result must agree; a snapshot produced by
+/// any other request must never be resumed into this one.
+fn job_matches(job: &noc_placement::SolveJob, r: &SolveRequest, objective_fp: u64) -> bool {
+    job.n() == r.n
+        && job.c_limit() == r.c
+        && job.seed() == r.seed
+        && job.strategy() == r.strategy
+        && job.objective_fp() == objective_fp
+        && *job.params() == solve_params(r)
+}
+
+/// Renders a finished solve outcome as the response payload — the exact
+/// JSON the uncheckpointed full path produces, field for field.
+fn solve_payload(r: &SolveRequest, out: &noc_placement::SaOutcome) -> Value {
+    noc_json::obj! {
+        "n" => Value::Int(r.n as i128),
+        "c" => Value::Int(r.c as i128),
+        "strategy" => Value::Str(strategy_name(r.strategy).to_string()),
+        "chains" => Value::Int(r.chains as i128),
+        "seed" => Value::Int(r.seed as i128),
+        "objective" => Value::Float(out.best_objective),
+        "links" => links_json(&out.best),
+        "max_cross_section" => Value::Int(out.best.max_cross_section() as i128),
+        "evaluations" => Value::Int(out.evaluations as i128),
+        "accepted_moves" => Value::Int(out.accepted_moves as i128),
+    }
+}
+
+/// Runs the job a solve request denotes for `stages` cooling stages and
+/// returns its snapshot — the "suspend" half of a migration. Returns
+/// `None` when the job finished within the budget (nothing left to
+/// migrate; the caller should just execute the request where it is).
+pub fn suspend_solve(r: &SolveRequest, stages: usize) -> Option<Vec<u8>> {
+    let objective = AllPairsObjective::with_weights(r.weights);
+    let mut job = solve_job(r);
+    if job.run_stages(&objective, stages.max(1)) {
+        return None;
+    }
+    trace_inc("snapshot.saved");
+    Some(job.snapshot())
+}
+
+/// Resumes a solve from raw snapshot bytes and runs it to completion —
+/// the migration path: a checkpointed job serialised on one node finishes
+/// on another with a byte-identical payload. Rejects snapshots that do
+/// not match the request.
+pub fn resume_solve(r: &SolveRequest, bytes: &[u8]) -> Result<Value, String> {
+    let objective = AllPairsObjective::with_weights(r.weights);
+    let mut job = noc_placement::SolveJob::restore(bytes).map_err(|e| e.to_string())?;
+    if !job_matches(&job, r, objective.fingerprint()) {
+        return Err("snapshot does not match the request".into());
+    }
+    trace_inc("snapshot.resumed");
+    job.run_moves(&objective, usize::MAX);
+    Ok(solve_payload(r, &job.outcome()))
+}
+
+/// The checkpointed solve path: resume from the latest snapshot when one
+/// matches, then run stage chunks, saving a snapshot after each chunk.
+/// Never degrades — checkpoints are the deadline story here: a run cut
+/// short by its deadline leaves a snapshot behind, so a retry picks up
+/// where it stopped instead of re-paying the whole move budget.
+fn exec_solve_checkpointed(
+    r: &SolveRequest,
+    key: Option<CacheKey>,
+    deadline: Option<Instant>,
+    store: Option<&crate::cache::ShardedLru>,
+) -> Result<ExecOutput, ExecError> {
+    let objective = AllPairsObjective::with_weights(r.weights);
+    let objective_fp = objective.fingerprint();
+    let slot = match (store, key) {
+        (Some(store), Some(key)) => Some((store, key)),
+        _ => None,
+    };
+    let mut job = None;
+    if let Some((store, key)) = &slot {
+        if let Some(bytes) = load_snapshot(store, key) {
+            match noc_placement::SolveJob::restore(&bytes) {
+                Ok(restored) if job_matches(&restored, r, objective_fp) => {
+                    trace_inc("snapshot.resumed");
+                    job = Some(restored);
+                }
+                _ => trace_inc("snapshot.corrupt_dropped"),
+            }
+        }
+    }
+    let mut job = job.unwrap_or_else(|| solve_job(r));
+    let stages = r.checkpoint.max(1) as usize;
+    while !job.finished() {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                // Out of budget: persist the progress so the retry that
+                // follows resumes instead of restarting.
+                if let Some((store, key)) = &slot {
+                    save_snapshot(store, key, &job.snapshot())?;
+                }
+                return Err(ExecError::DeadlineExceeded);
+            }
+        }
+        if job.run_stages(&objective, stages) {
+            break;
+        }
+        if let Some((store, key)) = &slot {
+            save_snapshot(store, key, &job.snapshot())?;
+        }
+    }
+    Ok(ExecOutput {
+        value: solve_payload(r, &job.outcome()),
+        degraded: false,
+    })
+}
+
+/// Floor on the checkpointed-simulate snapshot interval, in cycles. The
+/// request's `checkpoint` value is a cycle interval, and serializing the
+/// full network state every cycle or two turns a millisecond simulation
+/// into a deadline-blowing serialization loop — a `checkpoint: 1`
+/// request must not be able to wedge a worker.
+const MIN_SIM_CHECKPOINT_INTERVAL: u64 = 100;
+
+/// The checkpointed simulate path: resume the network state from the
+/// latest snapshot when one matches, then run cycle chunks, saving a
+/// snapshot at each cycle boundary. Like the solve path, a run that
+/// hits its deadline saves before failing so the retry resumes.
+fn exec_simulate_checkpointed(
+    r: &SimulateRequest,
+    key: Option<CacheKey>,
+    deadline: Option<Instant>,
+    store: Option<&crate::cache::ShardedLru>,
+) -> Result<ExecOutput, ExecError> {
+    let row = RowPlacement::with_links(r.n, r.links.clone())
+        .map_err(|e| ExecError::Failed(e.to_string()))?;
+    let topo = MeshTopology::uniform(r.n, &row);
+    let workload = || {
+        Workload::new(
+            TrafficMatrix::from_pattern(r.pattern, r.n),
+            r.rate,
+            PacketMix::paper(),
+        )
+    };
+    let mut config = SimConfig::latency_run(r.flit, r.seed);
+    config.measure_cycles = r.cycles;
+    let slot = match (store, key) {
+        (Some(store), Some(key)) => Some((store, key)),
+        _ => None,
+    };
+    let mut sim = None;
+    if let Some((store, key)) = &slot {
+        if let Some(bytes) = load_snapshot(store, key) {
+            match Simulator::restore(&topo, workload(), config, &bytes) {
+                Ok(restored) => {
+                    trace_inc("snapshot.resumed");
+                    sim = Some(restored);
+                }
+                Err(_) => trace_inc("snapshot.corrupt_dropped"),
+            }
+        }
+    }
+    let mut sim = sim.unwrap_or_else(|| Simulator::new(&topo, workload(), config));
+    let interval = r.checkpoint.max(MIN_SIM_CHECKPOINT_INTERVAL);
+    let mut target = sim.cycle() + interval;
+    while sim.run_until(target).is_none() {
+        if let Some((store, key)) = &slot {
+            save_snapshot(store, key, &sim.snapshot())?;
+        }
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return Err(ExecError::DeadlineExceeded);
+            }
+        }
+        target += interval;
+    }
+    let stats = sim.finish();
+    Ok(ExecOutput {
+        value: simulate_payload(&stats),
+        degraded: false,
+    })
+}
+
 /// Result of executing a compute request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecOutput {
@@ -258,24 +539,9 @@ fn exec_solve(r: &SolveRequest, deadline: Option<Instant>) -> Result<ExecOutput,
             degraded: true,
         });
     }
-    let params = SaParams::paper()
-        .with_moves(r.moves)
-        .with_chains(r.chains)
-        .with_evaluator(r.evaluator);
-    let out = solve_row(r.n, r.c, &objective, r.strategy, &params, r.seed);
+    let out = solve_row(r.n, r.c, &objective, r.strategy, &solve_params(r), r.seed);
     Ok(ExecOutput {
-        value: noc_json::obj! {
-            "n" => Value::Int(r.n as i128),
-            "c" => Value::Int(r.c as i128),
-            "strategy" => Value::Str(strategy_name(r.strategy).to_string()),
-            "chains" => Value::Int(r.chains as i128),
-            "seed" => Value::Int(r.seed as i128),
-            "objective" => Value::Float(out.best_objective),
-            "links" => links_json(&out.best),
-            "max_cross_section" => Value::Int(out.best.max_cross_section() as i128),
-            "evaluations" => Value::Int(out.evaluations as i128),
-            "accepted_moves" => Value::Int(out.accepted_moves as i128),
-        },
+        value: solve_payload(r, &out),
         degraded: false,
     })
 }
@@ -328,18 +594,11 @@ fn exec_sweep(r: &SweepRequest) -> Result<Value, String> {
     })
 }
 
-fn exec_simulate(r: &SimulateRequest) -> Result<Value, String> {
-    let row = RowPlacement::with_links(r.n, r.links.clone()).map_err(|e| e.to_string())?;
-    let topo = MeshTopology::uniform(r.n, &row);
-    let workload = Workload::new(
-        TrafficMatrix::from_pattern(r.pattern, r.n),
-        r.rate,
-        PacketMix::paper(),
-    );
-    let mut config = SimConfig::latency_run(r.flit, r.seed);
-    config.measure_cycles = r.cycles;
-    let stats = Simulator::new(&topo, workload, config).run();
-    Ok(noc_json::obj! {
+/// Renders simulation statistics as the `simulate` response payload —
+/// shared by the one-shot and checkpointed paths so both produce
+/// byte-identical JSON from bit-identical stats.
+fn simulate_payload(stats: &noc_sim::SimStats) -> Value {
+    noc_json::obj! {
         "cycles" => Value::Int(stats.cycles as i128),
         "measured_packets" => Value::Int(stats.measured_packets as i128),
         "completed_packets" => Value::Int(stats.completed_packets as i128),
@@ -351,7 +610,21 @@ fn exec_simulate(r: &SimulateRequest) -> Result<Value, String> {
         "max_latency" => Value::Int(stats.max_packet_latency as i128),
         "offered_rate" => Value::Float(stats.offered_rate),
         "accepted_throughput" => Value::Float(stats.accepted_throughput),
-    })
+    }
+}
+
+fn exec_simulate(r: &SimulateRequest) -> Result<Value, String> {
+    let row = RowPlacement::with_links(r.n, r.links.clone()).map_err(|e| e.to_string())?;
+    let topo = MeshTopology::uniform(r.n, &row);
+    let workload = Workload::new(
+        TrafficMatrix::from_pattern(r.pattern, r.n),
+        r.rate,
+        PacketMix::paper(),
+    );
+    let mut config = SimConfig::latency_run(r.flit, r.seed);
+    config.measure_cycles = r.cycles;
+    let stats = Simulator::new(&topo, workload, config).run();
+    Ok(simulate_payload(&stats))
 }
 
 fn exec_throughput(r: &ThroughputRequest) -> Result<Value, String> {
@@ -456,6 +729,21 @@ pub fn execute_within(
     request: &Request,
     deadline: Option<Instant>,
 ) -> Result<ExecOutput, ExecError> {
+    execute_with_store(request, deadline, None)
+}
+
+/// Like [`execute_within`], but with an optional snapshot store that the
+/// checkpointed paths persist progress into. Requests with `checkpoint`
+/// off (the default) run exactly as before; checkpointed solves and
+/// simulations save a `snap-v1` snapshot into `store` at every interval
+/// and resume from the latest matching one on entry — so a retry after a
+/// worker panic, a deadline, or a daemon restart continues instead of
+/// restarting, with a bit-identical final result either way.
+pub fn execute_with_store(
+    request: &Request,
+    deadline: Option<Instant>,
+    store: Option<&crate::cache::ShardedLru>,
+) -> Result<ExecOutput, ExecError> {
     if let Some(deadline) = deadline {
         if Instant::now() >= deadline {
             return Err(ExecError::DeadlineExceeded);
@@ -469,9 +757,15 @@ pub fn execute_within(
         .map_err(ExecError::Failed)
     };
     match request {
+        Request::Solve(r) if r.checkpoint > 0 => {
+            exec_solve_checkpointed(r, snapshot_key(request), deadline, store)
+        }
         Request::Solve(r) => exec_solve(r, deadline),
         Request::Optimal(r) => plain(exec_optimal(r)),
         Request::Sweep(r) => plain(exec_sweep(r)),
+        Request::Simulate(r) if r.checkpoint > 0 => {
+            exec_simulate_checkpointed(r, snapshot_key(request), deadline, store)
+        }
         Request::Simulate(r) => plain(exec_simulate(r)),
         Request::Throughput(r) => plain(exec_throughput(r)),
         Request::Scenario(r) => plain(exec_scenario(r)),
@@ -509,6 +803,7 @@ mod tests {
             evaluator: noc_placement::EvalMode::Incremental,
             seed,
             weights: HopWeights::PAPER,
+            checkpoint: 0,
         })
     }
 
@@ -552,6 +847,7 @@ mod tests {
             evaluator: noc_placement::EvalMode::Incremental,
             seed: 9,
             weights: HopWeights::PAPER,
+            checkpoint: 0,
         });
         // 8M moves at 100 moves/ms needs ~80s; a 2s budget must degrade.
         let out = execute_within(&req, Some(Instant::now() + Duration::from_secs(2))).unwrap();
@@ -581,6 +877,7 @@ mod tests {
             evaluator: noc_placement::EvalMode::Incremental,
             seed: 9,
             weights: HopWeights::PAPER,
+            checkpoint: 0,
         });
         let full = execute_within(&small, None).unwrap();
         assert!(!full.degraded);
@@ -725,6 +1022,119 @@ mod tests {
     }
 
     #[test]
+    fn checkpointed_solve_matches_plain_solve_and_resumes() {
+        let Request::Solve(base) = solve_request(5) else {
+            unreachable!()
+        };
+        // 2 500 moves at 1 000 moves per stage: a checkpoint interval of
+        // one stage splits the run into three chunks with two saves.
+        let r = SolveRequest {
+            moves: 2_500,
+            ..base
+        };
+        let plain = Request::Solve(r.clone());
+        let checkpointed = Request::Solve(SolveRequest {
+            checkpoint: 1,
+            ..r.clone()
+        });
+        // Checkpointing is invisible in the cache key and the result.
+        assert_eq!(cache_key(&plain), cache_key(&checkpointed));
+        let reference = execute(&plain).unwrap();
+        assert_eq!(execute(&checkpointed).unwrap(), reference);
+
+        // With a store: the run saves snapshots; a second run over the
+        // *left-behind* snapshot of a finished job still answers
+        // identically (the final snapshot restores to a finished job).
+        let store = crate::cache::ShardedLru::new(64, 2);
+        let out = execute_with_store(&checkpointed, None, Some(&store)).unwrap();
+        assert_eq!(out.value, reference);
+        let key = snapshot_key(&checkpointed).unwrap();
+        assert!(store.get(&key).is_some(), "snapshots should persist");
+        let again = execute_with_store(&checkpointed, None, Some(&store)).unwrap();
+        assert_eq!(again.value, reference);
+    }
+
+    #[test]
+    fn checkpointed_simulate_matches_plain_simulate() {
+        let r = SimulateRequest {
+            n: 4,
+            pattern: noc_traffic::SyntheticPattern::UniformRandom,
+            rate: 0.02,
+            flit: 64,
+            cycles: 600,
+            seed: 3,
+            links: vec![(0, 2)],
+            checkpoint: 0,
+        };
+        let reference = execute(&Request::Simulate(r.clone())).unwrap();
+        let checkpointed = Request::Simulate(SimulateRequest {
+            checkpoint: 150,
+            ..r.clone()
+        });
+        assert_eq!(
+            cache_key(&Request::Simulate(r.clone())),
+            cache_key(&checkpointed)
+        );
+        assert_eq!(execute(&checkpointed).unwrap(), reference);
+        let store = crate::cache::ShardedLru::new(64, 2);
+        let out = execute_with_store(&checkpointed, None, Some(&store)).unwrap();
+        assert_eq!(out.value, reference);
+        assert!(store.get(&snapshot_key(&checkpointed).unwrap()).is_some());
+
+        // A pathologically small interval is floored, not honoured: the
+        // result is still identical and the run completes promptly
+        // instead of serializing the network every cycle.
+        let tiny = Request::Simulate(SimulateRequest { checkpoint: 1, ..r });
+        let out = execute_with_store(&tiny, None, Some(&store)).unwrap();
+        assert_eq!(out.value, reference);
+    }
+
+    #[test]
+    fn snapshot_keys_live_in_their_own_namespace() {
+        let solve = solve_request(7);
+        let snap = snapshot_key(&solve).unwrap();
+        assert_ne!(cache_key(&solve).unwrap(), snap);
+        assert_eq!(snap.kind, "snap-v1-solve");
+        assert!(snapshot_key(&Request::Metrics).is_none());
+        assert!(snapshot_key(&Request::Sweep(SweepRequest {
+            n: 8,
+            base_flit: 256,
+            seed: 1
+        }))
+        .is_none());
+    }
+
+    #[test]
+    fn snapshot_hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(snapshot_from_hex(&snapshot_to_hex(&bytes)).unwrap(), bytes);
+        assert!(snapshot_from_hex("abc").is_none(), "odd length");
+        assert!(snapshot_from_hex("zz").is_none(), "non-hex digit");
+    }
+
+    #[test]
+    fn resume_solve_finishes_a_partial_job_bit_identically() {
+        let plain = solve_request(11);
+        let Request::Solve(r) = &plain else {
+            unreachable!()
+        };
+        let reference = execute(&plain).unwrap();
+        let objective = AllPairsObjective::with_weights(r.weights);
+        let mut job = solve_job(r);
+        // A partial budget: the 300-move job is cut mid-flight.
+        job.run_moves(&objective, 100);
+        assert!(!job.finished());
+        let resumed = resume_solve(r, &job.snapshot()).unwrap();
+        assert_eq!(resumed, reference);
+        // A snapshot from a different request is refused.
+        let other = SolveRequest {
+            seed: 12,
+            ..r.clone()
+        };
+        assert!(resume_solve(&other, &job.snapshot()).is_err());
+    }
+
+    #[test]
     fn simulate_key_distinguishes_workloads() {
         let base = SimulateRequest {
             n: 4,
@@ -734,6 +1144,7 @@ mod tests {
             cycles: 1_000,
             seed: 1,
             links: vec![],
+            checkpoint: 0,
         };
         let with_links = SimulateRequest {
             links: vec![(0, 2)],

@@ -16,6 +16,7 @@
 //! | `cache.put`      | cache stores (poison ⇒ corrupt stored entry)   |
 //! | `pool.dispatch`  | worker-pool submission (error ⇒ shed)          |
 //! | `worker.exec`    | request execution on a worker thread           |
+//! | `exec.checkpoint`| after each snapshot save of a checkpointed run |
 //! | `response.write` | the response write back to the socket          |
 
 #[cfg(feature = "faultpoint")]

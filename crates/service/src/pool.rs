@@ -306,7 +306,11 @@ fn run_job(shared: &PoolShared, job: Job) {
         Err(ExecError::Failed("injected worker failure".into()))
     } else {
         let _execute_span = noc_trace::span_labeled("request.execute", || kind.to_string());
-        crate::exec::execute_within(&envelope.request, Some(deadline))
+        crate::exec::execute_with_store(
+            &envelope.request,
+            Some(deadline),
+            Some(shared.core.cache().as_ref()),
+        )
     };
     // Shared completion accounting (degraded-not-cached, write-through,
     // structured errors) lives on the core so every transport agrees.

@@ -88,6 +88,13 @@ pub struct SolveRequest {
     pub seed: u64,
     /// Hop weights of the objective.
     pub weights: HopWeights,
+    /// Checkpoint interval in cooling stages (optional `checkpoint`
+    /// field, `0` = off). When on, the worker snapshots the annealing
+    /// state into the shared cache every `checkpoint` stages and resumes
+    /// from the latest snapshot on a retry — progress survives worker
+    /// panics and daemon restarts. *Not* part of the cache key:
+    /// checkpointing never changes the result, only how it is produced.
+    pub checkpoint: u64,
 }
 
 /// Parameters of an `optimal` request — exhaustive branch-and-bound.
@@ -129,6 +136,12 @@ pub struct SimulateRequest {
     pub seed: u64,
     /// Express links of the row placement (empty = plain mesh).
     pub links: Vec<(usize, usize)>,
+    /// Checkpoint interval in cycles (optional `checkpoint` field, `0` =
+    /// off). When on, the worker snapshots the network state into the
+    /// shared cache every `checkpoint` cycles and resumes from the latest
+    /// snapshot on a retry. *Not* part of the cache key: checkpointing
+    /// never changes the result, only how it is produced.
+    pub checkpoint: u64,
 }
 
 /// Parameters of a `throughput` request — a full saturation sweep run on
@@ -703,6 +716,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 evaluator,
                 seed: field_u64(&v, "seed")?.unwrap_or(42),
                 weights: parse_weights(&v)?,
+                checkpoint: field_u64(&v, "checkpoint")?.unwrap_or(0),
             })
         }
         "optimal" => {
@@ -761,6 +775,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 cycles,
                 seed: field_u64(&v, "seed")?.unwrap_or(42),
                 links: parse_links(&v)?,
+                checkpoint: field_u64(&v, "checkpoint")?.unwrap_or(0),
             })
         }
         "throughput" => {
@@ -910,6 +925,11 @@ pub fn request_line(env: &Envelope) -> String {
             ));
             fields.push(("seed".to_string(), Value::Int(r.seed as i128)));
             push_weights(&mut fields, r.weights);
+            // Omitted when off so pre-snapshot lines round-trip
+            // byte-identically (same discipline as "fwd" above).
+            if r.checkpoint != 0 {
+                fields.push(("checkpoint".to_string(), Value::Int(r.checkpoint as i128)));
+            }
         }
         Request::Optimal(r) => {
             fields.push(("n".to_string(), Value::Int(r.n as i128)));
@@ -942,6 +962,11 @@ pub fn request_line(env: &Envelope) -> String {
                         .collect(),
                 ),
             ));
+            // Omitted when off so pre-snapshot lines round-trip
+            // byte-identically (same discipline as "fwd" above).
+            if r.checkpoint != 0 {
+                fields.push(("checkpoint".to_string(), Value::Int(r.checkpoint as i128)));
+            }
         }
         Request::Throughput(r) => {
             fields.push(("n".to_string(), Value::Int(r.n as i128)));
@@ -1176,6 +1201,39 @@ mod tests {
         assert!(fwd.forwarded);
         assert_eq!(parse_request(&request_line(&fwd)).unwrap(), fwd);
         assert!(parse_request(r#"{"kind":"health","fwd":"yes"}"#).is_err());
+    }
+
+    #[test]
+    fn checkpoint_field_round_trips_and_defaults_off() {
+        let plain = parse_request(r#"{"id":"a","kind":"solve","n":8,"c":4}"#).unwrap();
+        let Request::Solve(r) = &plain.request else {
+            panic!()
+        };
+        assert_eq!(r.checkpoint, 0);
+        assert!(
+            !request_line(&plain).contains("checkpoint"),
+            "non-checkpointed lines must not grow a checkpoint field"
+        );
+        let ck = parse_request(r#"{"id":"a","kind":"solve","n":8,"c":4,"checkpoint":3}"#).unwrap();
+        let Request::Solve(r) = &ck.request else {
+            panic!()
+        };
+        assert_eq!(r.checkpoint, 3);
+        assert_eq!(parse_request(&request_line(&ck)).unwrap(), ck);
+
+        let sim = parse_request(
+            r#"{"id":"s","kind":"simulate","n":4,"pattern":"ur","rate":0.02,"checkpoint":500}"#,
+        )
+        .unwrap();
+        let Request::Simulate(r) = &sim.request else {
+            panic!()
+        };
+        assert_eq!(r.checkpoint, 500);
+        assert_eq!(parse_request(&request_line(&sim)).unwrap(), sim);
+        assert!(parse_request(
+            r#"{"kind":"simulate","n":4,"pattern":"ur","rate":0.02,"checkpoint":-1}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -262,6 +262,71 @@ fn torn_response_write_is_recovered_by_the_retrying_client() {
     thread.join().expect("server thread must not panic");
 }
 
+#[test]
+fn checkpointed_solve_survives_a_worker_panic_and_resumes() {
+    let _s = serial();
+    let _d = DisarmGuard;
+    noc_trace::enable_with_capacity(16_384);
+
+    // Clean reference on an unfaulted daemon: what the answer must be.
+    let line = r#"{"id":"ck","kind":"solve","n":8,"c":4,"moves":2500,"seed":9,"checkpoint":1}"#;
+    let plain = r#"{"id":"ck","kind":"solve","n":8,"c":4,"moves":2500,"seed":9}"#;
+    let (addr0, handle0, thread0) = start_daemon(config(1, 8));
+    let mut c0 = Client::connect(&addr0).expect("connect reference");
+    let (_, reference) = expect_ok(c0.request(plain).expect("reference solve"));
+    handle0.shutdown();
+    thread0.join().expect("reference server must not panic");
+
+    // Faulted daemon: the first checkpoint save panics the worker *after*
+    // the snapshot reached the shared cache, killing the in-flight solve.
+    faultpoint::arm(Schedule::new().fault_at("exec.checkpoint", 1, Fault::Panic));
+    let (addr, handle, thread) = start_daemon(config(1, 8));
+    let mut client = Client::connect(&addr).expect("connect");
+    let before = prometheus_body(&mut client);
+
+    match client
+        .request(line)
+        .expect("round trip survives the mid-solve panic")
+    {
+        Response::Err { id, code, .. } => {
+            assert_eq!(id, "ck");
+            assert_eq!(code, ErrorCode::Internal);
+        }
+        other => panic!("expected internal error, got {other:?}"),
+    }
+
+    // Re-sending the request reaches the respawned worker, which finds
+    // the checkpoint in the cache and resumes instead of starting over.
+    // The answer must be byte-identical to the uninterrupted solve.
+    let (cached, resumed) = expect_ok(client.request(line).expect("resumed solve"));
+    assert!(!cached, "a resumed solve is computed, not a cache hit");
+    assert_eq!(
+        resumed, reference,
+        "resumed result diverged from the uninterrupted solve"
+    );
+    // And it seeded the result cache like any solve: third time hits.
+    let (cached3, third) = expect_ok(client.request(line).expect("cached solve"));
+    assert!(cached3);
+    assert_eq!(third, reference);
+
+    // Counter deltas: the doomed run saved once (panicking after), the
+    // resumed run loaded once and saved at its remaining boundary, and
+    // exactly one worker was respawned.
+    assert_eq!(metric(&mut client, "worker_respawns"), 1);
+    let after = prometheus_body(&mut client);
+    let delta = |name: &str| trace_counter(&after, name) - trace_counter(&before, name);
+    assert_eq!(delta("snapshot.resumed"), 1, "exactly one resume");
+    assert_eq!(delta("snapshot.saved"), 2, "one save per run");
+    assert_eq!(delta("snapshot.corrupt_dropped"), 0);
+    assert_eq!(
+        faultpoint::injection_log(),
+        vec![("exec.checkpoint".to_string(), 1, "panic")]
+    );
+
+    handle.shutdown();
+    thread.join().expect("server thread must not panic");
+}
+
 /// Runs a fixed request sequence under the seeded schedule and returns
 /// the observable outcome labels plus the fired-injection log.
 fn seeded_scenario(seed: u64) -> (Vec<String>, Vec<faultpoint::InjectionRecord>) {

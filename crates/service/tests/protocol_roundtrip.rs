@@ -33,6 +33,7 @@ fn every_request_variant_round_trips() {
                 router_cycles: 2,
                 unit_link_cycles: 1,
             },
+            checkpoint: 8,
         }),
         Request::Solve(SolveRequest {
             n: 8,
@@ -43,6 +44,7 @@ fn every_request_variant_round_trips() {
             evaluator: EvalMode::Incremental,
             seed: 0,
             weights: HopWeights::PAPER,
+            checkpoint: 0,
         }),
         Request::Optimal(OptimalRequest {
             n: 10,
@@ -62,6 +64,7 @@ fn every_request_variant_round_trips() {
             cycles: 12_345,
             seed: 3,
             links: vec![(0, 3), (2, 5)],
+            checkpoint: 2_000,
         }),
         Request::Simulate(SimulateRequest {
             n: 4,
@@ -71,6 +74,7 @@ fn every_request_variant_round_trips() {
             cycles: 1,
             seed: 0,
             links: vec![],
+            checkpoint: 0,
         }),
         Request::Throughput(ThroughputRequest {
             n: 8,

@@ -37,12 +37,15 @@
 //! replica, so batching is an invisible performance layer.
 
 use crate::config::SimConfig;
+use crate::engine::workload_fingerprint;
 use crate::flit::{Flit, PacketRecord, PENDING};
 use crate::network::{NetTables, NONE_U32};
 use crate::stats::{ActivityCounters, SimStats};
+use noc_model::fingerprint::Fnv1a;
 use noc_rng::rngs::SmallRng;
 use noc_rng::SeedableRng;
 use noc_routing::DorRouter;
+use noc_snapshot::{Reader, SnapshotError, Writer};
 use noc_topology::MeshTopology;
 use noc_traffic::Workload;
 use std::collections::VecDeque;
@@ -51,6 +54,9 @@ use std::sync::Arc;
 /// Maximum replicas per lockstep pass: the live/measure masks are single
 /// `u64` lane words.
 pub const MAX_LANES: usize = 64;
+
+/// Snapshot kind tag for [`BatchSimulator`] snapshots.
+pub const BATCH_KIND: &str = "sim-batch";
 
 /// Packed-flit word layout: `packet` in bits 0..32, `seq` in bits 32..47,
 /// `tail` at bit 47, `dst` in bits 48..64. The sequence field is 15 bits —
@@ -558,10 +564,62 @@ impl BatchSimulator {
             .collect()
     }
 
+    /// Runs until the shared cycle counter reaches `target_cycle` or every
+    /// lane has finished, whichever comes first; returns whether the whole
+    /// batch is done. Stepping in chunks (including across a
+    /// [`BatchSimulator::snapshot`]/restore boundary) then calling
+    /// [`BatchSimulator::run`] yields per-lane statistics bit-identical to
+    /// an uninterrupted [`BatchSimulator::run`].
+    pub fn run_until(&mut self, target_cycle: u64) -> bool {
+        let k = self.k as u64;
+        let hist = if self.trace_on {
+            noc_trace::sink().map(|sink| sink.registry().histogram("sim.batch.lane_occupancy"))
+        } else {
+            None
+        };
+        while self.live != 0 && self.cycle < target_cycle {
+            let alive = self.live.count_ones() as u64;
+            self.masked_cycles += k - alive;
+            if let Some(h) = &hist {
+                h.record(alive);
+            }
+            self.step();
+            self.retire_finished();
+        }
+        self.live == 0
+    }
+
+    /// Current lockstep cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Rolling FNV-1a digest of the complete dynamic batch state (all K
+    /// lanes) at the current cycle boundary: the digest of the serialized
+    /// snapshot, so a snapshot/restore round trip preserves it exactly.
+    pub fn state_hash(&self) -> u64 {
+        let mut fp = Fnv1a::with_tag("sim-batch-state");
+        fp.write_bytes(&self.snapshot());
+        fp.finish()
+    }
+
     /// One lockstep cycle: the scalar engine's stage order, each stage
     /// sweeping every live lane.
     fn step(&mut self) {
         let t = self.cycle;
+        if self.trace_on && (t & 4095) == 0 {
+            // Rolling state-hash series (the scalar engine's cadence); the
+            // hash covers all K lanes. Telemetry only.
+            noc_trace::emit(
+                "series",
+                "sim.state_hash",
+                vec![
+                    ("cycle", noc_trace::FieldValue::U64(t)),
+                    ("lanes", noc_trace::FieldValue::U64(self.k as u64)),
+                    ("hash", noc_trace::FieldValue::U64(self.state_hash())),
+                ],
+            );
+        }
         let mut measure = 0u64;
         let mut m = self.live;
         while m != 0 {
@@ -1281,5 +1339,398 @@ impl BatchSimulator {
                 ],
             );
         }
+    }
+
+    /// Whether flat input port `port / vcs` of input VC group `g` is an
+    /// injection port (NI queue): those stay on the deque path regardless
+    /// of the ring, mirroring the push/pop site predicates.
+    fn is_injection_group(tables: &NetTables, g: usize) -> bool {
+        let port = g / tables.vcs;
+        let r = tables.in_port_router[port] as usize;
+        port == tables.injection_port(r)
+    }
+
+    /// Serializes the complete dynamic batch state (all K lanes) at the
+    /// current cycle boundary into a versioned, digest-protected snapshot
+    /// (kind [`BATCH_KIND`]). Restoring over the same topology and replica
+    /// list and running to completion is bit-identical per lane to never
+    /// having stopped. Call only between cycles (after construction or
+    /// [`BatchSimulator::run_until`]).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let tables = &self.tables;
+        let k = self.k;
+        let vcs = tables.vcs;
+        let total_in_vcs = tables.total_inputs() * vcs;
+        let mut w = Writer::new(BATCH_KIND);
+        w.write_u64(k as u64);
+        w.write_u64(tables.routers as u64);
+        w.write_u64(vcs as u64);
+        w.write_u64(total_in_vcs as u64);
+        w.write_u64((tables.total_outputs() * vcs) as u64);
+        w.write_u64(tables.total_outputs() as u64);
+        w.write_u64(self.horizon);
+        w.write_u64(self.ring_depth as u64);
+        w.write_u64(self.cycle);
+        w.write_u64(self.live);
+        w.write_u64(self.masked_cycles);
+        for lane in &self.lanes {
+            w.write_u64(lane.config.fingerprint());
+            w.write_u64(workload_fingerprint(&lane.workload));
+            w.write_u64s(&lane.rng.state());
+            w.write_u64(lane.measured_total);
+            w.write_u64(lane.completed_measured);
+            w.write_u64(lane.latency_sum);
+            w.write_u64(lane.head_latency_sum);
+            w.write_u64(lane.max_latency);
+            w.write_u64(lane.flit_sum);
+            w.write_u64(lane.ejected_in_window);
+            w.write_u64(lane.occ_samples);
+            w.write_len(lane.packets.len());
+            for p in &lane.packets {
+                w.write_u16(p.src);
+                w.write_u16(p.dst);
+                w.write_u32(p.flits);
+                w.write_u32(p.created);
+                w.write_u32(p.head_done);
+                w.write_u32(p.tail_done);
+                w.write_bool(p.measured);
+            }
+            w.write_u32s(&lane.latencies);
+            match &lane.stats {
+                None => w.write_u8(0),
+                Some(stats) => {
+                    w.write_u8(1);
+                    stats.write_snapshot(&mut w);
+                }
+            }
+        }
+        for g in 0..total_in_vcs {
+            let ring_queue = self.ring_depth > 0 && !Self::is_injection_group(tables, g);
+            for l in 0..k {
+                let gi = g * k + l;
+                let len = self.vc_len[gi];
+                w.write_u32(len);
+                if len == 0 {
+                    continue;
+                }
+                w.write_u64(self.front_word[gi]);
+                let qlen = len as usize - 1;
+                w.write_len(qlen);
+                if ring_queue {
+                    let head = self.ring_head[gi] as usize;
+                    for j in 0..qlen {
+                        let mut pos = head + j;
+                        if pos >= self.ring_depth {
+                            pos -= self.ring_depth;
+                        }
+                        let (word, elig) = self.ring[gi * self.ring_depth + pos];
+                        w.write_u64(word);
+                        w.write_u32(elig);
+                    }
+                } else {
+                    debug_assert_eq!(self.vc_buf[gi].len(), qlen);
+                    for &(word, elig) in self.vc_buf[gi].iter() {
+                        w.write_u64(word);
+                        w.write_u32(elig);
+                    }
+                }
+            }
+        }
+        w.write_u32s(&self.vc_rov);
+        w.write_u64s(&self.grp_unrouted);
+        w.write_u64s(&self.grp_noovc);
+        w.write_u64s(&self.grp_head);
+        w.write_u64s(&self.grp_e0);
+        w.write_u64s(&self.grp_e1);
+        w.write_u64s(&self.ovc_free);
+        for slot in &self.elig_wheel {
+            w.write_u32s(slot);
+        }
+        w.write_u32s(&self.ovc_credits);
+        w.write_u32s(&self.out_va_rr);
+        w.write_u32s(&self.out_sa_rr);
+        w.write_u32s(&self.active_inputs);
+        for slot in &self.credit_wheel {
+            w.write_u32s(slot);
+        }
+        for bucket in &self.arrivals {
+            w.write_len(bucket.len());
+            for ev in bucket {
+                w.write_u32(ev.port);
+                w.write_u16(ev.vc);
+                w.write_u16(ev.lane);
+                w.write_u64(ev.word);
+            }
+        }
+        w.write_len(self.activity.len());
+        for a in &self.activity {
+            a.write_snapshot(&mut w);
+        }
+        w.write_u64s(&self.link_flits);
+        w.write_u64s(&self.occ_sum);
+        w.finish()
+    }
+
+    /// Rebuilds a batch from a [`BatchSimulator::snapshot`], re-solving the
+    /// topology like [`BatchSimulator::new`]. The replica list must be the
+    /// one the snapshot was taken under (validated per lane by config and
+    /// workload fingerprints).
+    pub fn restore(
+        topology: &MeshTopology,
+        replicas: Vec<(Workload, SimConfig)>,
+        bytes: &[u8],
+    ) -> Result<Self, SnapshotError> {
+        Self::new(topology, replicas).apply_snapshot(bytes)
+    }
+
+    /// Like [`BatchSimulator::restore`], but over pre-built shared tables
+    /// (the [`BatchSimulator::with_tables`] counterpart).
+    pub fn restore_with_tables(
+        tables: Arc<NetTables>,
+        replicas: Vec<(Workload, SimConfig)>,
+        bytes: &[u8],
+    ) -> Result<Self, SnapshotError> {
+        Self::with_tables(tables, replicas).apply_snapshot(bytes)
+    }
+
+    fn apply_snapshot(mut self, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(bytes, BATCH_KIND)?;
+        let k = self.k;
+        let vcs = self.tables.vcs;
+        let routers = self.tables.routers;
+        let total_in_vcs = self.tables.total_inputs() * vcs;
+        let total_out_vcs = self.tables.total_outputs() * vcs;
+        let total_outputs = self.tables.total_outputs();
+        for (field, expected) in [
+            ("lane count", k),
+            ("router count", routers),
+            ("vc count", vcs),
+            ("input vc count", total_in_vcs),
+            ("output vc count", total_out_vcs),
+            ("output port count", total_outputs),
+            ("event horizon", self.horizon as usize),
+            ("ring depth", self.ring_depth),
+        ] {
+            if r.read_u64()? != expected as u64 {
+                return Err(SnapshotError::Mismatch { field });
+            }
+        }
+        self.cycle = r.read_u64()?;
+        self.live = r.read_u64()?;
+        if k < 64 && self.live >> k != 0 {
+            return Err(SnapshotError::Corrupt { field: "live mask" });
+        }
+        self.masked_cycles = r.read_u64()?;
+        for lane in self.lanes.iter_mut() {
+            if r.read_u64()? != lane.config.fingerprint() {
+                return Err(SnapshotError::Mismatch {
+                    field: "lane config",
+                });
+            }
+            if r.read_u64()? != workload_fingerprint(&lane.workload) {
+                return Err(SnapshotError::Mismatch {
+                    field: "lane workload",
+                });
+            }
+            let state = r.read_u64s()?;
+            let state: [u64; 4] = state.try_into().map_err(|_| SnapshotError::Corrupt {
+                field: "lane rng state",
+            })?;
+            lane.rng = SmallRng::from_state(state);
+            lane.measured_total = r.read_u64()?;
+            lane.completed_measured = r.read_u64()?;
+            lane.latency_sum = r.read_u64()?;
+            lane.head_latency_sum = r.read_u64()?;
+            lane.max_latency = r.read_u64()?;
+            lane.flit_sum = r.read_u64()?;
+            lane.ejected_in_window = r.read_u64()?;
+            lane.occ_samples = r.read_u64()?;
+            let packet_count = r.read_len(21)?;
+            lane.packets.clear();
+            lane.packets.reserve(packet_count);
+            for _ in 0..packet_count {
+                lane.packets.push(PacketRecord {
+                    src: r.read_u16()?,
+                    dst: r.read_u16()?,
+                    flits: r.read_u32()?,
+                    created: r.read_u32()?,
+                    head_done: r.read_u32()?,
+                    tail_done: r.read_u32()?,
+                    measured: r.read_bool()?,
+                });
+            }
+            lane.latencies = r.read_u32s()?;
+            lane.stats = match r.read_u8()? {
+                0 => None,
+                1 => Some(SimStats::read_snapshot(&mut r)?),
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        field: "lane stats tag",
+                    })
+                }
+            };
+        }
+        for g in 0..total_in_vcs {
+            let ring_queue = self.ring_depth > 0 && !Self::is_injection_group(&self.tables, g);
+            for l in 0..k {
+                let gi = g * k + l;
+                let len = r.read_u32()?;
+                self.vc_len[gi] = len;
+                self.vc_buf[gi].clear();
+                if len == 0 {
+                    self.front_word[gi] = FRONT_EMPTY;
+                    continue;
+                }
+                self.front_word[gi] = r.read_u64()?;
+                let qlen = r.read_len(12)?;
+                if qlen != len as usize - 1 {
+                    return Err(SnapshotError::Corrupt {
+                        field: "vc queue length",
+                    });
+                }
+                if ring_queue {
+                    // Restored queues start at ring position 0; the stored
+                    // order is the logical (head-first) order, which is all
+                    // the pop path observes.
+                    if qlen >= self.ring_depth && qlen > 0 {
+                        return Err(SnapshotError::Corrupt {
+                            field: "ring queue length",
+                        });
+                    }
+                    self.ring_head[gi] = 0;
+                    for j in 0..qlen {
+                        let word = r.read_u64()?;
+                        let elig = r.read_u32()?;
+                        self.ring[gi * self.ring_depth + j] = (word, elig);
+                    }
+                } else {
+                    self.vc_buf[gi].reserve(qlen);
+                    for _ in 0..qlen {
+                        let word = r.read_u64()?;
+                        let elig = r.read_u32()?;
+                        self.vc_buf[gi].push_back((word, elig));
+                    }
+                }
+            }
+        }
+        let vc_rov = r.read_u32s()?;
+        if vc_rov.len() != total_in_vcs * k {
+            return Err(SnapshotError::Mismatch {
+                field: "route/output-vc array",
+            });
+        }
+        self.vc_rov = vc_rov;
+        for (field, dst, expected) in [
+            ("unrouted masks", &mut self.grp_unrouted, total_in_vcs),
+            ("no-ovc masks", &mut self.grp_noovc, total_in_vcs),
+            ("head masks", &mut self.grp_head, total_in_vcs),
+            ("eligible-now masks", &mut self.grp_e0, total_in_vcs),
+            ("eligible-next masks", &mut self.grp_e1, total_in_vcs),
+            ("free output vcs", &mut self.ovc_free, total_out_vcs),
+        ] {
+            let vs = r.read_u64s()?;
+            if vs.len() != expected {
+                return Err(SnapshotError::Mismatch { field });
+            }
+            *dst = vs;
+        }
+        for slot in self.elig_wheel.iter_mut() {
+            *slot = r.read_u32s()?;
+            if slot
+                .iter()
+                .any(|&e| (e >> 6) as usize >= total_in_vcs || (e & 63) as usize >= k)
+            {
+                return Err(SnapshotError::Corrupt {
+                    field: "eligibility wheel entry",
+                });
+            }
+        }
+        for (field, dst, expected) in [
+            (
+                "output vc credits",
+                &mut self.ovc_credits,
+                total_out_vcs * k,
+            ),
+            ("va round-robin", &mut self.out_va_rr, total_outputs * k),
+            ("sa round-robin", &mut self.out_sa_rr, total_outputs * k),
+            ("active input counts", &mut self.active_inputs, routers * k),
+        ] {
+            let vs = r.read_u32s()?;
+            if vs.len() != expected {
+                return Err(SnapshotError::Mismatch { field });
+            }
+            *dst = vs;
+        }
+        for slot in self.credit_wheel.iter_mut() {
+            *slot = r.read_u32s()?;
+            if slot.iter().any(|&c| c as usize >= total_out_vcs * k) {
+                return Err(SnapshotError::Corrupt {
+                    field: "credit wheel entry",
+                });
+            }
+        }
+        for bucket in self.arrivals.iter_mut() {
+            bucket.clear();
+            let events = r.read_len(16)?;
+            bucket.reserve(events);
+            for _ in 0..events {
+                let port = r.read_u32()?;
+                let vc = r.read_u16()?;
+                let lane = r.read_u16()?;
+                let word = r.read_u64()?;
+                if port as usize * vcs >= total_in_vcs || vc as usize >= vcs || lane as usize >= k {
+                    return Err(SnapshotError::Corrupt {
+                        field: "arrival event",
+                    });
+                }
+                bucket.push(ArrivalEvent {
+                    port,
+                    vc,
+                    lane,
+                    word,
+                });
+            }
+        }
+        let activity_len = r.read_len(40)?;
+        if activity_len != routers * k {
+            return Err(SnapshotError::Mismatch {
+                field: "activity counters",
+            });
+        }
+        self.activity.clear();
+        self.activity.reserve(routers * k);
+        for _ in 0..routers * k {
+            self.activity.push(ActivityCounters::read_snapshot(&mut r)?);
+        }
+        let link_flits = r.read_u64s()?;
+        let occ_sum = r.read_u64s()?;
+        if !link_flits.is_empty() && link_flits.len() != total_outputs * k {
+            return Err(SnapshotError::Mismatch {
+                field: "link flits",
+            });
+        }
+        if !occ_sum.is_empty() && occ_sum.len() != routers * k {
+            return Err(SnapshotError::Mismatch {
+                field: "occupancy sums",
+            });
+        }
+        // Telemetry follows the current sink state (see the scalar engine).
+        if self.trace_on {
+            self.link_flits = if link_flits.is_empty() {
+                vec![0; total_outputs * k]
+            } else {
+                link_flits
+            };
+            self.occ_sum = if occ_sum.is_empty() {
+                vec![0; routers * k]
+            } else {
+                occ_sum
+            };
+        } else {
+            self.link_flits = Vec::new();
+            self.occ_sum = Vec::new();
+        }
+        r.finish()?;
+        Ok(self)
     }
 }

@@ -20,9 +20,11 @@ use crate::config::SimConfig;
 use crate::flit::{Flit, PacketRecord};
 use crate::network::{NetTables, Network, NONE_U16, NONE_U32};
 use crate::stats::{ActivityCounters, SimStats};
+use noc_model::fingerprint::Fnv1a;
 use noc_rng::rngs::SmallRng;
 use noc_rng::SeedableRng;
 use noc_routing::DorRouter;
+use noc_snapshot::{Reader, SnapshotError, Writer};
 use noc_topology::MeshTopology;
 use noc_traffic::{Trace, Workload};
 use std::sync::Arc;
@@ -111,6 +113,73 @@ pub struct Simulator {
     occ_sum: Vec<u64>,
     /// Number of occupancy samples taken.
     occ_samples: u64,
+    /// Terminal verdict once the run schedule has completed: `Some(drained)`
+    /// after the first post-step state where the measurement window is over
+    /// and either every measured packet drained or the drain budget ran out.
+    /// Kept so [`Simulator::run_until`] / [`Simulator::finish`] never step
+    /// past the exact cycle the one-shot loop would have stopped at.
+    done: Option<bool>,
+    /// Whether this simulator was restored from a snapshot. Restored runs
+    /// own their packet ledger already, so the scratch swap in
+    /// [`Simulator::run_with_scratch`] is skipped to preserve it.
+    resumed: bool,
+}
+
+/// Snapshot kind tag for scalar [`Simulator`] snapshots.
+pub const SIM_KIND: &str = "sim-scalar";
+
+/// Order-sensitive FNV-1a fingerprint of a workload: matrix side and rates,
+/// injection rate, and the packet-size mix. Used to pair a snapshot with the
+/// workload it must be resumed under.
+pub fn workload_fingerprint(w: &Workload) -> u64 {
+    let mut fp = Fnv1a::with_tag("sim-workload");
+    fp.write_u64(w.matrix().side() as u64);
+    for &rate in w.matrix().as_slice() {
+        fp.write_f64(rate);
+    }
+    fp.write_f64(w.injection_rate());
+    for class in w.mix().classes() {
+        fp.write_u32(class.bits);
+        fp.write_f64(class.fraction);
+    }
+    fp.finish()
+}
+
+/// Order-sensitive FNV-1a fingerprint of a recorded trace (side and every
+/// injection event). Used to pair a snapshot with its replay source.
+pub fn trace_fingerprint(trace: &Trace) -> u64 {
+    let mut fp = Fnv1a::with_tag("sim-trace");
+    fp.write_u64(trace.side() as u64);
+    fp.write_u64(trace.events().len() as u64);
+    for e in trace.events() {
+        fp.write_u64(e.cycle);
+        fp.write_u64(e.src as u64);
+        fp.write_u64(e.dst as u64);
+        fp.write_u32(e.bits);
+    }
+    fp.finish()
+}
+
+fn write_flit(w: &mut Writer, f: Flit) {
+    w.write_u32(f.packet);
+    w.write_u16(f.seq);
+    w.write_bool(f.tail);
+    w.write_u16(f.dst);
+}
+
+fn read_flit(r: &mut Reader) -> Result<Flit, SnapshotError> {
+    Ok(Flit {
+        packet: r.read_u32()?,
+        seq: r.read_u16()?,
+        tail: r.read_bool()?,
+        dst: r.read_u16()?,
+    })
+}
+
+fn hash_flit(fp: &mut Fnv1a, f: Flit) {
+    fp.write_u32(f.packet);
+    fp.write_u32(f.seq as u32 | (f.dst as u32) << 16);
+    fp.write_u32(f.tail as u32);
 }
 
 impl Simulator {
@@ -230,6 +299,8 @@ impl Simulator {
                 Vec::new()
             },
             occ_samples: 0,
+            done: None,
+            resumed: false,
         }
     }
 
@@ -254,22 +325,20 @@ impl Simulator {
     /// so replicated runs do not re-grow them from empty. Statistics are
     /// bit-identical to [`run`](Self::run).
     pub fn run_with_scratch(mut self, scratch: &mut SimScratch) -> SimStats {
-        std::mem::swap(&mut self.packets, &mut scratch.packets);
-        std::mem::swap(&mut self.latencies, &mut scratch.latencies);
-        self.packets.clear();
-        self.latencies.clear();
-        self.packets.reserve(self.est_packets);
-        self.latencies.reserve(self.est_latencies);
+        // A restored simulator already owns its (partially filled) packet
+        // ledger; swapping scratch in would discard it.
+        let use_scratch = !self.resumed;
+        if use_scratch {
+            std::mem::swap(&mut self.packets, &mut scratch.packets);
+            std::mem::swap(&mut self.latencies, &mut scratch.latencies);
+            self.packets.clear();
+            self.latencies.clear();
+            self.packets.reserve(self.est_packets);
+            self.latencies.reserve(self.est_latencies);
+        }
 
-        let window_end = self.config.warmup_cycles + self.config.measure_cycles;
-        let hard_end = window_end + self.config.drain_cycles_max;
         let drained = loop {
-            self.step();
-            if self.cycle < window_end {
-                continue;
-            }
-            let drained = self.completed_measured == self.measured_total;
-            if drained || self.cycle >= hard_end {
+            if let Some(drained) = self.advance() {
                 break drained;
             }
         };
@@ -278,16 +347,84 @@ impl Simulator {
         if self.trace_on {
             self.emit_trace(&stats);
         }
-        self.packets.clear();
-        self.latencies.clear();
-        std::mem::swap(&mut self.packets, &mut scratch.packets);
-        std::mem::swap(&mut self.latencies, &mut scratch.latencies);
+        if use_scratch {
+            self.packets.clear();
+            self.latencies.clear();
+            std::mem::swap(&mut self.packets, &mut scratch.packets);
+            std::mem::swap(&mut self.latencies, &mut scratch.latencies);
+        }
+        stats
+    }
+
+    /// Steps one cycle unless the run schedule already completed; returns
+    /// the terminal verdict (`Some(drained)`) once the run is over. The
+    /// stepping sequence is exactly the one-shot loop's: step, then check
+    /// whether the window has closed and either all measured packets
+    /// drained or the drain budget is exhausted. Idempotent once terminal.
+    fn advance(&mut self) -> Option<bool> {
+        if self.done.is_some() {
+            return self.done;
+        }
+        self.step();
+        if self.cycle >= self.config.warmup_cycles + self.config.measure_cycles {
+            let drained = self.completed_measured == self.measured_total;
+            let hard_end = self.config.warmup_cycles
+                + self.config.measure_cycles
+                + self.config.drain_cycles_max;
+            if drained || self.cycle >= hard_end {
+                self.done = Some(drained);
+            }
+        }
+        self.done
+    }
+
+    /// Runs until the cycle counter reaches `target_cycle` or the schedule
+    /// completes, whichever comes first. Returns `Some(drained)` once the
+    /// run is over (no further cycles are simulated after that point), and
+    /// `None` at an intermediate cycle boundary — a safe point to call
+    /// [`Simulator::snapshot`]. Interleaving `run_until` calls at any cycle
+    /// granularity is bit-identical to [`Simulator::run`].
+    pub fn run_until(&mut self, target_cycle: u64) -> Option<bool> {
+        while self.done.is_none() && self.cycle < target_cycle {
+            self.advance();
+        }
+        self.done
+    }
+
+    /// Runs the remaining schedule to completion and returns the collected
+    /// statistics. `run_until` followed by `finish` (possibly across a
+    /// snapshot/restore boundary) is bit-identical to [`Simulator::run`].
+    pub fn finish(mut self) -> SimStats {
+        let drained = loop {
+            if let Some(drained) = self.advance() {
+                break drained;
+            }
+        };
+        let stats = self.compute_stats(drained);
+        if self.trace_on {
+            self.emit_trace(&stats);
+        }
         stats
     }
 
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         let t = self.cycle;
+        if self.trace_on && (t & 4095) == 0 {
+            // Rolling state-hash series: the digest of the exact engine
+            // state at this cycle boundary. A run restored from a snapshot
+            // emits the same values — divergence pinpoints the first 4096-
+            // cycle block where two runs differ. Telemetry only: reads
+            // state, mutates nothing.
+            noc_trace::emit(
+                "series",
+                "sim.state_hash",
+                vec![
+                    ("cycle", noc_trace::FieldValue::U64(t)),
+                    ("hash", noc_trace::FieldValue::U64(self.state_hash())),
+                ],
+            );
+        }
         self.apply_credits(t);
         self.process_arrivals(t);
         self.inject(t);
@@ -829,6 +966,424 @@ impl Simulator {
         }
     }
 
+    /// Cheap rolling FNV-1a digest of the complete dynamic engine state at
+    /// the current cycle boundary: cycle, RNG, counters, every buffered
+    /// flit with its VC bookkeeping, credits, arbitration pointers, and
+    /// both event wheels. Two engines with equal hashes at every boundary
+    /// are in bit-identical states; a snapshot/restore round trip preserves
+    /// the hash exactly.
+    pub fn state_hash(&self) -> u64 {
+        let mut fp = Fnv1a::with_tag("sim-state");
+        fp.write_u64(self.cycle);
+        for s in self.rng.state() {
+            fp.write_u64(s);
+        }
+        fp.write_u64(self.packets.len() as u64);
+        fp.write_u64(self.measured_total);
+        fp.write_u64(self.completed_measured);
+        fp.write_u64(self.latency_sum);
+        fp.write_u64(self.head_latency_sum);
+        fp.write_u64(self.max_latency);
+        fp.write_u64(self.flit_sum);
+        fp.write_u64(self.ejected_in_window);
+        let net = &self.network;
+        for g in 0..net.front_flit.len() {
+            fp.write_u32(net.vc_len[g]);
+            if net.vc_len[g] > 0 {
+                hash_flit(&mut fp, net.front_flit[g]);
+                fp.write_u64(net.front_eligible[g]);
+                for b in net.vc_buf[g].iter() {
+                    hash_flit(&mut fp, b.flit);
+                    fp.write_u64(b.eligible);
+                }
+            }
+            fp.write_u32(net.vc_route[g] as u32 | (net.vc_out_vc[g] as u32) << 16);
+            fp.write_u64(net.vc_va_done[g]);
+        }
+        for &v in &net.ovc_owner {
+            fp.write_u32(v);
+        }
+        for &v in &net.ovc_credits {
+            fp.write_u32(v);
+        }
+        for &v in &net.out_va_rr {
+            fp.write_u32(v);
+        }
+        for &v in &net.out_sa_rr {
+            fp.write_u32(v);
+        }
+        for &v in &net.active_inputs {
+            fp.write_u32(v);
+        }
+        for bucket in &self.arrivals {
+            fp.write_u64(bucket.len() as u64);
+            for ev in bucket {
+                fp.write_u32(ev.port);
+                fp.write_u32(ev.vc as u32);
+                hash_flit(&mut fp, ev.flit);
+            }
+        }
+        for slot in &self.credit_wheel {
+            fp.write_u64(slot.len() as u64);
+            for &ovc in slot {
+                fp.write_u32(ovc);
+            }
+        }
+        fp.finish()
+    }
+
+    /// Serializes the complete dynamic engine state at the current cycle
+    /// boundary into a versioned, digest-protected snapshot (kind
+    /// [`SIM_KIND`]). Restoring with the same topology, source, and config
+    /// and running to completion is bit-identical to never having stopped.
+    /// Call only between cycles — i.e. after construction, [`Simulator::step`],
+    /// or [`Simulator::run_until`] — never from inside a stage.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let net = &self.network;
+        let total_in_vcs = net.front_flit.len();
+        let mut w = Writer::new(SIM_KIND);
+        w.write_u64(self.config.fingerprint());
+        match &self.source {
+            Source::Workload(wl) => {
+                w.write_u8(0);
+                w.write_u64(workload_fingerprint(wl));
+                w.write_u64(0);
+            }
+            Source::Trace { trace, next } => {
+                w.write_u8(1);
+                w.write_u64(trace_fingerprint(trace));
+                w.write_u64(*next as u64);
+            }
+        }
+        w.write_u64(net.tables.routers as u64);
+        w.write_u64(net.tables.vcs as u64);
+        w.write_u64(total_in_vcs as u64);
+        w.write_u64(net.ovc_owner.len() as u64);
+        w.write_u64(self.horizon);
+        w.write_u8(match self.done {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        w.write_u64(self.cycle);
+        w.write_u64s(&self.rng.state());
+        w.write_u64(self.measured_total);
+        w.write_u64(self.completed_measured);
+        w.write_u64(self.latency_sum);
+        w.write_u64(self.head_latency_sum);
+        w.write_u64(self.max_latency);
+        w.write_u64(self.flit_sum);
+        w.write_u64(self.ejected_in_window);
+        w.write_len(self.packets.len());
+        for p in &self.packets {
+            w.write_u16(p.src);
+            w.write_u16(p.dst);
+            w.write_u32(p.flits);
+            w.write_u32(p.created);
+            w.write_u32(p.head_done);
+            w.write_u32(p.tail_done);
+            w.write_bool(p.measured);
+        }
+        w.write_u32s(&self.latencies);
+        w.write_len(self.activity.len());
+        for a in &self.activity {
+            w.write_u64(a.buffer_writes);
+            w.write_u64(a.buffer_reads);
+            w.write_u64(a.crossbar_traversals);
+            w.write_u64(a.link_flit_segments);
+            w.write_u64(a.vc_allocations);
+        }
+        for bucket in &self.arrivals {
+            w.write_len(bucket.len());
+            for ev in bucket {
+                w.write_u32(ev.port);
+                w.write_u16(ev.vc);
+                write_flit(&mut w, ev.flit);
+            }
+        }
+        for slot in &self.credit_wheel {
+            w.write_u32s(slot);
+        }
+        w.write_u64(self.occ_samples);
+        w.write_u64s(&self.link_flits);
+        w.write_u64s(&self.occ_sum);
+        for g in 0..total_in_vcs {
+            w.write_u32(net.vc_len[g]);
+            if net.vc_len[g] > 0 {
+                write_flit(&mut w, net.front_flit[g]);
+                w.write_u64(net.front_eligible[g]);
+                w.write_len(net.vc_buf[g].len());
+                for b in net.vc_buf[g].iter() {
+                    write_flit(&mut w, b.flit);
+                    w.write_u64(b.eligible);
+                }
+            }
+            w.write_u16(net.vc_route[g]);
+            w.write_u16(net.vc_out_vc[g]);
+            w.write_u64(net.vc_va_done[g]);
+        }
+        w.write_u32s(&net.ovc_owner);
+        w.write_u32s(&net.ovc_credits);
+        w.write_u32s(&net.out_va_rr);
+        w.write_u32s(&net.out_sa_rr);
+        w.write_u32s(&net.active_inputs);
+        w.finish()
+    }
+
+    /// Restores a snapshot into a freshly built simulator, validating the
+    /// wire format, the config/source fingerprints, and every dimension
+    /// against the rebuilt network.
+    fn apply_snapshot(mut self, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(bytes, SIM_KIND)?;
+        if r.read_u64()? != self.config.fingerprint() {
+            return Err(SnapshotError::Mismatch {
+                field: "sim config",
+            });
+        }
+        let source_tag = r.read_u8()?;
+        let source_fp = r.read_u64()?;
+        let cursor = r.read_u64()? as usize;
+        match &mut self.source {
+            Source::Workload(wl) => {
+                if source_tag != 0 {
+                    return Err(SnapshotError::Mismatch {
+                        field: "source kind",
+                    });
+                }
+                if source_fp != workload_fingerprint(wl) {
+                    return Err(SnapshotError::Mismatch { field: "workload" });
+                }
+            }
+            Source::Trace { trace, next } => {
+                if source_tag != 1 {
+                    return Err(SnapshotError::Mismatch {
+                        field: "source kind",
+                    });
+                }
+                if source_fp != trace_fingerprint(trace) {
+                    return Err(SnapshotError::Mismatch { field: "trace" });
+                }
+                if cursor > trace.events().len() {
+                    return Err(SnapshotError::Corrupt {
+                        field: "trace cursor",
+                    });
+                }
+                *next = cursor;
+            }
+        }
+        let routers = self.network.tables.routers;
+        let vcs = self.network.tables.vcs;
+        let total_in_vcs = self.network.front_flit.len();
+        let total_ovcs = self.network.ovc_owner.len();
+        let total_outputs = self.network.out_va_rr.len();
+        for (field, expected) in [
+            ("router count", routers),
+            ("vc count", vcs),
+            ("input vc count", total_in_vcs),
+            ("output vc count", total_ovcs),
+            ("event horizon", self.horizon as usize),
+        ] {
+            if r.read_u64()? != expected as u64 {
+                return Err(SnapshotError::Mismatch { field });
+            }
+        }
+        self.done = match r.read_u8()? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            _ => {
+                return Err(SnapshotError::Corrupt {
+                    field: "terminal verdict",
+                })
+            }
+        };
+        self.cycle = r.read_u64()?;
+        let rng_state = r.read_u64s()?;
+        let rng_state: [u64; 4] = rng_state
+            .try_into()
+            .map_err(|_| SnapshotError::Corrupt { field: "rng state" })?;
+        self.rng = SmallRng::from_state(rng_state);
+        self.measured_total = r.read_u64()?;
+        self.completed_measured = r.read_u64()?;
+        self.latency_sum = r.read_u64()?;
+        self.head_latency_sum = r.read_u64()?;
+        self.max_latency = r.read_u64()?;
+        self.flit_sum = r.read_u64()?;
+        self.ejected_in_window = r.read_u64()?;
+        let packet_count = r.read_len(21)?;
+        self.packets = Vec::with_capacity(packet_count);
+        for _ in 0..packet_count {
+            self.packets.push(PacketRecord {
+                src: r.read_u16()?,
+                dst: r.read_u16()?,
+                flits: r.read_u32()?,
+                created: r.read_u32()?,
+                head_done: r.read_u32()?,
+                tail_done: r.read_u32()?,
+                measured: r.read_bool()?,
+            });
+        }
+        self.latencies = r.read_u32s()?;
+        let activity_len = r.read_len(40)?;
+        if activity_len != routers {
+            return Err(SnapshotError::Mismatch {
+                field: "activity counters",
+            });
+        }
+        self.activity = Vec::with_capacity(routers);
+        for _ in 0..routers {
+            self.activity.push(ActivityCounters {
+                buffer_writes: r.read_u64()?,
+                buffer_reads: r.read_u64()?,
+                crossbar_traversals: r.read_u64()?,
+                link_flit_segments: r.read_u64()?,
+                vc_allocations: r.read_u64()?,
+            });
+        }
+        for bucket in self.arrivals.iter_mut() {
+            bucket.clear();
+            let events = r.read_len(15)?;
+            bucket.reserve(events);
+            for _ in 0..events {
+                let port = r.read_u32()?;
+                let vc = r.read_u16()?;
+                let flit = read_flit(&mut r)?;
+                if port as usize * vcs >= total_in_vcs || vc as usize >= vcs {
+                    return Err(SnapshotError::Corrupt {
+                        field: "arrival event port",
+                    });
+                }
+                bucket.push(ArrivalEvent { port, vc, flit });
+            }
+        }
+        for slot in self.credit_wheel.iter_mut() {
+            *slot = r.read_u32s()?;
+            if slot.iter().any(|&ovc| ovc as usize >= total_ovcs) {
+                return Err(SnapshotError::Corrupt {
+                    field: "credit wheel entry",
+                });
+            }
+        }
+        self.occ_samples = r.read_u64()?;
+        let link_flits = r.read_u64s()?;
+        let occ_sum = r.read_u64s()?;
+        if !link_flits.is_empty() && link_flits.len() != total_outputs {
+            return Err(SnapshotError::Mismatch {
+                field: "link flits",
+            });
+        }
+        if !occ_sum.is_empty() && occ_sum.len() != routers {
+            return Err(SnapshotError::Mismatch {
+                field: "occupancy sums",
+            });
+        }
+        // Telemetry follows the *current* sink state, not the snapshot's:
+        // a restore under tracing starts zeroed series if the original run
+        // had none, and a restore without tracing drops them.
+        if self.trace_on {
+            self.link_flits = if link_flits.is_empty() {
+                vec![0; total_outputs]
+            } else {
+                link_flits
+            };
+            self.occ_sum = if occ_sum.is_empty() {
+                vec![0; routers]
+            } else {
+                occ_sum
+            };
+        } else {
+            self.link_flits = Vec::new();
+            self.occ_sum = Vec::new();
+        }
+        let net = &mut self.network;
+        for g in 0..total_in_vcs {
+            let len = r.read_u32()?;
+            net.vc_len[g] = len;
+            net.vc_buf[g].clear();
+            if len > 0 {
+                net.front_flit[g] = read_flit(&mut r)?;
+                net.front_eligible[g] = r.read_u64()?;
+                let queued = r.read_len(17)?;
+                if queued != len as usize - 1 {
+                    return Err(SnapshotError::Corrupt {
+                        field: "vc queue length",
+                    });
+                }
+                net.vc_buf[g].reserve(queued);
+                for _ in 0..queued {
+                    let flit = read_flit(&mut r)?;
+                    let eligible = r.read_u64()?;
+                    net.vc_buf[g].push_back(crate::network::BufferedFlit { flit, eligible });
+                }
+            } else {
+                net.front_flit[g] = Flit {
+                    packet: 0,
+                    seq: 1,
+                    tail: false,
+                    dst: 0,
+                };
+                net.front_eligible[g] = u64::MAX;
+            }
+            net.vc_route[g] = r.read_u16()?;
+            net.vc_out_vc[g] = r.read_u16()?;
+            net.vc_va_done[g] = r.read_u64()?;
+        }
+        for (field, dst, expected) in [
+            ("output vc owners", &mut net.ovc_owner, total_ovcs),
+            ("output vc credits", &mut net.ovc_credits, total_ovcs),
+            ("va round-robin", &mut net.out_va_rr, total_outputs),
+            ("sa round-robin", &mut net.out_sa_rr, total_outputs),
+            ("active input counts", &mut net.active_inputs, routers),
+        ] {
+            let vs = r.read_u32s()?;
+            if vs.len() != expected {
+                return Err(SnapshotError::Mismatch { field });
+            }
+            *dst = vs;
+        }
+        r.finish()?;
+        self.resumed = true;
+        Ok(self)
+    }
+
+    /// Rebuilds a simulator from a [`Simulator::snapshot`], re-solving the
+    /// routing for `topology`. The topology, workload, and config must be
+    /// the ones the snapshot was taken under (validated by fingerprint and
+    /// dimension checks). Running the restored simulator to completion is
+    /// bit-identical to the uninterrupted run.
+    pub fn restore(
+        topology: &MeshTopology,
+        workload: Workload,
+        config: SimConfig,
+        bytes: &[u8],
+    ) -> Result<Self, SnapshotError> {
+        let dor = DorRouter::new(topology, config.weights);
+        Self::with_router(topology, &dor, workload, config).apply_snapshot(bytes)
+    }
+
+    /// Like [`Simulator::restore`], but over pre-built shared network
+    /// tables (the [`Simulator::with_tables`] counterpart).
+    pub fn restore_with_tables(
+        tables: Arc<NetTables>,
+        workload: Workload,
+        config: SimConfig,
+        bytes: &[u8],
+    ) -> Result<Self, SnapshotError> {
+        Self::with_tables(tables, workload, config).apply_snapshot(bytes)
+    }
+
+    /// Like [`Simulator::restore`], but for a trace-replay simulator (the
+    /// [`Simulator::from_trace`] counterpart). The replay cursor is part of
+    /// the snapshot.
+    pub fn restore_trace(
+        topology: &MeshTopology,
+        trace: Trace,
+        config: SimConfig,
+        bytes: &[u8],
+    ) -> Result<Self, SnapshotError> {
+        Self::from_trace(topology, trace, config).apply_snapshot(bytes)
+    }
+
     fn compute_stats(&mut self, drained: bool) -> SimStats {
         let completed = self.completed_measured;
         let denom = completed.max(1) as f64;
@@ -1019,6 +1574,128 @@ mod tests {
                 Simulator::new(&topo, workload(4, 0.03), config).run_with_scratch(&mut scratch);
             assert_eq!(fresh.fingerprint(), reused.fingerprint());
         }
+    }
+
+    #[test]
+    fn run_until_and_finish_match_one_shot_run() {
+        let topo = MeshTopology::mesh(4);
+        let config = SimConfig::latency_run(256, 7);
+        let reference = Simulator::new(&topo, workload(4, 0.03), config).run();
+
+        let mut sim = Simulator::new(&topo, workload(4, 0.03), config);
+        // Step in uneven chunks, overshooting the schedule's end.
+        let mut target = 97;
+        while sim.run_until(target).is_none() {
+            target += 1231;
+        }
+        let stats = sim.finish();
+        assert_eq!(stats.fingerprint(), reference.fingerprint());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let topo = MeshTopology::mesh(4);
+        let config = SimConfig::latency_run(256, 31);
+        let reference = Simulator::new(&topo, workload(4, 0.04), config).run();
+
+        for cut in [1, 500, 2_000] {
+            let mut sim = Simulator::new(&topo, workload(4, 0.04), config);
+            sim.run_until(cut);
+            let hash_before = sim.state_hash();
+            let bytes = sim.snapshot();
+            let restored =
+                Simulator::restore(&topo, workload(4, 0.04), config, &bytes).expect("restore");
+            assert_eq!(restored.state_hash(), hash_before, "hash at cut {cut}");
+            assert_eq!(restored.cycle(), cut);
+            let stats = restored.finish();
+            assert_eq!(
+                stats.fingerprint(),
+                reference.fingerprint(),
+                "resume from cut {cut} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_bytes() {
+        let topo = MeshTopology::mesh(4);
+        let config = SimConfig::latency_run(256, 5);
+        let mut sim = Simulator::new(&topo, workload(4, 0.05), config);
+        sim.run_until(800);
+        let bytes = sim.snapshot();
+        let restored = Simulator::restore(&topo, workload(4, 0.05), config, &bytes).unwrap();
+        assert_eq!(restored.snapshot(), bytes);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_context() {
+        let topo = MeshTopology::mesh(4);
+        let config = SimConfig::latency_run(256, 5);
+        let mut sim = Simulator::new(&topo, workload(4, 0.05), config);
+        sim.run_until(100);
+        let bytes = sim.snapshot();
+
+        // Wrong config (different seed).
+        let other = SimConfig::latency_run(256, 6);
+        assert!(matches!(
+            Simulator::restore(&topo, workload(4, 0.05), other, &bytes),
+            Err(SnapshotError::Mismatch {
+                field: "sim config"
+            })
+        ));
+        // Wrong workload (different rate).
+        assert!(matches!(
+            Simulator::restore(&topo, workload(4, 0.06), config, &bytes),
+            Err(SnapshotError::Mismatch { field: "workload" })
+        ));
+        // Wrong source kind.
+        let trace = Trace::new(4, Vec::new());
+        assert!(matches!(
+            Simulator::restore_trace(&topo, trace, config, &bytes),
+            Err(SnapshotError::Mismatch {
+                field: "source kind"
+            })
+        ));
+    }
+
+    #[test]
+    fn trace_snapshot_resumes_replay_cursor() {
+        use noc_traffic::TraceEvent;
+        let events: Vec<TraceEvent> = (0..40)
+            .map(|i| TraceEvent {
+                cycle: 5 + 13 * i,
+                src: (i % 16) as usize,
+                dst: ((i * 7 + 3) % 16) as usize,
+                bits: 256,
+            })
+            .collect();
+        let trace = Trace::new(4, events);
+        let mut config = SimConfig::latency_run(256, 3);
+        config.warmup_cycles = 0;
+        config.measure_cycles = 2_000;
+        let topo = MeshTopology::mesh(4);
+        let reference = Simulator::from_trace(&topo, trace.clone(), config).run();
+
+        let mut sim = Simulator::from_trace(&topo, trace.clone(), config);
+        sim.run_until(260);
+        let bytes = sim.snapshot();
+        let restored = Simulator::restore_trace(&topo, trace, config, &bytes).unwrap();
+        let stats = restored.finish();
+        assert_eq!(stats.fingerprint(), reference.fingerprint());
+    }
+
+    #[test]
+    fn state_hash_evolves_and_is_deterministic() {
+        let topo = MeshTopology::mesh(4);
+        let config = SimConfig::latency_run(256, 11);
+        let mut a = Simulator::new(&topo, workload(4, 0.05), config);
+        let mut b = Simulator::new(&topo, workload(4, 0.05), config);
+        assert_eq!(a.state_hash(), b.state_hash());
+        let h0 = a.state_hash();
+        a.run_until(300);
+        b.run_until(300);
+        assert_ne!(a.state_hash(), h0, "hash must track progress");
+        assert_eq!(a.state_hash(), b.state_hash(), "same seed, same state");
     }
 
     #[test]

@@ -39,9 +39,9 @@ pub mod network;
 pub mod stats;
 pub mod throughput;
 
-pub use batch::{BatchSimulator, MAX_LANES};
+pub use batch::{BatchSimulator, BATCH_KIND, MAX_LANES};
 pub use config::SimConfig;
-pub use engine::{SimScratch, Simulator};
+pub use engine::{trace_fingerprint, workload_fingerprint, SimScratch, Simulator, SIM_KIND};
 pub use network::NetTables;
 pub use stats::{ActivityCounters, SimStats};
 pub use throughput::{saturation_sweep, SweepRunner, SweepSample, ThroughputResult};

@@ -17,6 +17,28 @@ pub struct ActivityCounters {
 }
 
 impl ActivityCounters {
+    /// Appends the five counters to a snapshot payload.
+    pub fn write_snapshot(&self, w: &mut noc_snapshot::Writer) {
+        w.write_u64(self.buffer_writes);
+        w.write_u64(self.buffer_reads);
+        w.write_u64(self.crossbar_traversals);
+        w.write_u64(self.link_flit_segments);
+        w.write_u64(self.vc_allocations);
+    }
+
+    /// Reads the five counters back from a snapshot payload.
+    pub fn read_snapshot(
+        r: &mut noc_snapshot::Reader,
+    ) -> Result<Self, noc_snapshot::SnapshotError> {
+        Ok(ActivityCounters {
+            buffer_writes: r.read_u64()?,
+            buffer_reads: r.read_u64()?,
+            crossbar_traversals: r.read_u64()?,
+            link_flit_segments: r.read_u64()?,
+            vc_allocations: r.read_u64()?,
+        })
+    }
+
     /// Element-wise accumulation.
     pub fn add(&mut self, other: &ActivityCounters) {
         self.buffer_writes += other.buffer_writes;
@@ -99,6 +121,74 @@ impl SimStats {
         }
         h.write_u64(self.drained as u64);
         h.finish()
+    }
+
+    /// Appends every field to a snapshot payload (the exact float bit
+    /// patterns, so a round trip preserves [`SimStats::fingerprint`]).
+    pub fn write_snapshot(&self, w: &mut noc_snapshot::Writer) {
+        w.write_u64(self.cycles);
+        w.write_u64(self.measure_cycles);
+        w.write_u64(self.nodes as u64);
+        w.write_u64(self.measured_packets);
+        w.write_u64(self.completed_packets);
+        w.write_f64(self.avg_packet_latency);
+        w.write_f64(self.avg_head_latency);
+        w.write_u64(self.max_packet_latency);
+        w.write_f64(self.p50_latency);
+        w.write_f64(self.p95_latency);
+        w.write_f64(self.p99_latency);
+        w.write_f64(self.accepted_throughput);
+        w.write_f64(self.offered_rate);
+        w.write_f64(self.avg_flits_per_packet);
+        w.write_len(self.activity.len());
+        for a in &self.activity {
+            a.write_snapshot(w);
+        }
+        w.write_bool(self.drained);
+    }
+
+    /// Reads a full statistics record back from a snapshot payload.
+    pub fn read_snapshot(
+        r: &mut noc_snapshot::Reader,
+    ) -> Result<Self, noc_snapshot::SnapshotError> {
+        let cycles = r.read_u64()?;
+        let measure_cycles = r.read_u64()?;
+        let nodes = r.read_u64()? as usize;
+        let measured_packets = r.read_u64()?;
+        let completed_packets = r.read_u64()?;
+        let avg_packet_latency = r.read_f64()?;
+        let avg_head_latency = r.read_f64()?;
+        let max_packet_latency = r.read_u64()?;
+        let p50_latency = r.read_f64()?;
+        let p95_latency = r.read_f64()?;
+        let p99_latency = r.read_f64()?;
+        let accepted_throughput = r.read_f64()?;
+        let offered_rate = r.read_f64()?;
+        let avg_flits_per_packet = r.read_f64()?;
+        let activity_len = r.read_len(40)?;
+        let mut activity = Vec::with_capacity(activity_len);
+        for _ in 0..activity_len {
+            activity.push(ActivityCounters::read_snapshot(r)?);
+        }
+        let drained = r.read_bool()?;
+        Ok(SimStats {
+            cycles,
+            measure_cycles,
+            nodes,
+            measured_packets,
+            completed_packets,
+            avg_packet_latency,
+            avg_head_latency,
+            max_packet_latency,
+            p50_latency,
+            p95_latency,
+            p99_latency,
+            accepted_throughput,
+            offered_rate,
+            avg_flits_per_packet,
+            activity,
+            drained,
+        })
     }
 
     /// Total activity across all routers.

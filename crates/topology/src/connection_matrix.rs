@@ -84,6 +84,11 @@ impl ConnectionMatrix {
         self.c_limit
     }
 
+    /// Row length `n` the matrix encodes placements for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Number of express-link layers (`C - 1`).
     pub fn layers(&self) -> usize {
         self.c_limit - 1

@@ -4,6 +4,9 @@
 //! ```text
 //! express-noc-cli solve    --n 8 --c 4 [--strategy dnc|random|greedy] [--moves 10000] [--seed 42]
 //!                          [--chains 1] [--evaluator incremental|full]
+//! express-noc-cli checkpoint --n 8 --c 4 --snapshot job.nsnp [--stages 3] [--moves 10000]
+//!                          [--seed 42] [--chains 1]
+//! express-noc-cli resume   --snapshot job.nsnp
 //! express-noc-cli optimal  --n 8 --c 3
 //! express-noc-cli sweep    --n 8 [--base-flit 256] [--seed 42] [--chains 1]
 //! express-noc-cli render   --n 8 --links 0-3,3-7,1-4
@@ -27,7 +30,7 @@ use express_noc::cluster::{ClusterSim, ScriptAction, TcpForwarder};
 use express_noc::model::{LatencyModel, LinkBudget, PacketMix};
 use express_noc::placement::objective::AllPairsObjective;
 use express_noc::placement::{
-    exhaustive_optimal, optimize_network, solve_row, EvalMode, InitialStrategy, SaParams,
+    exhaustive_optimal, optimize_network, solve_row, EvalMode, InitialStrategy, SaParams, SolveJob,
 };
 use express_noc::routing::{channel_dependency_cycle, DorRouter, HopWeights};
 use express_noc::service::protocol::{self, Envelope, Request, SimulateRequest, SolveRequest};
@@ -80,6 +83,8 @@ fn main() -> ExitCode {
     }
     let result = match command.as_str() {
         "solve" => cmd_solve(&opts),
+        "checkpoint" => cmd_checkpoint(&opts),
+        "resume" => cmd_resume(&opts),
         "optimal" => cmd_optimal(&opts),
         "sweep" => cmd_sweep(&opts),
         "render" => cmd_render(&opts),
@@ -114,6 +119,15 @@ commands:
             [--chains K] [--evaluator incremental|full] [--trace-out PATH]
             solve the 1D placement problem P(N, C) with simulated annealing;
             K > 1 runs K independent chains in parallel and keeps the best
+  checkpoint --n <N> --c <C> --snapshot FILE [--stages T] [--strategy dnc|random|greedy]
+            [--moves M] [--seed S] [--chains K] [--evaluator incremental|full]
+            run T cooling stages of the solve, then write a versioned
+            snapshot (docs/SNAPSHOTS.md) to FILE; prints the rolling
+            state hash so two checkpoints can be compared at a glance
+  resume    --snapshot FILE
+            restore a checkpointed solve from FILE and run it to
+            completion; the output is byte-identical to the `solve`
+            the checkpoint interrupted
   optimal   --n <N> --c <C>
             exhaustive branch-and-bound optimum of P(N, C)
   sweep     --n <N> [--base-flit BITS] [--seed S] [--chains K]
@@ -285,6 +299,83 @@ fn cmd_solve(opts: &Flags) -> Result<(), String> {
         out.evaluations
     );
     print!("{}", display::render_row(&out.best));
+    Ok(())
+}
+
+/// Prints a finished solve job in the exact format `cmd_solve` uses, so
+/// `resume` (and a `checkpoint` that finishes early) emit bytes a direct
+/// `solve` of the same parameters would have produced.
+fn print_solved_job(job: &SolveJob) {
+    let out = job.outcome();
+    let (n, c) = (job.n(), job.c_limit());
+    let strategy = job.strategy();
+    let chains = job.params().chains.max(1);
+    println!(
+        "P({n},{c}) via {strategy:?} ({chains} chain{}): objective {:.4} cycles ({} evaluations)",
+        if chains == 1 { "" } else { "s" },
+        out.best_objective,
+        out.evaluations
+    );
+    print!("{}", display::render_row(&out.best));
+}
+
+fn cmd_checkpoint(opts: &Flags) -> Result<(), String> {
+    let _span = express_noc::trace::span("cli.checkpoint");
+    let n: usize = get(opts, "n")?;
+    let c: usize = get(opts, "c")?;
+    let strategy = parse_strategy(&get_or(opts, "strategy", "dnc".to_string())?)?;
+    let moves: usize = get_or(opts, "moves", 10_000)?;
+    let seed: u64 = get_or(opts, "seed", 42)?;
+    let chains: usize = get_or(opts, "chains", 1)?;
+    if chains == 0 {
+        return Err("--chains must be at least 1".into());
+    }
+    let evaluator = parse_evaluator(&get_or(opts, "evaluator", "incremental".to_string())?)?;
+    let stages: usize = get_or(opts, "stages", 1)?;
+    let path: String = get(opts, "snapshot")?;
+    let objective = AllPairsObjective::paper();
+    let params = SaParams::paper()
+        .with_moves(moves)
+        .with_chains(chains)
+        .with_evaluator(evaluator);
+    let mut job = SolveJob::new(
+        n,
+        c,
+        &objective,
+        strategy,
+        &params,
+        seed,
+        objective.fingerprint(),
+    );
+    if job.run_stages(&objective, stages.max(1)) {
+        println!("solve finished within {stages} stage(s); nothing left to checkpoint");
+        print_solved_job(&job);
+        return Ok(());
+    }
+    let bytes = job.snapshot();
+    std::fs::write(&path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
+    println!(
+        "checkpointed P({n},{c}) at move {}/{moves}: state_hash {:016x} ({} bytes to {path})",
+        job.next_move(),
+        job.state_hash(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_resume(opts: &Flags) -> Result<(), String> {
+    let _span = express_noc::trace::span("cli.resume");
+    let path: String = get(opts, "snapshot")?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut job = SolveJob::restore(&bytes).map_err(|e| format!("restore {path}: {e}"))?;
+    let objective = AllPairsObjective::paper();
+    if job.objective_fp() != objective.fingerprint() {
+        return Err(format!(
+            "snapshot {path} was taken under a different objective; refusing to resume"
+        ));
+    }
+    job.run_moves(&objective, usize::MAX);
+    print_solved_job(&job);
     Ok(())
 }
 
@@ -712,6 +803,7 @@ fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
                 cycles: 5_000,
                 seed,
                 links: Vec::new(),
+                checkpoint: 0,
             }),
             _ => Request::Solve(SolveRequest {
                 n,
@@ -722,6 +814,7 @@ fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
                 evaluator: EvalMode::Incremental,
                 seed,
                 weights: HopWeights::PAPER,
+                checkpoint: 0,
             }),
         };
         protocol::request_line(&Envelope {

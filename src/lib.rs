@@ -10,6 +10,7 @@ pub use noc_routing as routing;
 pub use noc_scenario as scenario;
 pub use noc_service as service;
 pub use noc_sim as sim;
+pub use noc_snapshot as snapshot;
 pub use noc_topology as topology;
 pub use noc_trace as trace;
 pub use noc_traffic as traffic;

@@ -93,6 +93,7 @@ fn two_tcp_daemons_forward_to_the_shard_owner() {
                 evaluator: EvalMode::Incremental,
                 seed,
                 weights: HopWeights::PAPER,
+                checkpoint: 0,
             }),
         });
         match client.request(&line).expect("round trip") {

@@ -11,6 +11,8 @@ use std::process::Command;
 /// help text and this list drift apart.
 const COMMANDS: &[&str] = &[
     "solve",
+    "checkpoint",
+    "resume",
     "optimal",
     "sweep",
     "render",

@@ -1,0 +1,260 @@
+//! Golden rolling state-hash regression tests: reference `state_hash()`
+//! values for the simulator paused at a fixed cycle boundary across the
+//! ten golden simulation cases (mirroring `crates/sim/tests/golden.rs`),
+//! and for the resumable annealer cut at a fixed move budget across four
+//! solve configurations. The hashes fold the complete mutable state of
+//! each engine (RNG streams included), so any change to in-flight state
+//! evolution — not just to final statistics — trips these pins.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```text
+//! NOC_GOLDEN_PRINT=1 cargo test --test state_hash_golden -- --nocapture
+//! ```
+
+use express_noc::model::PacketMix;
+use express_noc::placement::objective::AllPairsObjective;
+use express_noc::placement::{EvalMode, InitialStrategy, SaParams, SolveJob};
+use express_noc::sim::{SimConfig, Simulator};
+use express_noc::topology::{hfb_mesh, MeshTopology, RowPlacement};
+use express_noc::traffic::{SyntheticPattern, Trace, TraceEvent, TrafficMatrix, Workload};
+
+/// Cycle boundary at which every simulation case is paused and hashed.
+/// Chosen inside every case's warmup + measurement window so the network
+/// still has packets in flight when the hash is taken.
+const PAUSE_CYCLE: u64 = 400;
+
+/// Reference simulator state hashes at [`PAUSE_CYCLE`].
+const SIM_GOLDEN: &[(&str, u64)] = &[
+    ("mesh4_ur_low", 0x85067f701540608d),
+    ("mesh4_tp_hot", 0xbe0fc45f02e81dc0),
+    ("mesh4_ur_1vc", 0xc360e1ec31d78ee9),
+    ("express4_ur_128b", 0xd5191c21591d3b23),
+    ("mesh8_ur_saturated", 0x911f0e603f3ae115),
+    ("express8_br_64b", 0x9d384d4e2a5dbda8),
+    ("hfb8_shuffle", 0x379684f978fa9b39),
+    ("mesh8_nn_deep_buffers", 0x65b5f76d1715c7d9),
+    ("mesh4_burst_trace", 0xa488f280bf3c9c2a),
+    ("mesh16_ur_low", 0x56e13825ffff09a4),
+];
+
+/// Reference annealer state hashes: (name, moves run before hashing, hash).
+const SA_GOLDEN: &[(&str, usize, u64)] = &[
+    ("p8c4_dnc_1chain", 2_500, 0xeb88070d65113f60),
+    ("p8c3_random_2chain", 1_500, 0x048fa34893447c16),
+    ("p12c6_greedy_full", 2_000, 0xe2ff44f8b048eb29),
+    ("p16c8_dnc_3chain", 3_000, 0x1954d0627748ae20),
+];
+
+fn short(mut config: SimConfig, warmup: u64, measure: u64) -> SimConfig {
+    config.warmup_cycles = warmup;
+    config.measure_cycles = measure;
+    config
+}
+
+fn workload(pattern: SyntheticPattern, n: usize, rate: f64) -> Workload {
+    Workload::new(
+        TrafficMatrix::from_pattern(pattern, n),
+        rate,
+        PacketMix::paper(),
+    )
+}
+
+fn express(n: usize, links: &[(usize, usize)]) -> MeshTopology {
+    let row = RowPlacement::with_links(n, links.iter().copied()).unwrap();
+    MeshTopology::uniform(n, &row)
+}
+
+/// Builds one named simulation case — the same matrix as the golden
+/// fingerprint suite in `crates/sim/tests/golden.rs`, but returned
+/// un-run so the caller can pause it mid-flight.
+fn build_case(name: &str) -> Simulator {
+    use SyntheticPattern::*;
+    match name {
+        "mesh4_ur_low" => Simulator::new(
+            &MeshTopology::mesh(4),
+            workload(UniformRandom, 4, 0.02),
+            short(SimConfig::latency_run(256, 1), 500, 2_000),
+        ),
+        "mesh4_tp_hot" => Simulator::new(
+            &MeshTopology::mesh(4),
+            workload(Transpose, 4, 0.10),
+            short(SimConfig::latency_run(256, 2), 500, 2_000),
+        ),
+        "mesh4_ur_1vc" => {
+            let mut config = short(SimConfig::latency_run(256, 3), 500, 2_000);
+            config.vcs_per_port = 1;
+            config.buffer_flits_per_vc = 2;
+            Simulator::new(
+                &MeshTopology::mesh(4),
+                workload(UniformRandom, 4, 0.05),
+                config,
+            )
+        }
+        "express4_ur_128b" => Simulator::new(
+            &express(4, &[(0, 3)]),
+            workload(UniformRandom, 4, 0.03),
+            short(SimConfig::latency_run(128, 4), 500, 2_000),
+        ),
+        "mesh8_ur_saturated" => Simulator::new(
+            &MeshTopology::mesh(8),
+            workload(UniformRandom, 8, 0.30),
+            short(SimConfig::throughput_run(256, 5), 500, 1_500),
+        ),
+        "express8_br_64b" => Simulator::new(
+            &express(8, &[(0, 3), (3, 7)]),
+            workload(BitReverse, 8, 0.02),
+            short(SimConfig::latency_run(64, 6), 500, 2_000),
+        ),
+        "hfb8_shuffle" => Simulator::new(
+            &hfb_mesh(8),
+            workload(Shuffle, 8, 0.05),
+            short(SimConfig::latency_run(64, 7), 500, 2_000),
+        ),
+        "mesh8_nn_deep_buffers" => {
+            let mut config = short(SimConfig::latency_run(256, 8), 500, 2_000);
+            config.buffer_flits_per_vc = 8;
+            Simulator::new(
+                &MeshTopology::mesh(8),
+                workload(NearNeighbour, 8, 0.08),
+                config,
+            )
+        }
+        "mesh4_burst_trace" => {
+            let events = (0..24)
+                .map(|i| TraceEvent {
+                    cycle: 8 + (i / 6) as u64,
+                    src: (i % 3) as usize,
+                    dst: 12 + (i % 4) as usize,
+                    bits: 256 + 128 * (i % 2) as u32,
+                })
+                .collect();
+            let trace = Trace::new(4, events);
+            let mut config = short(SimConfig::latency_run(128, 9), 0, 1_000);
+            config.drain_cycles_max = 50_000;
+            Simulator::from_trace(&MeshTopology::mesh(4), trace, config)
+        }
+        "mesh16_ur_low" => Simulator::new(
+            &MeshTopology::mesh(16),
+            workload(UniformRandom, 16, 0.02),
+            short(SimConfig::latency_run(256, 10), 300, 800),
+        ),
+        other => panic!("unknown golden case {other:?}"),
+    }
+}
+
+/// Builds one named annealing job — four configurations spanning the
+/// initial-placement strategies, chain counts, and both evaluators.
+fn build_job(name: &str) -> (SolveJob, AllPairsObjective) {
+    let objective = AllPairsObjective::paper();
+    let fp = objective.fingerprint();
+    let job = match name {
+        "p8c4_dnc_1chain" => SolveJob::new(
+            8,
+            4,
+            &objective,
+            InitialStrategy::DivideAndConquer,
+            &SaParams::paper(),
+            42,
+            fp,
+        ),
+        "p8c3_random_2chain" => SolveJob::new(
+            8,
+            3,
+            &objective,
+            InitialStrategy::Random,
+            &SaParams::paper().with_chains(2),
+            7,
+            fp,
+        ),
+        "p12c6_greedy_full" => SolveJob::new(
+            12,
+            6,
+            &objective,
+            InitialStrategy::Greedy,
+            &SaParams::paper().with_evaluator(EvalMode::Full),
+            11,
+            fp,
+        ),
+        "p16c8_dnc_3chain" => SolveJob::new(
+            16,
+            8,
+            &objective,
+            InitialStrategy::DivideAndConquer,
+            &SaParams::paper().with_chains(3),
+            1,
+            fp,
+        ),
+        other => panic!("unknown anneal case {other:?}"),
+    };
+    (job, objective)
+}
+
+#[test]
+fn simulator_state_hashes_match_golden() {
+    let print = std::env::var("NOC_GOLDEN_PRINT").is_ok_and(|v| v == "1");
+    let mut failures = Vec::new();
+    for &(name, expected) in SIM_GOLDEN {
+        let mut sim = build_case(name);
+        let done = sim.run_until(PAUSE_CYCLE);
+        assert_eq!(done, None, "{name}: finished before cycle {PAUSE_CYCLE}");
+        assert_eq!(sim.cycle(), PAUSE_CYCLE, "{name}: paused off-boundary");
+        let got = sim.state_hash();
+        if print {
+            println!("    (\"{name}\", {got:#018x}),");
+        }
+        if got != expected {
+            failures.push(format!(
+                "{name}: state_hash {got:#018x} != golden {expected:#018x}"
+            ));
+        }
+    }
+    if !print {
+        assert!(
+            failures.is_empty(),
+            "sim state-hash mismatches:\n{}",
+            failures.join("\n")
+        );
+    }
+}
+
+#[test]
+fn annealer_state_hashes_match_golden() {
+    let print = std::env::var("NOC_GOLDEN_PRINT").is_ok_and(|v| v == "1");
+    let mut failures = Vec::new();
+    for &(name, moves, expected) in SA_GOLDEN {
+        let (mut job, objective) = build_job(name);
+        let done = job.run_moves(&objective, moves);
+        assert!(!done, "{name}: finished within {moves} moves");
+        let got = job.state_hash();
+        if print {
+            println!("    (\"{name}\", {moves}, {got:#018x}),");
+        }
+        if got != expected {
+            failures.push(format!(
+                "{name}: state_hash {got:#018x} != golden {expected:#018x}"
+            ));
+        }
+    }
+    if !print {
+        assert!(
+            failures.is_empty(),
+            "annealer state-hash mismatches:\n{}",
+            failures.join("\n")
+        );
+    }
+}
+
+#[test]
+fn state_hash_is_stable_within_a_run_point() {
+    // Hashing is a pure read: calling it twice at the same point yields
+    // the same value and does not perturb the run.
+    let mut sim = build_case("mesh4_tp_hot");
+    assert_eq!(sim.run_until(PAUSE_CYCLE), None);
+    let h1 = sim.state_hash();
+    let h2 = sim.state_hash();
+    assert_eq!(h1, h2);
+    // And the hash must actually move as the state evolves.
+    assert_eq!(sim.run_until(PAUSE_CYCLE + 50), None);
+    assert_ne!(sim.state_hash(), h1, "state hash ignored 50 cycles of work");
+}
